@@ -1,0 +1,23 @@
+.PHONY: all build test bench examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest --force
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/channel_compare.exe
+	dune exec examples/switchbox_ripup.exe
+	dune exec examples/eco_reroute.exe
+	dune exec examples/macro_region.exe
+	dune exec examples/interactive.exe
+
+clean:
+	dune clean

@@ -1,0 +1,807 @@
+(* Benchmark harness: regenerates every table and figure of the evaluation
+   — experiments E1 through E10 plus bechamel micro-benchmarks (see
+   DESIGN.md §3 and EXPERIMENTS.md).
+
+   Usage:
+     dune exec bench/main.exe           -- run all experiments
+     dune exec bench/main.exe e1 e4     -- run a subset
+     dune exec bench/main.exe micro     -- bechamel micro-benchmarks only
+*)
+
+let strategies =
+  [
+    ("maze-only", Router.Config.maze_only);
+    ("weak-only", Router.Config.weak_only);
+    ("full", Router.Config.default);
+  ]
+
+let drc_ok problem (result : Router.Engine.t) =
+  let failed = result.Router.Engine.stats.Router.Engine.failed_nets in
+  let routed =
+    List.filter
+      (fun id -> not (List.mem id failed))
+      (List.init (Netlist.Problem.net_count problem) (fun i -> i + 1))
+  in
+  Drc.Check.is_clean ~nets:routed problem result.Router.Engine.grid
+
+let heading title claim =
+  Printf.printf "\n=== %s ===\n%s\n\n" title claim
+
+(* ------------------------------------------------------------------ *)
+(* E1: difficult switchboxes — completion by strategy                  *)
+(* ------------------------------------------------------------------ *)
+
+let e1 () =
+  heading "E1 (table): difficult switchboxes, completion by strategy"
+    "Claim: one-shot maze routing fails on difficult switchboxes; weak\n\
+     modification (shoving) helps but does not complete; rip-up and\n\
+     reroute completes them all.";
+  let table =
+    Util.Table.create
+      ~headers:
+        [ "switchbox"; "nets"; "strategy"; "done"; "failed"; "rips"; "shoves";
+          "vias"; "wirelen"; "drc" ]
+  in
+  List.iter
+    (fun (name, problem) ->
+      List.iter
+        (fun (sname, config) ->
+          let r = Router.Engine.route ~config problem in
+          let s = r.Router.Engine.stats in
+          Util.Table.add_row table
+            [
+              name;
+              Util.Table.cell_int (Netlist.Problem.net_count problem);
+              sname;
+              Util.Table.cell_bool r.Router.Engine.completed;
+              Util.Table.cell_int (List.length s.Router.Engine.failed_nets);
+              Util.Table.cell_int s.Router.Engine.rips;
+              Util.Table.cell_int s.Router.Engine.shoves;
+              Util.Table.cell_int s.Router.Engine.total_vias;
+              Util.Table.cell_int s.Router.Engine.total_wirelength;
+              (if drc_ok problem r then "clean" else "VIOLATION");
+            ])
+        strategies;
+      Util.Table.add_sep table)
+    (Workload.Hard.all_switchboxes ());
+  Util.Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* E2: channels — minimum tracks per router                            *)
+(* ------------------------------------------------------------------ *)
+
+let e2 () =
+  heading "E2 (table): channels, minimum tracks per router"
+    "Claim: the full router finishes difficult channels in density\n\
+     (the lower bound), matching or beating channel-specific routers;\n\
+     dogleg-free routers fail on constraint cycles and waste tracks on\n\
+     constraint chains.";
+  let show = function None -> "fail" | Some t -> string_of_int t in
+  let table =
+    Util.Table.create
+      ~headers:
+        [ "channel"; "cols"; "nets"; "density"; "left-edge"; "dogleg";
+          "greedy"; "yacr"; "full"; "full vias"; "full wirelen" ]
+  in
+  List.iter
+    (fun (name, problem) ->
+      let spec = Channel.Model.spec_of_problem problem in
+      let full = Channel.Adapter.min_tracks spec in
+      let full_tracks, full_vias, full_wl =
+        match full with
+        | Some (t, r) ->
+            ( string_of_int t,
+              Util.Table.cell_int r.Router.Engine.stats.Router.Engine.total_vias,
+              Util.Table.cell_int
+                r.Router.Engine.stats.Router.Engine.total_wirelength )
+        | None -> ("fail", "-", "-")
+      in
+      Util.Table.add_row table
+        [
+          name;
+          Util.Table.cell_int (Channel.Model.columns spec);
+          Util.Table.cell_int (List.length (Channel.Model.net_ids spec));
+          Util.Table.cell_int (Channel.Model.density spec);
+          show (Channel.Lea.min_tracks spec);
+          show (Channel.Dogleg.min_tracks spec);
+          (match Channel.Greedy.route_padded spec with
+          | Some (padded, sol) ->
+              let ext = Channel.Greedy.extension_used ~original:spec padded in
+              if ext = 0 then string_of_int sol.Channel.Model.tracks
+              else Printf.sprintf "%d(+%dc)" sol.Channel.Model.tracks ext
+          | None -> "fail");
+          show (Channel.Yacr.min_tracks spec);
+          full_tracks;
+          full_vias;
+          full_wl;
+        ])
+    (Workload.Hard.all_channels ());
+  Util.Table.print table;
+  Printf.printf
+    "Quality at each router's own minimum track count (deutsch-like):\n";
+  let spec =
+    Channel.Model.spec_of_problem (Workload.Hard.deutsch_like ())
+  in
+  let table =
+    Util.Table.create ~headers:[ "router"; "tracks"; "vias"; "wirelen" ]
+  in
+  let add_solution name = function
+    | Some (sol : Channel.Model.solution) ->
+        Util.Table.add_row table
+          [
+            name;
+            Util.Table.cell_int sol.Channel.Model.tracks;
+            Util.Table.cell_int (Channel.Model.solution_vias sol);
+            Util.Table.cell_int (Channel.Model.solution_wirelength sol);
+          ]
+    | None -> Util.Table.add_row table [ name; "fail"; "-"; "-" ]
+  in
+  add_solution "left-edge" (Channel.Lea.route spec);
+  add_solution "dogleg" (Channel.Dogleg.route spec);
+  add_solution "greedy (padded)"
+    (Option.map snd (Channel.Greedy.route_padded spec));
+  (match Channel.Yacr.route spec with
+  | Some (problem, g) ->
+      Util.Table.add_row table
+        [
+          "yacr";
+          Util.Table.cell_int (problem.Netlist.Problem.height - 2);
+          Util.Table.cell_int (Router.Outcome.total_vias g);
+          Util.Table.cell_int (Router.Outcome.total_wirelength g problem);
+        ]
+  | None -> Util.Table.add_row table [ "yacr"; "fail"; "-"; "-" ]);
+  (match Channel.Adapter.min_tracks spec with
+  | Some (tracks, r) ->
+      Util.Table.add_row table
+        [
+          "full";
+          Util.Table.cell_int tracks;
+          Util.Table.cell_int r.Router.Engine.stats.Router.Engine.total_vias;
+          Util.Table.cell_int
+            r.Router.Engine.stats.Router.Engine.total_wirelength;
+        ]
+  | None -> Util.Table.add_row table [ "full"; "fail"; "-"; "-" ]);
+  Util.Table.print table;
+  Printf.printf "Staircase series (density 2, constraint chain length n):\n";
+  let table =
+    Util.Table.create
+      ~headers:[ "n"; "left-edge"; "dogleg"; "greedy"; "yacr"; "full" ]
+  in
+  List.iter
+    (fun n ->
+      let spec =
+        Channel.Model.spec_of_problem (Workload.Hard.staircase_channel n)
+      in
+      Util.Table.add_row table
+        [
+          Util.Table.cell_int n;
+          show (Channel.Lea.min_tracks ~max_extra:(n + 2) spec);
+          show (Channel.Dogleg.min_tracks ~max_extra:(n + 2) spec);
+          show (Channel.Greedy.min_tracks ~max_extra:(n + 2) spec);
+          show (Channel.Yacr.min_tracks ~max_extra:(n + 2) spec);
+          show (Option.map fst (Channel.Adapter.min_tracks spec));
+        ])
+    [ 4; 6; 8; 10; 12 ];
+  Util.Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* E3: routing in a reduced region                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Remove one interior column that carries no top/bottom pin, shifting the
+   pins to its right leftwards.  Mirrors the paper's "routed using one less
+   column than the original data". *)
+let remove_unpinned_column (problem : Netlist.Problem.t) =
+  let w = problem.Netlist.Problem.width
+  and h = problem.Netlist.Problem.height in
+  let top = Array.make w 0
+  and bottom = Array.make w 0
+  and left = Array.make h 0
+  and right = Array.make h 0 in
+  List.iter
+    (fun (net, (pin : Netlist.Net.pin)) ->
+      let x = pin.Netlist.Net.x and y = pin.Netlist.Net.y in
+      if y = h - 1 && pin.Netlist.Net.layer = 1 then top.(x) <- net
+      else if y = 0 && pin.Netlist.Net.layer = 1 then bottom.(x) <- net
+      else if x = 0 then left.(y) <- net
+      else right.(y) <- net)
+    (Netlist.Problem.pin_cells problem);
+  let removable = ref None in
+  for x = w - 2 downto 1 do
+    if top.(x) = 0 && bottom.(x) = 0 then removable := Some x
+  done;
+  match !removable with
+  | None -> None
+  | Some x ->
+      let drop a i =
+        Array.init
+          (Array.length a - 1)
+          (fun j -> if j < i then a.(j) else a.(j + 1))
+      in
+      Some
+        (Netlist.Build.switchbox
+           ~name:(problem.Netlist.Problem.name ^ "-shrunk")
+           ~width:(w - 1) ~height:h ~top:(drop top x) ~bottom:(drop bottom x)
+           ~left ~right ())
+
+let min_width config problem =
+  let rec loop p =
+    let r = Router.Engine.route ~config p in
+    if not r.Router.Engine.completed then None
+    else
+      match remove_unpinned_column p with
+      | None -> Some p.Netlist.Problem.width
+      | Some smaller -> (
+          match loop smaller with
+          | Some width -> Some width
+          | None -> Some p.Netlist.Problem.width)
+  in
+  loop problem
+
+let e3 () =
+  heading "E3 (table): routing in a reduced region"
+    "Claim: the rip-up router can finish in a smaller region (fewer\n\
+     columns) than one-shot routing needs — the paper's 'one less\n\
+     column' result.  Unpinned columns are removed one at a time until\n\
+     routing fails; smaller min-columns is better.";
+  let table =
+    Util.Table.create
+      ~headers:
+        [ "switchbox"; "orig cols"; "min cols (maze)"; "min cols (full)";
+          "cols saved" ]
+  in
+  List.iter
+    (fun (name, problem) ->
+      let orig = problem.Netlist.Problem.width in
+      let show = function None -> "fail" | Some w -> string_of_int w in
+      let m = min_width Router.Config.maze_only problem in
+      let f = min_width Router.Config.default problem in
+      let saved =
+        match (m, f) with
+        | Some m, Some f -> string_of_int (m - f)
+        | None, Some f -> Printf.sprintf ">=%d" (orig - f)
+        | (Some _ | None), None -> "-"
+      in
+      Util.Table.add_row table
+        [ name; Util.Table.cell_int orig; show m; show f; saved ])
+    (Workload.Hard.all_switchboxes ());
+  Util.Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* E4: completion rate vs congestion                                   *)
+(* ------------------------------------------------------------------ *)
+
+let e4 () =
+  heading "E4 (figure): completion rate vs boundary congestion"
+    "Claim: as congestion grows, one-shot routing degrades first; weak\n\
+     modification extends the routable range; rip-up extends it\n\
+     furthest.  Series = completion rate over 20 random switchboxes\n\
+     (12x10) per fill level (fill = fraction of boundary slots pinned).";
+  let seeds = List.init 20 (fun i -> 1000 + i) in
+  let table =
+    Util.Table.create
+      ~headers:[ "fill"; "maze-only"; "weak-only"; "full"; "full rips/box" ]
+  in
+  List.iter
+    (fun fill ->
+      let problems =
+        List.map
+          (fun seed ->
+            Workload.Gen.dense_switchbox ~fill (Util.Prng.create seed)
+              ~width:12 ~height:10)
+          seeds
+      in
+      let rate config =
+        let routed =
+          List.length
+            (List.filter
+               (fun p -> (Router.Engine.route ~config p).Router.Engine.completed)
+               problems)
+        in
+        float_of_int routed /. float_of_int (List.length problems)
+      in
+      let rips =
+        List.fold_left
+          (fun acc p ->
+            acc + (Router.Engine.route p).Router.Engine.stats.Router.Engine.rips)
+          0 problems
+      in
+      Util.Table.add_row table
+        [
+          Util.Table.cell_float ~decimals:2 fill;
+          Util.Table.cell_pct (rate Router.Config.maze_only);
+          Util.Table.cell_pct (rate Router.Config.weak_only);
+          Util.Table.cell_pct (rate Router.Config.default);
+          Util.Table.cell_float ~decimals:1
+            (float_of_int rips /. float_of_int (List.length problems));
+        ])
+    [ 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9 ];
+  Util.Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* E5: runtime scaling                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let median l =
+  let a = Array.of_list l in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let e5 () =
+  heading "E5 (figure): runtime and search effort vs region size"
+    "Claim: runtime grows polynomially with region size (the search is\n\
+     O(cells log cells) per connection); the modification machinery does\n\
+     not blow up on larger regions.  Series over routable boxes of\n\
+     growing size (median of 3 runs).";
+  let table =
+    Util.Table.create
+      ~headers:
+        [ "size"; "nets"; "pins"; "ms (full)"; "expanded"; "searches"; "rips" ]
+  in
+  List.iter
+    (fun (w, h) ->
+      let problem =
+        Workload.Gen.routable_switchbox
+          (Util.Prng.create (w + h))
+          ~width:w ~height:h
+      in
+      let times = ref [] and result = ref None in
+      for _ = 1 to 3 do
+        let t0 = Unix.gettimeofday () in
+        let r = Router.Engine.route problem in
+        times := (Unix.gettimeofday () -. t0) :: !times;
+        result := Some r
+      done;
+      match !result with
+      | None -> ()
+      | Some r ->
+          let s = r.Router.Engine.stats in
+          Util.Table.add_row table
+            [
+              Printf.sprintf "%dx%d" w h;
+              Util.Table.cell_int (Netlist.Problem.net_count problem);
+              Util.Table.cell_int (Netlist.Problem.total_pins problem);
+              Util.Table.cell_float ~decimals:2 (1000.0 *. median !times);
+              Util.Table.cell_int s.Router.Engine.expanded;
+              Util.Table.cell_int s.Router.Engine.searches;
+              Util.Table.cell_int s.Router.Engine.rips;
+            ])
+    [ (8, 7); (12, 10); (16, 14); (24, 20); (32, 26); (48, 40); (64, 52) ];
+  Util.Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* E6: ablation of the design choices                                  *)
+(* ------------------------------------------------------------------ *)
+
+let e6 () =
+  heading "E6 (table, ablation): contribution of each design choice"
+    "Aggregated over the switchbox suite: failed nets, modification\n\
+     counts and quality per configuration.  Shows what each mechanism\n\
+     (ordering, shove, rip-up, costs, A*) buys.";
+  let configs =
+    [
+      ("full (default)", Router.Config.default);
+      ( "no weak (strong only)",
+        { Router.Config.default with enable_weak = false } );
+      ("no strong (weak only)", Router.Config.weak_only);
+      ("maze only", Router.Config.maze_only);
+      ( "order: hpwl ascending",
+        { Router.Config.default with order = Router.Config.Hpwl_ascending } );
+      ( "order: as given",
+        { Router.Config.default with order = Router.Config.As_given } );
+      ( "order: random",
+        { Router.Config.default with order = Router.Config.Random } );
+      ( "order: congestion",
+        {
+          Router.Config.default with
+          order = Router.Config.Congestion_descending;
+        } );
+      ("astar", { Router.Config.default with use_astar = true });
+      ( "cheap vias (via=1)",
+        {
+          Router.Config.default with
+          cost = { Maze.Cost.default with Maze.Cost.via = 1 };
+        } );
+      ( "no wrong-way cost",
+        {
+          Router.Config.default with
+          cost = { Maze.Cost.default with Maze.Cost.wrong_way = 0 };
+        } );
+      ("restarts=4", { Router.Config.default with restarts = 4 });
+    ]
+  in
+  let suite = Workload.Hard.all_switchboxes () in
+  let table =
+    Util.Table.create
+      ~headers:
+        [ "configuration"; "boxes done"; "failed nets"; "rips"; "shoves";
+          "vias"; "wirelen"; "expanded" ]
+  in
+  List.iter
+    (fun (name, config) ->
+      let completed = ref 0
+      and failed = ref 0
+      and rips = ref 0
+      and shoves = ref 0
+      and vias = ref 0
+      and wirelen = ref 0
+      and expanded = ref 0 in
+      List.iter
+        (fun (_, problem) ->
+          let r = Router.Engine.route ~config problem in
+          let s = r.Router.Engine.stats in
+          if r.Router.Engine.completed then incr completed;
+          failed := !failed + List.length s.Router.Engine.failed_nets;
+          rips := !rips + s.Router.Engine.rips;
+          shoves := !shoves + s.Router.Engine.shoves;
+          vias := !vias + s.Router.Engine.total_vias;
+          wirelen := !wirelen + s.Router.Engine.total_wirelength;
+          expanded := !expanded + s.Router.Engine.expanded)
+        suite;
+      Util.Table.add_row table
+        [
+          name;
+          Printf.sprintf "%d/%d" !completed (List.length suite);
+          Util.Table.cell_int !failed;
+          Util.Table.cell_int !rips;
+          Util.Table.cell_int !shoves;
+          Util.Table.cell_int !vias;
+          Util.Table.cell_int !wirelen;
+          Util.Table.cell_int !expanded;
+        ])
+    configs;
+  Util.Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* E7: partially routed regions (ECO)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let route_cells problem grid ~net =
+  let pins =
+    List.filter_map
+      (fun (id, (p : Netlist.Net.pin)) ->
+        if id = net then
+          Some (p.Netlist.Net.layer, p.Netlist.Net.x, p.Netlist.Net.y)
+        else None)
+      (Netlist.Problem.pin_cells problem)
+  in
+  List.filter_map
+    (fun node ->
+      let cell =
+        (Grid.node_layer grid node, Grid.node_x grid node, Grid.node_y grid node)
+      in
+      if List.mem cell pins then None else Some cell)
+    (Grid.occupied_nodes grid ~net)
+
+(* Freeze a routed region and add fresh nets whose pins sit on free cells. *)
+let make_eco seed =
+  let prng = Util.Prng.create seed in
+  let base = Workload.Gen.region prng ~width:16 ~height:12 ~nets:8 in
+  let first = Router.Engine.route base in
+  if not first.Router.Engine.completed then None
+  else begin
+    let grid = first.Router.Engine.grid in
+    let n = Netlist.Problem.net_count base in
+    let prewires =
+      List.init n (fun i ->
+          let net = i + 1 in
+          {
+            Netlist.Problem.pre_net = net;
+            pre_cells = route_cells base grid ~net;
+            (* a third of the old nets are frozen, the rest movable *)
+            pre_fixed = net mod 3 = 0;
+          })
+    in
+    let free_cells = ref [] in
+    Grid.iter_nodes grid (fun node ->
+        if Grid.is_free grid node then free_cells := node :: !free_cells);
+    let free = Array.of_list !free_cells in
+    Util.Prng.shuffle prng free;
+    if Array.length free < 8 then None
+    else begin
+      let pin_of node =
+        Netlist.Net.pin
+          ~layer:(Grid.node_layer grid node)
+          (Grid.node_x grid node) (Grid.node_y grid node)
+      in
+      let old_nets = Array.to_list base.Netlist.Problem.nets in
+      let new_net k =
+        Netlist.Net.make ~id:(n + k)
+          ~name:(Printf.sprintf "eco%d" k)
+          [ pin_of free.(2 * k); pin_of free.((2 * k) + 1) ]
+      in
+      let eco =
+        Netlist.Problem.make ~name:"eco" ~width:16 ~height:12
+          ~obstructions:base.Netlist.Problem.obstructions ~prewires
+          (old_nets @ [ new_net 1; new_net 2 ])
+      in
+      Some eco
+    end
+  end
+
+let e7 () =
+  heading "E7 (table): ECO routing in partially routed regions"
+    "Claim: the router handles partially routed areas — frozen wiring is\n\
+     respected, movable wiring is ripped only when needed, and new nets\n\
+     are threaded through an existing layout.";
+  let table =
+    Util.Table.create
+      ~headers:[ "seed"; "done"; "rips"; "shoves"; "fixed intact"; "drc" ]
+  in
+  let attempted = ref 0 in
+  List.iter
+    (fun seed ->
+      match make_eco seed with
+      | None -> ()
+      | Some eco ->
+          incr attempted;
+          let r = Router.Engine.route eco in
+          let s = r.Router.Engine.stats in
+          let fixed_intact =
+            List.for_all
+              (fun (pw : Netlist.Problem.prewire) ->
+                (not pw.Netlist.Problem.pre_fixed)
+                || List.for_all
+                     (fun (layer, x, y) ->
+                       Grid.occ_at r.Router.Engine.grid ~layer ~x ~y
+                       = pw.Netlist.Problem.pre_net)
+                     pw.Netlist.Problem.pre_cells)
+              eco.Netlist.Problem.prewires
+          in
+          Util.Table.add_row table
+            [
+              Util.Table.cell_int seed;
+              Util.Table.cell_bool r.Router.Engine.completed;
+              Util.Table.cell_int s.Router.Engine.rips;
+              Util.Table.cell_int s.Router.Engine.shoves;
+              Util.Table.cell_bool fixed_intact;
+              (if drc_ok eco r then "clean" else "VIOLATION");
+            ])
+    (List.init 8 (fun i -> 300 + i));
+  Util.Table.print table;
+  Printf.printf "(%d of 8 seeds produced a routable base layout)\n" !attempted
+
+(* ------------------------------------------------------------------ *)
+(* E8: post-route refinement                                           *)
+(* ------------------------------------------------------------------ *)
+
+let e8 () =
+  heading "E8 (table): post-route refinement (rip-up-and-improve)"
+    "Claim: revisiting nets against the final layout recovers the detours\n\
+     taken during sequential routing; the pass is strictly monotone\n\
+     (cost never increases) and preserves DRC cleanliness.";
+  let table =
+    Util.Table.create
+      ~headers:
+        [ "switchbox"; "wirelen before"; "after"; "vias before"; "after";
+          "nets improved"; "passes"; "drc" ]
+  in
+  List.iter
+    (fun (name, problem) ->
+      let r = Router.Engine.route problem in
+      if r.Router.Engine.completed then begin
+        let s = Router.Improve.refine problem r.Router.Engine.grid in
+        Util.Table.add_row table
+          [
+            name;
+            Util.Table.cell_int s.Router.Improve.wirelength_before;
+            Util.Table.cell_int s.Router.Improve.wirelength_after;
+            Util.Table.cell_int s.Router.Improve.vias_before;
+            Util.Table.cell_int s.Router.Improve.vias_after;
+            Util.Table.cell_int s.Router.Improve.improved_nets;
+            Util.Table.cell_int s.Router.Improve.passes;
+            (if Drc.Check.is_clean problem r.Router.Engine.grid then "clean"
+             else "VIOLATION");
+          ]
+      end)
+    (Workload.Hard.all_switchboxes ());
+  Util.Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* E9: macro-cell chips — full-flow scaling                            *)
+(* ------------------------------------------------------------------ *)
+
+let e9 () =
+  heading "E9 (table): macro-cell chips, end-to-end"
+    "Claim: the router is usable as the detailed router of a macro-cell\n\
+     flow — irregular regions between macros, pins on macro edges,\n\
+     growing problem sizes, with the refinement pass as cleanup.  All\n\
+     instances are routable by construction.";
+  let table =
+    Util.Table.create
+      ~headers:
+        [ "chip"; "macros"; "nets"; "pins"; "done"; "rips"; "ms (route)";
+          "wl"; "wl refined"; "vias"; "vias refined"; "drc" ]
+  in
+  List.iter
+    (fun (w, h, mc, mr) ->
+      let problem =
+        Workload.Gen.routable_chip ~macro_cols:mc ~macro_rows:mr
+          (Util.Prng.create (w + h))
+          ~width:w ~height:h
+      in
+      let t0 = Unix.gettimeofday () in
+      let r = Router.Engine.route problem in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      let s = r.Router.Engine.stats in
+      let refined = Router.Improve.refine problem r.Router.Engine.grid in
+      Util.Table.add_row table
+        [
+          Printf.sprintf "%dx%d" w h;
+          Printf.sprintf "%dx%d" mc mr;
+          Util.Table.cell_int (Netlist.Problem.net_count problem);
+          Util.Table.cell_int (Netlist.Problem.total_pins problem);
+          Util.Table.cell_bool r.Router.Engine.completed;
+          Util.Table.cell_int s.Router.Engine.rips;
+          Util.Table.cell_float ~decimals:1 (1000.0 *. elapsed);
+          Util.Table.cell_int refined.Router.Improve.wirelength_before;
+          Util.Table.cell_int refined.Router.Improve.wirelength_after;
+          Util.Table.cell_int refined.Router.Improve.vias_before;
+          Util.Table.cell_int refined.Router.Improve.vias_after;
+          (if drc_ok problem r then "clean" else "VIOLATION");
+        ])
+    [ (32, 24, 2, 2); (48, 32, 3, 2); (64, 48, 3, 3); (96, 64, 4, 3);
+      (128, 96, 5, 4) ];
+  Util.Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* E10: the congestion predictor vs reality                            *)
+(* ------------------------------------------------------------------ *)
+
+let e10 () =
+  heading "E10 (figure): pre-routing congestion estimate vs completion"
+    "The demand-map overflow estimate is a cheap routability predictor:\n\
+     bucketing 120 random switchboxes by estimated overflow, completion\n\
+     rate should fall monotonically as the estimate rises.";
+  let problems =
+    List.concat_map
+      (fun fill ->
+        List.map
+          (fun seed ->
+            Workload.Gen.dense_switchbox ~fill
+              (Util.Prng.create (seed * 37))
+              ~width:12 ~height:10)
+          (List.init 20 (fun i -> 500 + i)))
+      [ 0.3; 0.45; 0.6; 0.7; 0.8; 0.9 ]
+  in
+  let buckets = [ 0.0; 0.02; 0.05; 0.10; 0.20; 0.35; 1.01 ] in
+  let table =
+    Util.Table.create
+      ~headers:[ "overflow estimate"; "boxes"; "completion (full)" ]
+  in
+  let rec pairs = function
+    | lo :: (hi :: _ as rest) ->
+        let selected =
+          List.filter
+            (fun p ->
+              let v = Netlist.Analysis.overflow_estimate p in
+              v >= lo && v < hi)
+            problems
+        in
+        if selected <> [] then begin
+          let routed =
+            List.length
+              (List.filter
+                 (fun p -> (Router.Engine.route p).Router.Engine.completed)
+                 selected)
+          in
+          Util.Table.add_row table
+            [
+              Printf.sprintf "[%.2f, %.2f)" lo hi;
+              Util.Table.cell_int (List.length selected);
+              Util.Table.cell_pct
+                (float_of_int routed /. float_of_int (List.length selected));
+            ]
+        end;
+        pairs rest
+    | [] | [ _ ] -> ()
+  in
+  pairs buckets;
+  Util.Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* micro: bechamel benchmarks of the hot paths                         *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  heading "micro (bechamel): hot-path timings"
+    "Ordinary-least-squares estimate of time/run for the search and the\n\
+     full routing of fixed instances.";
+  let tiny = Workload.Hard.tiny_blocked () in
+  let burstein = Workload.Hard.burstein_like () in
+  let g = Grid.create ~width:32 ~height:32 in
+  let ws = Maze.Workspace.create g in
+  let corner_a = Grid.node g ~layer:0 ~x:0 ~y:0
+  and corner_b = Grid.node g ~layer:0 ~x:31 ~y:31 in
+  let passable n = if Grid.is_free g n then Some 0 else None in
+  let search_bench () =
+    ignore
+      (Maze.Search.run g ws ~cost:Maze.Cost.default ~passable
+         ~sources:[ corner_a ] ~targets:[ corner_b ] ())
+  in
+  let astar_bench () =
+    ignore
+      (Maze.Search.run_astar g ws ~cost:Maze.Cost.default ~passable
+         ~sources:[ corner_a ] ~targets:[ corner_b ] ())
+  in
+  let lee_bench () =
+    ignore
+      (Maze.Search.run_lee g ws ~passable ~sources:[ corner_a ]
+         ~targets:[ corner_b ] ())
+  in
+  let tests =
+    Bechamel.Test.make_grouped ~name:"router"
+      [
+        Bechamel.Test.make ~name:"dijkstra 32x32"
+          (Bechamel.Staged.stage search_bench);
+        Bechamel.Test.make ~name:"astar 32x32"
+          (Bechamel.Staged.stage astar_bench);
+        Bechamel.Test.make ~name:"lee bfs 32x32"
+          (Bechamel.Staged.stage lee_bench);
+        Bechamel.Test.make ~name:"route tiny-blocked (full)"
+          (Bechamel.Staged.stage (fun () -> ignore (Router.Engine.route tiny)));
+        Bechamel.Test.make ~name:"route burstein-like (full)"
+          (Bechamel.Staged.stage (fun () ->
+               ignore (Router.Engine.route burstein)));
+        Bechamel.Test.make ~name:"route burstein-like (maze-only)"
+          (Bechamel.Staged.stage (fun () ->
+               ignore
+                 (Router.Engine.route ~config:Router.Config.maze_only burstein)));
+      ]
+  in
+  let instance = Bechamel.Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Bechamel.Benchmark.cfg ~limit:200
+      ~quota:(Bechamel.Time.second 0.5)
+      ~kde:None ()
+  in
+  let raw = Bechamel.Benchmark.all cfg [ instance ] tests in
+  let table = Util.Table.create ~headers:[ "benchmark"; "time/run"; "r^2" ] in
+  let results = Hashtbl.fold (fun k v acc -> (k, v) :: acc) raw [] in
+  List.iter
+    (fun (name, (b : Bechamel.Benchmark.t)) ->
+      let ols =
+        Bechamel.Analyze.OLS.ols ~bootstrap:0 ~r_square:true
+          ~responder:(Bechamel.Measure.label instance)
+          ~predictors:[| "run" |] b.Bechamel.Benchmark.lr
+      in
+      let time =
+        match Bechamel.Analyze.OLS.estimates ols with
+        | Some (t :: _) ->
+            if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
+            else if t > 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
+            else Printf.sprintf "%.0f ns" t
+        | Some [] | None -> "?"
+      in
+      let r2 =
+        match Bechamel.Analyze.OLS.r_square ols with
+        | Some r -> Printf.sprintf "%.3f" r
+        | None -> "-"
+      in
+      Util.Table.add_row table [ name; time; r2 ])
+    (List.sort compare results);
+  Util.Table.print table
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
+    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | [ _ ] | [] -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %S (have: %s)\n" name
+            (String.concat " " (List.map fst experiments));
+          exit 1)
+    requested

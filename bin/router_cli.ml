@@ -1,0 +1,305 @@
+(* Command-line interface to the router.
+
+   Subcommands:
+     route   FILE   route a problem file, verify, report, optionally render
+     info    FILE   congestion analysis and lower bounds
+     gen     KIND   generate a problem file (channel | switchbox | routable |
+                    region | suite instances by name)
+     show    FILE   render the unrouted problem as ASCII art
+     channel FILE   run the channel baselines and the engine on a channel
+*)
+
+open Cmdliner
+
+let problem_arg =
+  let doc = "Problem file (see lib/netlist/parse.mli for the format)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let strategy_conv =
+  Arg.enum
+    [ ("full", `Full); ("weak-only", `Weak); ("maze-only", `Maze) ]
+
+let order_conv =
+  Arg.enum
+    [
+      ("as-given", Router.Config.As_given);
+      ("hpwl-asc", Router.Config.Hpwl_ascending);
+      ("hpwl-desc", Router.Config.Hpwl_descending);
+      ("pins-desc", Router.Config.Pins_descending);
+      ("congestion-desc", Router.Config.Congestion_descending);
+      ("random", Router.Config.Random);
+    ]
+
+let config_term =
+  let strategy =
+    Arg.(
+      value
+      & opt strategy_conv `Full
+      & info [ "strategy" ] ~doc:"Router strategy: full, weak-only, maze-only.")
+  in
+  let order =
+    Arg.(
+      value
+      & opt order_conv Router.Config.Hpwl_descending
+      & info [ "order" ]
+          ~doc:
+            "Net order: as-given, hpwl-asc, hpwl-desc, pins-desc, \
+             congestion-desc, random.")
+  in
+  let restarts =
+    Arg.(value & opt int 1 & info [ "restarts" ] ~doc:"Restart attempts.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let astar =
+    Arg.(value & flag & info [ "astar" ] ~doc:"Use A* instead of Dijkstra.")
+  in
+  let make strategy order restarts seed astar =
+    let base =
+      match strategy with
+      | `Full -> Router.Config.default
+      | `Weak -> Router.Config.weak_only
+      | `Maze -> Router.Config.maze_only
+    in
+    { base with Router.Config.order; restarts; seed; use_astar = astar }
+  in
+  Term.(const make $ strategy $ order $ restarts $ seed $ astar)
+
+let load path =
+  try Ok (Netlist.Parse.load path) with
+  | Netlist.Parse.Error (line, msg) ->
+      Error (Printf.sprintf "%s:%d: %s" path line msg)
+  | Invalid_argument msg -> Error (Printf.sprintf "%s: %s" path msg)
+
+(* --- route --- *)
+
+let route_cmd =
+  let svg_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "svg" ] ~docv:"OUT" ~doc:"Write an SVG rendering of the result.")
+  in
+  let ascii =
+    Arg.(value & flag & info [ "ascii" ] ~doc:"Print the routed grid as ASCII.")
+  in
+  let refine =
+    Arg.(
+      value & flag
+      & info [ "refine" ]
+          ~doc:"Run the post-route refinement pass after routing.")
+  in
+  let report =
+    Arg.(
+      value & flag
+      & info [ "report" ] ~doc:"Print the per-net routing report.")
+  in
+  let run path config svg ascii refine report =
+    match load path with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok problem ->
+        Format.printf "%a@." Netlist.Problem.pp problem;
+        Format.printf "config: %s@." (Router.Config.describe config);
+        let t0 = Unix.gettimeofday () in
+        let result = Router.Engine.route ~config problem in
+        let elapsed = Unix.gettimeofday () -. t0 in
+        Format.printf "completed: %b  (%.3fs)@." result.Router.Engine.completed
+          elapsed;
+        Format.printf "%a@." Router.Engine.pp_stats result.Router.Engine.stats;
+        if refine && result.Router.Engine.completed then begin
+          let s = Router.Improve.refine problem result.Router.Engine.grid in
+          Format.printf "refined: wirelength %d -> %d, vias %d -> %d@."
+            s.Router.Improve.wirelength_before s.Router.Improve.wirelength_after
+            s.Router.Improve.vias_before s.Router.Improve.vias_after
+        end;
+        (match Drc.Check.check problem result.Router.Engine.grid with
+        | [] -> Format.printf "drc: clean@."
+        | violations when result.Router.Engine.completed ->
+            Format.printf "drc: VIOLATIONS@.%s@." (Drc.Check.explain violations)
+        | _ -> Format.printf "drc: incomplete routing (expected opens)@.");
+        if report then print_endline (Router.Report.render problem result);
+        if ascii then print_endline (Viz.Ascii.render result.Router.Engine.grid);
+        (match svg with
+        | Some out ->
+            Viz.Svg.save out problem result.Router.Engine.grid;
+            Format.printf "wrote %s@." out
+        | None -> ());
+        if result.Router.Engine.completed then 0 else 2
+  in
+  let term =
+    Term.(
+      const run $ problem_arg $ config_term $ svg_out $ ascii $ refine
+      $ report)
+  in
+  Cmd.v
+    (Cmd.info "route" ~doc:"Route a problem file and verify the result.")
+    term
+
+(* --- info --- *)
+
+let info_cmd =
+  let run path =
+    match load path with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok problem ->
+        Format.printf "%a@." Netlist.Problem.pp problem;
+        Format.printf "channel density:        %d@."
+          (Netlist.Analysis.channel_density problem);
+        Format.printf "max vertical cut:       %d@."
+          (Netlist.Analysis.max_vertical_cut problem);
+        Format.printf "max horizontal cut:     %d@."
+          (Netlist.Analysis.max_horizontal_cut problem);
+        Format.printf "wirelength lower bound: %d@."
+          (Netlist.Analysis.wirelength_lower_bound problem);
+        Format.printf "overflow estimate:      %s@."
+          (Util.Table.cell_pct (Netlist.Analysis.overflow_estimate problem));
+        Format.printf "demand heatmap:@.%s"
+          (Viz.Ascii.render_heatmap problem);
+        0
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Print congestion analysis of a problem file.")
+    Term.(const run $ problem_arg)
+
+(* --- show --- *)
+
+let show_cmd =
+  let run path =
+    match load path with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok problem ->
+        print_endline (Viz.Ascii.render_problem problem);
+        0
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Render the unrouted problem as ASCII art.")
+    Term.(const run $ problem_arg)
+
+(* --- gen --- *)
+
+let gen_cmd =
+  let kind =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (Arg.enum
+                [
+                  ("channel", `Channel);
+                  ("switchbox", `Switchbox);
+                  ("routable", `Routable);
+                  ("region", `Region);
+                  ("chip", `Chip);
+                ]))
+          None
+      & info [] ~docv:"KIND"
+          ~doc:"channel | switchbox | routable | region | chip")
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output problem file.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed.") in
+  let width = Arg.(value & opt int 16 & info [ "width" ] ~doc:"Region width / columns.") in
+  let height = Arg.(value & opt int 12 & info [ "height" ] ~doc:"Region height.") in
+  let nets = Arg.(value & opt int 10 & info [ "nets" ] ~doc:"Net count.") in
+  let run kind out seed width height nets =
+    let prng = Util.Prng.create seed in
+    let problem =
+      match kind with
+      | `Channel -> Workload.Gen.channel prng ~columns:width ~nets
+      | `Switchbox -> Workload.Gen.switchbox prng ~width ~height ~nets
+      | `Routable -> Workload.Gen.routable_switchbox prng ~width ~height
+      | `Region -> Workload.Gen.region prng ~width ~height ~nets
+      | `Chip -> Workload.Gen.routable_chip prng ~width ~height
+    in
+    Netlist.Parse.save out problem;
+    Format.printf "wrote %s: %a@." out Netlist.Problem.pp problem;
+    0
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a random problem file.")
+    Term.(const run $ kind $ out $ seed $ width $ height $ nets)
+
+(* --- channel --- *)
+
+let channel_cmd =
+  let run path =
+    match load path with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok problem -> (
+        match problem.Netlist.Problem.kind with
+        | Netlist.Problem.Channel ->
+            let spec = Channel.Model.spec_of_problem problem in
+            let show = function None -> "fail" | Some t -> string_of_int t in
+            Format.printf "density:   %d@." (Channel.Model.density spec);
+            Format.printf "left-edge: %s@." (show (Channel.Lea.min_tracks spec));
+            Format.printf "dogleg:    %s@."
+              (show (Channel.Dogleg.min_tracks spec));
+            Format.printf "greedy:    %s@."
+              (show (Channel.Greedy.min_tracks spec));
+            Format.printf "yacr:      %s@."
+              (show (Channel.Yacr.min_tracks spec));
+            Format.printf "full:      %s@."
+              (show (Option.map fst (Channel.Adapter.min_tracks spec)));
+            0
+        | Netlist.Problem.Switchbox | Netlist.Problem.Region ->
+            prerr_endline "not a channel problem";
+            1)
+  in
+  Cmd.v
+    (Cmd.info "channel"
+       ~doc:"Compare channel routers (minimum tracks) on a channel file.")
+    Term.(const run $ problem_arg)
+
+(* --- suite --- *)
+
+let suite_cmd =
+  let run () =
+    let table =
+      Util.Table.create
+        ~headers:[ "instance"; "kind"; "nets"; "maze-only"; "full"; "drc" ]
+    in
+    let row name kind problem =
+      let maze = Router.Engine.route ~config:Router.Config.maze_only problem in
+      let full = Router.Engine.route problem in
+      Util.Table.add_row table
+        [
+          name;
+          kind;
+          Util.Table.cell_int (Netlist.Problem.net_count problem);
+          Util.Table.cell_bool maze.Router.Engine.completed;
+          Util.Table.cell_bool full.Router.Engine.completed;
+          (if
+             (not full.Router.Engine.completed)
+             || Drc.Check.is_clean problem full.Router.Engine.grid
+           then "clean"
+           else "VIOLATION");
+        ]
+    in
+    List.iter (fun (n, p) -> row n "switchbox" p) (Workload.Hard.all_switchboxes ());
+    List.iter (fun (n, p) -> row n "channel" p) (Workload.Hard.all_channels ());
+    Util.Table.print table;
+    0
+  in
+  Cmd.v
+    (Cmd.info "suite"
+       ~doc:"Route the built-in hard instance suites and report completion.")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "A rip-up-and-reroute detailed router for two-layer grids." in
+  let info = Cmd.info "router_cli" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ route_cmd; info_cmd; show_cmd; gen_cmd; channel_cmd; suite_cmd ]))

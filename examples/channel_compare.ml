@@ -1,0 +1,81 @@
+(* Channel routing shoot-out: the classical left-edge and dogleg channel
+   routers against the full rip-up/reroute engine, on the instances that
+   motivated free-form routing — a vertical-constraint cycle, a constraint
+   staircase, and a dense Deutsch-class channel.
+
+   Run with:  dune exec examples/channel_compare.exe
+*)
+
+let show = function None -> "fail" | Some t -> string_of_int t
+
+let row name spec =
+  let density = Channel.Model.density spec in
+  let lea = Channel.Lea.min_tracks spec in
+  let dogleg = Channel.Dogleg.min_tracks spec in
+  let greedy = Channel.Greedy.min_tracks spec in
+  let yacr = Channel.Yacr.min_tracks spec in
+  let full = Option.map fst (Channel.Adapter.min_tracks spec) in
+  [
+    name;
+    Util.Table.cell_int (Channel.Model.columns spec);
+    Util.Table.cell_int density;
+    show lea;
+    show dogleg;
+    show greedy;
+    show yacr;
+    show full;
+  ]
+
+let () =
+  print_endline "Minimum track counts per router (fail = cannot route at any";
+  print_endline "track count up to density + 10):";
+  print_newline ();
+  let table =
+    Util.Table.create
+      ~headers:
+        [ "channel"; "cols"; "density"; "left-edge"; "dogleg"; "greedy";
+          "yacr"; "full" ]
+  in
+  List.iter
+    (fun (name, problem) ->
+      let spec = Channel.Model.spec_of_problem problem in
+      Util.Table.add_row table (row name spec))
+    (Workload.Hard.all_channels ());
+  Util.Table.print table;
+  print_newline ();
+
+  (* Show the cycle instance in detail: why the baselines fail. *)
+  let cyclic = Workload.Hard.cyclic_channel () in
+  let spec = Channel.Model.spec_of_problem cyclic in
+  let vcg = Channel.Vcg.of_spec spec in
+  Format.printf
+    "The vc-cycle channel has a cyclic vertical constraint graph (%d edges,@ \
+     cycle=%b): dogleg-free routers cannot route it at ANY track count.@."
+    (Channel.Vcg.edge_count vcg) (Channel.Vcg.has_cycle vcg);
+  (match Channel.Adapter.min_tracks spec with
+  | Some (tracks, result) ->
+      Format.printf "The full router finishes it in %d tracks:@.@." tracks;
+      print_endline (Viz.Ascii.render result.Router.Engine.grid)
+  | None -> print_endline "unexpected: full router failed");
+
+  (* And the staircase: the gap grows linearly with the chain length. *)
+  print_endline
+    "Staircase channels (density 2, constraint chain of length n):";
+  let table =
+    Util.Table.create
+      ~headers:[ "n"; "left-edge tracks"; "greedy tracks"; "full tracks" ]
+  in
+  List.iter
+    (fun n ->
+      let spec =
+        Channel.Model.spec_of_problem (Workload.Hard.staircase_channel n)
+      in
+      Util.Table.add_row table
+        [
+          Util.Table.cell_int n;
+          show (Channel.Lea.min_tracks spec);
+          show (Channel.Greedy.min_tracks spec);
+          show (Option.map fst (Channel.Adapter.min_tracks spec));
+        ])
+    [ 4; 6; 8; 10 ];
+  Util.Table.print table

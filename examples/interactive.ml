@@ -1,0 +1,69 @@
+(* Interactive routing session: the add / freeze / rip / reroute workflow a
+   layout editor would drive, built on Router.Session.
+
+   Run with:  dune exec examples/interactive.exe
+*)
+
+let pin = Netlist.Net.pin
+
+let show_step session msg =
+  Format.printf "--- %s@." msg;
+  Format.printf "    nets=%d  violations=%d@."
+    (Netlist.Problem.net_count (Router.Session.problem session))
+    (List.length (Router.Session.verify session))
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith e
+
+let () =
+  (* Start from a small block with three nets. *)
+  let problem =
+    Netlist.Problem.make ~name:"editor" ~width:16 ~height:12
+      [
+        Netlist.Net.make ~id:1 ~name:"data" [ pin 0 2; pin 15 2; pin 8 11 ];
+        Netlist.Net.make ~id:2 ~name:"addr" [ pin 0 8; pin 15 8 ];
+        Netlist.Net.make ~id:3 ~name:"en" [ pin 4 0; pin 4 11 ];
+      ]
+  in
+  let session = Router.Session.create problem in
+  show_step session "created session";
+
+  ignore (Router.Session.route session);
+  show_step session "routed everything";
+  print_endline (Viz.Ascii.render (Router.Session.grid session));
+
+  (* The data net is timing-critical: freeze its wiring. *)
+  let data = Option.get (Router.Session.net_id session "data") in
+  ok (Router.Session.freeze session ~net:data);
+  show_step session "froze `data`";
+
+  (* An engineering change: a new strobe net arrives. *)
+  (match Router.Session.add_net session ~name:"strobe" [ pin 0 11; pin 15 11 ] with
+  | Ok id -> Format.printf "    added `strobe` as net %d@." id
+  | Error e -> Format.printf "    add failed: %s@." e);
+  let stats = Router.Session.route session in
+  show_step session
+    (Printf.sprintf "routed the change (%d rip-ups, %d shoves)"
+       stats.Router.Engine.rips stats.Router.Engine.shoves);
+
+  (* The enable net gets re-planned: rip it, tweak, reroute. *)
+  let en = Option.get (Router.Session.net_id session "en") in
+  ok (Router.Session.rip session ~net:en);
+  show_step session "ripped `en`";
+  ignore (Router.Session.route session);
+  show_step session "rerouted `en`";
+
+  (* The address net is obsolete: delete it entirely. *)
+  let addr = Option.get (Router.Session.net_id session "addr") in
+  ok (Router.Session.remove_net session ~net:addr);
+  show_step session "removed `addr`";
+
+  (* Final cleanup pass and result. *)
+  let r = Router.Session.refine session in
+  Format.printf "--- refined: wirelength %d -> %d@."
+    r.Router.Improve.wirelength_before r.Router.Improve.wirelength_after;
+  print_endline (Viz.Ascii.render (Router.Session.grid session));
+  match Router.Session.verify session with
+  | [] -> print_endline "final DRC: clean"
+  | violations -> print_endline (Drc.Check.explain violations)

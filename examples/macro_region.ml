@@ -1,0 +1,51 @@
+(* Macro-cell style routing: an irregular region littered with macro-block
+   obstructions and pins on macro edges — the setting the paper's
+   introduction motivates ("for the macro-cell design style ... two
+   dimensional routers are often necessary").
+
+   Run with:  dune exec examples/macro_region.exe
+*)
+
+let pin = Netlist.Net.pin
+
+let () =
+  (* Three macros inside a 24x16 region.  Pins sit on the macro edges and
+     on the region boundary; wiring must thread the alleys between
+     macros. *)
+  let macro x0 y0 x1 y1 =
+    { Netlist.Problem.obs_layer = None; obs_rect = Geom.Rect.make x0 y0 x1 y1 }
+  in
+  let problem =
+    Netlist.Problem.make ~name:"macro-region" ~width:24 ~height:16
+      ~obstructions:[ macro 3 3 8 8; macro 12 6 18 12; macro 14 1 20 3 ]
+      [
+        (* data bus along the alleys *)
+        Netlist.Net.make ~id:1 ~name:"d0" [ pin 2 3; pin 11 7; pin 23 13 ];
+        Netlist.Net.make ~id:2 ~name:"d1" [ pin 2 5; pin 11 9; pin 23 14 ];
+        (* clock from the boundary into two macro-edge pins *)
+        Netlist.Net.make ~id:3 ~name:"clk" [ pin 0 15; pin 9 8; pin 19 5 ];
+        (* nets hugging the macros *)
+        Netlist.Net.make ~id:4 ~name:"a" [ pin 3 2; pin 9 3; pin 13 4 ];
+        Netlist.Net.make ~id:5 ~name:"b" [ pin 2 9; pin 10 13; pin 19 13 ];
+        Netlist.Net.make ~id:6 ~name:"c" [ pin 0 0; pin 23 0 ];
+        Netlist.Net.make ~id:7 ~name:"e" [ pin 12 5; pin 21 4; pin 23 8 ];
+      ]
+  in
+  Format.printf "Problem: %a@.@." Netlist.Problem.pp problem;
+  print_endline (Viz.Ascii.render_problem problem);
+
+  let result = Router.Engine.route problem in
+  Format.printf "completed=%b  %a@.@." result.Router.Engine.completed
+    Router.Engine.pp_stats result.Router.Engine.stats;
+  (match Drc.Check.check problem result.Router.Engine.grid with
+  | [] -> print_endline "DRC: clean"
+  | violations -> print_endline (Drc.Check.explain violations));
+
+  (* Quality cleanup, then render. *)
+  let s = Router.Improve.refine problem result.Router.Engine.grid in
+  Format.printf "refinement: wirelength %d -> %d, vias %d -> %d@.@."
+    s.Router.Improve.wirelength_before s.Router.Improve.wirelength_after
+    s.Router.Improve.vias_before s.Router.Improve.vias_after;
+  print_endline (Viz.Ascii.render result.Router.Engine.grid);
+  Viz.Svg.save "macro_region.svg" problem result.Router.Engine.grid;
+  print_endline "Wrote macro_region.svg"

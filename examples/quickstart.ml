@@ -1,0 +1,55 @@
+(* Quickstart: describe a small switchbox, route it, verify it, and look at
+   the result.
+
+   Run with:  dune exec examples/quickstart.exe
+*)
+
+let () =
+  (* 1. Describe the problem.  A switchbox is given by net ids along its four
+     boundaries (0 = no pin).  Net 1 enters at the top and leaves at the
+     bottom; net 2 crosses left to right; net 3 has three pins. *)
+  let problem =
+    Netlist.Build.switchbox ~name:"quickstart" ~width:10 ~height:8
+      ~top:   [| 0; 1; 0; 3; 0; 0; 2; 0; 0; 0 |]
+      ~bottom:[| 0; 0; 2; 0; 1; 0; 0; 3; 0; 0 |]
+      ~left:  [| 0; 0; 2; 0; 0; 3; 0; 0 |]
+      ~right: [| 0; 0; 0; 1; 0; 0; 0; 0 |]
+      ()
+  in
+  Format.printf "Problem: %a@.@." Netlist.Problem.pp problem;
+  print_endline (Viz.Ascii.render_problem problem);
+
+  (* 2. Route it with the full rip-up/reroute engine (default config). *)
+  let result = Router.Engine.route problem in
+  Format.printf "Routed: completed=%b@.Stats: %a@.@."
+    result.Router.Engine.completed Router.Engine.pp_stats
+    result.Router.Engine.stats;
+
+  (* 3. Verify the layout independently of the router. *)
+  (match Drc.Check.check problem result.Router.Engine.grid with
+  | [] -> print_endline "DRC: clean"
+  | violations -> print_endline (Drc.Check.explain violations));
+
+  (* 4. Inspect the wiring (layer 0 = horizontal, layer 1 = vertical). *)
+  print_newline ();
+  print_endline (Viz.Ascii.render result.Router.Engine.grid);
+
+  (* 5. Per-net quality numbers. *)
+  let table =
+    Util.Table.create ~headers:[ "net"; "cells"; "wirelength"; "vias" ]
+  in
+  List.iter
+    (fun (s : Router.Outcome.net_stats) ->
+      Util.Table.add_row table
+        [
+          (Netlist.Problem.net problem s.Router.Outcome.net_id).Netlist.Net.name;
+          Util.Table.cell_int s.Router.Outcome.cells;
+          Util.Table.cell_int s.Router.Outcome.wirelength;
+          Util.Table.cell_int s.Router.Outcome.vias;
+        ])
+    (Router.Outcome.measure problem result.Router.Engine.grid);
+  Util.Table.print table;
+
+  (* 6. Save an SVG rendering next to the binary for visual inspection. *)
+  Viz.Svg.save "quickstart.svg" problem result.Router.Engine.grid;
+  print_endline "Wrote quickstart.svg"

@@ -1,0 +1,67 @@
+(* The headline demonstration: a switchbox on which one-shot maze routing
+   fails under every net-ordering heuristic, while the rip-up/reroute
+   engine completes it.
+
+   Run with:  dune exec examples/switchbox_ripup.exe
+*)
+
+let order_name = function
+  | Router.Config.As_given -> "as-given"
+  | Router.Config.Hpwl_ascending -> "hpwl-ascending"
+  | Router.Config.Hpwl_descending -> "hpwl-descending"
+  | Router.Config.Pins_descending -> "pins-descending"
+  | Router.Config.Congestion_descending -> "congestion-descending"
+  | Router.Config.Random -> "random"
+
+let () =
+  let problem = Workload.Hard.tiny_blocked () in
+  Format.printf "Problem: %a@.@." Netlist.Problem.pp problem;
+  print_endline (Viz.Ascii.render_problem problem);
+
+  print_endline "One-shot maze routing (no modification), every ordering:";
+  let table =
+    Util.Table.create ~headers:[ "ordering"; "completed"; "failed nets" ]
+  in
+  List.iter
+    (fun order ->
+      let config = { Router.Config.maze_only with order; seed = 3 } in
+      let r = Router.Engine.route ~config problem in
+      Util.Table.add_row table
+        [
+          order_name order;
+          Util.Table.cell_bool r.Router.Engine.completed;
+          Util.Table.cell_int
+            (List.length r.Router.Engine.stats.Router.Engine.failed_nets);
+        ])
+    Router.Config.
+      [
+        As_given; Hpwl_ascending; Hpwl_descending; Pins_descending;
+        Congestion_descending; Random;
+      ];
+  Util.Table.print table;
+  print_newline ();
+
+  print_endline "Full router (weak + strong modification):";
+  let r = Router.Engine.route problem in
+  Format.printf "completed=%b  %a@.@." r.Router.Engine.completed
+    Router.Engine.pp_stats r.Router.Engine.stats;
+  (match Drc.Check.check problem r.Router.Engine.grid with
+  | [] -> print_endline "DRC: clean"
+  | violations -> print_endline (Drc.Check.explain violations));
+  print_newline ();
+  print_endline (Viz.Ascii.render r.Router.Engine.grid);
+
+  (* Also show the Burstein-class box, the paper's flagship example. *)
+  let burstein = Workload.Hard.burstein_like () in
+  Format.printf "Flagship: %a@." Netlist.Problem.pp burstein;
+  let maze = Router.Engine.route ~config:Router.Config.maze_only burstein in
+  let full = Router.Engine.route burstein in
+  Format.printf
+    "  one-shot maze: completed=%b (failed %d nets)@.  full router: \
+     completed=%b with %d rip-ups and %d shoves@."
+    maze.Router.Engine.completed
+    (List.length maze.Router.Engine.stats.Router.Engine.failed_nets)
+    full.Router.Engine.completed full.Router.Engine.stats.Router.Engine.rips
+    full.Router.Engine.stats.Router.Engine.shoves;
+  Viz.Svg.save "burstein_like.svg" burstein full.Router.Engine.grid;
+  print_endline "Wrote burstein_like.svg"

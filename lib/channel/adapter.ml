@@ -1,0 +1,13 @@
+let route_at ?config ?(name = "channel") ~tracks spec =
+  Router.Engine.route ?config (Model.problem_of_spec ~name ~tracks spec)
+
+let min_tracks ?config ?(max_extra = 10) spec =
+  let density = max 1 (Model.density spec) in
+  let rec attempt tracks =
+    if tracks > density + max_extra then None
+    else
+      let result = route_at ?config ~tracks spec in
+      if result.Router.Engine.completed then Some (tracks, result)
+      else attempt (tracks + 1)
+  in
+  attempt density

@@ -1,0 +1,24 @@
+(** Running the full rip-up router on channel problems.
+
+    The full router treats a channel as an ordinary routing region, so it is
+    not limited to reserved-layer trunk/branch topologies — which is why it
+    routes vertical-constraint cycles the channel-specific baselines cannot.
+    [min_tracks] performs the "how few tracks suffice?" search the channel
+    experiments report. *)
+
+val route_at :
+  ?config:Router.Config.t ->
+  ?name:string ->
+  tracks:int ->
+  Model.spec ->
+  Router.Engine.t
+(** Route the channel at a fixed track count. *)
+
+val min_tracks :
+  ?config:Router.Config.t ->
+  ?max_extra:int ->
+  Model.spec ->
+  (int * Router.Engine.t) option
+(** Smallest track count in [density .. density + max_extra] (default 10)
+    at which the router completes, with the completed result.  [None] when
+    even the largest attempted channel fails. *)

@@ -1,0 +1,139 @@
+type subnet = {
+  sid : int;
+  net : int;
+  sspan : Geom.Interval.t; (* endpoints are consecutive pin columns *)
+}
+
+let decompose spec =
+  let subnets = ref [] in
+  let next = ref 0 in
+  List.iter
+    (fun net ->
+      match Lea.shape_of spec ~net with
+      | Lea.Trivial | Lea.Single_column _ -> ()
+      | Lea.Trunk _ ->
+          let cols = Model.net_columns spec ~net in
+          let rec pairs = function
+            | a :: (b :: _ as rest) ->
+                incr next;
+                subnets :=
+                  { sid = !next; net; sspan = Geom.Interval.make a b }
+                  :: !subnets;
+                pairs rest
+            | [] | [ _ ] -> ()
+          in
+          pairs cols)
+    (Model.net_ids spec);
+  List.rev !subnets
+
+let subnet_count spec = List.length (decompose spec)
+
+let incident subnets ~net ~col =
+  List.filter
+    (fun s ->
+      s.net = net
+      && (s.sspan.Geom.Interval.lo = col || s.sspan.Geom.Interval.hi = col))
+    subnets
+
+let subnet_graph spec subnets =
+  let g = Vcg.create () in
+  List.iter (fun s -> Vcg.add_node g s.sid) subnets;
+  Array.iteri
+    (fun x a ->
+      let b = spec.Model.bottom.(x) in
+      if a <> 0 && b <> 0 && a <> b then
+        List.iter
+          (fun sa ->
+            List.iter
+              (fun sb -> Vcg.add_edge g ~above:sa.sid ~below:sb.sid)
+              (incident subnets ~net:b ~col:x))
+          (incident subnets ~net:a ~col:x))
+    spec.Model.top;
+  g
+
+let solution_of spec subnets ~tracks ~track_of_sid =
+  let top_row = tracks + 1 in
+  let hsegs =
+    List.map
+      (fun s ->
+        { Model.hnet = s.net; track = track_of_sid s.sid; hspan = s.sspan })
+      subnets
+  in
+  let vsegs = ref [] in
+  (* One branch per (net, pin column): spans from the lowest to the highest
+     incident trunk, extended to the pin row(s). *)
+  List.iter
+    (fun net ->
+      match Lea.shape_of spec ~net with
+      | Lea.Trivial -> ()
+      | Lea.Single_column c ->
+          vsegs :=
+            { Model.vnet = net; col = c; vspan = Geom.Interval.make 0 top_row }
+            :: !vsegs
+      | Lea.Trunk _ ->
+          List.iter
+            (fun col ->
+              let ts =
+                List.map
+                  (fun s -> track_of_sid s.sid)
+                  (incident subnets ~net ~col)
+              in
+              match ts with
+              | [] -> ()
+              | t :: rest ->
+                  let lo_t = List.fold_left min t rest
+                  and hi_t = List.fold_left max t rest in
+                  let lo =
+                    if spec.Model.bottom.(col) = net then 0 else lo_t
+                  in
+                  let hi =
+                    if spec.Model.top.(col) = net then top_row else hi_t
+                  in
+                  if lo <> hi || spec.Model.top.(col) = net
+                     || spec.Model.bottom.(col) = net
+                  then
+                    vsegs :=
+                      {
+                        Model.vnet = net;
+                        col;
+                        vspan = Geom.Interval.make lo hi;
+                      }
+                      :: !vsegs)
+            (Model.net_columns spec ~net))
+    (Model.net_ids spec);
+  { Model.tracks; hsegs; vsegs = !vsegs }
+
+(* Doglegs are optional: at each track count we first try the whole-net
+   (dogleg-free) assignment, then the subnet decomposition, so the dogleg
+   router is never worse than plain left-edge. *)
+let route ?(max_extra = 10) spec =
+  let subnets = decompose spec in
+  let graph = subnet_graph spec subnets in
+  if Vcg.has_cycle graph then None
+  else begin
+    let nodes = List.map (fun s -> (s.sid, s.sspan)) subnets in
+    let whole_net_at tracks = Lea.route_at spec ~tracks in
+    let split_at tracks =
+      match Lea.assign ~nodes ~graph ~tracks with
+      | None -> None
+      | Some assignment ->
+          let track_of_sid sid = List.assoc sid assignment in
+          let sol = solution_of spec subnets ~tracks ~track_of_sid in
+          (match Model.verify spec sol with Ok () -> Some sol | Error _ -> None)
+    in
+    let density = Model.density spec in
+    let rec attempt tracks =
+      if tracks > max 1 density + max_extra then None
+      else
+        match whole_net_at tracks with
+        | Some sol -> Some sol
+        | None -> (
+            match split_at tracks with
+            | Some sol -> Some sol
+            | None -> attempt (tracks + 1))
+    in
+    attempt (max 1 density)
+  end
+
+let min_tracks ?max_extra spec =
+  Option.map (fun (s : Model.solution) -> s.Model.tracks) (route ?max_extra spec)

@@ -1,0 +1,19 @@
+(** Dogleg channel router (Deutsch-style restricted doglegs).
+
+    Each multi-pin net is split at its pin columns into 2-pin {e subnets};
+    every subnet gets its own trunk, so a net may change tracks at any of
+    its pin columns.  This weakens vertical constraints (they now bind
+    subnets, not whole nets) and usually reaches density where the plain
+    left-edge algorithm cannot.  Restricted doglegs cannot break constraint
+    cycles among 2-pin nets — the case only the full rip-up router
+    handles. *)
+
+val route : ?max_extra:int -> Model.spec -> Model.solution option
+(** First feasible solution trying track counts from density to density +
+    [max_extra] (default 10); [None] when the subnet constraint graph is
+    cyclic or nothing fits. *)
+
+val min_tracks : ?max_extra:int -> Model.spec -> int option
+
+val subnet_count : Model.spec -> int
+(** Number of trunk subnets the decomposition produces (for reporting). *)

@@ -1,0 +1,323 @@
+(* Column-by-column greedy scan.  Tracks are numbered 1..tracks bottom-up
+   (track t sits on grid row t); row 0 is the bottom pin row and row
+   tracks+1 the top pin row, matching Model's realisation. *)
+
+type state = {
+  spec : Model.spec;
+  tracks : int;
+  track_net : int array; (* index 1..tracks; 0 = empty *)
+  occ : int array array; (* occ.(x).(t): layer-0 ownership, filled per column *)
+  mutable vsegs : Model.vseg list;
+  mutable column_vsegs : (int * Geom.Interval.t) list; (* this column *)
+  last_pin_col : (int, int) Hashtbl.t;
+  pin_cols : (int, (int * [ `Top | `Bottom ]) list) Hashtbl.t;
+}
+
+let make_state spec ~tracks =
+  let columns = Model.columns spec in
+  let last_pin_col = Hashtbl.create 16 and pin_cols = Hashtbl.create 16 in
+  let note net x side =
+    if net <> 0 then begin
+      (match Hashtbl.find_opt last_pin_col net with
+      | Some c when c >= x -> ()
+      | Some _ | None -> Hashtbl.replace last_pin_col net x);
+      let existing =
+        Option.value (Hashtbl.find_opt pin_cols net) ~default:[]
+      in
+      Hashtbl.replace pin_cols net ((x, side) :: existing)
+    end
+  in
+  Array.iteri (fun x net -> note net x `Top) spec.Model.top;
+  Array.iteri (fun x net -> note net x `Bottom) spec.Model.bottom;
+  {
+    spec;
+    tracks;
+    track_net = Array.make (tracks + 1) 0;
+    occ = Array.init columns (fun _ -> Array.make (tracks + 1) 0);
+    vsegs = [];
+    column_vsegs = [];
+    last_pin_col;
+    pin_cols;
+  }
+
+(* A vertical wire of [net] over rows [span] in the current column; rejects
+   overlap with a different net's wire.  Same-net overlaps merge freely. *)
+let add_vseg st ~net ~col span =
+  let clash =
+    List.exists
+      (fun (other, s) -> other <> net && Geom.Interval.overlap s span)
+      st.column_vsegs
+  in
+  if clash then false
+  else begin
+    st.column_vsegs <- (net, span) :: st.column_vsegs;
+    st.vsegs <- { Model.vnet = net; col; vspan = span } :: st.vsegs;
+    true
+  end
+
+let tracks_of st net =
+  let acc = ref [] in
+  for t = st.tracks downto 1 do
+    if st.track_net.(t) = net then acc := t :: !acc
+  done;
+  !acc
+
+let next_pin_side st net x =
+  match Hashtbl.find_opt st.pin_cols net with
+  | None -> None
+  | Some pins ->
+      let future = List.filter (fun (c, _) -> c > x) pins in
+      let nearest =
+        List.fold_left
+          (fun acc (c, side) ->
+            match acc with
+            | Some (c', _) when c' <= c -> acc
+            | Some _ | None -> Some (c, side))
+          None future
+      in
+      Option.map snd nearest
+
+let has_future_pin st net x =
+  match Hashtbl.find_opt st.last_pin_col net with
+  | Some c -> c > x
+  | None -> false
+
+(* Connect the top pin of [net] at column [x]: nearest-to-top own track,
+   else nearest-to-top empty track; the branch must be vertically clear. *)
+let connect_top st ~net ~x =
+  let top_row = st.tracks + 1 in
+  let candidates =
+    let own =
+      List.rev (tracks_of st net) (* highest own tracks first *)
+    in
+    let empty = ref [] in
+    for t = 1 to st.tracks do
+      if st.track_net.(t) = 0 then empty := t :: !empty
+    done;
+    own @ !empty (* !empty is highest-first already *)
+  in
+  let rec attempt = function
+    | [] -> false
+    | t :: rest ->
+        if add_vseg st ~net ~col:x (Geom.Interval.make t top_row) then begin
+          if st.track_net.(t) = 0 then st.track_net.(t) <- net;
+          st.occ.(x).(t) <- net;
+          true
+        end
+        else attempt rest
+  in
+  attempt candidates
+
+let connect_bottom st ~net ~x =
+  let candidates =
+    let own = tracks_of st net (* lowest own tracks first *) in
+    let empty = ref [] in
+    for t = st.tracks downto 1 do
+      if st.track_net.(t) = 0 then empty := t :: !empty
+    done;
+    own @ !empty
+  in
+  let rec attempt = function
+    | [] -> false
+    | t :: rest ->
+        if add_vseg st ~net ~col:x (Geom.Interval.make 0 t) then begin
+          if st.track_net.(t) = 0 then st.track_net.(t) <- net;
+          st.occ.(x).(t) <- net;
+          true
+        end
+        else attempt rest
+  in
+  attempt candidates
+
+(* Collapse a split net: join its two outermost tracks with a jog and free
+   the one farther from the next pin side. *)
+let collapse st ~x releases =
+  List.iter
+    (fun net ->
+      match tracks_of st net with
+      | [] | [ _ ] -> ()
+      | (lo :: _ as ts) ->
+          let hi = List.fold_left max lo ts in
+          if add_vseg st ~net ~col:x (Geom.Interval.make lo hi) then begin
+            (* All the net's tracks in [lo,hi] are joined at x; keep the one
+               nearest the next pin. *)
+            let keep =
+              match next_pin_side st net x with
+              | Some `Top -> hi
+              | Some `Bottom | None -> lo
+            in
+            List.iter
+              (fun t ->
+                st.occ.(x).(t) <- net;
+                if t <> keep then releases := t :: !releases)
+              ts
+          end)
+    (List.sort_uniq Int.compare
+       (Array.to_list st.track_net |> List.filter (fun n -> n <> 0)))
+
+(* Jog a single-track net one step toward its next pin's side, to keep the
+   future branch short.  Minimum jog distance 2 avoids thrash. *)
+let jog_toward_pins st ~x releases =
+  for t = 1 to st.tracks do
+    let net = st.track_net.(t) in
+    if net <> 0
+       && (not (List.mem t !releases))
+       && List.length (tracks_of st net) = 1
+       && has_future_pin st net x
+    then begin
+      let target =
+        match next_pin_side st net x with
+        | Some `Top ->
+            let best = ref 0 in
+            for t' = t + 2 to st.tracks do
+              if !best = 0 && st.track_net.(t') = 0 then best := t'
+            done;
+            !best
+        | Some `Bottom ->
+            let best = ref 0 in
+            for t' = t - 2 downto 1 do
+              if !best = 0 && st.track_net.(t') = 0 then best := t'
+            done;
+            !best
+        | None -> 0
+      in
+      if target <> 0
+         && add_vseg st ~net ~col:x (Geom.Interval.make t target)
+      then begin
+        st.track_net.(target) <- net;
+        st.occ.(x).(t) <- net;
+        st.occ.(x).(target) <- net;
+        releases := t :: !releases
+      end
+    end
+  done
+
+let process_column st x =
+  st.column_vsegs <- [];
+  let top = st.spec.Model.top.(x) and bottom = st.spec.Model.bottom.(x) in
+  let ok = ref true in
+  if top <> 0 && top = bottom then begin
+    (* Straight through-branch; it also joins every track the net holds
+       (vias appear at the crossings during realisation). *)
+    if not (add_vseg st ~net:top ~col:x (Geom.Interval.make 0 (st.tracks + 1)))
+    then ok := false
+    else List.iter (fun t -> st.occ.(x).(t) <- top) (tracks_of st top)
+  end
+  else begin
+    if top <> 0 && not (connect_top st ~net:top ~x) then ok := false;
+    if bottom <> 0 && not (connect_bottom st ~net:bottom ~x) then ok := false
+  end;
+  let releases = ref [] in
+  if !ok then begin
+    collapse st ~x releases;
+    jog_toward_pins st ~x releases
+  end;
+  (* Record this column's trunk occupancy, then apply releases and vacate
+     finished nets. *)
+  for t = 1 to st.tracks do
+    let net = st.track_net.(t) in
+    if net <> 0 && st.occ.(x).(t) = 0 then st.occ.(x).(t) <- net
+  done;
+  List.iter (fun t -> st.track_net.(t) <- 0) !releases;
+  for t = 1 to st.tracks do
+    let net = st.track_net.(t) in
+    if net <> 0
+       && (not (has_future_pin st net x))
+       && List.length (tracks_of st net) = 1
+    then st.track_net.(t) <- 0
+  done;
+  !ok
+
+let hsegs_of_occ st =
+  let columns = Model.columns st.spec in
+  let segs = ref [] in
+  for t = 1 to st.tracks do
+    let run_start = ref (-1) and run_net = ref 0 in
+    let flush x =
+      if !run_net <> 0 then
+        segs :=
+          {
+            Model.hnet = !run_net;
+            track = t;
+            hspan = Geom.Interval.make !run_start (x - 1);
+          }
+          :: !segs;
+      run_net := 0;
+      run_start := -1
+    in
+    for x = 0 to columns - 1 do
+      let net = st.occ.(x).(t) in
+      if net <> !run_net then begin
+        flush x;
+        if net <> 0 then begin
+          run_net := net;
+          run_start := x
+        end
+      end
+    done;
+    flush columns
+  done;
+  !segs
+
+let route_at spec ~tracks =
+  if tracks < 1 then None
+  else begin
+    let st = make_state spec ~tracks in
+    let columns = Model.columns spec in
+    let ok = ref true in
+    for x = 0 to columns - 1 do
+      if !ok then ok := process_column st x
+    done;
+    (* Every net must have ended on at most one track (vacated nets hold
+       none). *)
+    if !ok
+       && Array.for_all (fun n -> n = 0) st.track_net
+    then begin
+      let sol =
+        { Model.tracks; hsegs = hsegs_of_occ st; vsegs = st.vsegs }
+      in
+      match Model.verify spec sol with Ok () -> Some sol | Error _ -> None
+    end
+    else None
+  end
+
+let route ?(max_extra = 10) spec =
+  let density = max 1 (Model.density spec) in
+  let rec attempt tracks =
+    if tracks > density + max_extra then None
+    else
+      match route_at spec ~tracks with
+      | Some sol -> Some sol
+      | None -> attempt (tracks + 1)
+  in
+  attempt density
+
+let pad spec extend =
+  if extend = 0 then spec
+  else
+    let zeros = Array.make extend 0 in
+    {
+      Model.top = Array.append spec.Model.top zeros;
+      bottom = Array.append spec.Model.bottom zeros;
+    }
+
+let route_padded ?(max_extra = 10) ?(max_extend = 6) spec =
+  let density = max 1 (Model.density spec) in
+  let rec attempt tracks extend =
+    if tracks > density + max_extra then None
+    else if extend > max_extend then attempt (tracks + 1) 0
+    else
+      let padded = pad spec extend in
+      match route_at padded ~tracks with
+      | Some sol -> Some (padded, sol)
+      | None -> attempt tracks (extend + 1)
+  in
+  attempt density 0
+
+let min_tracks ?max_extra ?max_extend spec =
+  Option.map
+    (fun ((_, s) : Model.spec * Model.solution) -> s.Model.tracks)
+    (route_padded ?max_extra ?max_extend spec)
+
+let extension_used ~original padded =
+  Model.columns padded - Model.columns original

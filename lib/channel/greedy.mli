@@ -1,0 +1,49 @@
+(** Greedy channel router (Rivest–Fiduccia class).
+
+    The channel is scanned column by column, left to right, maintaining the
+    net assigned to each track.  At every column the router, in order:
+
+    + connects the column's top/bottom pins to the nearest track already
+      holding the net, or claims the nearest empty track (a same-net
+      top+bottom column becomes one straight through-branch);
+    + {e collapses} split nets — nets temporarily holding several tracks —
+      with a vertical jog, freeing a track;
+    + {e jogs} single-track nets towards the side of their next pin, so the
+      future pin connection stays short and conflict-free;
+    + vacates the tracks of nets whose pins are all connected.
+
+    All branches and jogs in one column live on the vertical layer and must
+    be pairwise disjoint (different nets).  Unlike the classical
+    formulation, this implementation may not extend the channel with extra
+    columns: a net still split after the last column fails the attempt, and
+    the caller retries with more tracks — which keeps the comparison metric
+    (track count at fixed length) honest.
+
+    Greedy handles vertical-constraint cycles (it does not reason about
+    constraints at all), making it the strongest classical baseline here;
+    it still needs more tracks than the full router on hard instances. *)
+
+val route_at : Model.spec -> tracks:int -> Model.solution option
+(** One greedy scan at a fixed track count; the result has been verified.
+    [None] when some pin cannot connect or a net remains split. *)
+
+val route : ?max_extra:int -> Model.spec -> Model.solution option
+(** Try track counts from density to density + [max_extra] (default 10),
+    without channel extension. *)
+
+val route_padded :
+  ?max_extra:int ->
+  ?max_extend:int ->
+  Model.spec ->
+  (Model.spec * Model.solution) option
+(** Like {!route} but allowed to append up to [max_extend] (default 6)
+    pin-free columns on the right — the classical "the greedy router may
+    lengthen the channel" rule.  For each track count the smallest
+    sufficient extension is used.  Returns the (possibly padded) spec the
+    solution verifies against. *)
+
+val min_tracks : ?max_extra:int -> ?max_extend:int -> Model.spec -> int option
+(** Track count found by {!route_padded}. *)
+
+val extension_used : original:Model.spec -> Model.spec -> int
+(** Columns appended by {!route_padded} ([padded - original] widths). *)

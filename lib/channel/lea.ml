@@ -1,0 +1,131 @@
+let assign ~nodes ~graph ~tracks =
+  let assigned = Hashtbl.create 16 in
+  let remaining = ref nodes in
+  let eligible (id, _) =
+    List.for_all (Hashtbl.mem assigned) (Vcg.parents graph id)
+  in
+  for t = tracks downto 1 do
+    let candidates =
+      List.filter eligible !remaining
+      |> List.sort (fun (_, a) (_, b) -> Geom.Interval.compare_lo a b)
+    in
+    (* Greedy left-edge packing of this track. *)
+    let last_hi = ref min_int in
+    let placed = Hashtbl.create 8 in
+    List.iter
+      (fun (id, (iv : Geom.Interval.t)) ->
+        if iv.Geom.Interval.lo > !last_hi then begin
+          Hashtbl.replace assigned id t;
+          Hashtbl.replace placed id ();
+          last_hi := iv.Geom.Interval.hi
+        end)
+      candidates;
+    remaining := List.filter (fun (id, _) -> not (Hashtbl.mem placed id)) !remaining
+  done;
+  if !remaining = [] then
+    Some (List.map (fun (id, _) -> (id, Hashtbl.find assigned id)) nodes)
+  else None
+
+(* Net classification for channel routing: nets with a single pin need no
+   wiring, nets whose pins share one column need only a through-branch, and
+   the rest get a trunk. *)
+type shape = Trivial | Single_column of int | Trunk of Geom.Interval.t
+
+let shape_of spec ~net =
+  let cols = Model.net_columns spec ~net in
+  let pins =
+    Array.fold_left
+      (fun acc id -> if id = net then acc + 1 else acc)
+      0 spec.Model.top
+    + Array.fold_left
+        (fun acc id -> if id = net then acc + 1 else acc)
+        0 spec.Model.bottom
+  in
+  match cols with
+  | [] -> Trivial
+  | [ c ] -> if pins >= 2 then Single_column c else Trivial
+  | c :: rest -> Trunk (Geom.Interval.make c (List.fold_left max c rest))
+
+let trunk_graph spec ~is_trunk =
+  let g = Vcg.create () in
+  Array.iteri
+    (fun x a ->
+      let b = spec.Model.bottom.(x) in
+      if a <> 0 && b <> 0 && a <> b && is_trunk a && is_trunk b then
+        Vcg.add_edge g ~above:a ~below:b)
+    spec.Model.top;
+  g
+
+let solution_of spec ~tracks ~track_of_net =
+  let top_row = tracks + 1 in
+  let hsegs = ref [] and vsegs = ref [] in
+  List.iter
+    (fun net ->
+      match shape_of spec ~net with
+      | Trivial -> ()
+      | Single_column c ->
+          vsegs :=
+            { Model.vnet = net; col = c; vspan = Geom.Interval.make 0 top_row }
+            :: !vsegs
+      | Trunk span ->
+          let t = track_of_net net in
+          hsegs := { Model.hnet = net; track = t; hspan = span } :: !hsegs;
+          Array.iteri
+            (fun x id ->
+              if id = net then
+                vsegs :=
+                  {
+                    Model.vnet = net;
+                    col = x;
+                    vspan = Geom.Interval.make t top_row;
+                  }
+                  :: !vsegs)
+            spec.Model.top;
+          Array.iteri
+            (fun x id ->
+              if id = net then
+                vsegs :=
+                  { Model.vnet = net; col = x; vspan = Geom.Interval.make 0 t }
+                  :: !vsegs)
+            spec.Model.bottom)
+    (Model.net_ids spec);
+  { Model.tracks; hsegs = !hsegs; vsegs = !vsegs }
+
+let trunks_and_graph spec =
+  let trunks =
+    List.filter_map
+      (fun net ->
+        match shape_of spec ~net with
+        | Trunk span -> Some (net, span)
+        | Trivial | Single_column _ -> None)
+      (Model.net_ids spec)
+  in
+  let is_trunk net = List.mem_assoc net trunks in
+  (trunks, trunk_graph spec ~is_trunk)
+
+let route_at spec ~tracks =
+  let trunks, graph = trunks_and_graph spec in
+  if Vcg.has_cycle graph then None
+  else
+    match assign ~nodes:trunks ~graph ~tracks with
+    | None -> None
+    | Some assignment ->
+        let track_of_net net = List.assoc net assignment in
+        let sol = solution_of spec ~tracks ~track_of_net in
+        (* Defensive: never return an unverified solution. *)
+        (match Model.verify spec sol with Ok () -> Some sol | Error _ -> None)
+
+let route ?(max_extra = 10) spec =
+  let density = Model.density spec in
+  let rec attempt tracks =
+    if tracks > max 1 density + max_extra then None
+    else
+      match route_at spec ~tracks with
+      | Some sol -> Some sol
+      | None -> attempt (tracks + 1)
+  in
+  let _, graph = trunks_and_graph spec in
+  if Vcg.has_cycle graph then None else attempt (max 1 density)
+
+let min_tracks ?max_extra spec =
+  Option.map (fun (s : Model.solution) -> s.Model.tracks) (route ?max_extra spec)

@@ -1,0 +1,42 @@
+(** The constrained left-edge algorithm (Hashimoto–Stevens style).
+
+    Tracks are filled from the top of the channel downwards; a node (a net
+    trunk, or a subnet trunk for the dogleg router) becomes eligible once
+    everything constrained to lie above it has been placed.  Within a track,
+    eligible nodes are packed greedily in left-edge order.  The algorithm
+    fails on cyclic constraint graphs and may need more than density tracks
+    on hard acyclic instances — exactly the weaknesses the experiments
+    exhibit against the full router. *)
+
+val assign :
+  nodes:(int * Geom.Interval.t) list ->
+  graph:Vcg.t ->
+  tracks:int ->
+  (int * int) list option
+(** [(node, interval)] trunks to place into [tracks] tracks under the
+    constraint graph.  Returns [node → track] (tracks numbered
+    [tracks .. 1], i.e. top-down placement yields high numbers first), or
+    [None] when the nodes do not fit. *)
+
+type shape =
+  | Trivial  (** ≤ 1 pin: nothing to wire *)
+  | Single_column of int  (** all pins share a column: a through-branch *)
+  | Trunk of Geom.Interval.t  (** needs a trunk across its pin span *)
+
+val shape_of : Model.spec -> net:int -> shape
+(** Channel-routing classification of a net (shared with the dogleg
+    router). *)
+
+val route_at : Model.spec -> tracks:int -> Model.solution option
+(** Dogleg-free left-edge routing at one fixed track count (verified);
+    [None] when infeasible at that count or the constraint graph is
+    cyclic. *)
+
+val route : ?max_extra:int -> Model.spec -> Model.solution option
+(** Full dogleg-free left-edge channel router: one trunk per net.  Tries
+    track counts from density up to density + [max_extra] (default 10);
+    returns the first feasible solution.  [None] when the vertical
+    constraint graph is cyclic or no attempted track count suffices. *)
+
+val min_tracks : ?max_extra:int -> Model.spec -> int option
+(** Track count of the solution {!route} finds. *)

@@ -1,0 +1,135 @@
+type spec = { top : int array; bottom : int array }
+
+let columns s = Array.length s.top
+
+let spec_of_problem (p : Netlist.Problem.t) =
+  if p.Netlist.Problem.kind <> Netlist.Problem.Channel then
+    invalid_arg "Model.spec_of_problem: not a channel problem";
+  let w = p.Netlist.Problem.width and h = p.Netlist.Problem.height in
+  let top = Array.make w 0 and bottom = Array.make w 0 in
+  List.iter
+    (fun (net, (pin : Netlist.Net.pin)) ->
+      if pin.Netlist.Net.y = 0 then bottom.(pin.Netlist.Net.x) <- net
+      else if pin.Netlist.Net.y = h - 1 then top.(pin.Netlist.Net.x) <- net
+      else invalid_arg "Model.spec_of_problem: interior pin in channel")
+    (Netlist.Problem.pin_cells p);
+  { top; bottom }
+
+let problem_of_spec ?(name = "channel") ~tracks s =
+  Netlist.Build.channel ~name ~tracks ~top:s.top ~bottom:s.bottom ()
+
+let net_ids s =
+  let ids = Hashtbl.create 16 in
+  Array.iter (fun id -> if id <> 0 then Hashtbl.replace ids id ()) s.top;
+  Array.iter (fun id -> if id <> 0 then Hashtbl.replace ids id ()) s.bottom;
+  Hashtbl.fold (fun id () acc -> id :: acc) ids [] |> List.sort Int.compare
+
+let net_columns s ~net =
+  let cols = ref [] in
+  for x = columns s - 1 downto 0 do
+    if s.top.(x) = net || s.bottom.(x) = net then cols := x :: !cols
+  done;
+  !cols
+
+let span s ~net =
+  match net_columns s ~net with
+  | [] -> None
+  | c :: rest ->
+      let hi = List.fold_left max c rest in
+      Some (Geom.Interval.make c hi)
+
+let density s =
+  let spans =
+    List.filter_map
+      (fun net ->
+        match net_columns s ~net with
+        | [] | [ _ ] -> None (* single-column nets occupy no track *)
+        | c :: rest -> Some (Geom.Interval.make c (List.fold_left max c rest)))
+      (net_ids s)
+  in
+  Geom.Interval.max_clique spans
+
+type hseg = { hnet : int; track : int; hspan : Geom.Interval.t }
+
+type vseg = { vnet : int; col : int; vspan : Geom.Interval.t }
+
+type solution = { tracks : int; hsegs : hseg list; vsegs : vseg list }
+
+let realize ?(name = "channel") s sol =
+  let problem = problem_of_spec ~name ~tracks:sol.tracks s in
+  let g = Netlist.Problem.instantiate problem in
+  let conflict = ref None in
+  let claim ~net ~layer ~x ~y =
+    if !conflict = None then
+      if not (Grid.in_bounds g ~x ~y) then
+        conflict :=
+          Some (Printf.sprintf "net %d: cell (%d,%d) out of range" net x y)
+      else
+        let v = Grid.occ_at g ~layer ~x ~y in
+        if v = Grid.free || v = net then
+          Grid.occupy g ~net (Grid.node g ~layer ~x ~y)
+        else
+          conflict :=
+            Some
+              (Printf.sprintf "net %d: cell (%d,%d)L%d already taken by %s"
+                 net x y layer
+                 (if v = Grid.obstacle then "an obstacle"
+                  else Printf.sprintf "net %d" v))
+  in
+  List.iter
+    (fun h ->
+      if h.track < 1 || h.track > sol.tracks then
+        conflict :=
+          Some (Printf.sprintf "net %d: track %d out of range" h.hnet h.track)
+      else
+        for x = h.hspan.Geom.Interval.lo to h.hspan.Geom.Interval.hi do
+          claim ~net:h.hnet ~layer:0 ~x ~y:h.track
+        done)
+    sol.hsegs;
+  List.iter
+    (fun v ->
+      for y = v.vspan.Geom.Interval.lo to v.vspan.Geom.Interval.hi do
+        claim ~net:v.vnet ~layer:1 ~x:v.col ~y
+      done)
+    sol.vsegs;
+  match !conflict with
+  | Some msg -> Error msg
+  | None ->
+      (* Heal vias: any position both of whose layers one net owns becomes a
+         layer junction. *)
+      Grid.iter_planar g (fun ~x ~y ->
+          let a = Grid.occ_at g ~layer:0 ~x ~y
+          and b = Grid.occ_at g ~layer:1 ~x ~y in
+          if a > 0 && a = b then Grid.set_via g ~x ~y);
+      Ok (problem, g)
+
+let verify s sol =
+  match realize s sol with
+  | Error msg -> Error msg
+  | Ok (problem, g) -> (
+      match Drc.Check.check problem g with
+      | [] -> Ok ()
+      | violations -> Error (Drc.Check.explain violations))
+
+let solution_vias sol =
+  (* Distinct (net, column, track) junctions where an hseg meets a vseg of
+     the same net. *)
+  let junctions = Hashtbl.create 64 in
+  List.iter
+    (fun h ->
+      List.iter
+        (fun v ->
+          if
+            v.vnet = h.hnet
+            && Geom.Interval.mem v.col h.hspan
+            && Geom.Interval.mem h.track v.vspan
+          then Hashtbl.replace junctions (h.hnet, v.col, h.track) ())
+        sol.vsegs)
+    sol.hsegs;
+  Hashtbl.length junctions
+
+let solution_wirelength sol =
+  List.fold_left (fun acc h -> acc + Geom.Interval.length h.hspan - 1) 0 sol.hsegs
+  + List.fold_left
+      (fun acc v -> acc + Geom.Interval.length v.vspan - 1)
+      0 sol.vsegs

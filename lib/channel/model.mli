@@ -1,0 +1,64 @@
+(** The channel-routing model shared by all channel routers.
+
+    A channel is specified by its two pin rows ([top]/[bottom] arrays of net
+    ids, [0] = no pin).  A {e solution} is the classical reserved-layer
+    form: horizontal trunk segments on tracks (layer 0) plus vertical
+    branch segments in columns (layer 1).  Solutions are validated by
+    {e realising} them onto a routing grid and running the full
+    design-rule/connectivity checker — channel routers get no private
+    notion of correctness. *)
+
+type spec = { top : int array; bottom : int array }
+
+val spec_of_problem : Netlist.Problem.t -> spec
+(** Recover the pin rows of a channel problem (top row [y = height-1],
+    bottom row [y = 0]).
+    @raise Invalid_argument if the problem is not a channel. *)
+
+val problem_of_spec :
+  ?name:string -> tracks:int -> spec -> Netlist.Problem.t
+
+val columns : spec -> int
+
+val density : spec -> int
+(** Classical channel density of the spec (lower bound on tracks). *)
+
+val net_ids : spec -> int list
+(** Net ids present, ascending. *)
+
+val net_columns : spec -> net:int -> int list
+(** Sorted distinct pin columns of a net. *)
+
+val span : spec -> net:int -> Geom.Interval.t option
+(** Horizontal extent of a net's pins. *)
+
+(** {1 Solutions} *)
+
+type hseg = { hnet : int; track : int; hspan : Geom.Interval.t }
+(** Trunk on layer 0 at row [track] (tracks are numbered [1..tracks],
+    bottom-up), covering the span's columns. *)
+
+type vseg = { vnet : int; col : int; vspan : Geom.Interval.t }
+(** Branch on layer 1 in column [col], covering grid rows [vspan]
+    (row 0 = bottom pin row, row [tracks+1] = top pin row). *)
+
+type solution = { tracks : int; hsegs : hseg list; vsegs : vseg list }
+
+val realize :
+  ?name:string ->
+  spec ->
+  solution ->
+  (Netlist.Problem.t * Grid.t, string) Stdlib.result
+(** Build the channel problem at [solution.tracks], lay every segment on
+    the grid and place a via wherever a net owns both layers of a cell.
+    [Error] describes the first conflict (two nets claiming a cell, or a
+    segment out of range). *)
+
+val verify : spec -> solution -> (unit, string) Stdlib.result
+(** {!realize} followed by the full DRC/connectivity check. *)
+
+val solution_vias : solution -> int
+(** Number of via positions the realised solution will contain. *)
+
+val solution_wirelength : solution -> int
+(** Total cells-steps of wiring in the solution. *)

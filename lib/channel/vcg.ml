@@ -1,0 +1,82 @@
+type t = {
+  succ : (int, int list ref) Hashtbl.t; (* above -> belows *)
+  pred : (int, int list ref) Hashtbl.t; (* below -> aboves *)
+}
+
+let create () = { succ = Hashtbl.create 16; pred = Hashtbl.create 16 }
+
+let slot tbl n =
+  match Hashtbl.find_opt tbl n with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.add tbl n r;
+      r
+
+let add_node g n =
+  ignore (slot g.succ n);
+  ignore (slot g.pred n)
+
+let add_edge g ~above ~below =
+  if above <> below then begin
+    add_node g above;
+    add_node g below;
+    let s = slot g.succ above in
+    if not (List.mem below !s) then begin
+      s := below :: !s;
+      let p = slot g.pred below in
+      p := above :: !p
+    end
+  end
+
+let nodes g =
+  Hashtbl.fold (fun n _ acc -> n :: acc) g.succ [] |> List.sort Int.compare
+
+let parents g n = match Hashtbl.find_opt g.pred n with Some r -> !r | None -> []
+
+let children g n = match Hashtbl.find_opt g.succ n with Some r -> !r | None -> []
+
+let edge_count g =
+  Hashtbl.fold (fun _ r acc -> acc + List.length !r) g.succ 0
+
+let has_cycle g =
+  (* Colourful DFS: 0 unvisited, 1 on stack, 2 done. *)
+  let color = Hashtbl.create 16 in
+  let rec visit n =
+    match Hashtbl.find_opt color n with
+    | Some 1 -> true
+    | Some _ -> false
+    | None ->
+        Hashtbl.replace color n 1;
+        let cyclic = List.exists visit (children g n) in
+        Hashtbl.replace color n 2;
+        cyclic
+  in
+  List.exists visit (nodes g)
+
+let of_spec (s : Model.spec) =
+  let g = create () in
+  List.iter (fun n -> add_node g n) (Model.net_ids s);
+  Array.iteri
+    (fun x a ->
+      let b = s.Model.bottom.(x) in
+      if a <> 0 && b <> 0 then add_edge g ~above:a ~below:b)
+    s.Model.top;
+  g
+
+let longest_path g =
+  if has_cycle g then max_int
+  else begin
+    let memo = Hashtbl.create 16 in
+    let rec depth n =
+      match Hashtbl.find_opt memo n with
+      | Some d -> d
+      | None ->
+          let d =
+            1 + List.fold_left (fun acc c -> max acc (depth c)) 0 (children g n)
+          in
+          Hashtbl.replace memo n d;
+          d
+    in
+    List.fold_left (fun acc n -> max acc (depth n)) 0 (nodes g)
+  end

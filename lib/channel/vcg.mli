@@ -1,0 +1,36 @@
+(** Vertical constraint graphs (and a small digraph utility).
+
+    In a reserved-layer channel, a column holding a top pin of net [a] and a
+    bottom pin of net [b ≠ a] forces every trunk of [a] incident to that
+    column to lie {e above} every trunk of [b] incident to it (their layer-1
+    branches would otherwise overlap).  The edge [a → b] reads "[a] above
+    [b]".  A cyclic graph is unroutable for any dogleg-free router at any
+    track count. *)
+
+type t
+
+val create : unit -> t
+
+val add_node : t -> int -> unit
+
+val add_edge : t -> above:int -> below:int -> unit
+(** Adds both endpoints as nodes; self-edges are ignored (same net on both
+    rows of a column is not a constraint). *)
+
+val nodes : t -> int list
+(** Ascending. *)
+
+val parents : t -> int -> int list
+(** Nodes constrained to lie above the given node. *)
+
+val edge_count : t -> int
+
+val has_cycle : t -> bool
+
+val of_spec : Model.spec -> t
+(** Net-level vertical constraint graph of a channel spec. *)
+
+val longest_path : t -> int
+(** Number of nodes on the longest chain (0 for an empty graph); together
+    with density this lower-bounds dogleg-free track counts.  Returns
+    [max_int] on a cyclic graph. *)

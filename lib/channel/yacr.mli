@@ -1,0 +1,29 @@
+(** YACR-II-class channel router.
+
+    The defining idea of the YACR family: assign trunks to tracks by pure
+    left-edge interval packing — {e ignoring} vertical constraints, which
+    packs to density — and then repair the vertical-constraint violations
+    with maze routing on the vertical layer, where limited wrong-way
+    (horizontal) segments let a branch jog around a conflicting branch in
+    the same column.
+
+    Concretely, after packing, every (net, pin-column) branch is routed
+    sequentially by a maze search restricted to free vertical-layer cells
+    (any direction allowed, wrong-way penalised) with the net's own trunk
+    as target; trunks themselves never move and there is no rip-up — which
+    is exactly the gap the full router's strong modification closes, and
+    what experiment E2 contrasts.
+
+    Unlike the dogleg-free baselines, this router can route
+    vertical-constraint {e cycles} (a branch simply jogs around the
+    other). *)
+
+val route_at : Model.spec -> tracks:int -> (Netlist.Problem.t * Grid.t) option
+(** One attempt at a fixed track count.  The returned grid holds the full
+    verified layout (trunks on layer 0, branches on layer 1). *)
+
+val route :
+  ?max_extra:int -> Model.spec -> (Netlist.Problem.t * Grid.t) option
+(** Try track counts from density to density + [max_extra] (default 10). *)
+
+val min_tracks : ?max_extra:int -> Model.spec -> int option

@@ -1,0 +1,58 @@
+type order =
+  | As_given
+  | Hpwl_ascending
+  | Hpwl_descending
+  | Pins_descending
+  | Congestion_descending
+  | Random
+
+type t = {
+  cost : Maze.Cost.t;
+  use_astar : bool;
+  order : order;
+  enable_weak : bool;
+  enable_strong : bool;
+  max_weak_passes : int;
+  ripup_penalty : int;
+  rip_budget_factor : int;
+  restarts : int;
+  seed : int;
+}
+
+let default =
+  {
+    cost = Maze.Cost.default;
+    use_astar = false;
+    order = Hpwl_descending;
+    enable_weak = true;
+    enable_strong = true;
+    max_weak_passes = 3;
+    ripup_penalty = 30;
+    rip_budget_factor = 16;
+    restarts = 1;
+    seed = 1;
+  }
+
+let maze_only = { default with enable_weak = false; enable_strong = false }
+
+let weak_only = { default with enable_strong = false }
+
+let order_name = function
+  | As_given -> "as-given"
+  | Hpwl_ascending -> "hpwl-asc"
+  | Hpwl_descending -> "hpwl-desc"
+  | Pins_descending -> "pins-desc"
+  | Congestion_descending -> "congestion-desc"
+  | Random -> "random"
+
+let describe c =
+  let strategy =
+    match (c.enable_weak, c.enable_strong) with
+    | true, true -> "weak+strong"
+    | true, false -> "weak-only"
+    | false, true -> "strong-only"
+    | false, false -> "maze-only"
+  in
+  Printf.sprintf "%s, order=%s%s%s" strategy (order_name c.order)
+    (if c.use_astar then ", astar" else "")
+    (if c.restarts > 1 then Printf.sprintf ", restarts=%d" c.restarts else "")

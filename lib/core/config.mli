@@ -1,0 +1,50 @@
+(** Router configuration.
+
+    The default configuration is the full system as described by the paper:
+    weighted maze search, weak modification (shoving), then strong
+    modification (rip-up and reroute) with an escalating penalty and a global
+    modification budget guaranteeing termination.  The ablation experiments
+    switch the individual features off. *)
+
+type order =
+  | As_given  (** problem order *)
+  | Hpwl_ascending  (** shortest bounding box first *)
+  | Hpwl_descending  (** longest bounding box first (default) *)
+  | Pins_descending  (** most pins first, HPWL descending as tie-break *)
+  | Congestion_descending
+      (** nets crossing the most contested area first (estimated from the
+          pre-routing demand map) *)
+  | Random  (** seeded shuffle *)
+
+type t = {
+  cost : Maze.Cost.t;
+  use_astar : bool;  (** A-star instead of plain Dijkstra (same paths) *)
+  order : order;
+  enable_weak : bool;  (** weak modification: segment shoving *)
+  enable_strong : bool;  (** strong modification: rip-up and reroute *)
+  max_weak_passes : int;
+      (** shove-and-retry rounds per blocked connection (default 3) *)
+  ripup_penalty : int;
+      (** base cost of crossing a cell of a foreign net; the effective
+          penalty is [ripup_penalty × (1 + rip_count net)], so repeatedly
+          ripped nets become progressively more expensive to disturb *)
+  rip_budget_factor : int;
+      (** total rip budget = factor × (number of nets); exhausting it
+          disables strong modification, forcing termination (default 16) *)
+  restarts : int;
+      (** orderings attempted before giving up (default 1 = no restart);
+          restarts > 1 reshuffles the queue with the seed *)
+  seed : int;  (** tie-breaking and restart shuffles *)
+}
+
+val default : t
+
+val maze_only : t
+(** One-shot sequential maze router: no weak, no strong modification.  The
+    classical baseline the paper improves upon. *)
+
+val weak_only : t
+(** Shoving enabled, rip-up disabled. *)
+
+val describe : t -> string
+(** Short human-readable summary, e.g. ["weak+strong, order=hpwl-desc"]. *)

@@ -1,0 +1,380 @@
+type stats = {
+  routed_nets : int;
+  failed_nets : int list;
+  total_wirelength : int;
+  total_vias : int;
+  rips : int;
+  shoves : int;
+  searches : int;
+  expanded : int;
+  attempts : int;
+}
+
+type t = { grid : Grid.t; completed : bool; stats : stats }
+
+type state = {
+  problem : Netlist.Problem.t;
+  config : Config.t;
+  g : Grid.t;
+  ws : Maze.Workspace.t;
+  protected : Bytes.t;  (* pins of all nets and fixed prewiring *)
+  route_nodes : int list array;  (* per net index: rippable owned nodes *)
+  rip_count : int array;
+  routed : bool array;
+  in_queue : bool array;
+  queue : int Queue.t;
+  mutable rips_left : int;
+  mutable rips : int;
+  mutable shoves : int;
+  mutable searches : int;
+  mutable expanded : int;
+}
+
+let is_protected st n = Bytes.get st.protected n <> '\000'
+
+let make_state config problem =
+  let g = Netlist.Problem.instantiate problem in
+  let nets = Netlist.Problem.net_count problem in
+  let protected = Bytes.make (Grid.node_count g) '\000' in
+  List.iter
+    (fun (_, pin) ->
+      Bytes.set protected (Maze.Route.pin_node g pin) '\001')
+    (Netlist.Problem.pin_cells problem);
+  let route_nodes = Array.make nets [] in
+  List.iter
+    (fun (pw : Netlist.Problem.prewire) ->
+      let nodes =
+        List.map
+          (fun (layer, x, y) -> Grid.node g ~layer ~x ~y)
+          pw.Netlist.Problem.pre_cells
+      in
+      if pw.Netlist.Problem.pre_fixed then
+        List.iter (fun n -> Bytes.set protected n '\001') nodes
+      else
+        let i = pw.Netlist.Problem.pre_net - 1 in
+        route_nodes.(i) <- nodes @ route_nodes.(i))
+    problem.Netlist.Problem.prewires;
+  {
+    problem;
+    config;
+    g;
+    ws = Maze.Workspace.create g;
+    protected;
+    route_nodes;
+    rip_count = Array.make nets 0;
+    routed = Array.make nets false;
+    in_queue = Array.make nets false;
+    queue = Queue.create ();
+    rips_left = config.Config.rip_budget_factor * max 1 nets;
+    rips = 0;
+    shoves = 0;
+    searches = 0;
+    expanded = 0;
+  }
+
+let enqueue st id =
+  if not st.in_queue.(id - 1) then begin
+    st.in_queue.(id - 1) <- true;
+    Queue.add id st.queue
+  end
+
+(* Passability for the plain search mode: free or self-owned cells only. *)
+let passable_block st ~net n =
+  let v = Grid.occ st.g n in
+  if v = Grid.free || v = net then Some 0 else None
+
+(* Passability for planning through foreign nets (weak planning and strong
+   modification): foreign rippable cells cost an escalating penalty. *)
+let passable_penalized st ~net n =
+  let v = Grid.occ st.g n in
+  if v = Grid.free || v = net then Some 0
+  else if v = Grid.obstacle then None
+  else if is_protected st n then None
+  else
+    Some (st.config.Config.ripup_penalty * (1 + st.rip_count.(v - 1)))
+
+let run_search st ~net ~passable ~sources ~targets =
+  st.searches <- st.searches + 1;
+  let search =
+    if st.config.Config.use_astar then Maze.Search.run_astar
+    else Maze.Search.run
+  in
+  let result =
+    search st.g st.ws ~cost:st.config.Config.cost ~passable ~sources ~targets
+      ()
+  in
+  (match result with
+  | Some r -> st.expanded <- st.expanded + r.Maze.Search.expanded
+  | None -> ());
+  ignore net;
+  result
+
+(* Rip a foreign net: clear its rippable wiring and put it back in the
+   routing queue.  Pins stay on the grid, so the net can always be
+   re-attempted. *)
+let rip_net st id =
+  let i = id - 1 in
+  Maze.Route.release_nodes st.g st.route_nodes.(i);
+  st.route_nodes.(i) <- [];
+  st.routed.(i) <- false;
+  st.rip_count.(i) <- st.rip_count.(i) + 1;
+  st.rips <- st.rips + 1;
+  st.rips_left <- st.rips_left - 1;
+  enqueue st id
+
+let foreign_owners st ~net path =
+  List.sort_uniq Int.compare
+    (List.filter_map
+       (fun n ->
+         let v = Grid.occ st.g n in
+         if v > 0 && v <> net then Some v else None)
+       path)
+
+(* Weak modification: plan a least-blocked path, try to shove every blocking
+   cell sideways, report whether anything moved. *)
+let weak_pass st ~net ~sources ~targets =
+  match
+    run_search st ~net
+      ~passable:(passable_penalized st ~net)
+      ~sources ~targets
+  with
+  | None -> false
+  | Some plan ->
+      let moved = ref false in
+      List.iter
+        (fun n ->
+          let v = Grid.occ st.g n in
+          if v > 0 && v <> net then
+            match Shove.try_shove st.g ~protected:(is_protected st) ~node:n with
+            | None -> ()
+            | Some m ->
+                st.shoves <- st.shoves + 1;
+                moved := true;
+                let i = m.Shove.moved_net - 1 in
+                st.route_nodes.(i) <-
+                  m.Shove.added
+                  @ List.filter
+                      (fun x -> not (List.mem x m.Shove.released))
+                      st.route_nodes.(i))
+        plan.Maze.Search.path;
+      !moved
+
+(* One tree-to-pin connection with escalation.  Returns the path found, or
+   None if every enabled mode is exhausted. *)
+let connect st ~net ~sources ~targets =
+  let standard () =
+    run_search st ~net ~passable:(passable_block st ~net) ~sources ~targets
+  in
+  match standard () with
+  | Some r -> Some (r, [])
+  | None ->
+      let rec weak_loop pass =
+        if (not st.config.Config.enable_weak)
+           || pass >= st.config.Config.max_weak_passes
+        then None
+        else if not (weak_pass st ~net ~sources ~targets) then None
+        else
+          match standard () with
+          | Some r -> Some (r, [])
+          | None -> weak_loop (pass + 1)
+      in
+      let weak_result = weak_loop 0 in
+      (match weak_result with
+      | Some _ -> weak_result
+      | None ->
+          if st.config.Config.enable_strong && st.rips_left > 0 then
+            match
+              run_search st ~net
+                ~passable:(passable_penalized st ~net)
+                ~sources ~targets
+            with
+            | None -> None
+            | Some r ->
+                let victims = foreign_owners st ~net r.Maze.Search.path in
+                Some (r, victims)
+          else None)
+
+(* After a net routes, release any of its wiring not connected to the pin
+   component: pre-existing loose wiring the new route did not reuse would
+   otherwise linger as floating metal.  Protected cells (fixed pre-wiring)
+   are never released. *)
+let prune_orphans st id =
+  let g = st.g in
+  let cells = Grid.occupied_nodes g ~net:id in
+  match cells with
+  | [] -> ()
+  | _ ->
+      let uf = Util.Union_find.create (Grid.node_count g) in
+      List.iter
+        (fun n ->
+          let x = Grid.node_x g n and y = Grid.node_y g n in
+          let layer = Grid.node_layer g n in
+          if Grid.in_bounds g ~x:(x + 1) ~y
+             && Grid.occ_at g ~layer ~x:(x + 1) ~y = id
+          then Util.Union_find.union uf n (n + 1);
+          if Grid.in_bounds g ~x ~y:(y + 1)
+             && Grid.occ_at g ~layer ~x ~y:(y + 1) = id
+          then Util.Union_find.union uf n (n + Grid.width g);
+          if Grid.has_via g ~x ~y
+             && Grid.occ g (Grid.other_layer_node g n) = id
+          then Util.Union_find.union uf n (Grid.other_layer_node g n))
+        cells;
+      let net = Netlist.Problem.net st.problem id in
+      let anchor =
+        match net.Netlist.Net.pins with
+        | pin :: _ -> Util.Union_find.find uf (Maze.Route.pin_node g pin)
+        | [] -> (match cells with n :: _ -> Util.Union_find.find uf n | [] -> 0)
+      in
+      let orphaned n =
+        Util.Union_find.find uf n <> anchor && not (is_protected st n)
+      in
+      let orphans = List.filter orphaned cells in
+      if orphans <> [] then begin
+        List.iter (Grid.release g) orphans;
+        let i = id - 1 in
+        st.route_nodes.(i) <-
+          List.filter (fun n -> not (List.mem n orphans)) st.route_nodes.(i)
+      end
+
+(* Route one net completely (Prim-style tree growth with escalation per
+   connection).  On failure the net's partial additions are rolled back. *)
+let route_net st id =
+  let net = Netlist.Problem.net st.problem id in
+  match net.Netlist.Net.pins with
+  | [] | [ _ ] -> true
+  | first :: rest ->
+      let session = ref [] in
+      let tree = ref [ Maze.Route.pin_node st.g first ] in
+      let remaining =
+        ref (List.map (fun p -> Maze.Route.pin_node st.g p) rest)
+      in
+      let ok = ref true in
+      while !ok && !remaining <> [] do
+        match connect st ~net:id ~sources:!tree ~targets:!remaining with
+        | None ->
+            ok := false;
+            Maze.Route.release_nodes st.g !session;
+            session := []
+        | Some (r, victims) ->
+            List.iter (rip_net st) victims;
+            let added = Maze.Route.occupy_path st.g ~net:id r.Maze.Search.path in
+            session := added @ !session;
+            tree := r.Maze.Search.path @ !tree;
+            let reached =
+              match List.rev r.Maze.Search.path with
+              | last :: _ -> last
+              | [] -> assert false
+            in
+            remaining := List.filter (fun n -> n <> reached) !remaining
+      done;
+      if !ok then begin
+        let i = id - 1 in
+        st.route_nodes.(i) <- !session @ st.route_nodes.(i);
+        st.routed.(i) <- true;
+        prune_orphans st id
+      end;
+      !ok
+
+let drain st =
+  let failed = ref [] in
+  while not (Queue.is_empty st.queue) do
+    let id = Queue.pop st.queue in
+    st.in_queue.(id - 1) <- false;
+    if not st.routed.(id - 1) then
+      if route_net st id then
+        failed := List.filter (fun f -> f <> id) !failed
+      else if not (List.mem id !failed) then failed := id :: !failed
+  done;
+  !failed
+
+(* After the queue drains, blocked nets get fresh chances: other nets may
+   have been ripped or shoved since they failed.  Each sweep must make
+   progress (route at least one failed net) to continue. *)
+let rec retry_failed st failed =
+  match failed with
+  | [] -> []
+  | _ ->
+      List.iter (enqueue st) failed;
+      let still_failed = drain st in
+      if List.length still_failed < List.length failed then
+        retry_failed st still_failed
+      else still_failed
+
+let route_once config problem order_ids =
+  let st = make_state config problem in
+  List.iter (enqueue st) order_ids;
+  let failed = drain st in
+  let failed = retry_failed st failed in
+  let failed = List.sort Int.compare failed in
+  let routed_nets =
+    Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 st.routed
+  in
+  let stats =
+    {
+      routed_nets;
+      failed_nets = failed;
+      total_wirelength = Outcome.total_wirelength st.g problem;
+      total_vias = Outcome.total_vias st.g;
+      rips = st.rips;
+      shoves = st.shoves;
+      searches = st.searches;
+      expanded = st.expanded;
+      attempts = 1;
+    }
+  in
+  { grid = st.g; completed = failed = []; stats }
+
+let better a b =
+  (* true when [a] beats [b]. *)
+  match (a.completed, b.completed) with
+  | true, false -> true
+  | false, true -> false
+  | true, true | false, false ->
+      let fa = List.length a.stats.failed_nets
+      and fb = List.length b.stats.failed_nets in
+      if fa <> fb then fa < fb
+      else if a.stats.total_vias <> b.stats.total_vias then
+        a.stats.total_vias < b.stats.total_vias
+      else a.stats.total_wirelength < b.stats.total_wirelength
+
+(* Restarts combine two classic tricks: the nets that failed last attempt
+   are routed first next time (they were the hardest to fit), and the rest
+   of the queue is reshuffled with a fresh seed. *)
+let restart_order ~seed ~attempt ~last_failed base_order =
+  let shuffled = Order.rotate_for_restart ~seed ~attempt base_order in
+  let failed_first =
+    List.filter (fun id -> List.mem id last_failed) shuffled
+  in
+  let others = List.filter (fun id -> not (List.mem id last_failed)) shuffled in
+  failed_first @ others
+
+let route ?(config = Config.default) problem =
+  let ids = Netlist.Problem.nontrivial_net_ids problem in
+  let base_order =
+    Order.arrange config.Config.order ~seed:config.Config.seed problem ids
+  in
+  let max_attempts = max 1 config.Config.restarts in
+  let with_attempts r n = { r with stats = { r.stats with attempts = n } } in
+  let rec attempts i best =
+    if i >= max_attempts then with_attempts best max_attempts
+    else begin
+      let order =
+        restart_order ~seed:config.Config.seed ~attempt:i
+          ~last_failed:best.stats.failed_nets base_order
+      in
+      let result = route_once config problem order in
+      let best = if better result best then result else best in
+      if best.completed then with_attempts best (i + 1)
+      else attempts (i + 1) best
+    end
+  in
+  let first = route_once config problem base_order in
+  if first.completed || max_attempts = 1 then with_attempts first 1
+  else attempts 1 first
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "routed=%d failed=[%s] wl=%d vias=%d rips=%d shoves=%d searches=%d expanded=%d"
+    s.routed_nets
+    (String.concat "," (List.map string_of_int s.failed_nets))
+    s.total_wirelength s.total_vias s.rips s.shoves s.searches s.expanded

@@ -1,0 +1,45 @@
+(** The incremental rip-up-and-reroute routing engine.
+
+    Nets are routed sequentially in a configurable order.  Each pin-to-tree
+    connection is attempted in three escalating modes:
+
+    + {b search} — weighted maze search through free and self-owned cells;
+    + {b weak modification} — if blocked, plan a least-blocked path, shove
+      the blocking foreign segments sideways ({!Shove}), and retry, up to
+      [max_weak_passes] rounds;
+    + {b strong modification} — if still blocked, search with foreign cells
+      passable at penalty [ripup_penalty × (1 + rip count)], rip up every
+      foreign net the chosen path crosses (their routes are cleared and the
+      nets re-queued), then claim the path.
+
+    Pins and fixed pre-wiring are never shoved nor ripped.  A global rip
+    budget ([rip_budget_factor × nets]) bounds the total number of strong
+    modifications, so the algorithm terminates in finite time: once the
+    budget is exhausted, nets route with search + weak modification only,
+    each of which strictly consumes bounded work.  Nets that remain blocked
+    are reported as failed rather than looping. *)
+
+type stats = {
+  routed_nets : int;
+  failed_nets : int list;  (** net ids left unrouted, ascending *)
+  total_wirelength : int;
+  total_vias : int;
+  rips : int;  (** strong modifications performed *)
+  shoves : int;  (** weak modifications performed *)
+  searches : int;  (** maze searches run *)
+  expanded : int;  (** total nodes settled over all searches *)
+  attempts : int;  (** restart attempts consumed (≥ 1) *)
+}
+
+type t = {
+  grid : Grid.t;  (** final grid (of the best attempt) *)
+  completed : bool;  (** every non-trivial net routed *)
+  stats : stats;
+}
+
+val route : ?config:Config.t -> Netlist.Problem.t -> t
+(** Route the whole problem on a freshly instantiated grid.  With
+    [config.restarts > 1], several net orders are attempted and the best
+    result (completion first, then fewest vias, then wirelength) is kept. *)
+
+val pp_stats : Format.formatter -> stats -> unit

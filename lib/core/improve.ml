@@ -1,0 +1,99 @@
+type stats = {
+  passes : int;
+  improved_nets : int;
+  wirelength_before : int;
+  wirelength_after : int;
+  vias_before : int;
+  vias_after : int;
+}
+
+let net_cost ~cost g ~net =
+  let m = Outcome.measure_net g ~net in
+  m.Outcome.wirelength + (cost.Maze.Cost.via * m.Outcome.vias)
+
+let net_vias g ~net =
+  (* Via positions currently owned by the net (for exact restore). *)
+  let acc = ref [] in
+  Grid.iter_planar g (fun ~x ~y ->
+      if Grid.has_via g ~x ~y && Grid.occ_at g ~layer:0 ~x ~y = net then
+        acc := (x, y) :: !acc);
+  !acc
+
+let refine ?(max_passes = 3) ?(cost = Maze.Cost.default) problem g =
+  let ws = Maze.Workspace.create g in
+  let has_fixed_prewire net =
+    List.exists
+      (fun (pw : Netlist.Problem.prewire) ->
+        pw.Netlist.Problem.pre_fixed && pw.Netlist.Problem.pre_net = net)
+      problem.Netlist.Problem.prewires
+  in
+  let pin_nodes net =
+    List.filter_map
+      (fun (id, pin) ->
+        if id = net then Some (Maze.Route.pin_node g pin) else None)
+      (Netlist.Problem.pin_cells problem)
+  in
+  let candidates =
+    List.filter
+      (fun net -> not (has_fixed_prewire net))
+      (Netlist.Problem.nontrivial_net_ids problem)
+  in
+  let wirelength_before = Outcome.total_wirelength g problem in
+  let vias_before = Outcome.total_vias g in
+  let improved_nets = ref 0 in
+  let passes = ref 0 in
+  let improve_net net =
+    (* Only refine nets that are currently complete. *)
+    if Drc.Check.connected_components g ~net = 1 then begin
+      let old_cost = net_cost ~cost g ~net in
+      let saved_nodes = Grid.occupied_nodes g ~net in
+      let saved_vias = net_vias g ~net in
+      let pins = pin_nodes net in
+      let restore () =
+        (* Release whatever the reroute left, then replay the old route. *)
+        List.iter
+          (fun n -> if not (List.mem n pins) then Grid.release g n)
+          (Grid.occupied_nodes g ~net);
+        List.iter (fun n -> Grid.occupy g ~net n) saved_nodes;
+        List.iter (fun (x, y) -> Grid.set_via g ~x ~y) saved_vias
+      in
+      List.iter
+        (fun n -> if not (List.mem n pins) then Grid.release g n)
+        saved_nodes;
+      match
+        Maze.Route.route_net g ws ~cost (Netlist.Problem.net problem net)
+      with
+      | Error _ ->
+          restore ();
+          false
+      | Ok _ ->
+          let new_cost = net_cost ~cost g ~net in
+          if new_cost < old_cost then true
+          else begin
+            restore ();
+            false
+          end
+    end
+    else false
+  in
+  let continue = ref true in
+  while !continue && !passes < max_passes do
+    incr passes;
+    let improved_this_pass = ref false in
+    List.iter
+      (fun net ->
+        if improve_net net then begin
+          incr improved_nets;
+          improved_this_pass := true
+        end)
+      candidates;
+    continue := !improved_this_pass
+  done;
+  {
+    passes = !passes;
+    improved_nets = !improved_nets;
+    wirelength_before;
+    wirelength_after = Outcome.total_wirelength g problem;
+    vias_before;
+    vias_after = Outcome.total_vias g;
+  }

@@ -1,0 +1,34 @@
+(** Post-route refinement: one-net-at-a-time rip-up-and-improve.
+
+    After a complete routing, early nets often took detours around wiring
+    that has since moved or never materialised.  The classical cleanup pass
+    revisits each net: rip it up, re-route it against the final state of
+    everything else, and keep the new route only if it improves the
+    weighted cost (wirelength + via cost × vias); otherwise the original
+    route is restored exactly.  The pass is strictly monotone — total cost
+    never increases and completeness is preserved — and it iterates until a
+    pass makes no further improvement (or [max_passes] is reached).
+
+    This is the quality knob the ablation experiment E8 measures. *)
+
+type stats = {
+  passes : int;  (** passes actually executed *)
+  improved_nets : int;  (** net-visits that kept a better route *)
+  wirelength_before : int;
+  wirelength_after : int;
+  vias_before : int;
+  vias_after : int;
+}
+
+val refine :
+  ?max_passes:int ->
+  ?cost:Maze.Cost.t ->
+  Netlist.Problem.t ->
+  Grid.t ->
+  stats
+(** Refine the routed grid in place.  Only nets that are currently fully
+    connected are touched; fixed pre-wiring is never moved ([max_passes]
+    defaults to 3, [cost] to {!Maze.Cost.default}). *)
+
+val net_cost : cost:Maze.Cost.t -> Grid.t -> net:int -> int
+(** The objective: same-layer wire edges + [cost.via] × vias of the net. *)

@@ -1,0 +1,40 @@
+let stable_by key ids =
+  List.stable_sort (fun a b -> Int.compare (key a) (key b)) ids
+
+let congestion_key problem =
+  (* Average demand under each net's bounding box, scaled to an int key:
+     nets through contested area route first, while there is still room. *)
+  let demand = Netlist.Analysis.demand_map problem in
+  let w = problem.Netlist.Problem.width in
+  fun id ->
+    let n = Netlist.Problem.net problem id in
+    match Netlist.Net.bounding_box n with
+    | None -> 0
+    | Some box ->
+        let total = ref 0.0 and cells = ref 0 in
+        Geom.Rect.iter box (fun x y ->
+            let d = demand.((y * w) + x) in
+            if d <> infinity then begin
+              total := !total +. d;
+              incr cells
+            end);
+        if !cells = 0 then 0
+        else int_of_float (1000.0 *. !total /. float_of_int !cells)
+
+let arrange strategy ~seed problem ids =
+  let hpwl id = Netlist.Net.half_perimeter (Netlist.Problem.net problem id) in
+  let pins id = Netlist.Net.pin_count (Netlist.Problem.net problem id) in
+  match strategy with
+  | Config.As_given -> ids
+  | Config.Hpwl_ascending -> stable_by hpwl ids
+  | Config.Hpwl_descending -> stable_by (fun id -> -hpwl id) ids
+  | Config.Pins_descending ->
+      stable_by (fun id -> (-pins id * 10000) - hpwl id) ids
+  | Config.Congestion_descending ->
+      let key = congestion_key problem in
+      stable_by (fun id -> -key id) ids
+  | Config.Random -> Util.Prng.shuffle_list (Util.Prng.create seed) ids
+
+let rotate_for_restart ~seed ~attempt ids =
+  if attempt = 0 then ids
+  else Util.Prng.shuffle_list (Util.Prng.create (seed + (attempt * 7919))) ids

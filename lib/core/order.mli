@@ -1,0 +1,14 @@
+(** Net ordering for the sequential routing queue.
+
+    Routing order strongly affects sequential routers; the default routes
+    long nets first (they have the fewest detour options), which is also the
+    heuristic the ablation experiment E6 evaluates. *)
+
+val arrange :
+  Config.order -> seed:int -> Netlist.Problem.t -> int list -> int list
+(** Reorder the given net ids (a subset of the problem's nets) according to
+    the strategy.  Deterministic for a fixed seed. *)
+
+val rotate_for_restart : seed:int -> attempt:int -> int list -> int list
+(** Derive the ordering used by restart number [attempt] (attempt 0 returns
+    the list unchanged; later attempts are seeded shuffles). *)

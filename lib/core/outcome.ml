@@ -1,0 +1,34 @@
+type net_stats = { net_id : int; cells : int; wirelength : int; vias : int }
+
+let measure_net g ~net =
+  let w = Grid.width g and h = Grid.height g in
+  let cells = ref 0 and wirelength = ref 0 and vias = ref 0 in
+  for layer = 0 to Grid.layers - 1 do
+    for y = 0 to h - 1 do
+      for x = 0 to w - 1 do
+        if Grid.occ_at g ~layer ~x ~y = net then begin
+          incr cells;
+          if x + 1 < w && Grid.occ_at g ~layer ~x:(x + 1) ~y = net then
+            incr wirelength;
+          if y + 1 < h && Grid.occ_at g ~layer ~x ~y:(y + 1) = net then
+            incr wirelength
+        end
+      done
+    done
+  done;
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      if Grid.has_via g ~x ~y && Grid.occ_at g ~layer:0 ~x ~y = net then
+        incr vias
+    done
+  done;
+  { net_id = net; cells = !cells; wirelength = !wirelength; vias = !vias }
+
+let measure problem g =
+  List.init (Netlist.Problem.net_count problem) (fun i ->
+      measure_net g ~net:(i + 1))
+
+let total_wirelength g problem =
+  List.fold_left (fun acc s -> acc + s.wirelength) 0 (measure problem g)
+
+let total_vias = Grid.via_count

@@ -1,0 +1,22 @@
+(** Measuring routing results on the grid.
+
+    All quality numbers reported by tests, benches and the CLI are computed
+    here from final grid occupancy (never from incremental counters, which
+    rips and shoves would skew). *)
+
+type net_stats = {
+  net_id : int;
+  cells : int;  (** grid cells owned by the net *)
+  wirelength : int;  (** same-layer adjacency edges between owned cells *)
+  vias : int;  (** vias whose cells the net owns *)
+}
+
+val measure_net : Grid.t -> net:int -> net_stats
+
+val measure : Netlist.Problem.t -> Grid.t -> net_stats list
+(** Stats for every net of the problem, ascending id. *)
+
+val total_wirelength : Grid.t -> Netlist.Problem.t -> int
+
+val total_vias : Grid.t -> int
+(** All vias on the grid. *)

@@ -1,0 +1,53 @@
+let per_net_table problem (result : Engine.t) =
+  let failed = result.Engine.stats.Engine.failed_nets in
+  let table =
+    Util.Table.create
+      ~headers:[ "net"; "pins"; "cells"; "wirelength"; "vias"; "status" ]
+  in
+  List.iter
+    (fun (m : Outcome.net_stats) ->
+      let net = Netlist.Problem.net problem m.Outcome.net_id in
+      let status =
+        if List.mem m.Outcome.net_id failed then "FAILED"
+        else if Netlist.Net.is_trivial net then "trivial"
+        else "routed"
+      in
+      Util.Table.add_row table
+        [
+          net.Netlist.Net.name;
+          Util.Table.cell_int (Netlist.Net.pin_count net);
+          Util.Table.cell_int m.Outcome.cells;
+          Util.Table.cell_int m.Outcome.wirelength;
+          Util.Table.cell_int m.Outcome.vias;
+          status;
+        ])
+    (Outcome.measure problem result.Engine.grid);
+  table
+
+let summary problem (result : Engine.t) =
+  let s = result.Engine.stats in
+  let lower = Netlist.Analysis.wirelength_lower_bound problem in
+  let overhead =
+    if lower = 0 then "-"
+    else
+      Printf.sprintf "%.1f%%"
+        (100.0
+        *. (float_of_int s.Engine.total_wirelength /. float_of_int lower -. 1.0))
+  in
+  String.concat "\n"
+    [
+      Printf.sprintf "completed:            %b" result.Engine.completed;
+      Printf.sprintf "nets routed:          %d / %d" s.Engine.routed_nets
+        (Netlist.Problem.net_count problem);
+      Printf.sprintf "total wirelength:     %d (lower bound %d, +%s)"
+        s.Engine.total_wirelength lower overhead;
+      Printf.sprintf "total vias:           %d" s.Engine.total_vias;
+      Printf.sprintf "rip-ups / shoves:     %d / %d" s.Engine.rips
+        s.Engine.shoves;
+      Printf.sprintf "searches / expanded:  %d / %d" s.Engine.searches
+        s.Engine.expanded;
+      Printf.sprintf "restart attempts:     %d" s.Engine.attempts;
+    ]
+
+let render problem result =
+  Util.Table.render (per_net_table problem result) ^ "\n" ^ summary problem result

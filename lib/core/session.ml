@@ -1,0 +1,193 @@
+type t = {
+  config : Config.t;
+  mutable problem : Netlist.Problem.t;
+  mutable grid : Grid.t;
+  frozen : (string, unit) Hashtbl.t; (* keyed by name: survives renumbering *)
+}
+
+let problem st = st.problem
+
+let grid st = st.grid
+
+let net_id st name =
+  Option.map
+    (fun (n : Netlist.Net.t) -> n.Netlist.Net.id)
+    (Netlist.Problem.find_net st.problem name)
+
+let is_frozen_name st name = Hashtbl.mem st.frozen name
+
+let is_frozen st ~net =
+  is_frozen_name st (Netlist.Problem.net st.problem net).Netlist.Net.name
+
+let is_routed st ~net =
+  let n = Netlist.Problem.net st.problem net in
+  Netlist.Net.pin_count n = 0
+  || Drc.Check.connected_components st.grid ~net <= 1
+
+(* Wiring a net owns beyond its pins, as prewire cell triples. *)
+let route_cells problem g ~net =
+  let pins =
+    List.filter_map
+      (fun (id, (p : Netlist.Net.pin)) ->
+        if id = net then
+          Some (p.Netlist.Net.layer, p.Netlist.Net.x, p.Netlist.Net.y)
+        else None)
+      (Netlist.Problem.pin_cells problem)
+  in
+  List.filter_map
+    (fun node ->
+      let cell =
+        (Grid.node_layer g node, Grid.node_x g node, Grid.node_y g node)
+      in
+      if List.mem cell pins then None else Some cell)
+    (Grid.occupied_nodes g ~net)
+
+(* Rebuild problem + grid around a new net list, carrying over the wiring of
+   every surviving net (matched by name) as pre-wiring. *)
+let rebuild st ?(keep_wiring = fun _ -> true) new_nets =
+  let old = st.problem in
+  let prewires =
+    List.filter_map
+      (fun (n : Netlist.Net.t) ->
+        let name = n.Netlist.Net.name in
+        match Netlist.Problem.find_net old name with
+        | None -> None
+        | Some old_net ->
+            if not (keep_wiring name) then None
+            else
+              let cells =
+                route_cells old st.grid ~net:old_net.Netlist.Net.id
+              in
+              if cells = [] then None
+              else
+                Some
+                  {
+                    Netlist.Problem.pre_net = n.Netlist.Net.id;
+                    pre_cells = cells;
+                    pre_fixed = is_frozen_name st name;
+                  })
+      new_nets
+  in
+  let problem =
+    Netlist.Problem.make ~kind:old.Netlist.Problem.kind
+      ~obstructions:old.Netlist.Problem.obstructions ~prewires
+      ~name:old.Netlist.Problem.name ~width:old.Netlist.Problem.width
+      ~height:old.Netlist.Problem.height new_nets
+  in
+  st.problem <- problem;
+  st.grid <- Netlist.Problem.instantiate problem
+
+let current_nets st = Array.to_list st.problem.Netlist.Problem.nets
+
+let sync ?keep_wiring st = rebuild st ?keep_wiring (current_nets st)
+
+let create ?(config = Config.default) problem =
+  let st =
+    {
+      config;
+      problem;
+      grid = Netlist.Problem.instantiate problem;
+      frozen = Hashtbl.create 8;
+    }
+  in
+  (* Nets arriving with fixed pre-wiring stay untouchable for the whole
+     session. *)
+  List.iter
+    (fun (pw : Netlist.Problem.prewire) ->
+      if pw.Netlist.Problem.pre_fixed then
+        Hashtbl.replace st.frozen
+          (Netlist.Problem.net problem pw.Netlist.Problem.pre_net)
+            .Netlist.Net.name ())
+    problem.Netlist.Problem.prewires;
+  st
+
+let route st =
+  sync st;
+  let result = Engine.route ~config:st.config st.problem in
+  st.grid <- result.Engine.grid;
+  result.Engine.stats
+
+let add_net st ~name pins =
+  if Netlist.Problem.find_net st.problem name <> None then
+    Error (Printf.sprintf "net %S already exists" name)
+  else begin
+    let free (p : Netlist.Net.pin) =
+      Grid.in_bounds st.grid ~x:p.Netlist.Net.x ~y:p.Netlist.Net.y
+      && Grid.is_free st.grid
+           (Grid.node st.grid ~layer:p.Netlist.Net.layer ~x:p.Netlist.Net.x
+              ~y:p.Netlist.Net.y)
+    in
+    match List.find_opt (fun p -> not (free p)) pins with
+    | Some p ->
+        Error
+          (Format.asprintf "pin %a is not on a free cell" Netlist.Net.pp_pin p)
+    | None ->
+        let id = Netlist.Problem.net_count st.problem + 1 in
+        (match Netlist.Net.make ~id ~name pins with
+        | exception Invalid_argument msg -> Error msg
+        | net ->
+            (match rebuild st (current_nets st @ [ net ]) with
+            | exception Invalid_argument msg -> Error msg
+            | () -> Ok id))
+  end
+
+let renumber nets =
+  List.mapi
+    (fun i (n : Netlist.Net.t) ->
+      Netlist.Net.make ~id:(i + 1) ~name:n.Netlist.Net.name n.Netlist.Net.pins)
+    nets
+
+let remove_net st ~net =
+  if net < 1 || net > Netlist.Problem.net_count st.problem then
+    Error (Printf.sprintf "unknown net %d" net)
+  else if is_frozen st ~net then Error "net is frozen; thaw it first"
+  else begin
+    let keep =
+      List.filter
+        (fun (n : Netlist.Net.t) -> n.Netlist.Net.id <> net)
+        (current_nets st)
+    in
+    rebuild st (renumber keep);
+    Ok ()
+  end
+
+let rip st ~net =
+  if net < 1 || net > Netlist.Problem.net_count st.problem then
+    Error (Printf.sprintf "unknown net %d" net)
+  else if is_frozen st ~net then Error "net is frozen; thaw it first"
+  else begin
+    let name = (Netlist.Problem.net st.problem net).Netlist.Net.name in
+    sync ~keep_wiring:(fun n -> n <> name) st;
+    Ok ()
+  end
+
+let freeze st ~net =
+  if net < 1 || net > Netlist.Problem.net_count st.problem then
+    Error (Printf.sprintf "unknown net %d" net)
+  else if not (is_routed st ~net) then Error "net is not routed"
+  else begin
+    Hashtbl.replace st.frozen
+      (Netlist.Problem.net st.problem net).Netlist.Net.name ();
+    Ok ()
+  end
+
+let thaw st ~net =
+  if net < 1 || net > Netlist.Problem.net_count st.problem then
+    Error (Printf.sprintf "unknown net %d" net)
+  else begin
+    Hashtbl.remove st.frozen
+      (Netlist.Problem.net st.problem net).Netlist.Net.name;
+    Ok ()
+  end
+
+let verify st =
+  let routed =
+    List.filter
+      (fun net -> is_routed st ~net)
+      (List.init (Netlist.Problem.net_count st.problem) (fun i -> i + 1))
+  in
+  Drc.Check.check ~nets:routed st.problem st.grid
+
+let refine ?max_passes st =
+  sync st;
+  Improve.refine ?max_passes ~cost:st.config.Config.cost st.problem st.grid

@@ -1,0 +1,65 @@
+(** Incremental routing sessions: interactive add / remove / freeze /
+    reroute.
+
+    A session wraps an evolving problem and its current layout.  Every
+    mutation (adding a net, removing one, freezing or thawing wiring)
+    rebuilds the problem description with the surviving wiring carried over
+    as pre-wiring — frozen nets as fixed pre-wires the router may never
+    touch, the rest as loose pre-wires it may rip — and re-instantiates the
+    grid.  [route] then runs the full engine over whatever is currently
+    unrouted, leaving untouched wiring in place.
+
+    This is the ECO workflow as a first-class API: route a block, freeze
+    the critical nets, keep editing the rest. *)
+
+type t
+
+val create : ?config:Config.t -> Netlist.Problem.t -> t
+(** A session over a fresh instantiation of the problem (nothing routed
+    yet beyond the problem's own pre-wiring). *)
+
+val problem : t -> Netlist.Problem.t
+(** The current problem description (changes as nets are added/removed). *)
+
+val grid : t -> Grid.t
+(** The live layout.  Owned by the session: treat as read-only. *)
+
+val net_id : t -> string -> int option
+(** Look up a net id by name in the current problem. *)
+
+val is_routed : t -> net:int -> bool
+(** Whether the net's cells currently form one connected component. *)
+
+val is_frozen : t -> net:int -> bool
+
+val route : t -> Engine.stats
+(** Route everything currently unrouted with the session's engine
+    configuration.  Already-routed nets are carried as pre-wiring (rippable
+    unless frozen).  Updates the session grid. *)
+
+val add_net : t -> name:string -> Netlist.Net.pin list -> (int, string) Stdlib.result
+(** Add a net (unrouted).  Its pins must be in bounds, off obstructions and
+    on currently free cells.  Returns the new net's id.  Existing wiring is
+    preserved. *)
+
+val remove_net : t -> net:int -> (unit, string) Stdlib.result
+(** Delete a net entirely: its wiring and pins disappear and the remaining
+    nets are renumbered to stay consecutive (use {!net_id} to re-resolve
+    names afterwards).  Frozen nets must be thawed first. *)
+
+val rip : t -> net:int -> (unit, string) Stdlib.result
+(** Unroute a net, keeping its pins.  Frozen nets cannot be ripped. *)
+
+val freeze : t -> net:int -> (unit, string) Stdlib.result
+(** Mark a routed net's wiring as fixed: no future [route], rip-up or
+    shove may move it.  Fails if the net is not currently routed. *)
+
+val thaw : t -> net:int -> (unit, string) Stdlib.result
+
+val verify : t -> Drc.Check.violation list
+(** Full DRC over the routed nets of the current layout (unrouted nets are
+    excluded from the connectivity check). *)
+
+val refine : ?max_passes:int -> t -> Improve.stats
+(** Run the post-route refinement pass on the current layout (frozen nets
+    untouched). *)

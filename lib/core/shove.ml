@@ -1,0 +1,63 @@
+type move = { moved_net : int; released : int list; added : int list }
+
+let try_shove g ~protected ~node =
+  let owner = Grid.occ g node in
+  if owner <= 0 || protected node then None
+  else begin
+    let layer = Grid.node_layer g node in
+    let x = Grid.node_x g node and y = Grid.node_y g node in
+    (* A cell carrying a via joins the layers; moving one layer would break
+       the stack. *)
+    if Grid.has_via g ~x ~y then None
+    else begin
+      let owns dx dy =
+        Grid.in_bounds g ~x:(x + dx) ~y:(y + dy)
+        && Grid.occ_at g ~layer ~x:(x + dx) ~y:(y + dy) = owner
+      in
+      (* The cell must be a straight through-cell: same-net neighbours on
+         exactly the two opposite sides of one axis. *)
+      let east = owns 1 0
+      and west = owns (-1) 0
+      and north = owns 0 1
+      and south = owns 0 (-1) in
+      let axis =
+        match (east && west, north && south) with
+        | true, false when not (north || south) -> Some `H
+        | false, true when not (east || west) -> Some `V
+        | true, true | false, false | true, false | false, true -> None
+      in
+      match axis with
+      | None -> None
+      | Some axis ->
+          let a1, a2, perps =
+            match axis with
+            | `H -> ((x - 1, y), (x + 1, y), [ (0, 1); (0, -1) ])
+            | `V -> ((x, y - 1), (x, y + 1), [ (1, 0); (-1, 0) ])
+          in
+          (* The anchors a1/a2 stay; they may not be shoved away later in a
+             way that breaks the splice, which grid exclusivity ensures. *)
+          let free_at (cx, cy) =
+            Grid.in_bounds g ~x:cx ~y:cy
+            && Grid.occ_at g ~layer ~x:cx ~y:cy = Grid.free
+          in
+          let attempt (px, py) =
+            let d1 = (fst a1 + px, snd a1 + py)
+            and t = (x + px, y + py)
+            and d2 = (fst a2 + px, snd a2 + py) in
+            if free_at d1 && free_at t && free_at d2 then begin
+              let node_of (cx, cy) = Grid.node g ~layer ~x:cx ~y:cy in
+              Grid.release g node;
+              let added = [ node_of d1; node_of t; node_of d2 ] in
+              List.iter (Grid.occupy g ~net:owner) added;
+              Some { moved_net = owner; released = [ node ]; added }
+            end
+            else None
+          in
+          let rec first_success = function
+            | [] -> None
+            | p :: rest -> (
+                match attempt p with Some m -> Some m | None -> first_success rest)
+          in
+          first_success perps
+    end
+  end

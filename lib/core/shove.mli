@@ -1,0 +1,32 @@
+(** Weak modification: shoving a foreign wire segment sideways.
+
+    When a search is blocked by an already-routed net, the router first
+    tries to *push* the blocking wiring out of the way rather than destroy
+    it.  The unit move displaces one cell [b] of a straight through-segment
+    (… a1 – b – a2 …) to the adjacent parallel track, splicing two jogs:
+
+    {v
+        before              after
+      a1 · b · a2        a1 · . · a2
+                          |       |
+                         d1 — t — d2
+    v}
+
+    The move requires the three cells [d1, t, d2] to be free; it preserves
+    the shoved net's connectivity by construction and lengthens it by two
+    cells.  Junction cells, corner cells, via cells, pins and fixed wiring
+    are never shoved. *)
+
+type move = {
+  moved_net : int;
+  released : int list;  (** nodes vacated (the cell [b]) *)
+  added : int list;  (** nodes newly claimed ([d1; t; d2]) *)
+}
+
+val try_shove :
+  Grid.t -> protected:(int -> bool) -> node:int -> move option
+(** Attempt to displace the (foreign) segment covering [node], trying both
+    perpendicular directions.  On success the grid has been updated and the
+    vacated [node] is free.  Returns [None] when the node is free, an
+    obstacle, protected, not a straight through-cell, carries a via, or no
+    adjacent track has room. *)

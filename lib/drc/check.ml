@@ -1,0 +1,103 @@
+type violation =
+  | Net_disconnected of { net : int; components : int }
+  | Pin_not_owned of { net : int; pin : Netlist.Net.pin }
+  | Via_mismatch of { x : int; y : int }
+  | Wire_on_obstruction of { net : int; layer : int; x : int; y : int }
+
+let connected_components g ~net =
+  let uf = Util.Union_find.create (Grid.node_count g) in
+  let w = Grid.width g and h = Grid.height g in
+  for layer = 0 to Grid.layers - 1 do
+    for y = 0 to h - 1 do
+      for x = 0 to w - 1 do
+        if Grid.occ_at g ~layer ~x ~y = net then begin
+          let n = Grid.node g ~layer ~x ~y in
+          if x + 1 < w && Grid.occ_at g ~layer ~x:(x + 1) ~y = net then
+            Util.Union_find.union uf n (Grid.node g ~layer ~x:(x + 1) ~y);
+          if y + 1 < h && Grid.occ_at g ~layer ~x ~y:(y + 1) = net then
+            Util.Union_find.union uf n (Grid.node g ~layer ~x ~y:(y + 1))
+        end
+      done
+    done
+  done;
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      if Grid.has_via g ~x ~y
+         && Grid.occ_at g ~layer:0 ~x ~y = net
+         && Grid.occ_at g ~layer:1 ~x ~y = net
+      then
+        Util.Union_find.union uf
+          (Grid.node g ~layer:0 ~x ~y)
+          (Grid.node g ~layer:1 ~x ~y)
+    done
+  done;
+  Util.Union_find.count_components uf (fun n -> Grid.occ g n = net)
+
+let check ?nets problem g =
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  (* Pin ownership. *)
+  List.iter
+    (fun (net, (pin : Netlist.Net.pin)) ->
+      if
+        Grid.occ_at g ~layer:pin.Netlist.Net.layer ~x:pin.Netlist.Net.x
+          ~y:pin.Netlist.Net.y
+        <> net
+      then add (Pin_not_owned { net; pin }))
+    (Netlist.Problem.pin_cells problem);
+  (* Obstruction integrity. *)
+  List.iter
+    (fun (o : Netlist.Problem.obstruction) ->
+      Geom.Rect.iter o.Netlist.Problem.obs_rect (fun x y ->
+          if Grid.in_bounds g ~x ~y then
+            let layers =
+              match o.Netlist.Problem.obs_layer with
+              | None -> [ 0; 1 ]
+              | Some l -> [ l ]
+            in
+            List.iter
+              (fun layer ->
+                let v = Grid.occ_at g ~layer ~x ~y in
+                if v > 0 then add (Wire_on_obstruction { net = v; layer; x; y }))
+              layers))
+    problem.Netlist.Problem.obstructions;
+  (* Via legality. *)
+  Grid.iter_planar g (fun ~x ~y ->
+      if Grid.has_via g ~x ~y then begin
+        let a = Grid.occ_at g ~layer:0 ~x ~y
+        and b = Grid.occ_at g ~layer:1 ~x ~y in
+        if a <= 0 || a <> b then add (Via_mismatch { x; y })
+      end);
+  (* Connectivity. *)
+  let net_ids =
+    match nets with
+    | Some ids -> ids
+    | None -> List.init (Netlist.Problem.net_count problem) (fun i -> i + 1)
+  in
+  List.iter
+    (fun net ->
+      let n = Netlist.Problem.net problem net in
+      if Netlist.Net.pin_count n > 0 then begin
+        let components = connected_components g ~net in
+        if components <> 1 then add (Net_disconnected { net; components })
+      end)
+    net_ids;
+  List.rev !violations
+
+let is_clean ?nets problem g = check ?nets problem g = []
+
+let pp_violation fmt = function
+  | Net_disconnected { net; components } ->
+      Format.fprintf fmt "net %d split into %d components" net components
+  | Pin_not_owned { net; pin } ->
+      Format.fprintf fmt "pin %a of net %d not owned by the net"
+        Netlist.Net.pp_pin pin net
+  | Via_mismatch { x; y } ->
+      Format.fprintf fmt "illegal via at (%d,%d)" x y
+  | Wire_on_obstruction { net; layer; x; y } ->
+      Format.fprintf fmt "net %d wired over obstruction at (%d,%d)L%d" net x y
+        layer
+
+let explain violations =
+  String.concat "\n"
+    (List.map (Format.asprintf "%a" pp_violation) violations)

@@ -1,0 +1,39 @@
+type t = North | South | East | West
+
+let all = [ North; South; East; West ]
+
+let delta = function
+  | North -> (0, 1)
+  | South -> (0, -1)
+  | East -> (1, 0)
+  | West -> (-1, 0)
+
+let opposite = function
+  | North -> South
+  | South -> North
+  | East -> West
+  | West -> East
+
+let is_horizontal = function East | West -> true | North | South -> false
+
+let is_vertical d = not (is_horizontal d)
+
+let perpendicular = function
+  | North | South -> (East, West)
+  | East | West -> (North, South)
+
+let of_step dx dy =
+  match (dx, dy) with
+  | 0, 1 -> Some North
+  | 0, -1 -> Some South
+  | 1, 0 -> Some East
+  | -1, 0 -> Some West
+  | _, _ -> None
+
+let to_string = function
+  | North -> "N"
+  | South -> "S"
+  | East -> "E"
+  | West -> "W"
+
+let pp fmt d = Format.pp_print_string fmt (to_string d)

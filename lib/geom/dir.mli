@@ -1,0 +1,25 @@
+(** The four planar routing directions. *)
+
+type t = North | South | East | West
+
+val all : t list
+
+val delta : t -> int * int
+(** Unit [(dx, dy)] step; [North] increases [y]. *)
+
+val opposite : t -> t
+
+val is_horizontal : t -> bool
+
+val is_vertical : t -> bool
+
+val perpendicular : t -> t * t
+(** The two directions orthogonal to the argument. *)
+
+val of_step : int -> int -> t option
+(** [of_step dx dy] recovers the direction of a unit step, or [None] if the
+    step is not a unit 4-neighbour move. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,50 @@
+type t = { lo : int; hi : int }
+
+let make a b = if a <= b then { lo = a; hi = b } else { lo = b; hi = a }
+
+let length i = i.hi - i.lo + 1
+
+let mem x i = i.lo <= x && x <= i.hi
+
+let overlap a b = a.lo <= b.hi && b.lo <= a.hi
+
+let touch_or_overlap a b = a.lo <= b.hi + 1 && b.lo <= a.hi + 1
+
+let intersection a b =
+  let lo = max a.lo b.lo and hi = min a.hi b.hi in
+  if lo <= hi then Some { lo; hi } else None
+
+let hull a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let contains outer inner = outer.lo <= inner.lo && inner.hi <= outer.hi
+
+let shift i d = { lo = i.lo + d; hi = i.hi + d }
+
+let compare_lo a b =
+  let c = Int.compare a.lo b.lo in
+  if c <> 0 then c else Int.compare a.hi b.hi
+
+(* Sweep the sorted endpoint events; +1 at lo, -1 just after hi.  Openings at
+   a coordinate are processed before closings at coordinate - 1 by encoding
+   events as (coordinate, kind) with openings sorted first. *)
+let max_clique intervals =
+  let events =
+    List.concat_map (fun i -> [ (i.lo, 1); (i.hi + 1, -1) ]) intervals
+  in
+  let events =
+    List.sort
+      (fun (x1, k1) (x2, k2) ->
+        let c = Int.compare x1 x2 in
+        if c <> 0 then c else Int.compare k1 k2)
+      events
+  in
+  let _, best =
+    List.fold_left
+      (fun (cur, best) (_, k) ->
+        let cur = cur + k in
+        (cur, max best cur))
+      (0, 0) events
+  in
+  best
+
+let pp fmt i = Format.fprintf fmt "[%d,%d]" i.lo i.hi

@@ -1,0 +1,39 @@
+(** Closed integer intervals [\[lo, hi\]].
+
+    Channel routing reasons almost entirely in terms of horizontal spans of
+    nets; density and left-edge track assignment are interval problems. *)
+
+type t = { lo : int; hi : int }
+
+val make : int -> int -> t
+(** [make a b] is the interval spanning both endpoints, in either order. *)
+
+val length : t -> int
+(** Number of integer points covered ([hi - lo + 1]). *)
+
+val mem : int -> t -> bool
+
+val overlap : t -> t -> bool
+(** Closed-interval intersection test (shared endpoint counts). *)
+
+val touch_or_overlap : t -> t -> bool
+(** True also when the intervals are adjacent ([hi + 1 = lo']). *)
+
+val intersection : t -> t -> t option
+
+val hull : t -> t -> t
+(** Smallest interval containing both. *)
+
+val contains : t -> t -> bool
+(** [contains outer inner]. *)
+
+val shift : t -> int -> t
+
+val compare_lo : t -> t -> int
+(** Order by left endpoint, then right — the left-edge order. *)
+
+val max_clique : t list -> int
+(** Maximum number of pairwise-overlapping intervals: the *density* of the
+    interval set, computed by an endpoint sweep in O(n log n). *)
+
+val pp : Format.formatter -> t -> unit

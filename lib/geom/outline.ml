@@ -1,0 +1,95 @@
+type t = Rect.t list
+
+let of_rects = function
+  | [] -> invalid_arg "Outline.of_rects: empty outline"
+  | rects -> rects
+
+let rects o = o
+
+let mem o x y = List.exists (fun r -> Rect.mem r x y) o
+
+let bounding_box = function
+  | r :: rest -> List.fold_left Rect.hull r rest
+  | [] -> assert false (* of_rects forbids it *)
+
+let area o =
+  let box = bounding_box o in
+  let count = ref 0 in
+  Rect.iter box (fun x y -> if mem o x y then incr count);
+  !count
+
+let l_shape ~width ~height ~notch_w ~notch_h =
+  if notch_w < 1 || notch_h < 1 || notch_w >= width || notch_h >= height then
+    invalid_arg "Outline.l_shape: notch must fit strictly inside";
+  of_rects
+    [
+      Rect.make 0 0 (width - 1) (height - notch_h - 1);
+      Rect.make 0 (height - notch_h) (width - notch_w - 1) (height - 1);
+    ]
+
+let t_shape ~width ~height ~stem_w ~stem_h =
+  if stem_w < 1 || stem_h < 1 || stem_w > width || stem_h >= height then
+    invalid_arg "Outline.t_shape: stem must fit";
+  let stem_x0 = (width - stem_w) / 2 in
+  of_rects
+    [
+      Rect.make 0 stem_h (width - 1) (height - 1);
+      Rect.make stem_x0 0 (stem_x0 + stem_w - 1) (stem_h - 1);
+    ]
+
+(* Per-row runs of complement cells, merged vertically when identical runs
+   stack on consecutive rows. *)
+let complement_rects ~within o =
+  let runs_of_row y =
+    let runs = ref [] in
+    let start = ref None in
+    for x = within.Rect.x0 to within.Rect.x1 do
+      if not (mem o x y) then begin
+        if !start = None then start := Some x
+      end
+      else begin
+        (match !start with
+        | Some s -> runs := (s, x - 1) :: !runs
+        | None -> ());
+        start := None
+      end
+    done;
+    (match !start with
+    | Some s -> runs := (s, within.Rect.x1) :: !runs
+    | None -> ());
+    List.rev !runs
+  in
+  (* open_rects: (x0, x1, y_start) for runs continuing from the previous
+     row. *)
+  let finished = ref [] in
+  let close_all open_rects y =
+    List.iter
+      (fun (x0, x1, y0) -> finished := Rect.make x0 y0 x1 (y - 1) :: !finished)
+      open_rects
+  in
+  let final_open =
+    let rec sweep y open_rects =
+      if y > within.Rect.y1 then open_rects
+      else begin
+        let runs = runs_of_row y in
+        let continued, closed =
+          List.partition
+            (fun (x0, x1, _) -> List.mem (x0, x1) runs)
+            open_rects
+        in
+        close_all closed y;
+        let fresh =
+          List.filter_map
+            (fun (x0, x1) ->
+              if List.exists (fun (a, b, _) -> a = x0 && b = x1) continued
+              then None
+              else Some (x0, x1, y))
+            runs
+        in
+        sweep (y + 1) (continued @ fresh)
+      end
+    in
+    sweep within.Rect.y0 []
+  in
+  close_all final_open (within.Rect.y1 + 1);
+  List.rev !finished

@@ -1,0 +1,38 @@
+(** Rectilinear outlines: unions of axis-aligned rectangles.
+
+    Routing regions in macro-cell layouts are rarely rectangles — L- and
+    T-shaped channels between blocks are the norm.  An outline describes
+    such a region as a union of rectangles; the complement decomposition
+    turns it into the obstruction list a routing problem needs. *)
+
+type t
+
+val of_rects : Rect.t list -> t
+(** Union of the rectangles (overlap allowed).
+    @raise Invalid_argument on the empty list. *)
+
+val rects : t -> Rect.t list
+(** The defining rectangles (as given, unnormalised). *)
+
+val mem : t -> int -> int -> bool
+(** Cell membership in the union. *)
+
+val bounding_box : t -> Rect.t
+
+val area : t -> int
+(** Number of cells in the union (overlaps counted once). *)
+
+val l_shape :
+  width:int -> height:int -> notch_w:int -> notch_h:int -> t
+(** An L: the [width × height] rectangle with a [notch_w × notch_h] bite
+    removed from its top-right corner.
+    @raise Invalid_argument when the notch does not fit strictly inside. *)
+
+val t_shape : width:int -> height:int -> stem_w:int -> stem_h:int -> t
+(** A T: a horizontal bar of [width × (height - stem_h)] on top, and a
+    centred stem of [stem_w × stem_h] below it. *)
+
+val complement_rects : within:Rect.t -> t -> Rect.t list
+(** Decompose [within \ outline] into disjoint rectangles (maximal
+    per-row runs merged vertically) — ready to use as both-layer
+    obstructions carving the outline out of a grid. *)

@@ -1,0 +1,26 @@
+(** Integer grid points. *)
+
+type t = { x : int; y : int }
+
+val make : int -> int -> t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val manhattan : t -> t -> int
+(** L1 distance — the routing metric. *)
+
+val chebyshev : t -> t -> int
+(** L-infinity distance. *)
+
+val adjacent : t -> t -> bool
+(** True when the points are distinct 4-neighbours. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,56 @@
+type t = { x0 : int; y0 : int; x1 : int; y1 : int }
+
+let make a b c d =
+  { x0 = min a c; y0 = min b d; x1 = max a c; y1 = max b d }
+
+let of_points (p : Point.t) (q : Point.t) = make p.Point.x p.Point.y q.Point.x q.Point.y
+
+let width r = r.x1 - r.x0 + 1
+
+let height r = r.y1 - r.y0 + 1
+
+let area r = width r * height r
+
+let half_perimeter r = (width r - 1) + (height r - 1)
+
+let mem r x y = r.x0 <= x && x <= r.x1 && r.y0 <= y && y <= r.y1
+
+let mem_point r (p : Point.t) = mem r p.Point.x p.Point.y
+
+let overlap a b = a.x0 <= b.x1 && b.x0 <= a.x1 && a.y0 <= b.y1 && b.y0 <= a.y1
+
+let intersection a b =
+  let x0 = max a.x0 b.x0
+  and y0 = max a.y0 b.y0
+  and x1 = min a.x1 b.x1
+  and y1 = min a.y1 b.y1 in
+  if x0 <= x1 && y0 <= y1 then Some { x0; y0; x1; y1 } else None
+
+let hull a b =
+  { x0 = min a.x0 b.x0;
+    y0 = min a.y0 b.y0;
+    x1 = max a.x1 b.x1;
+    y1 = max a.y1 b.y1 }
+
+let hull_points = function
+  | [] -> None
+  | p :: rest ->
+      let single (q : Point.t) = of_points q q in
+      Some (List.fold_left (fun acc q -> hull acc (single q)) (single p) rest)
+
+let inflate r m = { x0 = r.x0 - m; y0 = r.y0 - m; x1 = r.x1 + m; y1 = r.y1 + m }
+
+let contains outer inner =
+  outer.x0 <= inner.x0 && outer.y0 <= inner.y0
+  && inner.x1 <= outer.x1 && inner.y1 <= outer.y1
+
+let iter r f =
+  for y = r.y0 to r.y1 do
+    for x = r.x0 to r.x1 do
+      f x y
+    done
+  done
+
+let equal a b = a.x0 = b.x0 && a.y0 = b.y0 && a.x1 = b.x1 && a.y1 = b.y1
+
+let pp fmt r = Format.fprintf fmt "[%d,%d..%d,%d]" r.x0 r.y0 r.x1 r.y1

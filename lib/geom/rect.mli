@@ -1,0 +1,46 @@
+(** Axis-aligned integer rectangles, inclusive of both corners.
+
+    Rectangles describe region outlines, obstruction footprints and net
+    bounding boxes. *)
+
+type t = { x0 : int; y0 : int; x1 : int; y1 : int }
+
+val make : int -> int -> int -> int -> t
+(** [make x0 y0 x1 y1]; corners may be given in any order. *)
+
+val of_points : Point.t -> Point.t -> t
+
+val width : t -> int
+
+val height : t -> int
+
+val area : t -> int
+
+val half_perimeter : t -> int
+(** Half-perimeter wirelength estimate of the box. *)
+
+val mem : t -> int -> int -> bool
+
+val mem_point : t -> Point.t -> bool
+
+val overlap : t -> t -> bool
+
+val intersection : t -> t -> t option
+
+val hull : t -> t -> t
+
+val hull_points : Point.t list -> t option
+(** Bounding box of a point set; [None] for the empty list. *)
+
+val inflate : t -> int -> t
+(** Grow (or shrink, negative) the rectangle by a margin on all sides. *)
+
+val contains : t -> t -> bool
+(** [contains outer inner]. *)
+
+val iter : t -> (int -> int -> unit) -> unit
+(** Visit every integer cell of the rectangle, row-major. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,7 @@
+(* Library interface module: the grid itself plus its path/segment helpers.
+   External code sees only [Grid]; [Surface] is the internal name of the
+   occupancy implementation. *)
+
+include Surface
+module Path = Path
+module Segment = Segment

@@ -1,0 +1,10 @@
+(** Public face of the grid library: the two-layer routing surface
+    ({!Surface}, included here) plus path and segment helpers. *)
+
+include module type of struct
+  include Surface
+end
+
+module Path : module type of Path
+
+module Segment : module type of Segment

@@ -1,0 +1,65 @@
+type t = int list
+
+type step = Planar of Geom.Dir.t | Via | Illegal
+
+let classify g a b =
+  let la = Surface.node_layer g a and lb = Surface.node_layer g b in
+  let xa = Surface.node_x g a and ya = Surface.node_y g a in
+  let xb = Surface.node_x g b and yb = Surface.node_y g b in
+  if la <> lb then if xa = xb && ya = yb then Via else Illegal
+  else
+    match Geom.Dir.of_step (xb - xa) (yb - ya) with
+    | Some d -> Planar d
+    | None -> Illegal
+
+let rec pairs_ok g = function
+  | [] | [ _ ] -> true
+  | a :: (b :: _ as rest) ->
+      (match classify g a b with Illegal -> false | Planar _ | Via -> true)
+      && pairs_ok g rest
+
+let is_valid = pairs_ok
+
+let fold_steps g f init path =
+  let rec loop acc = function
+    | [] | [ _ ] -> acc
+    | a :: (b :: _ as rest) -> loop (f acc (classify g a b)) rest
+  in
+  loop init path
+
+let wirelength g path =
+  fold_steps g
+    (fun n s -> match s with Planar _ -> n + 1 | Via | Illegal -> n)
+    0 path
+
+let via_steps g path =
+  fold_steps g
+    (fun n s -> match s with Via -> n + 1 | Planar _ | Illegal -> n)
+    0 path
+
+let bends g path =
+  let count, _ =
+    fold_steps g
+      (fun (n, prev) s ->
+        match (s, prev) with
+        | Planar d, Some d' when d <> d' -> (n + 1, Some d)
+        | Planar d, (Some _ | None) -> (n, Some d)
+        | (Via | Illegal), _ -> (n, None))
+      (0, None) path
+  in
+  count
+
+let cost ~wire_cost ~via_cost ~bend_cost g path =
+  (wire_cost * wirelength g path)
+  + (via_cost * via_steps g path)
+  + (bend_cost * bends g path)
+
+let endpoints = function
+  | [] -> None
+  | first :: _ as path ->
+      let rec last = function
+        | [ x ] -> x
+        | _ :: rest -> last rest
+        | [] -> assert false
+      in
+      Some (first, last path)

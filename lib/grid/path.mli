@@ -1,0 +1,29 @@
+(** Paths: node sequences produced by the maze search backtrace.
+
+    A path is a list of packed nodes where each consecutive pair is either a
+    planar 4-neighbour step on one layer or a via step (same planar position,
+    other layer).  These helpers compute the quality metrics reported by the
+    experiments and validate search output in tests. *)
+
+type t = int list
+
+val is_valid : Surface.t -> t -> bool
+(** Every consecutive pair is a legal step (planar unit move on one layer, or
+    layer change in place); the empty path and singletons are valid. *)
+
+val wirelength : Surface.t -> t -> int
+(** Number of planar unit steps (via steps contribute 0). *)
+
+val via_steps : Surface.t -> t -> int
+(** Number of layer-change steps. *)
+
+val bends : Surface.t -> t -> int
+(** Number of direction changes between successive planar steps (layer
+    changes do not count as bends but reset the direction). *)
+
+val cost :
+  wire_cost:int -> via_cost:int -> bend_cost:int -> Surface.t -> t -> int
+(** Weighted cost of the path under the given cost model. *)
+
+val endpoints : t -> (int * int) option
+(** First and last node, or [None] for paths shorter than 1. *)

@@ -1,0 +1,77 @@
+type axis = H | V
+
+type t = { layer : int; axis : axis; fixed : int; span : Geom.Interval.t }
+
+let cells s =
+  let span = s.span in
+  let rec loop i acc =
+    if i > span.Geom.Interval.hi then List.rev acc
+    else
+      let cell =
+        match s.axis with
+        | H -> (s.layer, i, s.fixed)
+        | V -> (s.layer, s.fixed, i)
+      in
+      loop (i + 1) (cell :: acc)
+  in
+  loop span.Geom.Interval.lo []
+
+let length s = Geom.Interval.length s.span
+
+(* Scan one line (a row for H, a column for V) for maximal runs of the net. *)
+let runs_on_line owner_at line_len ~layer ~axis ~fixed acc0 =
+  let acc = ref acc0 in
+  let run_start = ref (-1) in
+  let flush i =
+    if !run_start >= 0 && i - !run_start >= 2 then
+      acc :=
+        { layer; axis; fixed; span = Geom.Interval.make !run_start (i - 1) }
+        :: !acc;
+    run_start := -1
+  in
+  for i = 0 to line_len - 1 do
+    if owner_at i then begin
+      if !run_start < 0 then run_start := i
+    end
+    else flush i
+  done;
+  flush line_len;
+  !acc
+
+let of_net g ~net =
+  let w = Surface.width g and h = Surface.height g in
+  let owns ~layer ~x ~y = Surface.occ_at g ~layer ~x ~y = net in
+  let segs = ref [] in
+  for layer = 0 to Surface.layers - 1 do
+    for y = 0 to h - 1 do
+      segs :=
+        runs_on_line (fun x -> owns ~layer ~x ~y) w ~layer ~axis:H ~fixed:y !segs
+    done;
+    for x = 0 to w - 1 do
+      segs :=
+        runs_on_line (fun y -> owns ~layer ~x ~y) h ~layer ~axis:V ~fixed:x !segs
+    done
+  done;
+  (* Isolated cells: owned cells not covered by any run. *)
+  let covered = Hashtbl.create 64 in
+  List.iter
+    (fun s -> List.iter (fun c -> Hashtbl.replace covered c ()) (cells s))
+    !segs;
+  for layer = 0 to Surface.layers - 1 do
+    for y = 0 to h - 1 do
+      for x = 0 to w - 1 do
+        if owns ~layer ~x ~y && not (Hashtbl.mem covered (layer, x, y)) then
+          segs :=
+            { layer; axis = H; fixed = y; span = Geom.Interval.make x x }
+            :: !segs
+      done
+    done
+  done;
+  List.rev !segs
+
+let pp fmt s =
+  Format.fprintf fmt "%s L%d %s=%d %a"
+    (match s.axis with H -> "H" | V -> "V")
+    s.layer
+    (match s.axis with H -> "y" | V -> "x")
+    s.fixed Geom.Interval.pp s.span

@@ -1,0 +1,27 @@
+(** Maximal straight wire segments of a routed net.
+
+    Segments are derived from grid occupancy: per layer, maximal horizontal
+    and vertical runs of cells owned by the net.  They drive the weak
+    modification operator (only straight through-segments can be shoved
+    sideways) and the renderers. *)
+
+type axis = H | V
+
+type t = {
+  layer : int;
+  axis : axis;
+  fixed : int;  (** the row (for H) or column (for V) of the run *)
+  span : Geom.Interval.t;  (** the columns (H) or rows (V) covered *)
+}
+
+val cells : t -> (int * int * int) list
+(** The [(layer, x, y)] cells covered by the segment. *)
+
+val length : t -> int
+
+val of_net : Surface.t -> net:int -> t list
+(** All maximal runs of length ≥ 2 of the net, in both orientations, plus a
+    length-1 horizontal segment for every isolated cell (one belonging to no
+    run).  A corner cell belongs to both its horizontal and vertical run. *)
+
+val pp : Format.formatter -> t -> unit

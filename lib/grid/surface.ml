@@ -1,0 +1,166 @@
+type t = {
+  w : int;
+  h : int;
+  occ : int array; (* 2*w*h cells: 0 free, -1 obstacle, net id > 0 *)
+  via : Bytes.t; (* w*h flags *)
+  mutable n_vias : int;
+}
+
+let layers = 2
+
+let obstacle = -1
+
+let free = 0
+
+let create ~width ~height =
+  if width <= 0 || height <= 0 then invalid_arg "Surface.create: empty grid";
+  {
+    w = width;
+    h = height;
+    occ = Array.make (layers * width * height) free;
+    via = Bytes.make (width * height) '\000';
+    n_vias = 0;
+  }
+
+let copy g =
+  { g with occ = Array.copy g.occ; via = Bytes.copy g.via }
+
+let width g = g.w
+
+let height g = g.h
+
+let planar_cells g = g.w * g.h
+
+let node_count g = layers * g.w * g.h
+
+let node g ~layer ~x ~y = (layer * g.w * g.h) + (y * g.w) + x
+
+let node_layer g n = n / (g.w * g.h)
+
+let node_x g n = n mod g.w
+
+let node_y g n = n mod (g.w * g.h) / g.w
+
+let planar g n = n mod (g.w * g.h)
+
+let other_layer_node g n =
+  let cells = g.w * g.h in
+  if n < cells then n + cells else n - cells
+
+let in_bounds g ~x ~y = x >= 0 && x < g.w && y >= 0 && y < g.h
+
+let occ g n = g.occ.(n)
+
+let occ_at g ~layer ~x ~y = g.occ.(node g ~layer ~x ~y)
+
+let is_free g n = g.occ.(n) = free
+
+let is_obstacle g n = g.occ.(n) = obstacle
+
+let owner g n =
+  let v = g.occ.(n) in
+  if v > 0 then Some v else None
+
+let occupy g ~net n =
+  if net <= 0 then invalid_arg "Surface.occupy: net ids are positive";
+  let v = g.occ.(n) in
+  if v = free || v = net then g.occ.(n) <- net
+  else if v = obstacle then invalid_arg "Surface.occupy: cell is an obstacle"
+  else
+    invalid_arg
+      (Printf.sprintf "Surface.occupy: cell owned by net %d, wanted %d" v net)
+
+let has_via g ~x ~y = Bytes.get g.via ((y * g.w) + x) <> '\000'
+
+let has_via_node g n = Bytes.get g.via (planar g n) <> '\000'
+
+let clear_via g ~x ~y =
+  let p = (y * g.w) + x in
+  if Bytes.get g.via p <> '\000' then begin
+    Bytes.set g.via p '\000';
+    g.n_vias <- g.n_vias - 1
+  end
+
+let set_via g ~x ~y =
+  let cells = g.w * g.h in
+  let p = (y * g.w) + x in
+  let a = g.occ.(p) and b = g.occ.(p + cells) in
+  if a <= 0 || a <> b then
+    invalid_arg "Surface.set_via: both layers must be owned by the same net";
+  if Bytes.get g.via p = '\000' then begin
+    Bytes.set g.via p '\001';
+    g.n_vias <- g.n_vias + 1
+  end
+
+let release g n =
+  let v = g.occ.(n) in
+  if v = obstacle then invalid_arg "Surface.release: cell is an obstacle";
+  if v > 0 then begin
+    g.occ.(n) <- free;
+    let x = node_x g n and y = node_y g n in
+    if has_via g ~x ~y then clear_via g ~x ~y
+  end
+
+let set_obstacle g ~layer ~x ~y =
+  let n = node g ~layer ~x ~y in
+  let v = g.occ.(n) in
+  if v > 0 then invalid_arg "Surface.set_obstacle: cell owned by a net";
+  g.occ.(n) <- obstacle
+
+let set_obstacle_both g ~x ~y =
+  set_obstacle g ~layer:0 ~x ~y;
+  set_obstacle g ~layer:1 ~x ~y
+
+let block_outside g (r : Geom.Rect.t) =
+  for y = 0 to g.h - 1 do
+    for x = 0 to g.w - 1 do
+      if not (Geom.Rect.mem r x y) then begin
+        if occ_at g ~layer:0 ~x ~y = free then set_obstacle g ~layer:0 ~x ~y;
+        if occ_at g ~layer:1 ~x ~y = free then set_obstacle g ~layer:1 ~x ~y
+      end
+    done
+  done
+
+let block_rect g ?layer (r : Geom.Rect.t) =
+  Geom.Rect.iter r (fun x y ->
+      if in_bounds g ~x ~y then
+        match layer with
+        | Some l -> set_obstacle g ~layer:l ~x ~y
+        | None -> set_obstacle_both g ~x ~y)
+
+let via_count g = g.n_vias
+
+let iter_nodes g f =
+  for n = 0 to node_count g - 1 do
+    f n
+  done
+
+let iter_planar g f =
+  for y = 0 to g.h - 1 do
+    for x = 0 to g.w - 1 do
+      f ~x ~y
+    done
+  done
+
+let count_owned g ~net =
+  let c = ref 0 in
+  Array.iter (fun v -> if v = net then incr c) g.occ;
+  !c
+
+let occupied_nodes g ~net =
+  let acc = ref [] in
+  for n = node_count g - 1 downto 0 do
+    if g.occ.(n) = net then acc := n :: !acc
+  done;
+  !acc
+
+let fill_ratio g =
+  let owned = ref 0 and usable = ref 0 in
+  Array.iter
+    (fun v ->
+      if v <> obstacle then begin
+        incr usable;
+        if v > 0 then incr owned
+      end)
+    g.occ;
+  if !usable = 0 then 0.0 else float_of_int !owned /. float_of_int !usable

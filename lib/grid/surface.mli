@@ -1,0 +1,133 @@
+(** The mutable two-layer routing grid.
+
+    The grid is the routing surface shared by the maze search, the
+    modification operators and the verifier.  It is a dense [width × height ×
+    2] array of cells; each cell is either free, an obstacle, or owned by a
+    net (a positive net id).  Vias join the two layers at a planar position
+    and are only legal between two cells owned by the same net.
+
+    Cells are addressed either by [(layer, x, y)] triples or by packed
+    integer {e nodes} ([node = layer·w·h + y·w + x]), the representation used
+    throughout the search hot path.
+
+    By convention layer 0 is the horizontal-preferred layer and layer 1 the
+    vertical-preferred layer; preference is enforced by search costs, not by
+    the grid itself (the router may wire any direction on any layer, as the
+    original system does). *)
+
+type t
+
+val layers : int
+(** Always 2. *)
+
+val obstacle : int
+(** The occupancy value of an obstacle cell ([-1]). *)
+
+val free : int
+(** The occupancy value of a free cell ([0]). *)
+
+val create : width:int -> height:int -> t
+(** A fully free grid. *)
+
+val copy : t -> t
+(** Deep copy; mutations of the copy do not affect the original. *)
+
+val width : t -> int
+
+val height : t -> int
+
+val planar_cells : t -> int
+(** [width × height]. *)
+
+val node_count : t -> int
+(** [2 × width × height]: exclusive upper bound of packed node values. *)
+
+(** {1 Node packing} *)
+
+val node : t -> layer:int -> x:int -> y:int -> int
+
+val node_layer : t -> int -> int
+
+val node_x : t -> int -> int
+
+val node_y : t -> int -> int
+
+val planar : t -> int -> int
+(** Planar index [y·w + x] of a node, identifying its (x,y) regardless of
+    layer. *)
+
+val other_layer_node : t -> int -> int
+(** The node at the same (x,y) on the opposite layer. *)
+
+val in_bounds : t -> x:int -> y:int -> bool
+
+(** {1 Occupancy} *)
+
+val occ : t -> int -> int
+(** Occupancy value at a packed node. *)
+
+val occ_at : t -> layer:int -> x:int -> y:int -> int
+
+val is_free : t -> int -> bool
+
+val is_obstacle : t -> int -> bool
+
+val owner : t -> int -> int option
+(** [Some net] when the node is owned by a net, else [None]. *)
+
+val occupy : t -> net:int -> int -> unit
+(** Claim a node for a net.
+    @raise Invalid_argument if the node is an obstacle or owned by a
+    different net (the caller must rip first — silent overwrites would mask
+    router bugs). *)
+
+val release : t -> int -> unit
+(** Free a node (clears a via at that position if one exists and the node's
+    companion cell no longer shares an owner).  Releasing a free cell is a
+    no-op; releasing an obstacle raises [Invalid_argument]. *)
+
+val set_obstacle : t -> layer:int -> x:int -> y:int -> unit
+(** Mark a cell as an obstacle.  @raise Invalid_argument if the cell is
+    currently owned by a net. *)
+
+val set_obstacle_both : t -> x:int -> y:int -> unit
+(** Obstacle on both layers at (x,y). *)
+
+val block_outside : t -> Geom.Rect.t -> unit
+(** Turn every free cell outside the rectangle into an obstacle — used to
+    carve rectangular routing regions out of the allocated array. *)
+
+val block_rect : t -> ?layer:int -> Geom.Rect.t -> unit
+(** Obstruct every cell of the rectangle (both layers unless [layer] is
+    given).  Cells already owned by nets raise [Invalid_argument]. *)
+
+(** {1 Vias} *)
+
+val has_via : t -> x:int -> y:int -> bool
+
+val has_via_node : t -> int -> bool
+(** Via presence at the node's planar position. *)
+
+val set_via : t -> x:int -> y:int -> unit
+(** Place a via.  @raise Invalid_argument unless both layer cells at (x,y)
+    are owned by the same net. *)
+
+val clear_via : t -> x:int -> y:int -> unit
+
+val via_count : t -> int
+
+(** {1 Iteration and statistics} *)
+
+val iter_nodes : t -> (int -> unit) -> unit
+
+val iter_planar : t -> (x:int -> y:int -> unit) -> unit
+
+val count_owned : t -> net:int -> int
+(** Number of cells owned by the net. *)
+
+val occupied_nodes : t -> net:int -> int list
+(** All nodes owned by the net (O(cells); for tests and the verifier — the
+    router tracks its own route lists incrementally). *)
+
+val fill_ratio : t -> float
+(** Fraction of non-obstacle cells that are owned by some net. *)

@@ -1,0 +1,28 @@
+(** Search cost model.
+
+    All costs are small non-negative integers; the search minimises the sum
+    over the path of per-step costs plus per-node entry penalties supplied by
+    the caller (used by the rip-up scheduler to price crossing foreign
+    nets). *)
+
+type t = {
+  wire : int;  (** every planar unit step *)
+  via : int;  (** every layer change *)
+  wrong_way : int;
+      (** surcharge for a planar step against the layer's preferred
+          direction (layer 0 prefers horizontal, layer 1 vertical) *)
+}
+
+val default : t
+(** [{ wire = 1; via = 4; wrong_way = 2 }] — the classical two-layer HV
+    setting: vias are expensive, off-direction wiring discouraged but
+    possible. *)
+
+val uniform : t
+(** [{ wire = 1; via = 1; wrong_way = 0 }] — pure Lee-style shortest path;
+    used by tests as the geometric reference. *)
+
+val step_cost : t -> layer:int -> horizontal:bool -> int
+(** Cost of one planar step on [layer] in the given orientation. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,92 @@
+type failure = { failed_net : int; unreached : Netlist.Net.pin }
+
+type success = {
+  added : int list;
+  wirelength : int;
+  vias : int;
+  expanded : int;
+}
+
+let passable_default g ~net n =
+  let v = Grid.occ g n in
+  if v = Grid.free || v = net then Some 0 else None
+
+let pin_node g (pin : Netlist.Net.pin) =
+  Grid.node g ~layer:pin.Netlist.Net.layer ~x:pin.Netlist.Net.x ~y:pin.Netlist.Net.y
+
+let occupy_path g ~net path =
+  let added = ref [] in
+  List.iter
+    (fun n ->
+      if Grid.occ g n <> net then begin
+        Grid.occupy g ~net n;
+        added := n :: !added
+      end)
+    path;
+  (* Vias at layer-change steps. *)
+  let rec vias = function
+    | a :: (b :: _ as rest) ->
+        if Grid.node_layer g a <> Grid.node_layer g b then
+          Grid.set_via g ~x:(Grid.node_x g a) ~y:(Grid.node_y g a);
+        vias rest
+    | [] | [ _ ] -> ()
+  in
+  vias path;
+  !added
+
+let release_nodes g nodes = List.iter (Grid.release g) nodes
+
+(* Connect the pins Prim-style: the tree starts at the first pin's node and
+   every search targets all still-unconnected pins at once, so Dijkstra
+   naturally picks the nearest one. *)
+let route_net ?passable ?(use_astar = false) g ws ~cost (net : Netlist.Net.t) =
+  let net_id = net.Netlist.Net.id in
+  let passable =
+    match passable with Some f -> f | None -> passable_default g ~net:net_id
+  in
+  match net.Netlist.Net.pins with
+  | [] | [ _ ] -> Ok { added = []; wirelength = 0; vias = 0; expanded = 0 }
+  | first :: rest ->
+      let search = if use_astar then Search.run_astar else Search.run in
+      let tree = ref [ pin_node g first ] in
+      let remaining = ref (List.map (fun p -> (pin_node g p, p)) rest) in
+      let added = ref [] in
+      let wirelength = ref 0 and vias = ref 0 and expanded = ref 0 in
+      let fail pin =
+        release_nodes g !added;
+        Error { failed_net = net_id; unreached = pin }
+      in
+      let rec loop () =
+        match !remaining with
+        | [] ->
+            Ok
+              {
+                added = !added;
+                wirelength = !wirelength;
+                vias = !vias;
+                expanded = !expanded;
+              }
+        | (_, nearest_pin) :: _ -> begin
+            let targets = List.map fst !remaining in
+            match
+              search g ws ~cost ~passable ~sources:!tree ~targets ()
+            with
+            | None -> fail nearest_pin
+            | Some r ->
+                let new_nodes = occupy_path g ~net:net_id r.Search.path in
+                added := new_nodes @ !added;
+                tree := r.Search.path @ !tree;
+                wirelength := !wirelength + Grid.Path.wirelength g r.Search.path;
+                vias := !vias + Grid.Path.via_steps g r.Search.path;
+                expanded := !expanded + r.Search.expanded;
+                let reached =
+                  match List.rev r.Search.path with
+                  | last :: _ -> last
+                  | [] -> assert false
+                in
+                remaining :=
+                  List.filter (fun (n, _) -> n <> reached) !remaining;
+                loop ()
+          end
+      in
+      loop ()

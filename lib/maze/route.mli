@@ -1,0 +1,48 @@
+(** Net-level routing: connect all pins of a net into one tree.
+
+    [route_net] is the plain (non-destructive) sequential router used both as
+    the inner step of the full rip-up router and, standalone, as the
+    "one-shot maze router" baseline of the experiments.  Pins are joined
+    Prim-style: each search connects the grown tree to its nearest
+    still-unconnected pin, which yields reasonable Steiner trees without a
+    separate topology phase. *)
+
+type failure = {
+  failed_net : int;
+  unreached : Netlist.Net.pin;  (** first pin the search could not reach *)
+}
+
+type success = {
+  added : int list;  (** nodes newly occupied for the net (excludes pins) *)
+  wirelength : int;
+  vias : int;
+  expanded : int;  (** total nodes settled over all searches *)
+}
+
+val passable_default : Grid.t -> net:int -> int -> int option
+(** The standard passability: free cells and cells already owned by [net]
+    cost 0 extra; everything else is impassable. *)
+
+val occupy_path : Grid.t -> net:int -> Grid.Path.t -> int list
+(** Claim every node of the path for the net and place vias at layer
+    changes; returns the nodes that were newly occupied (already-owned nodes
+    are skipped).  The path must only visit free or self-owned cells. *)
+
+val release_nodes : Grid.t -> int list -> unit
+(** Free the given nodes (used to undo a partial routing). *)
+
+val pin_node : Grid.t -> Netlist.Net.pin -> int
+
+val route_net :
+  ?passable:(int -> int option) ->
+  ?use_astar:bool ->
+  Grid.t ->
+  Workspace.t ->
+  cost:Cost.t ->
+  Netlist.Net.t ->
+  (success, failure) Stdlib.result
+(** Connect all pins of the net on the grid.  On success the grid is
+    updated; on failure the grid is restored to its prior state.  Nets with
+    fewer than two pins succeed trivially.  [passable] defaults to
+    {!passable_default} (it must never price foreign cells if the result is
+    to be committed directly). *)

@@ -1,0 +1,131 @@
+type result = { path : Grid.Path.t; total_cost : int; expanded : int }
+
+let backtrace ws target =
+  let rec loop n acc =
+    let p = Workspace.parent ws n in
+    if p < 0 then n :: acc else loop p (n :: acc)
+  in
+  loop target []
+
+(* Core loop shared by Dijkstra ([heuristic] constant 0) and A*.  The
+   heap holds [g + h] priorities; [dist] holds settled/tentative [g]. *)
+let run_with g ws ~cost ~passable ~sources ~targets ~heuristic () =
+  Workspace.begin_search ws;
+  let heap = Workspace.heap ws in
+  List.iter (fun t -> Workspace.mark ws t) targets;
+  List.iter
+    (fun s ->
+      if Workspace.dist ws s > 0 then begin
+        Workspace.set_dist ws s 0;
+        Workspace.set_parent ws s (-1);
+        Util.Pqueue.push heap (heuristic s) s
+      end)
+    sources;
+  let w = Grid.width g and h = Grid.height g in
+  let expanded = ref 0 in
+  let found = ref None in
+  let relax from gscore n extra =
+    match passable n with
+    | None -> ()
+    | Some penalty ->
+        let nd = gscore + extra + penalty in
+        if nd < Workspace.dist ws n then begin
+          Workspace.set_dist ws n nd;
+          Workspace.set_parent ws n from;
+          Util.Pqueue.push heap (nd + heuristic n) n
+        end
+  in
+  while !found = None && not (Util.Pqueue.is_empty heap) do
+    let prio, n = Util.Pqueue.pop heap in
+    let gscore = Workspace.dist ws n in
+    (* Stale heap entry: the node was re-pushed with a smaller key. *)
+    if prio - heuristic n <= gscore then begin
+      incr expanded;
+      if Workspace.marked ws n then
+        found := Some { path = backtrace ws n; total_cost = gscore; expanded = !expanded }
+      else begin
+        let layer = Grid.node_layer g n in
+        let x = Grid.node_x g n and y = Grid.node_y g n in
+        let horizontal_cost = Cost.step_cost cost ~layer ~horizontal:true in
+        let vertical_cost = Cost.step_cost cost ~layer ~horizontal:false in
+        if x + 1 < w then relax n gscore (n + 1) horizontal_cost;
+        if x > 0 then relax n gscore (n - 1) horizontal_cost;
+        if y + 1 < h then relax n gscore (n + w) vertical_cost;
+        if y > 0 then relax n gscore (n - w) vertical_cost;
+        relax n gscore (Grid.other_layer_node g n) cost.Cost.via
+      end
+    end
+  done;
+  !found
+
+let run g ws ~cost ~passable ~sources ~targets () =
+  run_with g ws ~cost ~passable ~sources ~targets ~heuristic:(fun _ -> 0) ()
+
+let run_astar g ws ~cost ~passable ~sources ~targets () =
+  let coords =
+    List.map (fun t -> (Grid.node_x g t, Grid.node_y g t)) targets
+  in
+  let wire = cost.Cost.wire in
+  let heuristic n =
+    let x = Grid.node_x g n and y = Grid.node_y g n in
+    let d =
+      List.fold_left
+        (fun acc (tx, ty) -> min acc (abs (tx - x) + abs (ty - y)))
+        max_int coords
+    in
+    if d = max_int then 0 else wire * d
+  in
+  run_with g ws ~cost ~passable ~sources ~targets ~heuristic ()
+
+(* Plain BFS wave expansion; dist doubles as the visited set. *)
+let run_lee g ws ~passable ~sources ~targets () =
+  Workspace.begin_search ws;
+  List.iter (fun t -> Workspace.mark ws t) targets;
+  let queue = Queue.create () in
+  List.iter
+    (fun s ->
+      if Workspace.dist ws s > 0 then begin
+        Workspace.set_dist ws s 0;
+        Workspace.set_parent ws s (-1);
+        Queue.add s queue
+      end)
+    sources;
+  let w = Grid.width g and h = Grid.height g in
+  let expanded = ref 0 in
+  let found = ref None in
+  while !found = None && not (Queue.is_empty queue) do
+    let n = Queue.pop queue in
+    incr expanded;
+    if Workspace.marked ws n then
+      found :=
+        Some
+          {
+            path = backtrace ws n;
+            total_cost = Workspace.dist ws n;
+            expanded = !expanded;
+          }
+    else begin
+      let d = Workspace.dist ws n in
+      let visit m =
+        if Workspace.dist ws m = max_int && passable m <> None then begin
+          Workspace.set_dist ws m (d + 1);
+          Workspace.set_parent ws m n;
+          Queue.add m queue
+        end
+      in
+      let x = Grid.node_x g n and y = Grid.node_y g n in
+      if x + 1 < w then visit (n + 1);
+      if x > 0 then visit (n - 1);
+      if y + 1 < h then visit (n + w);
+      if y > 0 then visit (n - w);
+      visit (Grid.other_layer_node g n)
+    end
+  done;
+  !found
+
+let reachable g ws ~passable ~sources ~targets =
+  match
+    run g ws ~cost:Cost.uniform ~passable ~sources ~targets ()
+  with
+  | Some _ -> true
+  | None -> false

@@ -1,0 +1,68 @@
+(** Weighted maze search (Dijkstra / A-star) over the routing grid.
+
+    The search explores the 6-neighbourhood of each node (four planar steps
+    plus a via step to the other layer) and returns a cheapest path from any
+    source to any target under the {!Cost.t} model plus a caller-supplied
+    per-node entry penalty.
+
+    The [passable] callback prices entering a node: [Some 0] for an
+    ordinary free (or self-owned) cell, [Some k] for a cell the caller is
+    willing to cross at surcharge [k] (the rip-up scheduler prices foreign
+    nets this way), and [None] for an impassable cell (obstacle, foreign
+    pin, fixed wiring).  Sources must themselves be passable or owned. *)
+
+type result = {
+  path : Grid.Path.t;  (** source-to-target node sequence, both inclusive *)
+  total_cost : int;
+  expanded : int;  (** nodes settled — the search-effort metric *)
+}
+
+val run :
+  Grid.t ->
+  Workspace.t ->
+  cost:Cost.t ->
+  passable:(int -> int option) ->
+  sources:int list ->
+  targets:int list ->
+  unit ->
+  result option
+(** Cheapest path from the source set to the target set; [None] when no
+    target is reachable.  Uses plain Dijkstra (complete and optimal under
+    non-negative costs). *)
+
+val run_astar :
+  Grid.t ->
+  Workspace.t ->
+  cost:Cost.t ->
+  passable:(int -> int option) ->
+  sources:int list ->
+  targets:int list ->
+  unit ->
+  result option
+(** Same result as {!run} (the heuristic — minimum Manhattan distance to any
+    target times the wire cost — is admissible) with fewer expansions when
+    the target set is small.  Used by the ablation experiment. *)
+
+val run_lee :
+  Grid.t ->
+  Workspace.t ->
+  passable:(int -> int option) ->
+  sources:int list ->
+  targets:int list ->
+  unit ->
+  result option
+(** The original Lee (1961) wave expansion: plain breadth-first search with
+    unit step costs and no cost model — every passable node costs 1 to
+    enter regardless of direction, layer or the penalty returned by
+    [passable] (only its [None]/[Some] blocking decision is used).  Finds a
+    minimum-step path; kept as the historical baseline the weighted search
+    is compared against in the micro-benchmarks. *)
+
+val reachable :
+  Grid.t ->
+  Workspace.t ->
+  passable:(int -> int option) ->
+  sources:int list ->
+  targets:int list ->
+  bool
+(** Pure reachability (uniform costs) — the test oracle. *)

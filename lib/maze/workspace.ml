@@ -1,0 +1,44 @@
+type t = {
+  dist : int array;
+  parent : int array;
+  dist_gen : int array;
+  mark_gen : int array;
+  mutable gen : int;
+  heap : Util.Pqueue.t;
+}
+
+let create g =
+  let n = Grid.node_count g in
+  {
+    dist = Array.make n max_int;
+    parent = Array.make n (-1);
+    dist_gen = Array.make n 0;
+    mark_gen = Array.make n 0;
+    gen = 0;
+    heap = Util.Pqueue.create ~capacity:1024 ();
+  }
+
+let node_capacity ws = Array.length ws.dist
+
+let begin_search ws =
+  ws.gen <- ws.gen + 1;
+  Util.Pqueue.clear ws.heap
+
+let dist ws n = if ws.dist_gen.(n) = ws.gen then ws.dist.(n) else max_int
+
+let set_dist ws n d =
+  ws.dist.(n) <- d;
+  ws.dist_gen.(n) <- ws.gen
+
+let parent ws n = if ws.dist_gen.(n) = ws.gen then ws.parent.(n) else -1
+
+let set_parent ws n p =
+  (* Parents are only meaningful alongside a distance of the same
+     generation; [set_dist] must have stamped the node already. *)
+  ws.parent.(n) <- p
+
+let mark ws n = ws.mark_gen.(n) <- ws.gen
+
+let marked ws n = ws.mark_gen.(n) = ws.gen
+
+let heap ws = ws.heap

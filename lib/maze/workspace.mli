@@ -1,0 +1,36 @@
+(** Reusable search scratch space.
+
+    A search over a [w × h × 2] grid needs distance, parent and membership
+    arrays of that size.  The workspace allocates them once and invalidates
+    them in O(1) between searches with generation stamps, so the router can
+    run thousands of searches without per-search allocation. *)
+
+type t
+
+val create : Grid.t -> t
+(** Workspace sized for the given grid.  It may be reused for any grid of
+    the same dimensions. *)
+
+val node_capacity : t -> int
+
+val begin_search : t -> unit
+(** Invalidate all distances, parents and marks from previous searches. *)
+
+val dist : t -> int -> int
+(** Tentative distance of a node in the current search; [max_int] when
+    unvisited. *)
+
+val set_dist : t -> int -> int -> unit
+
+val parent : t -> int -> int
+(** Predecessor node in the current search ([-1] for sources/unvisited). *)
+
+val set_parent : t -> int -> int -> unit
+
+val mark : t -> int -> unit
+(** Add a node to the current search's target/member set. *)
+
+val marked : t -> int -> bool
+
+val heap : t -> Util.Pqueue.t
+(** The search frontier (cleared by {!begin_search}). *)

@@ -1,0 +1,108 @@
+let group_pins pairs =
+  (* Compact net ids to 1..k preserving ascending order of original ids. *)
+  let ids =
+    List.map fst pairs |> List.sort_uniq Int.compare
+    |> List.filter (fun id -> id <> 0)
+  in
+  List.iter
+    (fun id -> if id < 0 then invalid_arg "Build: negative net id")
+    ids;
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i id -> Hashtbl.replace index id (i + 1)) ids;
+  let nets =
+    List.map
+      (fun id ->
+        let pins =
+          List.filter_map
+            (fun (id', pin) -> if id' = id then Some pin else None)
+            pairs
+        in
+        let pins = List.sort_uniq compare pins in
+        Net.make ~id:(Hashtbl.find index id)
+          ~name:(Printf.sprintf "n%d" id)
+          pins)
+      ids
+  in
+  nets
+
+let of_pins ?(name = "problem") ?(kind = Problem.Region) ?(obstructions = [])
+    ~width ~height pairs =
+  let nets = group_pins (List.filter (fun (id, _) -> id <> 0) pairs) in
+  Problem.make ~kind ~obstructions ~name ~width ~height nets
+
+let channel ?(name = "channel") ~tracks ~top ~bottom () =
+  let columns = Array.length top in
+  if Array.length bottom <> columns then
+    invalid_arg "Build.channel: top and bottom lengths differ";
+  if columns = 0 || tracks < 1 then
+    invalid_arg "Build.channel: empty channel";
+  let height = tracks + 2 in
+  let pairs = ref [] in
+  let obstructions = ref [] in
+  let pin_row y row =
+    Array.iteri
+      (fun x id ->
+        if id <> 0 then pairs := (id, Net.pin ~layer:1 x y) :: !pairs
+        else
+          (* Unpinned pin-row cells are dead area on both layers. *)
+          obstructions :=
+            { Problem.obs_layer = None; obs_rect = Geom.Rect.make x y x y }
+            :: !obstructions;
+        (* The horizontal layer never enters the pin rows. *)
+        if id <> 0 then
+          obstructions :=
+            { Problem.obs_layer = Some 0; obs_rect = Geom.Rect.make x y x y }
+            :: !obstructions)
+      row
+  in
+  pin_row 0 bottom;
+  pin_row (height - 1) top;
+  of_pins ~name ~kind:Problem.Channel ~obstructions:!obstructions
+    ~width:columns ~height !pairs
+
+let switchbox ?(name = "switchbox") ~width ~height ?top ?bottom ?left ?right ()
+    =
+  let zeros n = Array.make n 0 in
+  let top = Option.value top ~default:(zeros width) in
+  let bottom = Option.value bottom ~default:(zeros width) in
+  let left = Option.value left ~default:(zeros height) in
+  let right = Option.value right ~default:(zeros height) in
+  if Array.length top <> width || Array.length bottom <> width then
+    invalid_arg "Build.switchbox: top/bottom length must equal width";
+  if Array.length left <> height || Array.length right <> height then
+    invalid_arg "Build.switchbox: left/right length must equal height";
+  let pairs = ref [] in
+  let add id pin = if id <> 0 then pairs := (id, pin) :: !pairs in
+  Array.iteri (fun x id -> add id (Net.pin ~layer:1 x (height - 1))) top;
+  Array.iteri (fun x id -> add id (Net.pin ~layer:1 x 0)) bottom;
+  let corner_conflict x y id =
+    (* A side pin landing on a corner already pinned vertically. *)
+    List.exists
+      (fun (id', (p : Net.pin)) ->
+        p.Net.x = x && p.Net.y = y && p.Net.layer = 1 && id' <> id)
+      !pairs
+  in
+  let add_side x y id =
+    if id <> 0 then
+      if corner_conflict x y id then
+        invalid_arg
+          (Printf.sprintf
+             "Build.switchbox: conflicting corner pins at (%d,%d)" x y)
+      else add id (Net.pin ~layer:0 x y)
+  in
+  Array.iteri (fun y id -> add_side 0 y id) left;
+  Array.iteri (fun y id -> add_side (width - 1) y id) right;
+  of_pins ~name ~kind:Problem.Switchbox ~width ~height !pairs
+
+let of_pins_in_outline ?(name = "outline-region") ~outline pairs =
+  let box = Geom.Outline.bounding_box outline in
+  if box.Geom.Rect.x0 < 0 || box.Geom.Rect.y0 < 0 then
+    invalid_arg "Build.of_pins_in_outline: outline in negative quadrant";
+  let width = box.Geom.Rect.x1 + 1 and height = box.Geom.Rect.y1 + 1 in
+  let full = Geom.Rect.make 0 0 (width - 1) (height - 1) in
+  let obstructions =
+    List.map
+      (fun r -> { Problem.obs_layer = None; obs_rect = r })
+      (Geom.Outline.complement_rects ~within:full outline)
+  in
+  of_pins ~name ~kind:Problem.Region ~obstructions ~width ~height pairs

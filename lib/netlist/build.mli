@@ -1,0 +1,58 @@
+(** Constructors for the two classical problem shapes.
+
+    Channel and switchbox problems are conventionally specified as arrays of
+    net ids along the region boundaries (0 meaning "no pin here"); these
+    builders turn such boundary maps into full {!Problem.t} values.
+
+    Conventions (matching two-layer HV technology):
+    - layer 0 is horizontal-preferred, layer 1 vertical-preferred;
+    - channel: [columns × (tracks + 2)] grid; the bottom pin row is [y = 0]
+      and the top pin row [y = tracks + 1]; pins sit on layer 1; pin-row
+      cells without pins are obstructed so wiring cannot use the pin rows
+      as a free track;
+    - switchbox: the whole [width × height] box is routable; top/bottom
+      pins sit on layer 1, left/right pins on layer 0. *)
+
+val channel :
+  ?name:string -> tracks:int -> top:int array -> bottom:int array -> unit ->
+  Problem.t
+(** [channel ~tracks ~top ~bottom ()] builds a channel problem.  [top] and
+    [bottom] must have equal length (the column count); entries are net ids
+    or 0.  Net ids need not be consecutive; they are compacted to [1..k]
+    (preserving relative order) and named ["n<original-id>"].
+    @raise Invalid_argument on mismatched lengths or negative ids. *)
+
+val switchbox :
+  ?name:string ->
+  width:int ->
+  height:int ->
+  ?top:int array ->
+  ?bottom:int array ->
+  ?left:int array ->
+  ?right:int array ->
+  unit ->
+  Problem.t
+(** Boundary maps default to all-zero.  [top]/[bottom] have length [width];
+    [left]/[right] length [height].  A corner cell may be pinned from both
+    of its sides only with the same net id (the duplicate is dropped).
+    @raise Invalid_argument on bad lengths or conflicting corner pins. *)
+
+val of_pins_in_outline :
+  ?name:string ->
+  outline:Geom.Outline.t ->
+  (int * Net.pin) list ->
+  Problem.t
+(** Build an irregular routing region: the problem spans the outline's
+    bounding box (which must sit in the non-negative quadrant) and every
+    cell outside the outline is obstructed on both layers.  Pins must lie
+    inside the outline. *)
+
+val of_pins :
+  ?name:string ->
+  ?kind:Problem.kind ->
+  ?obstructions:Problem.obstruction list ->
+  width:int ->
+  height:int ->
+  (int * Net.pin) list ->
+  Problem.t
+(** Generic builder from [(net id, pin)] pairs, compacting ids to [1..k]. *)

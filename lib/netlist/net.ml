@@ -1,0 +1,32 @@
+type pin = { x : int; y : int; layer : int }
+
+type t = { id : int; name : string; pins : pin list }
+
+let pin ?(layer = 0) x y = { x; y; layer }
+
+let make ~id ~name pins =
+  if id <= 0 then invalid_arg "Net.make: ids are positive";
+  let positions = List.map (fun p -> (p.x, p.y, p.layer)) pins in
+  let sorted = List.sort_uniq compare positions in
+  if List.length sorted <> List.length positions then
+    invalid_arg (Printf.sprintf "Net.make: duplicate pins in net %s" name);
+  { id; name; pins }
+
+let pin_count n = List.length n.pins
+
+let is_trivial n = pin_count n < 2
+
+let bounding_box n =
+  Geom.Rect.hull_points (List.map (fun p -> Geom.Point.make p.x p.y) n.pins)
+
+let half_perimeter n =
+  match bounding_box n with
+  | None -> 0
+  | Some box -> Geom.Rect.half_perimeter box
+
+let pp_pin fmt p = Format.fprintf fmt "(%d,%d)L%d" p.x p.y p.layer
+
+let pp fmt n =
+  Format.fprintf fmt "net %s#%d [%a]" n.name n.id
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_pin)
+    n.pins

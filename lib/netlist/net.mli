@@ -1,0 +1,37 @@
+(** Nets and pins.
+
+    A net is a set of electrically equivalent pins that the router must
+    connect.  Pins sit on a specific layer of a grid cell; a pin cell is
+    reserved for its net from the start (it can never be an obstacle or be
+    claimed by another net). *)
+
+type pin = { x : int; y : int; layer : int }
+
+type t = {
+  id : int;  (** positive; doubles as the grid occupancy value *)
+  name : string;
+  pins : pin list;
+}
+
+val pin : ?layer:int -> int -> int -> pin
+(** [pin x y] with [layer] defaulting to 0. *)
+
+val make : id:int -> name:string -> pin list -> t
+(** @raise Invalid_argument on a non-positive id or duplicate pin
+    positions within the net. *)
+
+val pin_count : t -> int
+
+val is_trivial : t -> bool
+(** Fewer than two pins: nothing to route. *)
+
+val bounding_box : t -> Geom.Rect.t option
+(** Planar bounding box of the pins; [None] when the net has no pins. *)
+
+val half_perimeter : t -> int
+(** Half-perimeter of the bounding box (0 for trivial nets) — the standard
+    wirelength lower bound used for net ordering. *)
+
+val pp_pin : Format.formatter -> pin -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,190 @@
+exception Error of int * string
+
+let fail line fmt = Printf.ksprintf (fun m -> raise (Error (line, m))) fmt
+
+type header = {
+  hname : string;
+  hkind : Problem.kind;
+  hwidth : int;
+  hheight : int;
+}
+
+type state = {
+  mutable header : header option;
+  mutable obstructions : Problem.obstruction list;
+  mutable nets : (string * Net.pin list) list; (* reversed; pins reversed *)
+  mutable prewires : (string * bool * (int * int * int) list) list;
+  mutable context : [ `Top | `Net | `Prewire ];
+}
+
+let kind_of_string line = function
+  | "switchbox" -> Problem.Switchbox
+  | "channel" -> Problem.Channel
+  | "region" -> Problem.Region
+  | s -> fail line "unknown problem kind %S" s
+
+let string_of_kind = function
+  | Problem.Switchbox -> "switchbox"
+  | Problem.Channel -> "channel"
+  | Problem.Region -> "region"
+
+let int_of line s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail line "expected an integer, got %S" s
+
+let tokens line_text =
+  String.split_on_char ' ' line_text
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let handle st lineno line_text =
+  match tokens line_text with
+  | [] -> ()
+  | word :: _ when String.length word > 0 && word.[0] = '#' -> ()
+  | [ "problem"; name; kind; w; h ] ->
+      if st.header <> None then fail lineno "duplicate problem line";
+      st.header <-
+        Some
+          {
+            hname = name;
+            hkind = kind_of_string lineno kind;
+            hwidth = int_of lineno w;
+            hheight = int_of lineno h;
+          }
+  | [ "obstruct"; layer; x0; y0; x1; y1 ] ->
+      let obs_layer =
+        if layer = "*" then None else Some (int_of lineno layer)
+      in
+      st.obstructions <-
+        {
+          Problem.obs_layer;
+          obs_rect =
+            Geom.Rect.make (int_of lineno x0) (int_of lineno y0)
+              (int_of lineno x1) (int_of lineno y1);
+        }
+        :: st.obstructions
+  | [ "net"; name ] ->
+      if List.mem_assoc name st.nets then fail lineno "duplicate net %S" name;
+      st.nets <- (name, []) :: st.nets;
+      st.context <- `Net
+  | "pin" :: rest -> begin
+      let pin =
+        match rest with
+        | [ x; y ] -> Net.pin (int_of lineno x) (int_of lineno y)
+        | [ x; y; layer ] ->
+            Net.pin ~layer:(int_of lineno layer) (int_of lineno x)
+              (int_of lineno y)
+        | _ -> fail lineno "pin expects: pin <x> <y> [layer]"
+      in
+      match (st.context, st.nets) with
+      | `Net, (name, pins) :: rest_nets ->
+          st.nets <- (name, pin :: pins) :: rest_nets
+      | (`Top | `Prewire), _ | `Net, [] ->
+          fail lineno "pin outside of a net block"
+    end
+  | [ "prewire"; net_name; fixity ] ->
+      let fixed =
+        match fixity with
+        | "fixed" -> true
+        | "loose" -> false
+        | s -> fail lineno "expected fixed|loose, got %S" s
+      in
+      st.prewires <- (net_name, fixed, []) :: st.prewires;
+      st.context <- `Prewire
+  | [ "cell"; layer; x; y ] -> begin
+      let cell = (int_of lineno layer, int_of lineno x, int_of lineno y) in
+      match (st.context, st.prewires) with
+      | `Prewire, (name, fixed, cells) :: rest ->
+          st.prewires <- (name, fixed, cell :: cells) :: rest
+      | (`Top | `Net), _ | `Prewire, [] ->
+          fail lineno "cell outside of a prewire block"
+    end
+  | word :: _ -> fail lineno "unknown directive %S" word
+
+let of_string text =
+  let st =
+    {
+      header = None;
+      obstructions = [];
+      nets = [];
+      prewires = [];
+      context = `Top;
+    }
+  in
+  List.iteri
+    (fun i line_text -> handle st (i + 1) line_text)
+    (String.split_on_char '\n' text);
+  match st.header with
+  | None -> fail 0 "missing problem line"
+  | Some h ->
+      let named_nets = List.rev st.nets in
+      let nets =
+        List.mapi
+          (fun i (name, pins) -> Net.make ~id:(i + 1) ~name (List.rev pins))
+          named_nets
+      in
+      let id_of_name name =
+        let rec loop i = function
+          | [] -> fail 0 "prewire references unknown net %S" name
+          | (n, _) :: rest -> if n = name then i else loop (i + 1) rest
+        in
+        loop 1 named_nets
+      in
+      let prewires =
+        List.rev_map
+          (fun (name, fixed, cells) ->
+            {
+              Problem.pre_net = id_of_name name;
+              pre_cells = List.rev cells;
+              pre_fixed = fixed;
+            })
+          st.prewires
+      in
+      Problem.make ~kind:h.hkind
+        ~obstructions:(List.rev st.obstructions)
+        ~prewires ~name:h.hname ~width:h.hwidth ~height:h.hheight nets
+
+let to_string (p : Problem.t) =
+  let buf = Buffer.create 1024 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "problem %s %s %d %d\n" p.Problem.name
+    (string_of_kind p.Problem.kind)
+    p.Problem.width p.Problem.height;
+  List.iter
+    (fun (o : Problem.obstruction) ->
+      let r = o.Problem.obs_rect in
+      addf "obstruct %s %d %d %d %d\n"
+        (match o.Problem.obs_layer with None -> "*" | Some l -> string_of_int l)
+        r.Geom.Rect.x0 r.Geom.Rect.y0 r.Geom.Rect.x1 r.Geom.Rect.y1)
+    p.Problem.obstructions;
+  Array.iter
+    (fun (n : Net.t) ->
+      addf "net %s\n" n.Net.name;
+      List.iter
+        (fun (pin : Net.pin) ->
+          addf "pin %d %d %d\n" pin.Net.x pin.Net.y pin.Net.layer)
+        n.Net.pins)
+    p.Problem.nets;
+  List.iter
+    (fun (pw : Problem.prewire) ->
+      let net_name = (Problem.net p pw.Problem.pre_net).Net.name in
+      addf "prewire %s %s\n" net_name
+        (if pw.Problem.pre_fixed then "fixed" else "loose");
+      List.iter
+        (fun (layer, x, y) -> addf "cell %d %d %d\n" layer x y)
+        pw.Problem.pre_cells)
+    p.Problem.prewires;
+  Buffer.contents buf
+
+let load path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  of_string text
+
+let save path p =
+  let oc = open_out path in
+  output_string oc (to_string p);
+  close_out oc

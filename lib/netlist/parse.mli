@@ -1,0 +1,31 @@
+(** Plain-text problem format: parser and printer.
+
+    The format is line-based:
+    {v
+    # comment
+    problem <name> <switchbox|channel|region> <width> <height>
+    obstruct <layer|*> <x0> <y0> <x1> <y1>
+    net <name>
+    pin <x> <y> [layer]
+    prewire <net-name> <fixed|loose>
+    cell <layer> <x> <y>
+    v}
+    A [net] line opens a net; subsequent [pin] lines belong to it.  A
+    [prewire] line opens a pre-existing wire for the named net; subsequent
+    [cell] lines belong to it.  Net ids are assigned in order of appearance.
+    [to_string] followed by [of_string] round-trips a problem (up to
+    obstruction merging). *)
+
+exception Error of int * string
+(** Parse error: 1-based line number and message. *)
+
+val of_string : string -> Problem.t
+(** @raise Error on malformed input, [Invalid_argument] on a description
+    that fails {!Problem.make} validation. *)
+
+val to_string : Problem.t -> string
+
+val load : string -> Problem.t
+(** Read a problem from a file path. *)
+
+val save : string -> Problem.t -> unit

@@ -1,0 +1,146 @@
+type kind = Switchbox | Channel | Region
+
+type obstruction = { obs_layer : int option; obs_rect : Geom.Rect.t }
+
+type prewire = {
+  pre_net : int;
+  pre_cells : (int * int * int) list;
+  pre_fixed : bool;
+}
+
+type t = {
+  name : string;
+  width : int;
+  height : int;
+  kind : kind;
+  nets : Net.t array;
+  obstructions : obstruction list;
+  prewires : prewire list;
+}
+
+let fail fmt = Printf.ksprintf invalid_arg fmt
+
+let obstructs obstructions ~layer ~x ~y =
+  List.exists
+    (fun o ->
+      Geom.Rect.mem o.obs_rect x y
+      && match o.obs_layer with None -> true | Some l -> l = layer)
+    obstructions
+
+let validate p =
+  Array.iteri
+    (fun i (n : Net.t) ->
+      if n.Net.id <> i + 1 then
+        fail "Problem %s: net %s has id %d, expected %d" p.name n.Net.name
+          n.Net.id (i + 1))
+    p.nets;
+  let cell_owner = Hashtbl.create 64 in
+  let claim ~what net_id layer x y =
+    if x < 0 || x >= p.width || y < 0 || y >= p.height || layer < 0
+       || layer >= Grid.layers
+    then fail "Problem %s: %s of net %d out of bounds (%d,%d)L%d" p.name what net_id x y layer;
+    if obstructs p.obstructions ~layer ~x ~y then
+      fail "Problem %s: %s of net %d sits on an obstruction at (%d,%d)L%d"
+        p.name what net_id x y layer;
+    match Hashtbl.find_opt cell_owner (layer, x, y) with
+    | Some other when other <> net_id ->
+        fail "Problem %s: nets %d and %d share cell (%d,%d)L%d" p.name other
+          net_id x y layer
+    | Some _ | None -> Hashtbl.replace cell_owner (layer, x, y) net_id
+  in
+  Array.iter
+    (fun (n : Net.t) ->
+      List.iter
+        (fun (pin : Net.pin) ->
+          claim ~what:"pin" n.Net.id pin.Net.layer pin.Net.x pin.Net.y)
+        n.Net.pins)
+    p.nets;
+  List.iter
+    (fun pw ->
+      if pw.pre_net <= 0 || pw.pre_net > Array.length p.nets then
+        fail "Problem %s: prewire references unknown net %d" p.name pw.pre_net;
+      List.iter
+        (fun (layer, x, y) -> claim ~what:"prewire" pw.pre_net layer x y)
+        pw.pre_cells)
+    p.prewires
+
+let make ?(kind = Region) ?(obstructions = []) ?(prewires = []) ~name ~width
+    ~height nets =
+  if width <= 0 || height <= 0 then fail "Problem %s: empty region" name;
+  let p =
+    {
+      name;
+      width;
+      height;
+      kind;
+      nets = Array.of_list nets;
+      obstructions;
+      prewires;
+    }
+  in
+  validate p;
+  p
+
+let net_count p = Array.length p.nets
+
+let net p id =
+  if id < 1 || id > Array.length p.nets then
+    fail "Problem %s: unknown net id %d" p.name id;
+  p.nets.(id - 1)
+
+let find_net p name =
+  Array.find_opt (fun (n : Net.t) -> n.Net.name = name) p.nets
+
+let nontrivial_net_ids p =
+  Array.to_list p.nets
+  |> List.filter (fun n -> not (Net.is_trivial n))
+  |> List.map (fun (n : Net.t) -> n.Net.id)
+
+let pin_cells p =
+  Array.to_list p.nets
+  |> List.concat_map (fun (n : Net.t) ->
+         List.map (fun pin -> (n.Net.id, pin)) n.Net.pins)
+
+let total_pins p =
+  Array.fold_left (fun acc n -> acc + Net.pin_count n) 0 p.nets
+
+let instantiate p =
+  let g = Grid.create ~width:p.width ~height:p.height in
+  List.iter
+    (fun o ->
+      match o.obs_layer with
+      | Some layer -> Grid.block_rect g ~layer o.obs_rect
+      | None -> Grid.block_rect g o.obs_rect)
+    p.obstructions;
+  Array.iter
+    (fun (n : Net.t) ->
+      List.iter
+        (fun (pin : Net.pin) ->
+          Grid.occupy g ~net:n.Net.id
+            (Grid.node g ~layer:pin.Net.layer ~x:pin.Net.x ~y:pin.Net.y))
+        n.Net.pins)
+    p.nets;
+  List.iter
+    (fun pw ->
+      List.iter
+        (fun (layer, x, y) ->
+          Grid.occupy g ~net:pw.pre_net (Grid.node g ~layer ~x ~y))
+        pw.pre_cells;
+      (* A prewire occupying both layers of a position implies a via. *)
+      List.iter
+        (fun (layer, x, y) ->
+          if layer = 0
+             && List.exists (fun (l, x', y') -> l = 1 && x' = x && y' = y)
+                  pw.pre_cells
+          then Grid.set_via g ~x ~y)
+        pw.pre_cells)
+    p.prewires;
+  g
+
+let pp fmt p =
+  Format.fprintf fmt "%s: %dx%d %s, %d nets, %d pins" p.name p.width p.height
+    (match p.kind with
+    | Switchbox -> "switchbox"
+    | Channel -> "channel"
+    | Region -> "region")
+    (net_count p) (total_pins p)

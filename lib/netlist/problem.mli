@@ -1,0 +1,70 @@
+(** A complete detailed-routing problem.
+
+    The problem owns the immutable description — region size and shape,
+    obstructions, nets with their pins, and optional pre-existing wiring —
+    and knows how to instantiate a fresh routing {!Grid.t} from it.  The
+    router mutates instantiated grids, never the problem. *)
+
+type kind =
+  | Switchbox  (** pins on all four boundaries *)
+  | Channel  (** pins on top/bottom, open left/right *)
+  | Region  (** free-form: obstacles, interior pins *)
+
+type obstruction = {
+  obs_layer : int option;  (** [None] blocks both layers *)
+  obs_rect : Geom.Rect.t;
+}
+
+type prewire = {
+  pre_net : int;  (** net id owning this wiring *)
+  pre_cells : (int * int * int) list;  (** (layer, x, y) cells *)
+  pre_fixed : bool;  (** fixed wiring may never be ripped up *)
+}
+
+type t = private {
+  name : string;
+  width : int;
+  height : int;
+  kind : kind;
+  nets : Net.t array;  (** [nets.(i)] has id [i + 1] *)
+  obstructions : obstruction list;
+  prewires : prewire list;
+}
+
+val make :
+  ?kind:kind ->
+  ?obstructions:obstruction list ->
+  ?prewires:prewire list ->
+  name:string ->
+  width:int ->
+  height:int ->
+  Net.t list ->
+  t
+(** Validates and freezes a problem description.
+    @raise Invalid_argument when net ids are not consecutive from 1, pins
+    fall out of bounds or on obstructions, two nets share a pin cell, or
+    pre-existing wiring conflicts with pins/obstructions. *)
+
+val net_count : t -> int
+
+val net : t -> int -> Net.t
+(** Net by id.  @raise Invalid_argument for an unknown id. *)
+
+val find_net : t -> string -> Net.t option
+(** Net by name. *)
+
+val nontrivial_net_ids : t -> int list
+(** Ids of nets with ≥ 2 pins, ascending. *)
+
+val pin_cells : t -> (int * Net.pin) list
+(** All (net id, pin) pairs of the problem. *)
+
+val instantiate : t -> Grid.t
+(** Fresh grid: obstructions marked, every pin cell occupied by its net, and
+    pre-existing wiring laid down (with vias where a prewire occupies both
+    layers of a position). *)
+
+val total_pins : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary (name, size, net/pin counts). *)

@@ -1,0 +1,28 @@
+(** Mutable binary min-heap keyed by integer priorities.
+
+    The maze search is the hot loop of the router, so the heap stores plain
+    [(priority, payload)] pairs in growable arrays and performs no
+    allocation per operation beyond occasional resizing.  Payloads are
+    integers (packed grid node indices). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val clear : t -> unit
+(** Remove every element (O(1); storage retained). *)
+
+val push : t -> int -> int -> unit
+(** [push q priority payload] inserts an element. *)
+
+val pop : t -> int * int
+(** Remove and return the [(priority, payload)] pair with the smallest
+    priority.  Ties are broken arbitrarily.
+    @raise Not_found if the heap is empty. *)
+
+val peek : t -> int * int
+(** Like {!pop} without removing.  @raise Not_found if empty. *)

@@ -1,0 +1,52 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    All stochastic components of the library (workload generation, randomized
+    net ordering, tie breaking) draw from this generator so that every
+    experiment is reproducible from a single integer seed.  The generator is
+    a mutable state cell; [split] derives an independent stream, which lets a
+    generator be handed to a sub-component without perturbing the parent
+    stream. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy g] duplicates the current state; the copy evolves independently. *)
+
+val split : t -> t
+(** [split g] advances [g] once and returns a new generator seeded from the
+    drawn value, statistically independent of the parent stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] draws uniformly from [0 .. bound-1].  [bound] must be
+    positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] draws uniformly from [lo .. hi] inclusive.
+    Requires [lo <= hi]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val chance : t -> float -> bool
+(** [chance g p] is true with probability [p] (clamped to [0,1]). *)
+
+val float : t -> float -> float
+(** [float g x] draws uniformly from [[0, x)]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val shuffle_list : t -> 'a list -> 'a list
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)

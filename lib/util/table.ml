@@ -1,0 +1,90 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = { headers : string list; mutable rows : row list (* reversed *) }
+
+let create ~headers = { headers; rows = [] }
+
+let add_row t cells = t.rows <- Cells cells :: t.rows
+
+let add_sep t = t.rows <- Separator :: t.rows
+
+let looks_numeric s =
+  s <> ""
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '+' || c = '%' || c = 'x')
+       s
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols =
+    List.fold_left
+      (fun acc r -> match r with Cells c -> max acc (List.length c) | Separator -> acc)
+      (List.length t.headers) rows
+  in
+  let cell_of r i = match List.nth_opt r i with Some c -> c | None -> "" in
+  let width i =
+    List.fold_left
+      (fun acc r ->
+        match r with
+        | Cells c -> max acc (String.length (cell_of c i))
+        | Separator -> acc)
+      (String.length (cell_of t.headers i))
+      rows
+  in
+  let widths = Array.init ncols width in
+  let alignment i =
+    let all_numeric =
+      List.for_all
+        (fun r ->
+          match r with
+          | Cells c ->
+              let s = cell_of c i in
+              s = "" || looks_numeric s
+          | Separator -> true)
+        rows
+    in
+    if all_numeric && rows <> [] then Right else Left
+  in
+  let aligns = Array.init ncols alignment in
+  let pad i s =
+    let w = widths.(i) in
+    let n = w - String.length s in
+    if n <= 0 then s
+    else
+      match aligns.(i) with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+  in
+  let line_of cells =
+    String.concat "  " (List.init ncols (fun i -> pad i (cell_of cells i)))
+  in
+  let sep_line =
+    String.concat "  " (List.init ncols (fun i -> String.make widths.(i) '-'))
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line_of t.headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep_line;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      (match r with
+      | Cells c -> Buffer.add_string buf (line_of c)
+      | Separator -> Buffer.add_string buf sep_line);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let cell_int = string_of_int
+
+let cell_float ?(decimals = 2) f = Printf.sprintf "%.*f" decimals f
+
+let cell_pct r = Printf.sprintf "%.1f%%" (100.0 *. r)
+
+let cell_bool b = if b then "yes" else "no"

@@ -1,0 +1,35 @@
+(** Plain-text table rendering for experiment reports.
+
+    The benchmark harness prints each reproduced table/figure as an aligned
+    text table on stdout; this module handles column sizing and alignment. *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:string list -> t
+(** Start a table with the given column headers.  Numeric-looking columns are
+    right-aligned automatically when rows are added. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  Rows shorter than the header are padded with empty
+    cells; longer rows extend the table. *)
+
+val add_sep : t -> unit
+(** Append a horizontal separator line. *)
+
+val render : t -> string
+(** Render the whole table, headers underlined, columns aligned. *)
+
+val print : t -> unit
+(** [render] followed by [print_string] and a trailing newline. *)
+
+val cell_int : int -> string
+
+val cell_float : ?decimals:int -> float -> string
+
+val cell_pct : float -> string
+(** Format a ratio in [0,1] as a percentage with one decimal. *)
+
+val cell_bool : bool -> string
+(** ["yes"] / ["no"]. *)

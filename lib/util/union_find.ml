@@ -1,0 +1,39 @@
+type t = { parent : int array; rank : int array }
+
+let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0 }
+
+let rec find uf i =
+  let p = uf.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find uf p in
+    uf.parent.(i) <- root;
+    root
+  end
+
+let union uf a b =
+  let ra = find uf a and rb = find uf b in
+  if ra <> rb then
+    if uf.rank.(ra) < uf.rank.(rb) then uf.parent.(ra) <- rb
+    else if uf.rank.(ra) > uf.rank.(rb) then uf.parent.(rb) <- ra
+    else begin
+      uf.parent.(rb) <- ra;
+      uf.rank.(ra) <- uf.rank.(ra) + 1
+    end
+
+let same uf a b = find uf a = find uf b
+
+let count_components uf mem =
+  let n = Array.length uf.parent in
+  let seen = Hashtbl.create 16 in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if mem i then begin
+      let r = find uf i in
+      if not (Hashtbl.mem seen r) then begin
+        Hashtbl.add seen r ();
+        incr count
+      end
+    end
+  done;
+  !count

@@ -1,0 +1,22 @@
+(** Classic disjoint-set forest with path compression and union by rank.
+
+    Used by the verifier to check per-net connectivity of routed wiring: all
+    grid cells owned by a net must collapse into a single component. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative of the element's set. *)
+
+val union : t -> int -> int -> unit
+(** Merge the sets of the two elements (no-op if already joined). *)
+
+val same : t -> int -> int -> bool
+(** Whether the two elements share a set. *)
+
+val count_components : t -> (int -> bool) -> int
+(** [count_components uf mem] counts distinct sets among the elements
+    selected by [mem]. *)

@@ -1,0 +1,59 @@
+type t = { mutable data : int array; mutable size : int }
+
+let create ?(capacity = 16) () =
+  { data = Array.make (max 4 capacity) 0; size = 0 }
+
+let length v = v.size
+
+let is_empty v = v.size = 0
+
+let check v i =
+  if i < 0 || i >= v.size then invalid_arg "Vec: index out of bounds"
+
+let get v i =
+  check v i;
+  v.data.(i)
+
+let set v i x =
+  check v i;
+  v.data.(i) <- x
+
+let push v x =
+  if v.size = Array.length v.data then begin
+    let data = Array.make (2 * v.size) 0 in
+    Array.blit v.data 0 data 0 v.size;
+    v.data <- data
+  end;
+  v.data.(v.size) <- x;
+  v.size <- v.size + 1
+
+let pop v =
+  if v.size = 0 then raise Not_found;
+  v.size <- v.size - 1;
+  v.data.(v.size)
+
+let clear v = v.size <- 0
+
+let iter f v =
+  for i = 0 to v.size - 1 do
+    f v.data.(i)
+  done
+
+let exists p v =
+  let rec loop i = i < v.size && (p v.data.(i) || loop (i + 1)) in
+  loop 0
+
+let mem v x = exists (fun y -> y = x) v
+
+let to_list v =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (v.data.(i) :: acc) in
+  loop (v.size - 1) []
+
+let to_array v = Array.sub v.data 0 v.size
+
+let of_list l =
+  let v = create ~capacity:(max 4 (List.length l)) () in
+  List.iter (push v) l;
+  v
+
+let copy v = { data = Array.copy v.data; size = v.size }

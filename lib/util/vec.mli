@@ -1,0 +1,38 @@
+(** Growable integer array (OCaml 5.1 predates [Dynarray]).
+
+    Used for route cell lists and scratch buffers in the hot path, where
+    boxed lists would cause avoidable GC churn. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val get : t -> int -> int
+(** @raise Invalid_argument on out-of-bounds access. *)
+
+val set : t -> int -> int -> unit
+
+val push : t -> int -> unit
+
+val pop : t -> int
+(** Remove and return the last element.  @raise Not_found if empty. *)
+
+val clear : t -> unit
+
+val iter : (int -> unit) -> t -> unit
+
+val exists : (int -> bool) -> t -> bool
+
+val mem : t -> int -> bool
+
+val to_list : t -> int list
+
+val to_array : t -> int array
+
+val of_list : int list -> t
+
+val copy : t -> t

@@ -1,0 +1,103 @@
+let net_char net =
+  let alphabet =
+    "123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+  in
+  alphabet.[(net - 1) mod String.length alphabet]
+
+let cell_char g ~layer ~x ~y =
+  let v = Grid.occ_at g ~layer ~x ~y in
+  if v = Grid.free then '.'
+  else if v = Grid.obstacle then '#'
+  else net_char v
+
+let map_of g char_at =
+  let w = Grid.width g and h = Grid.height g in
+  let buf = Buffer.create ((w + 1) * h) in
+  for y = h - 1 downto 0 do
+    for x = 0 to w - 1 do
+      Buffer.add_char buf (char_at ~x ~y)
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let render_layer g ~layer = map_of g (fun ~x ~y -> cell_char g ~layer ~x ~y)
+
+let side_by_side ~titles maps =
+  let split m = String.split_on_char '\n' m in
+  let columns = List.map split maps in
+  let height = List.fold_left (fun acc c -> max acc (List.length c)) 0 columns in
+  let width =
+    List.map
+      (fun c -> List.fold_left (fun acc l -> max acc (String.length l)) 0 c)
+      columns
+  in
+  let line_of rows i =
+    String.concat "   "
+      (List.map2
+         (fun c w ->
+           let l = match List.nth_opt c i with Some l -> l | None -> "" in
+           l ^ String.make (max 0 (w - String.length l)) ' ')
+         rows width)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (String.concat "   "
+       (List.map2
+          (fun t w -> t ^ String.make (max 0 (w - String.length t)) ' ')
+          titles width));
+  Buffer.add_char buf '\n';
+  for i = 0 to height - 1 do
+    Buffer.add_string buf (line_of columns i);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let render g =
+  let layer0 = render_layer g ~layer:0 and layer1 = render_layer g ~layer:1 in
+  if Grid.via_count g = 0 then
+    side_by_side ~titles:[ "layer0 (H)"; "layer1 (V)" ] [ layer0; layer1 ]
+  else begin
+    let vias =
+      map_of g (fun ~x ~y -> if Grid.has_via g ~x ~y then 'x' else '.')
+    in
+    side_by_side
+      ~titles:[ "layer0 (H)"; "layer1 (V)"; "vias" ]
+      [ layer0; layer1; vias ]
+  end
+
+let render_problem problem = render (Netlist.Problem.instantiate problem)
+
+let render_heatmap problem =
+  let demand = Netlist.Analysis.demand_map problem in
+  let w = problem.Netlist.Problem.width
+  and h = problem.Netlist.Problem.height in
+  let buf = Buffer.create ((w + 1) * h) in
+  for y = h - 1 downto 0 do
+    for x = 0 to w - 1 do
+      let d = demand.((y * w) + x) in
+      let c =
+        if d = infinity then '#'
+        else if d < 0.1 then '.'
+        else
+          let bucket = min 9 (1 + int_of_float (d *. 2.0)) in
+          Char.chr (Char.code '0' + bucket)
+      in
+      Buffer.add_char buf c
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let render_usage g =
+  map_of g (fun ~x ~y ->
+      let count layer =
+        if Grid.occ_at g ~layer ~x ~y > 0 then 1 else 0
+      in
+      let obstructed layer = Grid.occ_at g ~layer ~x ~y = Grid.obstacle in
+      if obstructed 0 && obstructed 1 then '#'
+      else
+        match count 0 + count 1 with
+        | 0 -> '.'
+        | 1 -> '1'
+        | _ -> '2')

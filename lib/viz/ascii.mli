@@ -1,0 +1,27 @@
+(** ASCII rendering of routed grids — the quick debugging view used by the
+    CLI and the examples.
+
+    Each layer is drawn as a character map ([y] decreasing downwards so the
+    picture matches the usual channel drawings): ['.'] free, ['#'] obstacle,
+    ['x'] a via position, and a per-net character (digits, then lower- and
+    upper-case letters, cycling) for owned cells. *)
+
+val net_char : int -> char
+(** Stable character for a net id. *)
+
+val render_layer : Grid.t -> layer:int -> string
+
+val render : Grid.t -> string
+(** Both layers side by side, plus a via map when any via exists. *)
+
+val render_problem : Netlist.Problem.t -> string
+(** Render the unrouted problem: pins and obstacles only. *)
+
+val render_heatmap : Netlist.Problem.t -> string
+(** Pre-routing congestion heatmap from {!Netlist.Analysis.demand_map}:
+    ['.'] for near-zero demand, then [1-9] buckets, ['#'] for obstructed
+    cells. *)
+
+val render_usage : Grid.t -> string
+(** Post-routing usage map: how many of the two layers each planar cell
+    uses (['.'], ['1'], ['2']; ['#'] when fully obstructed). *)

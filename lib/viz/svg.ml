@@ -1,0 +1,89 @@
+let layer_color = function 0 -> "#2c6fbb" | _ -> "#c0392b"
+
+(* Grid y grows upwards; SVG y grows downwards. *)
+let render ?(cell = 14) problem g =
+  let w = Grid.width g and h = Grid.height g in
+  let px x = x * cell and py y = (h - 1 - y) * cell in
+  let buf = Buffer.create 4096 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+     viewBox=\"0 0 %d %d\">\n"
+    (w * cell) (h * cell) (w * cell) (h * cell);
+  addf "<rect width=\"100%%\" height=\"100%%\" fill=\"#fdfdf8\"/>\n";
+  (* Obstacles (drawn once; both-layer obstacles dominate). *)
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      let l0 = Grid.occ_at g ~layer:0 ~x ~y
+      and l1 = Grid.occ_at g ~layer:1 ~x ~y in
+      if l0 = Grid.obstacle && l1 = Grid.obstacle then
+        addf "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"#b5b5ad\"/>\n"
+          (px x) (py y) cell cell
+      else if l0 = Grid.obstacle || l1 = Grid.obstacle then
+        addf
+          "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"#dcdcd2\"/>\n"
+          (px x) (py y) cell cell
+    done
+  done;
+  (* Wiring: draw each same-net adjacency as a line segment per layer. *)
+  let half = cell / 2 in
+  let cx x = px x + half and cy y = py y + half in
+  for layer = 0 to Grid.layers - 1 do
+    let color = layer_color layer in
+    for y = 0 to h - 1 do
+      for x = 0 to w - 1 do
+        let v = Grid.occ_at g ~layer ~x ~y in
+        if v > 0 then begin
+          addf
+            "<circle cx=\"%d\" cy=\"%d\" r=\"%d\" fill=\"%s\" fill-opacity=\"0.85\"/>\n"
+            (cx x) (cy y) (cell / 5) color;
+          if x + 1 < w && Grid.occ_at g ~layer ~x:(x + 1) ~y = v then
+            addf
+              "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"%s\" \
+               stroke-width=\"%d\" stroke-opacity=\"0.85\"/>\n"
+              (cx x) (cy y)
+              (cx (x + 1))
+              (cy y) color (cell / 4);
+          if y + 1 < h && Grid.occ_at g ~layer ~x ~y:(y + 1) = v then
+            addf
+              "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"%s\" \
+               stroke-width=\"%d\" stroke-opacity=\"0.85\"/>\n"
+              (cx x) (cy y) (cx x)
+              (cy (y + 1))
+              color (cell / 4)
+        end
+      done
+    done
+  done;
+  (* Vias. *)
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      if Grid.has_via g ~x ~y then
+        addf
+          "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"#1b1b1b\"/>\n"
+          (cx x - (cell / 5))
+          (cy y - (cell / 5))
+          (2 * cell / 5) (2 * cell / 5)
+    done
+  done;
+  (* Pins with net labels. *)
+  List.iter
+    (fun (net, (pin : Netlist.Net.pin)) ->
+      addf
+        "<circle cx=\"%d\" cy=\"%d\" r=\"%d\" fill=\"none\" stroke=\"#1b1b1b\" \
+         stroke-width=\"1.5\"/>\n"
+        (cx pin.Netlist.Net.x) (cy pin.Netlist.Net.y) (cell * 2 / 5);
+      addf
+        "<text x=\"%d\" y=\"%d\" font-size=\"%d\" font-family=\"monospace\" \
+         text-anchor=\"middle\">%c</text>\n"
+        (cx pin.Netlist.Net.x)
+        (cy pin.Netlist.Net.y + (cell / 4))
+        (cell * 3 / 5) (Ascii.net_char net))
+    (Netlist.Problem.pin_cells problem);
+  addf "</svg>\n";
+  Buffer.contents buf
+
+let save path ?cell problem g =
+  let oc = open_out path in
+  output_string oc (render ?cell problem g);
+  close_out oc

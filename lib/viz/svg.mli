@@ -1,0 +1,12 @@
+(** SVG rendering of routed layouts.
+
+    Produces a self-contained SVG document: layer 0 wiring in blue, layer 1
+    in red, vias as black squares, obstacles in grey, pins as circles
+    labelled with the net character.  Intended for visual inspection of
+    example and benchmark output. *)
+
+val render : ?cell:int -> Netlist.Problem.t -> Grid.t -> string
+(** [cell] is the pixel size of one grid cell (default 14). *)
+
+val save : string -> ?cell:int -> Netlist.Problem.t -> Grid.t -> unit
+(** Write the SVG document to a file. *)

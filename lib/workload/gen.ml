@@ -1,0 +1,364 @@
+(* All generators draw pins from an explicit pool of free "slots" so no two
+   pins ever collide; Problem.make still validates the result. *)
+
+let take_slots prng pool k =
+  (* Remove and return k random slots from the pool (a mutable list ref). *)
+  let arr = Array.of_list !pool in
+  Util.Prng.shuffle prng arr;
+  let n = Array.length arr in
+  let k = min k n in
+  let taken = Array.sub arr 0 k |> Array.to_list in
+  pool := Array.sub arr k (n - k) |> Array.to_list;
+  taken
+
+let channel_of_slot_nets ?(name = "rand-channel") ~tracks_slack ~columns nets_slots =
+  (* nets_slots : (side, column) list list; side = `Top | `Bottom *)
+  let top = Array.make columns 0 and bottom = Array.make columns 0 in
+  List.iteri
+    (fun i slots ->
+      let id = i + 1 in
+      List.iter
+        (function
+          | `Top, x -> top.(x) <- id
+          | `Bottom, x -> bottom.(x) <- id)
+        slots)
+    nets_slots;
+  (* Density of the provisional problem decides the track count. *)
+  let provisional =
+    Netlist.Build.channel ~name ~tracks:1 ~top ~bottom ()
+  in
+  let density = Netlist.Analysis.channel_density provisional in
+  let tracks = max 1 (density + tracks_slack) in
+  Netlist.Build.channel ~name ~tracks ~top ~bottom ()
+
+let all_channel_slots columns =
+  List.init columns (fun x -> [ (`Top, x); (`Bottom, x) ]) |> List.concat
+
+let channel ?(name = "rand-channel") ?(tracks_slack = 2) ?(min_pins = 2)
+    ?(max_pins = 4) prng ~columns ~nets =
+  let pool = ref (all_channel_slots columns) in
+  let nets_slots =
+    List.init nets (fun _ ->
+        take_slots prng pool (Util.Prng.int_in prng min_pins max_pins))
+  in
+  let nets_slots = List.filter (fun s -> List.length s >= 2) nets_slots in
+  channel_of_slot_nets ~name ~tracks_slack ~columns nets_slots
+
+let channel_at_density ?(name = "rand-channel") ?(tracks_slack = 0) prng
+    ~columns ~density =
+  let pool = ref (all_channel_slots columns) in
+  let span_of slots =
+    match List.map snd slots with
+    | [] -> None
+    | x :: rest ->
+        let lo = List.fold_left min x rest
+        and hi = List.fold_left max x rest in
+        Some (Geom.Interval.make lo hi)
+  in
+  let current_density nets_slots =
+    Geom.Interval.max_clique (List.filter_map span_of nets_slots)
+  in
+  let rec add acc =
+    if current_density acc >= density || List.length !pool < 2 then acc
+    else
+      let k = Util.Prng.int_in prng 2 4 in
+      let slots = take_slots prng pool k in
+      if List.length slots >= 2 then add (slots :: acc) else acc
+  in
+  let nets_slots = List.rev (add []) in
+  channel_of_slot_nets ~name ~tracks_slack ~columns nets_slots
+
+type sb_slot = Top of int | Bottom of int | Left of int | Right of int
+
+let switchbox_arrays ~width ~height nets_slots =
+  let top = Array.make width 0
+  and bottom = Array.make width 0
+  and left = Array.make height 0
+  and right = Array.make height 0 in
+  List.iteri
+    (fun i slots ->
+      let id = i + 1 in
+      List.iter
+        (function
+          | Top x -> top.(x) <- id
+          | Bottom x -> bottom.(x) <- id
+          | Left y -> left.(y) <- id
+          | Right y -> right.(y) <- id)
+        slots)
+    nets_slots;
+  (top, bottom, left, right)
+
+let all_switchbox_slots ~width ~height =
+  List.init width (fun x -> Top x)
+  @ List.init width (fun x -> Bottom x)
+  @ List.init (max 0 (height - 2)) (fun y -> Left (y + 1))
+  @ List.init (max 0 (height - 2)) (fun y -> Right (y + 1))
+
+let switchbox ?(name = "rand-switchbox") ?(min_pins = 2) ?(max_pins = 4) prng
+    ~width ~height ~nets =
+  let pool = ref (all_switchbox_slots ~width ~height) in
+  let nets_slots =
+    List.init nets (fun _ ->
+        take_slots prng pool (Util.Prng.int_in prng min_pins max_pins))
+    |> List.filter (fun s -> List.length s >= 2)
+  in
+  let top, bottom, left, right = switchbox_arrays ~width ~height nets_slots in
+  Netlist.Build.switchbox ~name ~width ~height ~top ~bottom ~left ~right ()
+
+let dense_switchbox ?(name = "dense-switchbox") ?(fill = 0.85) prng ~width
+    ~height =
+  let slots = Array.of_list (all_switchbox_slots ~width ~height) in
+  Util.Prng.shuffle prng slots;
+  let used = int_of_float (fill *. float_of_int (Array.length slots)) in
+  let used = max 4 (used - (used mod 2)) in
+  let rec group i acc =
+    if i + 1 >= used then acc
+    else if i + 2 < used && Util.Prng.chance prng 0.15 then
+      group (i + 3) ([ slots.(i); slots.(i + 1); slots.(i + 2) ] :: acc)
+    else group (i + 2) ([ slots.(i); slots.(i + 1) ] :: acc)
+  in
+  let nets_slots = group 0 [] in
+  let top, bottom, left, right = switchbox_arrays ~width ~height nets_slots in
+  Netlist.Build.switchbox ~name ~width ~height ~top ~bottom ~left ~right ()
+
+(* Routable-by-construction switchboxes: actually route disjoint wires on an
+   empty grid, then forget the wires and keep the endpoints as pins.  A
+   hash-based per-cell cost noise makes the witness wires wiggle, which is
+   what makes the instances hard for one-shot routing. *)
+let routable_switchbox ?(name = "routable-switchbox") ?(fill = 0.9)
+    ?(multi_pin_prob = 0.2) prng ~width ~height =
+  let g = Grid.create ~width ~height in
+  let ws = Maze.Workspace.create g in
+  let slots = Array.of_list (all_switchbox_slots ~width ~height) in
+  Util.Prng.shuffle prng slots;
+  let pin_of_slot = function
+    | Top x -> Netlist.Net.pin ~layer:1 x (height - 1)
+    | Bottom x -> Netlist.Net.pin ~layer:1 x 0
+    | Left y -> Netlist.Net.pin ~layer:0 0 y
+    | Right y -> Netlist.Net.pin ~layer:0 (width - 1) y
+  in
+  (* Reserve every slot cell so witness wires never run over future pins. *)
+  let reserved = Array.length slots + 1 in
+  Array.iter
+    (fun s -> Grid.occupy g ~net:reserved (Maze.Route.pin_node g (pin_of_slot s)))
+    slots;
+  let kept = ref [] in
+  let next_id = ref 0 in
+  let cursor = ref 0 in
+  let pop () =
+    if !cursor >= Array.length slots then None
+    else begin
+      let s = slots.(!cursor) in
+      incr cursor;
+      Some s
+    end
+  in
+  let continue = ref true in
+  while !continue do
+    if Grid.fill_ratio g >= fill then continue := false
+    else begin
+      let k = if Util.Prng.chance prng multi_pin_prob then 3 else 2 in
+      let rec take n acc =
+        if n = 0 then Some (List.rev acc)
+        else match pop () with None -> None | Some s -> take (n - 1) (s :: acc)
+      in
+      match take k [] with
+      | None -> continue := false
+      | Some chosen ->
+          incr next_id;
+          let id = !next_id in
+          let pins = List.map pin_of_slot chosen in
+          let nodes = List.map (Maze.Route.pin_node g) pins in
+          List.iter (Grid.release g) nodes;
+          List.iter (Grid.occupy g ~net:id) nodes;
+          let salt = Util.Prng.int prng 1_000_000 in
+          let noise n = abs ((n * 2654435761) + salt) land 1 in
+          let passable n =
+            let v = Grid.occ g n in
+            if v = Grid.free || v = id then Some (noise n) else None
+          in
+          let net = Netlist.Net.make ~id ~name:(Printf.sprintf "n%d" id) pins in
+          (match
+             Maze.Route.route_net ~passable g ws ~cost:Maze.Cost.default net
+           with
+          | Ok _ -> kept := (id, chosen) :: !kept
+          | Error _ ->
+              (* Unroutable pair at current congestion: put the slots back
+                 under reservation and drop the net. *)
+              List.iter (Grid.release g) nodes;
+              List.iter (Grid.occupy g ~net:reserved) nodes;
+              decr next_id)
+    end
+  done;
+  let nets_slots = List.rev_map snd !kept in
+  let top, bottom, left, right = switchbox_arrays ~width ~height nets_slots in
+  Netlist.Build.switchbox ~name ~width ~height ~top ~bottom ~left ~right ()
+
+(* Macro array with routing alleys: macros evenly spaced, alley width >= 3. *)
+let chip_macros ~width ~height ~macro_cols ~macro_rows =
+  let alley = 3 in
+  let mw = (width - ((macro_cols + 1) * alley)) / macro_cols in
+  let mh = (height - ((macro_rows + 1) * alley)) / macro_rows in
+  if mw < 2 || mh < 2 then
+    invalid_arg "Gen.routable_chip: region too small for the macro array";
+  let rects = ref [] in
+  for r = 0 to macro_rows - 1 do
+    for c = 0 to macro_cols - 1 do
+      let x0 = alley + (c * (mw + alley)) and y0 = alley + (r * (mh + alley)) in
+      rects := Geom.Rect.make x0 y0 (x0 + mw - 1) (y0 + mh - 1) :: !rects
+    done
+  done;
+  List.rev !rects
+
+let routable_chip ?(name = "routable-chip") ?(macro_cols = 3) ?(macro_rows = 2)
+    ?(fill = 0.45) ?(multi_pin_prob = 0.25) prng ~width ~height =
+  let macros = chip_macros ~width ~height ~macro_cols ~macro_rows in
+  let g = Grid.create ~width ~height in
+  List.iter (fun r -> Grid.block_rect g r) macros;
+  let ws = Maze.Workspace.create g in
+  (* Pin slots: free cells hugging a macro edge or on the chip boundary. *)
+  let near_macro x y =
+    List.exists
+      (fun r -> Geom.Rect.mem (Geom.Rect.inflate r 1) x y)
+      macros
+  in
+  let on_boundary x y = x = 0 || y = 0 || x = width - 1 || y = height - 1 in
+  (* Only a fraction of the candidate cells become pin slots: reserving the
+     whole macro ring would wall the alleys off for the witness wires. *)
+  let slots = ref [] in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      if (near_macro x y || on_boundary x y)
+         && Grid.occ_at g ~layer:0 ~x ~y = Grid.free
+         && Util.Prng.chance prng 0.35
+      then slots := (x, y) :: !slots
+    done
+  done;
+  let slots = Array.of_list !slots in
+  Util.Prng.shuffle prng slots;
+  (* Reserve each slot on a random layer; witness wires avoid them. *)
+  let reserved = Array.length slots + 1 in
+  let slot_layer =
+    Array.map
+      (fun (x, y) ->
+        let layer = Util.Prng.int prng Grid.layers in
+        Grid.occupy g ~net:reserved (Grid.node g ~layer ~x ~y);
+        layer)
+      slots
+  in
+  let kept = ref [] in
+  let next_id = ref 0 in
+  let cursor = ref 0 in
+  let pop () =
+    if !cursor >= Array.length slots then None
+    else begin
+      let i = !cursor in
+      incr cursor;
+      Some i
+    end
+  in
+  (* Reserved slot cells are not wiring: measure witness fill without
+     them. *)
+  let wire_fill () =
+    let wired = ref 0 and usable = ref 0 in
+    Grid.iter_nodes g (fun n ->
+        let v = Grid.occ g n in
+        if v <> Grid.obstacle then begin
+          incr usable;
+          if v > 0 && v <> reserved then incr wired
+        end);
+    if !usable = 0 then 1.0 else float_of_int !wired /. float_of_int !usable
+  in
+  let continue = ref true in
+  while !continue do
+    if wire_fill () >= fill then continue := false
+    else begin
+      let k = if Util.Prng.chance prng multi_pin_prob then 3 else 2 in
+      let rec take n acc =
+        if n = 0 then Some (List.rev acc)
+        else match pop () with None -> None | Some i -> take (n - 1) (i :: acc)
+      in
+      match take k [] with
+      | None -> continue := false
+      | Some chosen ->
+          incr next_id;
+          let id = !next_id in
+          let pins =
+            List.map
+              (fun i ->
+                let x, y = slots.(i) in
+                Netlist.Net.pin ~layer:slot_layer.(i) x y)
+              chosen
+          in
+          let nodes = List.map (Maze.Route.pin_node g) pins in
+          List.iter (Grid.release g) nodes;
+          List.iter (Grid.occupy g ~net:id) nodes;
+          let salt = Util.Prng.int prng 1_000_000 in
+          let noise n = abs ((n * 2654435761) + salt) land 1 in
+          let passable n =
+            let v = Grid.occ g n in
+            if v = Grid.free || v = id then Some (noise n) else None
+          in
+          let net = Netlist.Net.make ~id ~name:(Printf.sprintf "n%d" id) pins in
+          (match
+             Maze.Route.route_net ~passable g ws ~cost:Maze.Cost.default net
+           with
+          | Ok _ -> kept := (id, pins) :: !kept
+          | Error _ ->
+              List.iter (Grid.release g) nodes;
+              List.iter (Grid.occupy g ~net:reserved) nodes;
+              decr next_id)
+    end
+  done;
+  let pairs =
+    List.concat_map (fun (id, pins) -> List.map (fun p -> (id, p)) pins) !kept
+  in
+  let obstructions =
+    List.map
+      (fun r -> { Netlist.Problem.obs_layer = None; obs_rect = r })
+      macros
+  in
+  Netlist.Build.of_pins ~name ~kind:Netlist.Problem.Region ~obstructions ~width
+    ~height pairs
+
+let region ?(name = "rand-region") ?(obstacle_rects = 3) ?(min_pins = 2)
+    ?(max_pins = 4) prng ~width ~height ~nets =
+  let obstructions = ref [] in
+  for _ = 1 to obstacle_rects do
+    let rw = Util.Prng.int_in prng 1 (max 1 (width / 4))
+    and rh = Util.Prng.int_in prng 1 (max 1 (height / 4)) in
+    let x0 = Util.Prng.int prng (max 1 (width - rw))
+    and y0 = Util.Prng.int prng (max 1 (height - rh)) in
+    obstructions :=
+      {
+        Netlist.Problem.obs_layer = None;
+        obs_rect = Geom.Rect.make x0 y0 (x0 + rw - 1) (y0 + rh - 1);
+      }
+      :: !obstructions
+  done;
+  let blocked x y =
+    List.exists
+      (fun (o : Netlist.Problem.obstruction) ->
+        Geom.Rect.mem o.Netlist.Problem.obs_rect x y)
+      !obstructions
+  in
+  let free_cells = ref [] in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      if not (blocked x y) then free_cells := (x, y) :: !free_cells
+    done
+  done;
+  let pool = ref !free_cells in
+  let pairs = ref [] in
+  for i = 1 to nets do
+    let k = Util.Prng.int_in prng min_pins max_pins in
+    let slots = take_slots prng pool k in
+    if List.length slots >= 2 then
+      List.iter
+        (fun (x, y) ->
+          let layer = Util.Prng.int prng Grid.layers in
+          pairs := (i, Netlist.Net.pin ~layer x y) :: !pairs)
+        slots
+  done;
+  Netlist.Build.of_pins ~name ~kind:Netlist.Problem.Region
+    ~obstructions:!obstructions ~width ~height !pairs

@@ -1,0 +1,98 @@
+(** Reproducible random problem generators.
+
+    Every generator is a pure function of the supplied {!Util.Prng.t} state,
+    so a fixed seed reproduces the exact benchmark instance.  Congestion is
+    controlled either by net count or by a target channel density. *)
+
+val channel :
+  ?name:string ->
+  ?tracks_slack:int ->
+  ?min_pins:int ->
+  ?max_pins:int ->
+  Util.Prng.t ->
+  columns:int ->
+  nets:int ->
+  Netlist.Problem.t
+(** Random channel: each net receives [min_pins..max_pins] pins (default
+    2..4) on distinct top/bottom column slots.  The track count is the
+    resulting channel density plus [tracks_slack] (default 2). *)
+
+val channel_at_density :
+  ?name:string ->
+  ?tracks_slack:int ->
+  Util.Prng.t ->
+  columns:int ->
+  density:int ->
+  Netlist.Problem.t
+(** Keep adding random 2–4-pin nets until the channel density reaches the
+    target (or no free slot remains). *)
+
+val switchbox :
+  ?name:string ->
+  ?min_pins:int ->
+  ?max_pins:int ->
+  Util.Prng.t ->
+  width:int ->
+  height:int ->
+  nets:int ->
+  Netlist.Problem.t
+(** Random switchbox: pins on distinct boundary slots (corners excluded for
+    the side columns, so a slot is never double-booked). *)
+
+val dense_switchbox :
+  ?name:string ->
+  ?fill:float ->
+  Util.Prng.t ->
+  width:int ->
+  height:int ->
+  Netlist.Problem.t
+(** Hard instance: [fill] (default 0.85) of all boundary slots carry pins,
+    randomly paired into 2–3-pin nets — the profile of the classical
+    "difficult" switchboxes. *)
+
+val routable_switchbox :
+  ?name:string ->
+  ?fill:float ->
+  ?multi_pin_prob:float ->
+  Util.Prng.t ->
+  width:int ->
+  height:int ->
+  Netlist.Problem.t
+(** Hard {e but provably routable} instance: nets are constructed by
+    actually routing wiggly disjoint wires between random boundary slots on
+    an initially empty grid until the boundary slots are
+    exhausted (or the grid is [fill] full, default 0.9), then keeping only
+    the pins.  The discarded wiring is a
+    routability certificate, so a complete router must solve these; a
+    one-shot router usually cannot at high fill.  [multi_pin_prob] is the
+    chance a net gets a third pin (default 0.2). *)
+
+val routable_chip :
+  ?name:string ->
+  ?macro_cols:int ->
+  ?macro_rows:int ->
+  ?fill:float ->
+  ?multi_pin_prob:float ->
+  Util.Prng.t ->
+  width:int ->
+  height:int ->
+  Netlist.Problem.t
+(** Macro-cell chip instance: a [macro_cols × macro_rows] array of macro
+    obstructions (default 3×2) separated by routing alleys, with pins on
+    macro edges and the chip boundary, and nets constructed by routing
+    disjoint witness wires through the alleys (so the instance is provably
+    routable).  The scaling experiment E9 sweeps these. *)
+
+val region :
+  ?name:string ->
+  ?obstacle_rects:int ->
+  ?min_pins:int ->
+  ?max_pins:int ->
+  Util.Prng.t ->
+  width:int ->
+  height:int ->
+  nets:int ->
+  Netlist.Problem.t
+(** Irregular instance: random rectangular both-layer obstructions plus
+    interior pins on random layers, never on obstructions and never
+    double-booked. *)

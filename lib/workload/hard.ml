@@ -1,0 +1,72 @@
+(* Fixed seeds make these instances part of the repository: regenerating
+   them is deterministic, so results are comparable across runs/machines. *)
+
+let deutsch_like ?(tracks_slack = 0) () =
+  let prng = Util.Prng.create 0xD15C in
+  Gen.channel_at_density ~name:"deutsch-like" ~tracks_slack prng ~columns:72
+    ~density:19
+
+(* Seed chosen by sweep: 24 nets on a 23x15 box (the published Burstein
+   profile); the one-shot maze router fails on it under every ordering
+   heuristic while the full router completes it. *)
+let burstein_like () =
+  let prng = Util.Prng.create 7 in
+  Gen.routable_switchbox ~name:"burstein-like" prng ~width:23 ~height:15
+
+(* Found by seed sweep: the smallest suite member on which the one-shot
+   maze router fails under every ordering heuristic, while rip-up completes
+   routing.  The minimal demonstration of the paper's technique. *)
+let tiny_blocked () =
+  let prng = Util.Prng.create 9 in
+  Gen.routable_switchbox ~name:"tiny-blocked" prng ~width:8 ~height:7
+
+(* Vertical-constraint cycle: column 0 wants net 1 above net 2, column 2
+   wants net 2 above net 1.  Dogleg-free channel routers cannot route this
+   at any track count. *)
+let cyclic_channel () =
+  Netlist.Build.channel ~name:"vc-cycle" ~tracks:3
+    ~top:[| 1; 0; 2; 0 |]
+    ~bottom:[| 2; 0; 1; 0 |]
+    ()
+
+(* Net i pins: top at column i-1, bottom at column i -> constraint chain
+   net_1 above net_2 above ... of length n, density only 2. *)
+let staircase_channel n =
+  if n < 2 then invalid_arg "staircase_channel: need at least 2 nets";
+  let top = Array.make (n + 1) 0 and bottom = Array.make (n + 1) 0 in
+  for i = 1 to n do
+    top.(i - 1) <- i;
+    bottom.(i) <- i
+  done;
+  Netlist.Build.channel ~name:"staircase" ~tracks:(n + 2) ~top ~bottom ()
+
+let all_channels () =
+  let fixed name seed columns density slack =
+    ( name,
+      Gen.channel_at_density ~name ~tracks_slack:slack
+        (Util.Prng.create seed) ~columns ~density )
+  in
+  [
+    ("deutsch-like", deutsch_like ());
+    ("vc-cycle", cyclic_channel ());
+    ("staircase-8", staircase_channel 8);
+    fixed "chan-24x8" 11 24 8 0;
+    fixed "chan-40x12" 12 40 12 0;
+    fixed "chan-56x14" 13 56 14 0;
+    fixed "chan-72x16" 14 72 16 0;
+  ]
+
+let all_switchboxes () =
+  let routable name seed w h =
+    ( name,
+      Gen.routable_switchbox ~name (Util.Prng.create seed) ~width:w ~height:h
+    )
+  in
+  [
+    ("burstein-like", burstein_like ());
+    ("tiny-blocked", tiny_blocked ());
+    routable "sb-10x10" 11 10 10;
+    routable "sb-14x12" 14 14 12;
+    routable "sb-18x14" 10 18 14;
+    routable "sb-24x16" 14 24 16;
+  ]

@@ -1,0 +1,39 @@
+(** Fixed "classic-style" benchmark instances.
+
+    The historical benchmark data (Deutsch's difficult channel, Burstein's
+    difficult switchbox) is not available offline; these are fixed-seed
+    synthetic stand-ins calibrated to the published structural
+    characteristics (see DESIGN.md §4).  They are deterministic: every run
+    of the suite routes exactly the same instances. *)
+
+val deutsch_like : ?tracks_slack:int -> unit -> Netlist.Problem.t
+(** 72-column channel at density 19 — the published profile of Deutsch's
+    difficult channel.  [tracks_slack] adds tracks beyond density
+    (default 0: the "route it in density" challenge). *)
+
+val burstein_like : unit -> Netlist.Problem.t
+(** 23 × 15 switchbox with dense boundary pins (24 nets region) — the
+    published profile of Burstein's difficult switchbox. *)
+
+val tiny_blocked : unit -> Netlist.Problem.t
+(** A hand-written 8×7 switchbox on which a one-shot maze router fails for
+    any net order, but a single rip-up (or shove) completes routing — the
+    minimal demonstration of the paper's technique, also used in tests. *)
+
+val cyclic_channel : unit -> Netlist.Problem.t
+(** A hand-written 4-column channel whose vertical constraint graph is
+    cyclic: no dogleg-free channel router can finish it at any track count,
+    while dogleg-capable routers (and the full router) can. *)
+
+val staircase_channel : int -> Netlist.Problem.t
+(** [staircase_channel n] builds [n] 2-pin nets whose vertical constraints
+    form a chain of length [n] while the density stays 2: the classic
+    instance on which dogleg-free track assignment needs ~[n] tracks but a
+    free-form router needs only ~2.  Built with [n + 2] tracks so the
+    baselines have room to demonstrate the gap. *)
+
+val all_channels : unit -> (string * Netlist.Problem.t) list
+(** The channel suite used by experiment E2 (name, problem). *)
+
+val all_switchboxes : unit -> (string * Netlist.Problem.t) list
+(** The switchbox suite used by experiment E1. *)

@@ -1,0 +1,500 @@
+(* Tests for the channel substrate: spec extraction, constraint graphs,
+   left-edge and dogleg routers, solution realisation and the engine
+   adapter. *)
+
+let spec top bottom = { Channel.Model.top; bottom }
+
+let simple_spec () = spec [| 1; 0; 2; 0 |] [| 0; 1; 0; 2 |]
+
+(* --- model --- *)
+
+let test_spec_roundtrip () =
+  let s = simple_spec () in
+  let p = Channel.Model.problem_of_spec ~tracks:3 s in
+  let s' = Channel.Model.spec_of_problem p in
+  Testkit.check_true "top preserved" (s'.Channel.Model.top = s.Channel.Model.top);
+  Testkit.check_true "bottom preserved"
+    (s'.Channel.Model.bottom = s.Channel.Model.bottom)
+
+let test_spec_of_problem_rejects_non_channel () =
+  let p =
+    Netlist.Problem.make ~name:"r" ~width:4 ~height:4
+      [ Netlist.Net.make ~id:1 ~name:"a" [ Netlist.Net.pin 0 0 ] ]
+  in
+  try
+    ignore (Channel.Model.spec_of_problem p);
+    Alcotest.fail "expected rejection"
+  with Invalid_argument _ -> ()
+
+let test_model_queries () =
+  let s = simple_spec () in
+  Testkit.check_int "columns" 4 (Channel.Model.columns s);
+  Testkit.check_true "net ids" (Channel.Model.net_ids s = [ 1; 2 ]);
+  Testkit.check_true "net 1 columns" (Channel.Model.net_columns s ~net:1 = [ 0; 1 ]);
+  Testkit.check_true "net 2 span"
+    (Channel.Model.span s ~net:2 = Some (Geom.Interval.make 2 3));
+  Testkit.check_int "density" 1 (Channel.Model.density s)
+
+let test_density_overlapping () =
+  let s = spec [| 1; 2; 3; 0 |] [| 0; 1; 2; 3 |] in
+  (* spans [0,1], [1,2], [2,3] -> density 2 *)
+  Testkit.check_int "density" 2 (Channel.Model.density s)
+
+let test_realize_detects_conflicts () =
+  let s = simple_spec () in
+  let overlap =
+    {
+      Channel.Model.tracks = 2;
+      hsegs =
+        [
+          { Channel.Model.hnet = 1; track = 1; hspan = Geom.Interval.make 0 2 };
+          { Channel.Model.hnet = 2; track = 1; hspan = Geom.Interval.make 2 3 };
+        ];
+      vsegs = [];
+    }
+  in
+  (match Channel.Model.realize s overlap with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected overlap conflict");
+  let out_of_range =
+    {
+      Channel.Model.tracks = 2;
+      hsegs =
+        [ { Channel.Model.hnet = 1; track = 5; hspan = Geom.Interval.make 0 1 } ];
+      vsegs = [];
+    }
+  in
+  match Channel.Model.realize s out_of_range with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected range conflict"
+
+let test_verify_catches_open_net () =
+  let s = simple_spec () in
+  (* trunks but no branches: pins unconnected *)
+  let sol =
+    {
+      Channel.Model.tracks = 2;
+      hsegs =
+        [
+          { Channel.Model.hnet = 1; track = 2; hspan = Geom.Interval.make 0 1 };
+          { Channel.Model.hnet = 2; track = 1; hspan = Geom.Interval.make 2 3 };
+        ];
+      vsegs = [];
+    }
+  in
+  match Channel.Model.verify s sol with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected open-net failure"
+
+let test_solution_metrics () =
+  let sol =
+    {
+      Channel.Model.tracks = 2;
+      hsegs =
+        [ { Channel.Model.hnet = 1; track = 1; hspan = Geom.Interval.make 0 3 } ];
+      vsegs =
+        [ { Channel.Model.vnet = 1; col = 0; vspan = Geom.Interval.make 0 1 } ];
+    }
+  in
+  Testkit.check_int "wirelength" 4 (Channel.Model.solution_wirelength sol);
+  Testkit.check_int "vias" 1 (Channel.Model.solution_vias sol)
+
+(* --- vcg --- *)
+
+let test_vcg_edges () =
+  let s = spec [| 1; 2 |] [| 2; 1 |] in
+  let g = Channel.Vcg.of_spec s in
+  Testkit.check_int "edges" 2 (Channel.Vcg.edge_count g);
+  Testkit.check_true "cycle" (Channel.Vcg.has_cycle g);
+  Testkit.check_true "parents of 2 include 1"
+    (List.mem 1 (Channel.Vcg.parents g 2))
+
+let test_vcg_acyclic () =
+  let s = spec [| 1; 2; 0 |] [| 0; 1; 2 |] in
+  let g = Channel.Vcg.of_spec s in
+  Testkit.check_false "acyclic" (Channel.Vcg.has_cycle g);
+  Testkit.check_int "chain length" 2 (Channel.Vcg.longest_path g)
+
+let test_vcg_self_edge_ignored () =
+  let s = spec [| 1 |] [| 1 |] in
+  let g = Channel.Vcg.of_spec s in
+  Testkit.check_int "no self edge" 0 (Channel.Vcg.edge_count g);
+  Testkit.check_false "no cycle" (Channel.Vcg.has_cycle g)
+
+let test_vcg_longest_path_cyclic () =
+  let g = Channel.Vcg.create () in
+  Channel.Vcg.add_edge g ~above:1 ~below:2;
+  Channel.Vcg.add_edge g ~above:2 ~below:1;
+  Testkit.check_int "cyclic sentinel" max_int (Channel.Vcg.longest_path g)
+
+(* --- lea --- *)
+
+let test_lea_assign_simple () =
+  let nodes =
+    [ (1, Geom.Interval.make 0 3); (2, Geom.Interval.make 4 7);
+      (3, Geom.Interval.make 2 5) ]
+  in
+  let graph = Channel.Vcg.create () in
+  List.iter (fun (n, _) -> Channel.Vcg.add_node graph n) nodes;
+  (match Channel.Lea.assign ~nodes ~graph ~tracks:2 with
+  | Some assignment ->
+      let t n = List.assoc n assignment in
+      (* 1 and 2 share a track; 3 is alone *)
+      Testkit.check_true "disjoint share" (t 1 = t 2);
+      Testkit.check_true "overlapping split" (t 3 <> t 1)
+  | None -> Alcotest.fail "assign failed");
+  match Channel.Lea.assign ~nodes ~graph ~tracks:1 with
+  | Some _ -> Alcotest.fail "cannot fit in one track"
+  | None -> ()
+
+let test_lea_assign_respects_constraints () =
+  let nodes = [ (1, Geom.Interval.make 0 2); (2, Geom.Interval.make 4 6) ] in
+  let graph = Channel.Vcg.create () in
+  Channel.Vcg.add_edge graph ~above:1 ~below:2;
+  match Channel.Lea.assign ~nodes ~graph ~tracks:2 with
+  | Some assignment ->
+      Testkit.check_true "1 above 2"
+        (List.assoc 1 assignment > List.assoc 2 assignment)
+  | None -> Alcotest.fail "constrained assign failed"
+
+let test_lea_routes_simple_channel () =
+  let s = simple_spec () in
+  match Channel.Lea.route s with
+  | Some sol ->
+      Testkit.check_true "verifies" (Channel.Model.verify s sol = Ok ());
+      Testkit.check_true "at most density+2"
+        (sol.Channel.Model.tracks <= Channel.Model.density s + 2)
+  | None -> Alcotest.fail "lea failed on simple channel"
+
+let test_lea_fails_on_cycle () =
+  let s = Channel.Model.spec_of_problem (Workload.Hard.cyclic_channel ()) in
+  Testkit.check_true "cycle unroutable" (Channel.Lea.route s = None)
+
+let test_lea_staircase_needs_many_tracks () =
+  let s = Channel.Model.spec_of_problem (Workload.Hard.staircase_channel 6) in
+  match Channel.Lea.min_tracks s with
+  | Some t -> Testkit.check_int "staircase tracks = chain length" 6 t
+  | None -> Alcotest.fail "lea failed on staircase"
+
+let test_lea_shapes () =
+  let s = spec [| 1; 2; 1 |] [| 0; 1; 2 |] in
+  (match Channel.Lea.shape_of s ~net:1 with
+  | Channel.Lea.Trunk span ->
+      Testkit.check_true "net1 trunk" (span = Geom.Interval.make 0 2)
+  | Channel.Lea.Trivial | Channel.Lea.Single_column _ ->
+      Alcotest.fail "net1 should be a trunk");
+  let s2 = spec [| 0; 3; 0 |] [| 0; 3; 0 |] in
+  (match Channel.Lea.shape_of s2 ~net:3 with
+  | Channel.Lea.Single_column c -> Testkit.check_int "single column" 1 c
+  | Channel.Lea.Trivial | Channel.Lea.Trunk _ ->
+      Alcotest.fail "should be single column");
+  let s3 = spec [| 4; 0 |] [| 0; 0 |] in
+  match Channel.Lea.shape_of s3 ~net:4 with
+  | Channel.Lea.Trivial -> ()
+  | Channel.Lea.Single_column _ | Channel.Lea.Trunk _ ->
+      Alcotest.fail "single pin is trivial"
+
+let test_lea_single_column_net_routed () =
+  let s = spec [| 1; 2; 1 |] [| 0; 2; 0 |] in
+  (* net 2 has top and bottom pins in column 1 *)
+  match Channel.Lea.route s with
+  | Some sol -> Testkit.check_true "verifies" (Channel.Model.verify s sol = Ok ())
+  | None -> Alcotest.fail "single-column channel failed"
+
+(* --- dogleg --- *)
+
+let test_dogleg_subnet_count () =
+  let s = spec [| 1; 1; 1; 2 |] [| 0; 0; 2; 1 |] in
+  (* net 1 columns {0,1,2,3} -> 3 subnets; net 2 columns {2,3} -> 1 *)
+  Testkit.check_int "subnets" 4 (Channel.Dogleg.subnet_count s)
+
+let test_dogleg_no_worse_than_lea () =
+  List.iter
+    (fun (_, p) ->
+      let s = Channel.Model.spec_of_problem p in
+      match (Channel.Lea.min_tracks s, Channel.Dogleg.min_tracks s) with
+      | Some lea, Some dog -> Testkit.check_true "dogleg <= lea" (dog <= lea)
+      | None, _ -> () (* lea failed: dogleg free to do anything *)
+      | Some _, None -> Alcotest.fail "dogleg failed where lea succeeded")
+    (Workload.Hard.all_channels ())
+
+let test_dogleg_solutions_verify () =
+  List.iter
+    (fun (_, p) ->
+      let s = Channel.Model.spec_of_problem p in
+      match Channel.Dogleg.route s with
+      | Some sol ->
+          Testkit.check_true "dogleg solution verifies"
+            (Channel.Model.verify s sol = Ok ())
+      | None -> ())
+    (Workload.Hard.all_channels ())
+
+let test_dogleg_breaks_multipin_cycle () =
+  (* Net-level cycle through a 3-pin net that doglegging resolves:
+     col0: top 1 / bottom 2; col2: top 2 / bottom 1, with net 1 having an
+     extra pin at col 1 so its subnets split there. *)
+  let s = spec [| 1; 1; 2 |] [| 2; 0; 1 |] in
+  Testkit.check_true "lea fails (net cycle)" (Channel.Lea.route s = None);
+  match Channel.Dogleg.route s with
+  | Some sol -> Testkit.check_true "verifies" (Channel.Model.verify s sol = Ok ())
+  | None -> Alcotest.fail "dogleg should break the cycle"
+
+(* --- greedy --- *)
+
+let test_greedy_simple_channel () =
+  let s = simple_spec () in
+  match Channel.Greedy.route s with
+  | Some sol ->
+      Testkit.check_true "verifies" (Channel.Model.verify s sol = Ok ());
+      Testkit.check_true "near density"
+        (sol.Channel.Model.tracks <= Channel.Model.density s + 2)
+  | None -> Alcotest.fail "greedy failed on simple channel"
+
+let test_greedy_routes_cycle () =
+  (* Greedy does not reason about vertical constraints, so cycles are just
+     another channel to it. *)
+  let s = Channel.Model.spec_of_problem (Workload.Hard.cyclic_channel ()) in
+  match Channel.Greedy.route_padded s with
+  | Some (padded, sol) ->
+      Testkit.check_true "verifies" (Channel.Model.verify padded sol = Ok ())
+  | None -> Alcotest.fail "greedy should route the cycle"
+
+let test_greedy_single_column_net () =
+  let s = spec [| 1; 2; 1 |] [| 0; 2; 0 |] in
+  match Channel.Greedy.route s with
+  | Some sol -> Testkit.check_true "verifies" (Channel.Model.verify s sol = Ok ())
+  | None -> Alcotest.fail "greedy failed on single-column net"
+
+let test_greedy_suite_with_extension () =
+  List.iter
+    (fun (name, p) ->
+      let s = Channel.Model.spec_of_problem p in
+      match Channel.Greedy.route_padded s with
+      | Some (padded, sol) ->
+          Testkit.check_true
+            (Printf.sprintf "%s greedy solution verifies" name)
+            (Channel.Model.verify padded sol = Ok ());
+          Testkit.check_true "bounded extension"
+            (Channel.Greedy.extension_used ~original:s padded <= 6)
+      | None -> Alcotest.failf "greedy failed on %s" name)
+    (Workload.Hard.all_channels ())
+
+let test_greedy_respects_density_bound () =
+  let s = Channel.Model.spec_of_problem (Workload.Hard.deutsch_like ()) in
+  match Channel.Greedy.min_tracks s with
+  | Some t -> Testkit.check_true "at least density" (t >= Channel.Model.density s)
+  | None -> Alcotest.fail "greedy failed on deutsch-like"
+
+let test_greedy_tracks_never_negative_extension () =
+  let s = simple_spec () in
+  Testkit.check_int "no padding needed" 0
+    (Channel.Greedy.extension_used ~original:s s)
+
+let prop_greedy_verify_random =
+  Testkit.qcheck ~count:20 "random channels: greedy solutions verify"
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let prng = Util.Prng.create seed in
+      let p =
+        Workload.Gen.channel prng ~columns:(Util.Prng.int_in prng 8 24)
+          ~nets:(Util.Prng.int_in prng 3 10)
+      in
+      let s = Channel.Model.spec_of_problem p in
+      match Channel.Greedy.route_padded s with
+      | Some (padded, sol) -> Channel.Model.verify padded sol = Ok ()
+      | None -> true)
+
+(* --- yacr --- *)
+
+let test_yacr_simple_channel () =
+  let s = simple_spec () in
+  match Channel.Yacr.route s with
+  | Some (problem, g) ->
+      Testkit.check_true "clean" (Drc.Check.is_clean problem g);
+      Testkit.check_true "near density"
+        (problem.Netlist.Problem.height - 2 <= Channel.Model.density s + 2)
+  | None -> Alcotest.fail "yacr failed on simple channel"
+
+let test_yacr_routes_cycle_at_density () =
+  let s = Channel.Model.spec_of_problem (Workload.Hard.cyclic_channel ()) in
+  match Channel.Yacr.min_tracks s with
+  | Some t -> Testkit.check_int "density" (Channel.Model.density s) t
+  | None -> Alcotest.fail "yacr should route the cycle"
+
+let test_yacr_suite () =
+  List.iter
+    (fun (name, p) ->
+      let s = Channel.Model.spec_of_problem p in
+      match Channel.Yacr.route s with
+      | Some (problem, g) ->
+          Testkit.check_true
+            (Printf.sprintf "%s yacr result clean" name)
+            (Drc.Check.is_clean problem g)
+      | None -> Alcotest.failf "yacr failed on %s" name)
+    (Workload.Hard.all_channels ())
+
+let test_yacr_single_column_net () =
+  let s = spec [| 1; 2; 1 |] [| 0; 2; 0 |] in
+  match Channel.Yacr.route s with
+  | Some (problem, g) -> Testkit.check_true "clean" (Drc.Check.is_clean problem g)
+  | None -> Alcotest.fail "yacr failed on single-column net"
+
+let test_yacr_never_below_density () =
+  let s = Channel.Model.spec_of_problem (Workload.Hard.deutsch_like ()) in
+  match Channel.Yacr.min_tracks s with
+  | Some t -> Testkit.check_true "at least density" (t >= Channel.Model.density s)
+  | None -> Alcotest.fail "yacr failed on deutsch-like"
+
+let prop_yacr_results_clean =
+  Testkit.qcheck ~count:15 "random channels: yacr results are DRC clean"
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let prng = Util.Prng.create seed in
+      let p =
+        Workload.Gen.channel prng ~columns:(Util.Prng.int_in prng 8 20)
+          ~nets:(Util.Prng.int_in prng 3 8)
+      in
+      let s = Channel.Model.spec_of_problem p in
+      match Channel.Yacr.route s with
+      | Some (problem, g) -> Drc.Check.is_clean problem g
+      | None -> true)
+
+(* --- adapter --- *)
+
+let test_adapter_routes_at_density () =
+  let s = simple_spec () in
+  match Channel.Adapter.min_tracks s with
+  | Some (tracks, result) ->
+      Testkit.check_true "completed" result.Router.Engine.completed;
+      Testkit.check_int "density tracks" (Channel.Model.density s) tracks
+  | None -> Alcotest.fail "adapter failed"
+
+let test_adapter_beats_baselines_on_cycle () =
+  let s = Channel.Model.spec_of_problem (Workload.Hard.cyclic_channel ()) in
+  Testkit.check_true "lea fails" (Channel.Lea.min_tracks s = None);
+  Testkit.check_true "dogleg fails" (Channel.Dogleg.min_tracks s = None);
+  match Channel.Adapter.min_tracks s with
+  | Some (tracks, _) -> Testkit.check_true "close to density" (tracks <= 4)
+  | None -> Alcotest.fail "full router should route the cycle"
+
+let test_adapter_staircase_near_density () =
+  let s = Channel.Model.spec_of_problem (Workload.Hard.staircase_channel 6) in
+  match Channel.Adapter.min_tracks s with
+  | Some (tracks, _) ->
+      Testkit.check_true "much better than chain length" (tracks <= 4)
+  | None -> Alcotest.fail "adapter failed on staircase"
+
+let prop_lea_dogleg_verify_random =
+  Testkit.qcheck ~count:20 "random channels: baseline solutions verify"
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let prng = Util.Prng.create seed in
+      let p =
+        Workload.Gen.channel prng ~columns:(Util.Prng.int_in prng 8 24)
+          ~nets:(Util.Prng.int_in prng 3 10)
+      in
+      let s = Channel.Model.spec_of_problem p in
+      let ok_lea =
+        match Channel.Lea.route s with
+        | Some sol -> Channel.Model.verify s sol = Ok ()
+        | None -> true
+      in
+      let ok_dog =
+        match Channel.Dogleg.route s with
+        | Some sol -> Channel.Model.verify s sol = Ok ()
+        | None -> true
+      in
+      ok_lea && ok_dog)
+
+let prop_density_lower_bound =
+  Testkit.qcheck ~count:20 "solutions never beat the density lower bound"
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let prng = Util.Prng.create seed in
+      let p =
+        Workload.Gen.channel prng ~columns:(Util.Prng.int_in prng 8 20)
+          ~nets:(Util.Prng.int_in prng 3 8)
+      in
+      let s = Channel.Model.spec_of_problem p in
+      let d = Channel.Model.density s in
+      match Channel.Dogleg.min_tracks s with
+      | Some t -> t >= d
+      | None -> true)
+
+let () =
+  Alcotest.run "channel"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "spec roundtrip" `Quick test_spec_roundtrip;
+          Alcotest.test_case "rejects non-channel" `Quick
+            test_spec_of_problem_rejects_non_channel;
+          Alcotest.test_case "queries" `Quick test_model_queries;
+          Alcotest.test_case "density overlap" `Quick test_density_overlapping;
+          Alcotest.test_case "realize conflicts" `Quick test_realize_detects_conflicts;
+          Alcotest.test_case "verify open net" `Quick test_verify_catches_open_net;
+          Alcotest.test_case "solution metrics" `Quick test_solution_metrics;
+        ] );
+      ( "vcg",
+        [
+          Alcotest.test_case "edges and cycle" `Quick test_vcg_edges;
+          Alcotest.test_case "acyclic chain" `Quick test_vcg_acyclic;
+          Alcotest.test_case "self edge ignored" `Quick test_vcg_self_edge_ignored;
+          Alcotest.test_case "longest path cyclic" `Quick test_vcg_longest_path_cyclic;
+        ] );
+      ( "lea",
+        [
+          Alcotest.test_case "assign simple" `Quick test_lea_assign_simple;
+          Alcotest.test_case "assign constrained" `Quick
+            test_lea_assign_respects_constraints;
+          Alcotest.test_case "routes simple channel" `Quick
+            test_lea_routes_simple_channel;
+          Alcotest.test_case "fails on cycle" `Quick test_lea_fails_on_cycle;
+          Alcotest.test_case "staircase cost" `Quick
+            test_lea_staircase_needs_many_tracks;
+          Alcotest.test_case "shapes" `Quick test_lea_shapes;
+          Alcotest.test_case "single-column net" `Quick
+            test_lea_single_column_net_routed;
+        ] );
+      ( "dogleg",
+        [
+          Alcotest.test_case "subnet count" `Quick test_dogleg_subnet_count;
+          Alcotest.test_case "no worse than lea" `Slow test_dogleg_no_worse_than_lea;
+          Alcotest.test_case "solutions verify" `Slow test_dogleg_solutions_verify;
+          Alcotest.test_case "breaks multipin cycle" `Quick
+            test_dogleg_breaks_multipin_cycle;
+        ] );
+      ( "greedy",
+        [
+          Alcotest.test_case "simple channel" `Quick test_greedy_simple_channel;
+          Alcotest.test_case "routes cycle" `Quick test_greedy_routes_cycle;
+          Alcotest.test_case "single-column net" `Quick
+            test_greedy_single_column_net;
+          Alcotest.test_case "suite with extension" `Slow
+            test_greedy_suite_with_extension;
+          Alcotest.test_case "density bound" `Quick
+            test_greedy_respects_density_bound;
+          Alcotest.test_case "zero extension" `Quick
+            test_greedy_tracks_never_negative_extension;
+          prop_greedy_verify_random;
+        ] );
+      ( "yacr",
+        [
+          Alcotest.test_case "simple channel" `Quick test_yacr_simple_channel;
+          Alcotest.test_case "cycle at density" `Quick test_yacr_routes_cycle_at_density;
+          Alcotest.test_case "suite" `Slow test_yacr_suite;
+          Alcotest.test_case "single-column net" `Quick test_yacr_single_column_net;
+          Alcotest.test_case "density bound" `Quick test_yacr_never_below_density;
+          prop_yacr_results_clean;
+        ] );
+      ( "adapter",
+        [
+          Alcotest.test_case "routes at density" `Quick test_adapter_routes_at_density;
+          Alcotest.test_case "beats baselines on cycle" `Quick
+            test_adapter_beats_baselines_on_cycle;
+          Alcotest.test_case "staircase near density" `Quick
+            test_adapter_staircase_near_density;
+          prop_lea_dogleg_verify_random;
+          prop_density_lower_bound;
+        ] );
+    ]

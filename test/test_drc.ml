@@ -1,0 +1,205 @@
+(* Tests for the verifier: every violation class must be detected, clean
+   layouts must pass, and the connectivity count must be exact. *)
+
+let pin = Netlist.Net.pin
+
+let two_net_problem () =
+  Netlist.Problem.make ~name:"d" ~width:8 ~height:6
+    [
+      Netlist.Net.make ~id:1 ~name:"a" [ pin 0 0; pin 5 0 ];
+      Netlist.Net.make ~id:2 ~name:"b" [ pin ~layer:1 2 2; pin ~layer:1 2 5 ];
+    ]
+
+let route_net_1 g =
+  for x = 1 to 4 do
+    Grid.occupy g ~net:1 (Grid.node g ~layer:0 ~x ~y:0)
+  done
+
+let route_net_2 g =
+  for y = 3 to 4 do
+    Grid.occupy g ~net:2 (Grid.node g ~layer:1 ~x:2 ~y)
+  done
+
+let test_clean_layout () =
+  let p = two_net_problem () in
+  let g = Netlist.Problem.instantiate p in
+  route_net_1 g;
+  route_net_2 g;
+  Testkit.check_true "clean" (Drc.Check.is_clean p g);
+  Testkit.check_true "explain empty" (Drc.Check.explain (Drc.Check.check p g) = "")
+
+let test_detects_open_net () =
+  let p = two_net_problem () in
+  let g = Netlist.Problem.instantiate p in
+  route_net_1 g;
+  (* net 2 left unrouted: two components *)
+  let violations = Drc.Check.check p g in
+  Testkit.check_true "open net reported"
+    (List.exists
+       (function
+         | Drc.Check.Net_disconnected { net = 2; components = 2 } -> true
+         | Drc.Check.Net_disconnected _ | Drc.Check.Pin_not_owned _
+         | Drc.Check.Via_mismatch _ | Drc.Check.Wire_on_obstruction _ ->
+             false)
+       violations)
+
+let test_detects_floating_wire () =
+  let p = two_net_problem () in
+  let g = Netlist.Problem.instantiate p in
+  route_net_1 g;
+  route_net_2 g;
+  (* A stray cell of net 1 far from its tree. *)
+  Grid.occupy g ~net:1 (Grid.node g ~layer:0 ~x:7 ~y:5);
+  let violations = Drc.Check.check p g in
+  Testkit.check_true "floating wire reported"
+    (List.exists
+       (function
+         | Drc.Check.Net_disconnected { net = 1; components = 2 } -> true
+         | Drc.Check.Net_disconnected _ | Drc.Check.Pin_not_owned _
+         | Drc.Check.Via_mismatch _ | Drc.Check.Wire_on_obstruction _ ->
+             false)
+       violations)
+
+let test_stacked_without_via_disconnected () =
+  (* Same net on both layers of a cell but no via: the layers are NOT
+     connected there. *)
+  let p =
+    Netlist.Problem.make ~name:"v" ~width:4 ~height:4
+      [ Netlist.Net.make ~id:1 ~name:"a" [ pin 0 0; pin ~layer:1 0 0 ] ]
+  in
+  let g = Netlist.Problem.instantiate p in
+  let violations = Drc.Check.check p g in
+  Testkit.check_true "stack without via disconnected"
+    (List.exists
+       (function
+         | Drc.Check.Net_disconnected { net = 1; components = 2 } -> true
+         | Drc.Check.Net_disconnected _ | Drc.Check.Pin_not_owned _
+         | Drc.Check.Via_mismatch _ | Drc.Check.Wire_on_obstruction _ ->
+             false)
+       violations);
+  Grid.set_via g ~x:0 ~y:0;
+  Testkit.check_true "via connects" (Drc.Check.is_clean p g)
+
+let test_detects_wire_on_obstruction () =
+  (* Build the grid separately so the obstruction exists only in the problem
+     description. *)
+  let p =
+    Netlist.Problem.make ~name:"o" ~width:6 ~height:4
+      ~obstructions:
+        [
+          {
+            Netlist.Problem.obs_layer = Some 0;
+            obs_rect = Geom.Rect.make 3 1 3 1;
+          };
+        ]
+      [ Netlist.Net.make ~id:1 ~name:"a" [ pin 0 1; pin 5 1 ] ]
+  in
+  let g = Grid.create ~width:6 ~height:4 in
+  for x = 0 to 5 do
+    Grid.occupy g ~net:1 (Grid.node g ~layer:0 ~x ~y:1)
+  done;
+  let violations = Drc.Check.check p g in
+  Testkit.check_true "obstruction violation"
+    (List.exists
+       (function
+         | Drc.Check.Wire_on_obstruction { net = 1; layer = 0; x = 3; y = 1 } ->
+             true
+         | Drc.Check.Wire_on_obstruction _ | Drc.Check.Net_disconnected _
+         | Drc.Check.Pin_not_owned _ | Drc.Check.Via_mismatch _ ->
+             false)
+       violations)
+
+let test_detects_missing_pin () =
+  let p = two_net_problem () in
+  (* Fresh grid without pin occupancy. *)
+  let g = Grid.create ~width:8 ~height:6 in
+  let violations = Drc.Check.check p g in
+  let missing_pins =
+    List.length
+      (List.filter
+         (function
+           | Drc.Check.Pin_not_owned _ -> true
+           | Drc.Check.Net_disconnected _ | Drc.Check.Via_mismatch _
+           | Drc.Check.Wire_on_obstruction _ ->
+               false)
+         violations)
+  in
+  Testkit.check_int "all pins missing" 4 missing_pins
+
+let test_via_mismatch_reported () =
+  (* Hand-build a grid with an inconsistent via flag via a legal sequence:
+     net 1 owns both layers, via set, then one layer is taken over after
+     release. *)
+  let p =
+    Netlist.Problem.make ~name:"vm" ~width:4 ~height:4
+      [
+        Netlist.Net.make ~id:1 ~name:"a" [ pin 1 1 ];
+        Netlist.Net.make ~id:2 ~name:"b" [ pin 2 2 ];
+      ]
+  in
+  let g = Netlist.Problem.instantiate p in
+  Grid.occupy g ~net:1 (Grid.node g ~layer:0 ~x:0 ~y:0);
+  Grid.occupy g ~net:1 (Grid.node g ~layer:1 ~x:0 ~y:0);
+  Grid.set_via g ~x:0 ~y:0;
+  (* Simulate a buggy router: replace one layer without clearing the via.
+     Grid.release clears it, so poke occupancy through a copy trick is not
+     available — instead check that a via over free cells reports. *)
+  Grid.release g (Grid.node g ~layer:0 ~x:0 ~y:0);
+  (* release cleared the via; set up the mismatch differently *)
+  Grid.occupy g ~net:2 (Grid.node g ~layer:0 ~x:0 ~y:0);
+  Testkit.check_false "no via now" (Grid.has_via g ~x:0 ~y:0);
+  (* The grid API cannot express a mismatched via, which is itself the
+     guarantee; verify is_clean flags disconnection instead. *)
+  Testkit.check_false "nets 1/2 have issues" (Drc.Check.is_clean p g)
+
+let test_nets_filter () =
+  let p = two_net_problem () in
+  let g = Netlist.Problem.instantiate p in
+  route_net_1 g;
+  (* net 2 unrouted, but we only check net 1 *)
+  Testkit.check_true "filtered clean" (Drc.Check.is_clean ~nets:[ 1 ] p g);
+  Testkit.check_false "full check fails" (Drc.Check.is_clean p g)
+
+let test_connected_components_counts () =
+  let g = Grid.create ~width:6 ~height:4 in
+  Testkit.check_int "no cells" 0 (Drc.Check.connected_components g ~net:1);
+  Grid.occupy g ~net:1 (Grid.node g ~layer:0 ~x:0 ~y:0);
+  Testkit.check_int "one cell" 1 (Drc.Check.connected_components g ~net:1);
+  Grid.occupy g ~net:1 (Grid.node g ~layer:0 ~x:1 ~y:0);
+  Testkit.check_int "joined pair" 1 (Drc.Check.connected_components g ~net:1);
+  Grid.occupy g ~net:1 (Grid.node g ~layer:0 ~x:3 ~y:3);
+  Testkit.check_int "two components" 2 (Drc.Check.connected_components g ~net:1);
+  (* Diagonal adjacency does not connect. *)
+  Grid.occupy g ~net:1 (Grid.node g ~layer:0 ~x:2 ~y:1);
+  Testkit.check_int "diagonal not connected" 3
+    (Drc.Check.connected_components g ~net:1)
+
+let test_pp_violation_output () =
+  let s =
+    Format.asprintf "%a" Drc.Check.pp_violation
+      (Drc.Check.Net_disconnected { net = 3; components = 2 })
+  in
+  Testkit.check_true "mentions net" (String.length s > 0);
+  let s2 =
+    Format.asprintf "%a" Drc.Check.pp_violation
+      (Drc.Check.Via_mismatch { x = 1; y = 2 })
+  in
+  Testkit.check_true "mentions via" (String.length s2 > 0)
+
+let () =
+  Alcotest.run "drc"
+    [
+      ( "check",
+        [
+          Alcotest.test_case "clean layout" `Quick test_clean_layout;
+          Alcotest.test_case "open net" `Quick test_detects_open_net;
+          Alcotest.test_case "floating wire" `Quick test_detects_floating_wire;
+          Alcotest.test_case "stack needs via" `Quick test_stacked_without_via_disconnected;
+          Alcotest.test_case "wire on obstruction" `Quick test_detects_wire_on_obstruction;
+          Alcotest.test_case "missing pins" `Quick test_detects_missing_pin;
+          Alcotest.test_case "via invariants" `Quick test_via_mismatch_reported;
+          Alcotest.test_case "nets filter" `Quick test_nets_filter;
+          Alcotest.test_case "component counts" `Quick test_connected_components_counts;
+          Alcotest.test_case "violation printing" `Quick test_pp_violation_output;
+        ] );
+    ]

@@ -1,0 +1,334 @@
+(* Tests for geometry primitives: points, directions, intervals,
+   rectangles. *)
+
+let interval_gen =
+  QCheck2.Gen.(
+    map
+      (fun (a, b) -> Geom.Interval.make a b)
+      (pair (int_range (-50) 50) (int_range (-50) 50)))
+
+(* --- points --- *)
+
+let test_point_basics () =
+  let p = Geom.Point.make 2 3 and q = Geom.Point.make 5 1 in
+  Testkit.check_true "equal self" (Geom.Point.equal p p);
+  Testkit.check_false "distinct" (Geom.Point.equal p q);
+  Testkit.check_int "manhattan" 5 (Geom.Point.manhattan p q);
+  Testkit.check_int "chebyshev" 3 (Geom.Point.chebyshev p q);
+  Testkit.check_true "add"
+    (Geom.Point.equal (Geom.Point.add p q) (Geom.Point.make 7 4));
+  Testkit.check_true "sub"
+    (Geom.Point.equal (Geom.Point.sub q p) (Geom.Point.make 3 (-2)))
+
+let test_point_adjacent () =
+  let p = Geom.Point.make 0 0 in
+  Testkit.check_true "east adjacent" (Geom.Point.adjacent p (Geom.Point.make 1 0));
+  Testkit.check_true "north adjacent" (Geom.Point.adjacent p (Geom.Point.make 0 1));
+  Testkit.check_false "self" (Geom.Point.adjacent p p);
+  Testkit.check_false "diagonal" (Geom.Point.adjacent p (Geom.Point.make 1 1))
+
+let test_point_compare_total () =
+  let pts =
+    [ Geom.Point.make 1 2; Geom.Point.make 0 9; Geom.Point.make 1 0 ]
+  in
+  let sorted = List.sort Geom.Point.compare pts in
+  Testkit.check_true "sorted lexicographically"
+    (sorted
+    = [ Geom.Point.make 0 9; Geom.Point.make 1 0; Geom.Point.make 1 2 ])
+
+(* --- directions --- *)
+
+let test_dir_roundtrip () =
+  List.iter
+    (fun d ->
+      let dx, dy = Geom.Dir.delta d in
+      Testkit.check_true "of_step inverts delta"
+        (Geom.Dir.of_step dx dy = Some d))
+    Geom.Dir.all
+
+let test_dir_opposite_involution () =
+  List.iter
+    (fun d ->
+      Testkit.check_true "opposite twice"
+        (Geom.Dir.opposite (Geom.Dir.opposite d) = d);
+      let dx, dy = Geom.Dir.delta d in
+      let ox, oy = Geom.Dir.delta (Geom.Dir.opposite d) in
+      Testkit.check_true "deltas cancel" (dx + ox = 0 && dy + oy = 0))
+    Geom.Dir.all
+
+let test_dir_orientation () =
+  Testkit.check_true "east horizontal" (Geom.Dir.is_horizontal Geom.Dir.East);
+  Testkit.check_true "north vertical" (Geom.Dir.is_vertical Geom.Dir.North);
+  List.iter
+    (fun d ->
+      let a, b = Geom.Dir.perpendicular d in
+      Testkit.check_true "perp differs"
+        (Geom.Dir.is_horizontal a <> Geom.Dir.is_horizontal d
+        && Geom.Dir.is_horizontal b <> Geom.Dir.is_horizontal d))
+    Geom.Dir.all
+
+let test_dir_of_step_invalid () =
+  Testkit.check_true "zero step" (Geom.Dir.of_step 0 0 = None);
+  Testkit.check_true "diagonal" (Geom.Dir.of_step 1 1 = None);
+  Testkit.check_true "long step" (Geom.Dir.of_step 2 0 = None)
+
+(* --- intervals --- *)
+
+let test_interval_make_normalises () =
+  let i = Geom.Interval.make 7 3 in
+  Testkit.check_int "lo" 3 i.Geom.Interval.lo;
+  Testkit.check_int "hi" 7 i.Geom.Interval.hi;
+  Testkit.check_int "length" 5 (Geom.Interval.length i)
+
+let test_interval_overlap () =
+  let mk = Geom.Interval.make in
+  Testkit.check_true "share endpoint" (Geom.Interval.overlap (mk 0 3) (mk 3 5));
+  Testkit.check_false "disjoint" (Geom.Interval.overlap (mk 0 2) (mk 3 5));
+  Testkit.check_true "adjacent touches"
+    (Geom.Interval.touch_or_overlap (mk 0 2) (mk 3 5));
+  Testkit.check_false "gap does not touch"
+    (Geom.Interval.touch_or_overlap (mk 0 2) (mk 4 5))
+
+let test_interval_set_ops () =
+  let mk = Geom.Interval.make in
+  Testkit.check_true "intersection"
+    (Geom.Interval.intersection (mk 0 5) (mk 3 9) = Some (mk 3 5));
+  Testkit.check_true "empty intersection"
+    (Geom.Interval.intersection (mk 0 2) (mk 5 9) = None);
+  Testkit.check_true "hull" (Geom.Interval.hull (mk 0 2) (mk 5 9) = mk 0 9);
+  Testkit.check_true "contains" (Geom.Interval.contains (mk 0 9) (mk 3 5));
+  Testkit.check_false "not contains" (Geom.Interval.contains (mk 3 5) (mk 0 9));
+  Testkit.check_true "shift" (Geom.Interval.shift (mk 1 2) 3 = mk 4 5)
+
+let test_max_clique_known () =
+  let mk = Geom.Interval.make in
+  Testkit.check_int "empty" 0 (Geom.Interval.max_clique []);
+  Testkit.check_int "single" 1 (Geom.Interval.max_clique [ mk 0 5 ]);
+  Testkit.check_int "nested" 3
+    (Geom.Interval.max_clique [ mk 0 9; mk 1 8; mk 2 3 ]);
+  Testkit.check_int "chain" 2
+    (Geom.Interval.max_clique [ mk 0 2; mk 2 4; mk 4 6 ]);
+  Testkit.check_int "disjoint" 1
+    (Geom.Interval.max_clique [ mk 0 1; mk 3 4; mk 6 7 ])
+
+let prop_max_clique_vs_pointwise =
+  Testkit.qcheck "max_clique equals max pointwise coverage"
+    QCheck2.Gen.(list_size (int_range 0 20) interval_gen)
+    (fun intervals ->
+      let naive =
+        let best = ref 0 in
+        for x = -60 to 60 do
+          let c =
+            List.length (List.filter (Geom.Interval.mem x) intervals)
+          in
+          if c > !best then best := c
+        done;
+        !best
+      in
+      Geom.Interval.max_clique intervals = naive)
+
+let prop_overlap_symmetric =
+  Testkit.qcheck "overlap is symmetric"
+    QCheck2.Gen.(pair interval_gen interval_gen)
+    (fun (a, b) -> Geom.Interval.overlap a b = Geom.Interval.overlap b a)
+
+let prop_hull_contains =
+  Testkit.qcheck "hull contains both"
+    QCheck2.Gen.(pair interval_gen interval_gen)
+    (fun (a, b) ->
+      let h = Geom.Interval.hull a b in
+      Geom.Interval.contains h a && Geom.Interval.contains h b)
+
+(* --- rectangles --- *)
+
+let test_rect_make_normalises () =
+  let r = Geom.Rect.make 5 7 2 3 in
+  Testkit.check_int "x0" 2 r.Geom.Rect.x0;
+  Testkit.check_int "y1" 7 r.Geom.Rect.y1;
+  Testkit.check_int "width" 4 (Geom.Rect.width r);
+  Testkit.check_int "height" 5 (Geom.Rect.height r);
+  Testkit.check_int "area" 20 (Geom.Rect.area r);
+  Testkit.check_int "half perimeter" 7 (Geom.Rect.half_perimeter r)
+
+let test_rect_membership () =
+  let r = Geom.Rect.make 0 0 3 3 in
+  Testkit.check_true "corner in" (Geom.Rect.mem r 3 3);
+  Testkit.check_false "outside" (Geom.Rect.mem r 4 0);
+  Testkit.check_true "point in"
+    (Geom.Rect.mem_point r (Geom.Point.make 1 2))
+
+let test_rect_ops () =
+  let a = Geom.Rect.make 0 0 4 4 and b = Geom.Rect.make 3 3 6 6 in
+  Testkit.check_true "overlap" (Geom.Rect.overlap a b);
+  Testkit.check_true "intersection"
+    (Geom.Rect.intersection a b = Some (Geom.Rect.make 3 3 4 4));
+  Testkit.check_true "hull" (Geom.Rect.hull a b = Geom.Rect.make 0 0 6 6);
+  Testkit.check_true "no overlap"
+    (Geom.Rect.intersection a (Geom.Rect.make 5 5 6 6) = None);
+  Testkit.check_true "contains" (Geom.Rect.contains a (Geom.Rect.make 1 1 2 2));
+  Testkit.check_true "inflate"
+    (Geom.Rect.inflate a 1 = Geom.Rect.make (-1) (-1) 5 5)
+
+let test_rect_hull_points () =
+  Testkit.check_true "empty" (Geom.Rect.hull_points [] = None);
+  let pts = [ Geom.Point.make 1 5; Geom.Point.make 4 0; Geom.Point.make 2 2 ] in
+  Testkit.check_true "bounding box"
+    (Geom.Rect.hull_points pts = Some (Geom.Rect.make 1 0 4 5))
+
+let test_rect_iter_count () =
+  let r = Geom.Rect.make 0 0 2 3 in
+  let count = ref 0 in
+  Geom.Rect.iter r (fun _ _ -> incr count);
+  Testkit.check_int "iter visits area" (Geom.Rect.area r) !count
+
+let rect_gen =
+  QCheck2.Gen.(
+    map
+      (fun (a, b, c, d) -> Geom.Rect.make a b c d)
+      (quad (int_range (-20) 20) (int_range (-20) 20) (int_range (-20) 20)
+         (int_range (-20) 20)))
+
+let prop_rect_intersection_subset =
+  Testkit.qcheck "intersection contained in both"
+    QCheck2.Gen.(pair rect_gen rect_gen)
+    (fun (a, b) ->
+      match Geom.Rect.intersection a b with
+      | None -> not (Geom.Rect.overlap a b)
+      | Some i -> Geom.Rect.contains a i && Geom.Rect.contains b i)
+
+let prop_rect_hull_superset =
+  Testkit.qcheck "hull contains both"
+    QCheck2.Gen.(pair rect_gen rect_gen)
+    (fun (a, b) ->
+      let h = Geom.Rect.hull a b in
+      Geom.Rect.contains h a && Geom.Rect.contains h b)
+
+(* --- outlines --- *)
+
+let test_outline_membership () =
+  let o = Geom.Outline.l_shape ~width:10 ~height:8 ~notch_w:4 ~notch_h:3 in
+  Testkit.check_true "inside main" (Geom.Outline.mem o 0 0);
+  Testkit.check_true "inside arm" (Geom.Outline.mem o 2 7);
+  Testkit.check_false "inside notch" (Geom.Outline.mem o 9 7);
+  Testkit.check_false "outside box" (Geom.Outline.mem o 10 0);
+  Testkit.check_true "bbox"
+    (Geom.Outline.bounding_box o = Geom.Rect.make 0 0 9 7)
+
+let test_outline_area () =
+  let o = Geom.Outline.l_shape ~width:10 ~height:8 ~notch_w:4 ~notch_h:3 in
+  Testkit.check_int "l-shape area" ((10 * 8) - (4 * 3)) (Geom.Outline.area o);
+  (* overlapping rects count once *)
+  let overlapping =
+    Geom.Outline.of_rects [ Geom.Rect.make 0 0 4 4; Geom.Rect.make 2 2 6 6 ]
+  in
+  Testkit.check_int "union area" ((5 * 5) + (5 * 5) - (3 * 3))
+    (Geom.Outline.area overlapping)
+
+let test_outline_rejects_bad () =
+  (try
+     ignore (Geom.Outline.of_rects []);
+     Alcotest.fail "expected empty rejection"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Geom.Outline.l_shape ~width:4 ~height:4 ~notch_w:4 ~notch_h:1);
+    Alcotest.fail "expected notch rejection"
+  with Invalid_argument _ -> ()
+
+let test_outline_t_shape () =
+  let o = Geom.Outline.t_shape ~width:9 ~height:7 ~stem_w:3 ~stem_h:3 in
+  Testkit.check_true "bar" (Geom.Outline.mem o 0 6);
+  Testkit.check_true "stem" (Geom.Outline.mem o 4 0);
+  Testkit.check_false "beside stem" (Geom.Outline.mem o 0 0);
+  Testkit.check_int "area" ((9 * 4) + (3 * 3)) (Geom.Outline.area o)
+
+let test_outline_complement_partitions () =
+  let o = Geom.Outline.l_shape ~width:10 ~height:8 ~notch_w:4 ~notch_h:3 in
+  let within = Geom.Rect.make 0 0 9 7 in
+  let comp = Geom.Outline.complement_rects ~within o in
+  (* complement covers exactly the notch *)
+  let covered = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      Geom.Rect.iter r (fun x y ->
+          Testkit.check_false "disjoint" (Hashtbl.mem covered (x, y));
+          Hashtbl.replace covered (x, y) ();
+          Testkit.check_false "only outside cells" (Geom.Outline.mem o x y)))
+    comp;
+  Testkit.check_int "covers the notch" (4 * 3) (Hashtbl.length covered)
+
+let prop_outline_complement_exact =
+  Testkit.qcheck ~count:60 "complement_rects partitions the complement"
+    QCheck2.Gen.(
+      list_size (int_range 1 4)
+        (map
+           (fun (a, b, c, d) -> Geom.Rect.make (a mod 8) (b mod 8) (c mod 8) (d mod 8))
+           (quad (int_range 0 7) (int_range 0 7) (int_range 0 7) (int_range 0 7))))
+    (fun rects ->
+      let o = Geom.Outline.of_rects rects in
+      let within = Geom.Rect.make 0 0 9 9 in
+      let comp = Geom.Outline.complement_rects ~within o in
+      let covered = Hashtbl.create 64 in
+      let ok = ref true in
+      List.iter
+        (fun r ->
+          Geom.Rect.iter r (fun x y ->
+              if Hashtbl.mem covered (x, y) then ok := false;
+              Hashtbl.replace covered (x, y) ();
+              if Geom.Outline.mem o x y then ok := false))
+        comp;
+      let expected = Geom.Rect.area within - Geom.Outline.area o
+      and outside_box =
+        (* outline cells outside `within` don't count *)
+        let c = ref 0 in
+        Geom.Rect.iter within (fun x y -> if Geom.Outline.mem o x y then incr c);
+        Geom.Rect.area within - !c
+      in
+      ignore expected;
+      !ok && Hashtbl.length covered = outside_box)
+
+let () =
+  Alcotest.run "geom"
+    [
+      ( "point",
+        [
+          Alcotest.test_case "basics" `Quick test_point_basics;
+          Alcotest.test_case "adjacency" `Quick test_point_adjacent;
+          Alcotest.test_case "compare total" `Quick test_point_compare_total;
+        ] );
+      ( "dir",
+        [
+          Alcotest.test_case "delta roundtrip" `Quick test_dir_roundtrip;
+          Alcotest.test_case "opposite involution" `Quick test_dir_opposite_involution;
+          Alcotest.test_case "orientation" `Quick test_dir_orientation;
+          Alcotest.test_case "of_step invalid" `Quick test_dir_of_step_invalid;
+        ] );
+      ( "interval",
+        [
+          Alcotest.test_case "make normalises" `Quick test_interval_make_normalises;
+          Alcotest.test_case "overlap" `Quick test_interval_overlap;
+          Alcotest.test_case "set ops" `Quick test_interval_set_ops;
+          Alcotest.test_case "max_clique known" `Quick test_max_clique_known;
+          prop_max_clique_vs_pointwise;
+          prop_overlap_symmetric;
+          prop_hull_contains;
+        ] );
+      ( "rect",
+        [
+          Alcotest.test_case "make normalises" `Quick test_rect_make_normalises;
+          Alcotest.test_case "membership" `Quick test_rect_membership;
+          Alcotest.test_case "set ops" `Quick test_rect_ops;
+          Alcotest.test_case "hull of points" `Quick test_rect_hull_points;
+          Alcotest.test_case "iter count" `Quick test_rect_iter_count;
+          prop_rect_intersection_subset;
+          prop_rect_hull_superset;
+        ] );
+      ( "outline",
+        [
+          Alcotest.test_case "membership" `Quick test_outline_membership;
+          Alcotest.test_case "area" `Quick test_outline_area;
+          Alcotest.test_case "rejects bad" `Quick test_outline_rejects_bad;
+          Alcotest.test_case "t-shape" `Quick test_outline_t_shape;
+          Alcotest.test_case "complement" `Quick test_outline_complement_partitions;
+          prop_outline_complement_exact;
+        ] );
+    ]

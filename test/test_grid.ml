@@ -1,0 +1,327 @@
+(* Tests for the routing grid: node packing, occupancy rules, vias,
+   obstruction helpers, paths and segment extraction. *)
+
+let mk () = Grid.create ~width:8 ~height:6
+
+let test_dimensions () =
+  let g = mk () in
+  Testkit.check_int "width" 8 (Grid.width g);
+  Testkit.check_int "height" 6 (Grid.height g);
+  Testkit.check_int "planar" 48 (Grid.planar_cells g);
+  Testkit.check_int "nodes" 96 (Grid.node_count g)
+
+let test_node_packing_roundtrip () =
+  let g = mk () in
+  for layer = 0 to 1 do
+    for y = 0 to 5 do
+      for x = 0 to 7 do
+        let n = Grid.node g ~layer ~x ~y in
+        Testkit.check_int "layer" layer (Grid.node_layer g n);
+        Testkit.check_int "x" x (Grid.node_x g n);
+        Testkit.check_int "y" y (Grid.node_y g n);
+        Testkit.check_int "planar" ((y * 8) + x) (Grid.planar g n)
+      done
+    done
+  done
+
+let test_nodes_distinct () =
+  let g = mk () in
+  let seen = Hashtbl.create 128 in
+  Grid.iter_nodes g (fun n ->
+      Testkit.check_false "duplicate node" (Hashtbl.mem seen n);
+      Hashtbl.replace seen n ());
+  Testkit.check_int "all nodes" (Grid.node_count g) (Hashtbl.length seen)
+
+let test_other_layer_node () =
+  let g = mk () in
+  let n = Grid.node g ~layer:0 ~x:3 ~y:2 in
+  let m = Grid.other_layer_node g n in
+  Testkit.check_int "other layer" 1 (Grid.node_layer g m);
+  Testkit.check_int "same x" 3 (Grid.node_x g m);
+  Testkit.check_int "same planar" (Grid.planar g n) (Grid.planar g m);
+  Testkit.check_int "involution" n (Grid.other_layer_node g m)
+
+let test_occupy_release () =
+  let g = mk () in
+  let n = Grid.node g ~layer:0 ~x:1 ~y:1 in
+  Testkit.check_true "initially free" (Grid.is_free g n);
+  Grid.occupy g ~net:3 n;
+  Testkit.check_true "owned" (Grid.owner g n = Some 3);
+  Grid.occupy g ~net:3 n;
+  (* idempotent *)
+  Grid.release g n;
+  Testkit.check_true "released" (Grid.is_free g n);
+  Grid.release g n (* releasing free is a no-op *)
+
+let test_occupy_conflicts () =
+  let g = mk () in
+  let n = Grid.node g ~layer:0 ~x:1 ~y:1 in
+  Grid.occupy g ~net:3 n;
+  (try
+     Grid.occupy g ~net:4 n;
+     Alcotest.fail "expected conflict"
+   with Invalid_argument _ -> ());
+  let m = Grid.node g ~layer:1 ~x:2 ~y:2 in
+  Grid.set_obstacle g ~layer:1 ~x:2 ~y:2;
+  (try
+     Grid.occupy g ~net:1 m;
+     Alcotest.fail "expected obstacle rejection"
+   with Invalid_argument _ -> ());
+  try
+    Grid.release g m;
+    Alcotest.fail "expected obstacle release rejection"
+  with Invalid_argument _ -> ()
+
+let test_via_lifecycle () =
+  let g = mk () in
+  let n0 = Grid.node g ~layer:0 ~x:4 ~y:3 in
+  let n1 = Grid.node g ~layer:1 ~x:4 ~y:3 in
+  (try
+     Grid.set_via g ~x:4 ~y:3;
+     Alcotest.fail "via without ownership"
+   with Invalid_argument _ -> ());
+  Grid.occupy g ~net:2 n0;
+  Grid.occupy g ~net:2 n1;
+  Grid.set_via g ~x:4 ~y:3;
+  Testkit.check_true "via set" (Grid.has_via g ~x:4 ~y:3);
+  Testkit.check_true "via by node" (Grid.has_via_node g n0);
+  Testkit.check_int "count" 1 (Grid.via_count g);
+  Grid.set_via g ~x:4 ~y:3;
+  Testkit.check_int "idempotent count" 1 (Grid.via_count g);
+  Grid.release g n0;
+  Testkit.check_false "release clears via" (Grid.has_via g ~x:4 ~y:3);
+  Testkit.check_int "count zero" 0 (Grid.via_count g)
+
+let test_via_mismatched_nets () =
+  let g = mk () in
+  Grid.occupy g ~net:1 (Grid.node g ~layer:0 ~x:0 ~y:0);
+  Grid.occupy g ~net:2 (Grid.node g ~layer:1 ~x:0 ~y:0);
+  try
+    Grid.set_via g ~x:0 ~y:0;
+    Alcotest.fail "expected mismatch rejection"
+  with Invalid_argument _ -> ()
+
+let test_block_outside () =
+  let g = mk () in
+  Grid.block_outside g (Geom.Rect.make 1 1 6 4);
+  Testkit.check_true "outside blocked"
+    (Grid.is_obstacle g (Grid.node g ~layer:0 ~x:0 ~y:0));
+  Testkit.check_true "inside free"
+    (Grid.is_free g (Grid.node g ~layer:1 ~x:3 ~y:3))
+
+let test_block_rect_layer () =
+  let g = mk () in
+  Grid.block_rect g ~layer:1 (Geom.Rect.make 2 2 3 3);
+  Testkit.check_true "layer1 blocked"
+    (Grid.is_obstacle g (Grid.node g ~layer:1 ~x:2 ~y:2));
+  Testkit.check_true "layer0 free"
+    (Grid.is_free g (Grid.node g ~layer:0 ~x:2 ~y:2))
+
+let test_set_obstacle_on_net_rejected () =
+  let g = mk () in
+  Grid.occupy g ~net:1 (Grid.node g ~layer:0 ~x:5 ~y:5);
+  try
+    Grid.set_obstacle g ~layer:0 ~x:5 ~y:5;
+    Alcotest.fail "expected rejection"
+  with Invalid_argument _ -> ()
+
+let test_copy_independent () =
+  let g = mk () in
+  let n = Grid.node g ~layer:0 ~x:2 ~y:2 in
+  Grid.occupy g ~net:5 n;
+  let h = Grid.copy g in
+  Grid.release g n;
+  Testkit.check_true "copy keeps ownership" (Grid.owner h n = Some 5);
+  Grid.occupy h ~net:5 (Grid.other_layer_node h n);
+  Grid.set_via h ~x:2 ~y:2;
+  Testkit.check_false "original via untouched" (Grid.has_via g ~x:2 ~y:2)
+
+let test_counting () =
+  let g = mk () in
+  Grid.occupy g ~net:1 (Grid.node g ~layer:0 ~x:0 ~y:0);
+  Grid.occupy g ~net:1 (Grid.node g ~layer:0 ~x:1 ~y:0);
+  Grid.occupy g ~net:2 (Grid.node g ~layer:1 ~x:5 ~y:5);
+  Testkit.check_int "count net 1" 2 (Grid.count_owned g ~net:1);
+  Testkit.check_int "count net 2" 1 (Grid.count_owned g ~net:2);
+  Testkit.check_int "occupied list" 2
+    (List.length (Grid.occupied_nodes g ~net:1));
+  Testkit.check_true "fill ratio" (abs_float (Grid.fill_ratio g -. (3.0 /. 96.0)) < 1e-9)
+
+(* --- paths --- *)
+
+let test_path_validity () =
+  let g = mk () in
+  let n ~layer ~x ~y = Grid.node g ~layer ~x ~y in
+  let path =
+    [
+      n ~layer:0 ~x:0 ~y:0;
+      n ~layer:0 ~x:1 ~y:0;
+      n ~layer:1 ~x:1 ~y:0;
+      n ~layer:1 ~x:1 ~y:1;
+    ]
+  in
+  Testkit.check_true "valid path" (Grid.Path.is_valid g path);
+  Testkit.check_int "wirelength" 2 (Grid.Path.wirelength g path);
+  Testkit.check_int "vias" 1 (Grid.Path.via_steps g path);
+  Testkit.check_true "empty valid" (Grid.Path.is_valid g []);
+  Testkit.check_true "singleton valid" (Grid.Path.is_valid g [ 0 ]);
+  let jump = [ n ~layer:0 ~x:0 ~y:0; n ~layer:0 ~x:2 ~y:0 ] in
+  Testkit.check_false "jump invalid" (Grid.Path.is_valid g jump);
+  let diag_via = [ n ~layer:0 ~x:0 ~y:0; n ~layer:1 ~x:1 ~y:0 ] in
+  Testkit.check_false "diagonal via invalid" (Grid.Path.is_valid g diag_via)
+
+let test_path_bends () =
+  let g = mk () in
+  let n ~x ~y = Grid.node g ~layer:0 ~x ~y in
+  let straight = [ n ~x:0 ~y:0; n ~x:1 ~y:0; n ~x:2 ~y:0 ] in
+  Testkit.check_int "straight" 0 (Grid.Path.bends g straight);
+  let bent = [ n ~x:0 ~y:0; n ~x:1 ~y:0; n ~x:1 ~y:1; n ~x:2 ~y:1 ] in
+  Testkit.check_int "two bends" 2 (Grid.Path.bends g bent)
+
+let test_path_cost_and_endpoints () =
+  let g = mk () in
+  let n ~layer ~x ~y = Grid.node g ~layer ~x ~y in
+  let path =
+    [ n ~layer:0 ~x:0 ~y:0; n ~layer:0 ~x:1 ~y:0; n ~layer:1 ~x:1 ~y:0 ]
+  in
+  Testkit.check_int "cost" (1 + 5)
+    (Grid.Path.cost ~wire_cost:1 ~via_cost:5 ~bend_cost:0 g path);
+  (match Grid.Path.endpoints path with
+  | Some (a, b) ->
+      Testkit.check_int "first" (n ~layer:0 ~x:0 ~y:0) a;
+      Testkit.check_int "last" (n ~layer:1 ~x:1 ~y:0) b
+  | None -> Alcotest.fail "endpoints");
+  Testkit.check_true "no endpoints" (Grid.Path.endpoints [] = None)
+
+(* --- segments --- *)
+
+let test_segments_straight_run () =
+  let g = mk () in
+  for x = 1 to 5 do
+    Grid.occupy g ~net:1 (Grid.node g ~layer:0 ~x ~y:2)
+  done;
+  match Grid.Segment.of_net g ~net:1 with
+  | [ s ] ->
+      Testkit.check_true "horizontal" (s.Grid.Segment.axis = Grid.Segment.H);
+      Testkit.check_int "row" 2 s.Grid.Segment.fixed;
+      Testkit.check_int "length" 5 (Grid.Segment.length s);
+      Testkit.check_int "cells" 5 (List.length (Grid.Segment.cells s))
+  | segs -> Alcotest.failf "expected one segment, got %d" (List.length segs)
+
+let test_segments_corner () =
+  let g = mk () in
+  (* L shape: (1,1)-(3,1) then (3,1)-(3,3) on layer 0 *)
+  for x = 1 to 3 do
+    Grid.occupy g ~net:2 (Grid.node g ~layer:0 ~x ~y:1)
+  done;
+  for y = 2 to 3 do
+    Grid.occupy g ~net:2 (Grid.node g ~layer:0 ~x:3 ~y)
+  done;
+  let segs = Grid.Segment.of_net g ~net:2 in
+  Testkit.check_int "two runs" 2 (List.length segs);
+  let total_cells =
+    List.fold_left (fun acc s -> acc + Grid.Segment.length s) 0 segs
+  in
+  (* corner cell (3,1) is in both runs *)
+  Testkit.check_int "cells with shared corner" 6 total_cells
+
+let test_segments_isolated_cell () =
+  let g = mk () in
+  Grid.occupy g ~net:3 (Grid.node g ~layer:1 ~x:4 ~y:4);
+  match Grid.Segment.of_net g ~net:3 with
+  | [ s ] ->
+      Testkit.check_int "singleton length" 1 (Grid.Segment.length s);
+      Testkit.check_int "layer" 1 s.Grid.Segment.layer
+  | segs -> Alcotest.failf "expected singleton, got %d" (List.length segs)
+
+let test_segments_cover_all_cells () =
+  let g = mk () in
+  (* plus shape *)
+  List.iter
+    (fun (x, y) -> Grid.occupy g ~net:4 (Grid.node g ~layer:0 ~x ~y))
+    [ (3, 3); (2, 3); (4, 3); (3, 2); (3, 4) ];
+  let segs = Grid.Segment.of_net g ~net:4 in
+  let covered = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      List.iter (fun c -> Hashtbl.replace covered c ()) (Grid.Segment.cells s))
+    segs;
+  Testkit.check_int "all cells covered" 5 (Hashtbl.length covered)
+
+let prop_random_ops_keep_invariants =
+  Testkit.qcheck ~count:60 "random occupy/release sequences keep invariants"
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let prng = Util.Prng.create seed in
+      let g = Grid.create ~width:6 ~height:5 in
+      let ok = ref true in
+      for _ = 1 to 120 do
+        let n = Util.Prng.int prng (Grid.node_count g) in
+        match Util.Prng.int prng 4 with
+        | 0 ->
+            (* occupy with a random net if allowed *)
+            let net = Util.Prng.int_in prng 1 3 in
+            let v = Grid.occ g n in
+            if v = Grid.free || v = net then Grid.occupy g ~net n
+        | 1 -> if not (Grid.is_obstacle g n) then Grid.release g n
+        | 2 ->
+            (* place a via when legal *)
+            let x = Grid.node_x g n and y = Grid.node_y g n in
+            let a = Grid.occ_at g ~layer:0 ~x ~y
+            and b = Grid.occ_at g ~layer:1 ~x ~y in
+            if a > 0 && a = b then Grid.set_via g ~x ~y
+        | _ ->
+            let x = Grid.node_x g n and y = Grid.node_y g n in
+            Grid.clear_via g ~x ~y
+      done;
+      (* invariant: every via joins two same-net cells; via_count matches *)
+      let count = ref 0 in
+      Grid.iter_planar g (fun ~x ~y ->
+          if Grid.has_via g ~x ~y then begin
+            incr count;
+            let a = Grid.occ_at g ~layer:0 ~x ~y
+            and b = Grid.occ_at g ~layer:1 ~x ~y in
+            if a <= 0 || a <> b then ok := false
+          end);
+      (* counts per net are consistent with occupied_nodes *)
+      for net = 1 to 3 do
+        if Grid.count_owned g ~net
+           <> List.length (Grid.occupied_nodes g ~net)
+        then ok := false
+      done;
+      !ok && !count = Grid.via_count g)
+
+let () =
+  Alcotest.run "grid"
+    [
+      ( "surface",
+        [
+          Alcotest.test_case "dimensions" `Quick test_dimensions;
+          Alcotest.test_case "node packing" `Quick test_node_packing_roundtrip;
+          Alcotest.test_case "nodes distinct" `Quick test_nodes_distinct;
+          Alcotest.test_case "other layer" `Quick test_other_layer_node;
+          Alcotest.test_case "occupy/release" `Quick test_occupy_release;
+          Alcotest.test_case "occupy conflicts" `Quick test_occupy_conflicts;
+          Alcotest.test_case "via lifecycle" `Quick test_via_lifecycle;
+          Alcotest.test_case "via mismatch" `Quick test_via_mismatched_nets;
+          Alcotest.test_case "block outside" `Quick test_block_outside;
+          Alcotest.test_case "block rect layer" `Quick test_block_rect_layer;
+          Alcotest.test_case "obstacle on net" `Quick test_set_obstacle_on_net_rejected;
+          Alcotest.test_case "copy independent" `Quick test_copy_independent;
+          Alcotest.test_case "counting" `Quick test_counting;
+          prop_random_ops_keep_invariants;
+        ] );
+      ( "path",
+        [
+          Alcotest.test_case "validity" `Quick test_path_validity;
+          Alcotest.test_case "bends" `Quick test_path_bends;
+          Alcotest.test_case "cost/endpoints" `Quick test_path_cost_and_endpoints;
+        ] );
+      ( "segment",
+        [
+          Alcotest.test_case "straight run" `Quick test_segments_straight_run;
+          Alcotest.test_case "corner" `Quick test_segments_corner;
+          Alcotest.test_case "isolated cell" `Quick test_segments_isolated_cell;
+          Alcotest.test_case "cover all" `Quick test_segments_cover_all_cells;
+        ] );
+    ]

@@ -1,0 +1,420 @@
+(* Tests for the maze search and net routing: optimality, obstacle
+   handling, via/wrong-way costs, A-star agreement, tree routing and
+   rollback. *)
+
+let pin = Netlist.Net.pin
+
+let empty_grid ?(w = 12) ?(h = 10) () =
+  let g = Grid.create ~width:w ~height:h in
+  (g, Maze.Workspace.create g)
+
+let free_passable g n =
+  if Grid.is_free g n then Some 0 else None
+
+let self_passable g ~net n =
+  let v = Grid.occ g n in
+  if v = Grid.free || v = net then Some 0 else None
+
+let run ?(cost = Maze.Cost.uniform) g ws ~sources ~targets () =
+  Maze.Search.run g ws ~cost ~passable:(free_passable g) ~sources ~targets ()
+
+let test_search_trivial () =
+  let g, ws = empty_grid () in
+  let n = Grid.node g ~layer:0 ~x:3 ~y:3 in
+  match run g ws ~sources:[ n ] ~targets:[ n ] () with
+  | Some r ->
+      Testkit.check_true "source is target" (r.Maze.Search.path = [ n ]);
+      Testkit.check_int "zero cost" 0 r.Maze.Search.total_cost
+  | None -> Alcotest.fail "trivial search failed"
+
+let test_search_straight_line () =
+  let g, ws = empty_grid () in
+  let a = Grid.node g ~layer:0 ~x:0 ~y:5 and b = Grid.node g ~layer:0 ~x:9 ~y:5 in
+  match run g ws ~sources:[ a ] ~targets:[ b ] () with
+  | Some r ->
+      Testkit.check_int "manhattan cost" 9 r.Maze.Search.total_cost;
+      Testkit.check_int "path length" 10 (List.length r.Maze.Search.path);
+      Testkit.check_true "path valid" (Grid.Path.is_valid g r.Maze.Search.path)
+  | None -> Alcotest.fail "line search failed"
+
+let test_search_manhattan_optimal () =
+  let g, ws = empty_grid () in
+  let a = Grid.node g ~layer:0 ~x:1 ~y:1 and b = Grid.node g ~layer:0 ~x:8 ~y:7 in
+  match run g ws ~sources:[ a ] ~targets:[ b ] () with
+  | Some r -> Testkit.check_int "L1 distance" (7 + 6) r.Maze.Search.total_cost
+  | None -> Alcotest.fail "search failed"
+
+let test_search_respects_obstacles () =
+  let g, ws = empty_grid ~w:9 ~h:5 () in
+  (* Wall across both layers at x=4, forcing failure. *)
+  for y = 0 to 4 do
+    Grid.set_obstacle_both g ~x:4 ~y
+  done;
+  let a = Grid.node g ~layer:0 ~x:0 ~y:2 and b = Grid.node g ~layer:0 ~x:8 ~y:2 in
+  Testkit.check_true "wall blocks"
+    (run g ws ~sources:[ a ] ~targets:[ b ] () = None)
+
+let test_search_detours_around_wall () =
+  let g, ws = empty_grid ~w:9 ~h:5 () in
+  for y = 0 to 3 do
+    Grid.set_obstacle_both g ~x:4 ~y
+  done;
+  let a = Grid.node g ~layer:0 ~x:0 ~y:0 and b = Grid.node g ~layer:0 ~x:8 ~y:0 in
+  match run g ws ~sources:[ a ] ~targets:[ b ] () with
+  | Some r ->
+      (* must climb to y=4 and back: 8 horizontal + 8 vertical *)
+      Testkit.check_int "detour cost" 16 r.Maze.Search.total_cost;
+      Testkit.check_true "avoids wall"
+        (List.for_all (fun n -> not (Grid.is_obstacle g n)) r.Maze.Search.path)
+  | None -> Alcotest.fail "detour failed"
+
+let test_search_uses_via_when_needed () =
+  let g, ws = empty_grid ~w:7 ~h:3 () in
+  (* Layer 0 fully walled at x=3; layer 1 open. *)
+  for y = 0 to 2 do
+    Grid.set_obstacle g ~layer:0 ~x:3 ~y
+  done;
+  let a = Grid.node g ~layer:0 ~x:0 ~y:1 and b = Grid.node g ~layer:0 ~x:6 ~y:1 in
+  match
+    Maze.Search.run g ws ~cost:Maze.Cost.default ~passable:(free_passable g)
+      ~sources:[ a ] ~targets:[ b ] ()
+  with
+  | Some r ->
+      Testkit.check_true "at least two vias"
+        (Grid.Path.via_steps g r.Maze.Search.path >= 2);
+      Testkit.check_true "valid" (Grid.Path.is_valid g r.Maze.Search.path)
+  | None -> Alcotest.fail "via search failed"
+
+let test_via_cost_discourages_layer_change () =
+  let g, ws = empty_grid () in
+  let a = Grid.node g ~layer:0 ~x:0 ~y:0 and b = Grid.node g ~layer:0 ~x:5 ~y:0 in
+  match
+    Maze.Search.run g ws
+      ~cost:{ Maze.Cost.wire = 1; via = 100; wrong_way = 0 }
+      ~passable:(free_passable g) ~sources:[ a ] ~targets:[ b ] ()
+  with
+  | Some r ->
+      Testkit.check_int "no vias" 0 (Grid.Path.via_steps g r.Maze.Search.path)
+  | None -> Alcotest.fail "search failed"
+
+let test_wrong_way_cost_prefers_layer () =
+  let g, ws = empty_grid () in
+  (* Vertical run: cheap on layer 1, expensive on layer 0. *)
+  let a = Grid.node g ~layer:1 ~x:5 ~y:0 and b = Grid.node g ~layer:1 ~x:5 ~y:8 in
+  match
+    Maze.Search.run g ws
+      ~cost:{ Maze.Cost.wire = 1; via = 2; wrong_way = 10 }
+      ~passable:(free_passable g) ~sources:[ a ] ~targets:[ b ] ()
+  with
+  | Some r ->
+      Testkit.check_true "stays on vertical layer"
+        (List.for_all (fun n -> Grid.node_layer g n = 1) r.Maze.Search.path)
+  | None -> Alcotest.fail "search failed"
+
+let test_penalty_prices_foreign_cells () =
+  let g, ws = empty_grid ~w:7 ~h:3 () in
+  (* Both layers at x=3 owned by net 9; passable at a price. *)
+  for y = 0 to 2 do
+    Grid.occupy g ~net:9 (Grid.node g ~layer:0 ~x:3 ~y);
+    Grid.occupy g ~net:9 (Grid.node g ~layer:1 ~x:3 ~y)
+  done;
+  let a = Grid.node g ~layer:0 ~x:0 ~y:1 and b = Grid.node g ~layer:0 ~x:6 ~y:1 in
+  let passable n =
+    let v = Grid.occ g n in
+    if v = Grid.free then Some 0 else if v = 9 then Some 50 else None
+  in
+  match
+    Maze.Search.run g ws ~cost:Maze.Cost.uniform ~passable ~sources:[ a ]
+      ~targets:[ b ] ()
+  with
+  | Some r ->
+      Testkit.check_int "wire(6) + one crossing(50)" 56 r.Maze.Search.total_cost
+  | None -> Alcotest.fail "penalized search failed"
+
+let test_multi_source_picks_nearest () =
+  let g, ws = empty_grid () in
+  let far = Grid.node g ~layer:0 ~x:0 ~y:0 in
+  let near = Grid.node g ~layer:0 ~x:7 ~y:7 in
+  let target = Grid.node g ~layer:0 ~x:8 ~y:7 in
+  match run g ws ~sources:[ far; near ] ~targets:[ target ] () with
+  | Some r -> Testkit.check_int "one step from near source" 1 r.Maze.Search.total_cost
+  | None -> Alcotest.fail "multi-source failed"
+
+let test_workspace_reuse () =
+  let g, ws = empty_grid () in
+  let a = Grid.node g ~layer:0 ~x:0 ~y:0 and b = Grid.node g ~layer:0 ~x:3 ~y:0 in
+  for _ = 1 to 50 do
+    match run g ws ~sources:[ a ] ~targets:[ b ] () with
+    | Some r -> Testkit.check_int "stable cost" 3 r.Maze.Search.total_cost
+    | None -> Alcotest.fail "reuse failed"
+  done
+
+let random_obstacle_grid seed =
+  let prng = Util.Prng.create seed in
+  let g = Grid.create ~width:10 ~height:8 in
+  Grid.iter_nodes g (fun n ->
+      if Util.Prng.chance prng 0.25 then
+        Grid.set_obstacle g
+          ~layer:(Grid.node_layer g n)
+          ~x:(Grid.node_x g n) ~y:(Grid.node_y g n));
+  g
+
+let test_lee_matches_uniform_dijkstra () =
+  let g, ws = empty_grid () in
+  let a = Grid.node g ~layer:0 ~x:1 ~y:1 and b = Grid.node g ~layer:0 ~x:8 ~y:7 in
+  (match Maze.Search.run_lee g ws ~passable:(free_passable g) ~sources:[ a ] ~targets:[ b ] () with
+  | Some r ->
+      Testkit.check_int "minimum steps" 13 r.Maze.Search.total_cost;
+      Testkit.check_true "valid" (Grid.Path.is_valid g r.Maze.Search.path)
+  | None -> Alcotest.fail "lee failed");
+  (* blocked case *)
+  for y = 0 to 9 do
+    Grid.set_obstacle_both g ~x:5 ~y
+  done;
+  Testkit.check_true "lee blocked"
+    (Maze.Search.run_lee g ws ~passable:(free_passable g) ~sources:[ a ] ~targets:[ b ] () = None)
+
+let prop_lee_length_matches_dijkstra =
+  Testkit.qcheck ~count:40 "lee step count equals uniform Dijkstra cost"
+    QCheck2.Gen.(pair (int_range 0 10000) (int_range 0 79))
+    (fun (seed, b) ->
+      let g = random_obstacle_grid seed in
+      let ws = Maze.Workspace.create g in
+      let a = 0 in
+      if (not (Grid.is_free g a)) || not (Grid.is_free g b) then true
+      else
+        let lee =
+          Maze.Search.run_lee g ws ~passable:(free_passable g) ~sources:[ a ]
+            ~targets:[ b ] ()
+        in
+        let dij =
+          Maze.Search.run g ws ~cost:Maze.Cost.uniform
+            ~passable:(free_passable g) ~sources:[ a ] ~targets:[ b ] ()
+        in
+        match (lee, dij) with
+        | None, None -> true
+        | Some l, Some d -> l.Maze.Search.total_cost = d.Maze.Search.total_cost
+        | Some _, None | None, Some _ -> false)
+
+let prop_astar_matches_dijkstra =
+  Testkit.qcheck ~count:60 "A* cost equals Dijkstra cost"
+    QCheck2.Gen.(
+      triple (int_range 0 10000) (int_range 0 79) (int_range 0 79))
+    (fun (seed, a_planar, b_planar) ->
+      let g = random_obstacle_grid seed in
+      let ws = Maze.Workspace.create g in
+      let a = a_planar and b = b_planar in
+      if (not (Grid.is_free g a)) || not (Grid.is_free g b) then true
+      else begin
+        let dij =
+          Maze.Search.run g ws ~cost:Maze.Cost.default
+            ~passable:(free_passable g) ~sources:[ a ] ~targets:[ b ] ()
+        in
+        let ast =
+          Maze.Search.run_astar g ws ~cost:Maze.Cost.default
+            ~passable:(free_passable g) ~sources:[ a ] ~targets:[ b ] ()
+        in
+        match (dij, ast) with
+        | None, None -> true
+        | Some d, Some s ->
+            d.Maze.Search.total_cost = s.Maze.Search.total_cost
+            && s.Maze.Search.expanded <= d.Maze.Search.expanded
+        | Some _, None | None, Some _ -> false
+      end)
+
+let prop_path_cost_consistent =
+  Testkit.qcheck ~count:60 "reported cost matches path metrics"
+    QCheck2.Gen.(pair (int_range 0 10000) (int_range 0 79))
+    (fun (seed, b) ->
+      let g = random_obstacle_grid seed in
+      let ws = Maze.Workspace.create g in
+      let a = 0 in
+      if (not (Grid.is_free g a)) || not (Grid.is_free g b) then true
+      else
+        match
+          Maze.Search.run g ws ~cost:Maze.Cost.uniform
+            ~passable:(free_passable g) ~sources:[ a ] ~targets:[ b ] ()
+        with
+        | None -> true
+        | Some r ->
+            Grid.Path.is_valid g r.Maze.Search.path
+            && r.Maze.Search.total_cost
+               = Grid.Path.wirelength g r.Maze.Search.path
+                 + Grid.Path.via_steps g r.Maze.Search.path)
+
+let test_cost_model () =
+  Testkit.check_int "preferred horizontal on L0" 1
+    (Maze.Cost.step_cost Maze.Cost.default ~layer:0 ~horizontal:true);
+  Testkit.check_int "wrong way vertical on L0" 3
+    (Maze.Cost.step_cost Maze.Cost.default ~layer:0 ~horizontal:false);
+  Testkit.check_int "preferred vertical on L1" 1
+    (Maze.Cost.step_cost Maze.Cost.default ~layer:1 ~horizontal:false);
+  Testkit.check_int "uniform symmetric" 1
+    (Maze.Cost.step_cost Maze.Cost.uniform ~layer:0 ~horizontal:false)
+
+let test_workspace_marks_reset () =
+  let g = Grid.create ~width:4 ~height:4 in
+  let ws = Maze.Workspace.create g in
+  Maze.Workspace.begin_search ws;
+  Maze.Workspace.mark ws 5;
+  Testkit.check_true "marked" (Maze.Workspace.marked ws 5);
+  Maze.Workspace.begin_search ws;
+  Testkit.check_false "reset clears marks" (Maze.Workspace.marked ws 5);
+  Testkit.check_true "dist reset" (Maze.Workspace.dist ws 5 = max_int)
+
+(* --- net routing --- *)
+
+let test_route_net_two_pins () =
+  let net = Netlist.Net.make ~id:1 ~name:"a" [ pin 0 0; pin 9 7 ] in
+  let p = Netlist.Problem.make ~name:"t" ~width:12 ~height:10 [ net ] in
+  let g = Netlist.Problem.instantiate p in
+  let ws = Maze.Workspace.create g in
+  match Maze.Route.route_net g ws ~cost:Maze.Cost.default net with
+  | Ok s ->
+      Testkit.check_true "wirelength at least L1" (s.Maze.Route.wirelength >= 16);
+      Testkit.check_int "connected" 1 (Drc.Check.connected_components g ~net:1)
+  | Error _ -> Alcotest.fail "two-pin route failed"
+
+let test_route_net_multi_pin_tree () =
+  let net =
+    Netlist.Net.make ~id:1 ~name:"a" [ pin 0 0; pin 11 0; pin 0 9; pin 11 9; pin 5 5 ]
+  in
+  let p = Netlist.Problem.make ~name:"t" ~width:12 ~height:10 [ net ] in
+  let g = Netlist.Problem.instantiate p in
+  let ws = Maze.Workspace.create g in
+  match Maze.Route.route_net g ws ~cost:Maze.Cost.default net with
+  | Ok _ ->
+      Testkit.check_int "single component" 1
+        (Drc.Check.connected_components g ~net:1)
+  | Error _ -> Alcotest.fail "multi-pin route failed"
+
+let test_route_net_trivial () =
+  let net = Netlist.Net.make ~id:1 ~name:"a" [ pin 3 3 ] in
+  let p = Netlist.Problem.make ~name:"t" ~width:6 ~height:6 [ net ] in
+  let g = Netlist.Problem.instantiate p in
+  let ws = Maze.Workspace.create g in
+  match Maze.Route.route_net g ws ~cost:Maze.Cost.default net with
+  | Ok s -> Testkit.check_int "nothing added" 0 (List.length s.Maze.Route.added)
+  | Error _ -> Alcotest.fail "trivial net failed"
+
+let test_route_net_rollback_on_failure () =
+  (* Net with one reachable and one sealed-off pin: everything must be
+     rolled back. *)
+  let net =
+    Netlist.Net.make ~id:1 ~name:"a" [ pin 0 0; pin 5 0; pin ~layer:0 11 9 ]
+  in
+  let p = Netlist.Problem.make ~name:"t" ~width:12 ~height:10 [ net ] in
+  let g = Netlist.Problem.instantiate p in
+  (* Seal off the corner pin on both layers. *)
+  List.iter
+    (fun (x, y) -> Grid.set_obstacle_both g ~x ~y)
+    [ (10, 9); (11, 8); (10, 8) ];
+  let ws = Maze.Workspace.create g in
+  let before = Grid.count_owned g ~net:1 in
+  (match Maze.Route.route_net g ws ~cost:Maze.Cost.default net with
+  | Ok _ -> Alcotest.fail "expected failure"
+  | Error f ->
+      Testkit.check_int "failing net id" 1 f.Maze.Route.failed_net);
+  Testkit.check_int "grid restored" before (Grid.count_owned g ~net:1);
+  Testkit.check_int "no vias left" 0 (Grid.via_count g)
+
+let test_occupy_path_vias () =
+  let g, _ = empty_grid () in
+  let n ~layer ~x ~y = Grid.node g ~layer ~x ~y in
+  let path =
+    [ n ~layer:0 ~x:0 ~y:0; n ~layer:0 ~x:1 ~y:0; n ~layer:1 ~x:1 ~y:0 ]
+  in
+  let added = Maze.Route.occupy_path g ~net:4 path in
+  Testkit.check_int "three nodes" 3 (List.length added);
+  Testkit.check_true "via placed" (Grid.has_via g ~x:1 ~y:0);
+  Maze.Route.release_nodes g added;
+  Testkit.check_int "released" 0 (Grid.count_owned g ~net:4)
+
+let prop_route_net_connects_random_pins =
+  Testkit.qcheck ~count:40 "route_net connects random pin sets on empty grids"
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let prng = Util.Prng.create seed in
+      let w = Util.Prng.int_in prng 6 14 and h = Util.Prng.int_in prng 6 12 in
+      let k = Util.Prng.int_in prng 2 5 in
+      let cells = ref [] in
+      for _ = 1 to k do
+        let rec fresh () =
+          let c =
+            (Util.Prng.int prng w, Util.Prng.int prng h, Util.Prng.int prng 2)
+          in
+          if List.mem c !cells then fresh () else c
+        in
+        cells := fresh () :: !cells
+      done;
+      let pins = List.map (fun (x, y, l) -> pin ~layer:l x y) !cells in
+      let net = Netlist.Net.make ~id:1 ~name:"r" pins in
+      let p = Netlist.Problem.make ~name:"t" ~width:w ~height:h [ net ] in
+      let g = Netlist.Problem.instantiate p in
+      let ws = Maze.Workspace.create g in
+      match Maze.Route.route_net g ws ~cost:Maze.Cost.default net with
+      | Ok _ -> Drc.Check.connected_components g ~net:1 = 1
+      | Error _ -> false)
+
+let test_reachable_oracle () =
+  let g, ws = empty_grid ~w:6 ~h:4 () in
+  let a = Grid.node g ~layer:0 ~x:0 ~y:0 and b = Grid.node g ~layer:0 ~x:5 ~y:3 in
+  Testkit.check_true "open grid reachable"
+    (Maze.Search.reachable g ws ~passable:(free_passable g) ~sources:[ a ]
+       ~targets:[ b ]);
+  for y = 0 to 3 do
+    Grid.set_obstacle_both g ~x:3 ~y
+  done;
+  Testkit.check_false "walled off"
+    (Maze.Search.reachable g ws ~passable:(free_passable g) ~sources:[ a ]
+       ~targets:[ b ])
+
+let test_self_cells_passable () =
+  let g, ws = empty_grid ~w:8 ~h:3 () in
+  (* Own wire crossing the middle is passable at zero cost. *)
+  for y = 0 to 2 do
+    Grid.occupy g ~net:1 (Grid.node g ~layer:0 ~x:4 ~y)
+  done;
+  let a = Grid.node g ~layer:0 ~x:0 ~y:1 and b = Grid.node g ~layer:0 ~x:7 ~y:1 in
+  match
+    Maze.Search.run g ws ~cost:Maze.Cost.uniform
+      ~passable:(self_passable g ~net:1) ~sources:[ a ] ~targets:[ b ] ()
+  with
+  | Some r -> Testkit.check_int "straight through" 7 r.Maze.Search.total_cost
+  | None -> Alcotest.fail "self-passable failed"
+
+let () =
+  Alcotest.run "maze"
+    [
+      ( "search",
+        [
+          Alcotest.test_case "trivial" `Quick test_search_trivial;
+          Alcotest.test_case "straight line" `Quick test_search_straight_line;
+          Alcotest.test_case "manhattan optimal" `Quick test_search_manhattan_optimal;
+          Alcotest.test_case "respects obstacles" `Quick test_search_respects_obstacles;
+          Alcotest.test_case "detours" `Quick test_search_detours_around_wall;
+          Alcotest.test_case "uses vias" `Quick test_search_uses_via_when_needed;
+          Alcotest.test_case "via cost" `Quick test_via_cost_discourages_layer_change;
+          Alcotest.test_case "wrong-way cost" `Quick test_wrong_way_cost_prefers_layer;
+          Alcotest.test_case "foreign penalty" `Quick test_penalty_prices_foreign_cells;
+          Alcotest.test_case "multi-source" `Quick test_multi_source_picks_nearest;
+          Alcotest.test_case "workspace reuse" `Quick test_workspace_reuse;
+          Alcotest.test_case "reachability oracle" `Quick test_reachable_oracle;
+          Alcotest.test_case "cost model" `Quick test_cost_model;
+          Alcotest.test_case "workspace marks" `Quick test_workspace_marks_reset;
+          Alcotest.test_case "self cells passable" `Quick test_self_cells_passable;
+          Alcotest.test_case "lee wave expansion" `Quick test_lee_matches_uniform_dijkstra;
+          prop_lee_length_matches_dijkstra;
+          prop_astar_matches_dijkstra;
+          prop_path_cost_consistent;
+        ] );
+      ( "route",
+        [
+          Alcotest.test_case "two pins" `Quick test_route_net_two_pins;
+          Alcotest.test_case "multi-pin tree" `Quick test_route_net_multi_pin_tree;
+          Alcotest.test_case "trivial net" `Quick test_route_net_trivial;
+          Alcotest.test_case "rollback on failure" `Quick test_route_net_rollback_on_failure;
+          Alcotest.test_case "occupy_path vias" `Quick test_occupy_path_vias;
+          prop_route_net_connects_random_pins;
+        ] );
+    ]

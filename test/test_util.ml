@@ -1,0 +1,352 @@
+(* Tests for the util library: PRNG, priority queue, union-find, vec,
+   tables. *)
+
+let test_prng_deterministic () =
+  let a = Util.Prng.create 42 and b = Util.Prng.create 42 in
+  for _ = 1 to 100 do
+    Testkit.check_true "same stream" (Util.Prng.bits64 a = Util.Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Util.Prng.create 1 and b = Util.Prng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Util.Prng.bits64 a <> Util.Prng.bits64 b then differs := true
+  done;
+  Testkit.check_true "different seeds differ" !differs
+
+let test_prng_copy_independent () =
+  let a = Util.Prng.create 7 in
+  let b = Util.Prng.copy a in
+  Testkit.check_true "copy replays" (Util.Prng.bits64 a = Util.Prng.bits64 b)
+
+let test_prng_split_independent () =
+  let a = Util.Prng.create 7 in
+  let c = Util.Prng.split a in
+  Testkit.check_true "split stream differs"
+    (Util.Prng.bits64 a <> Util.Prng.bits64 c)
+
+let test_prng_int_bounds () =
+  let g = Util.Prng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Util.Prng.int g 17 in
+    Testkit.check_true "in range" (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1000 do
+    let v = Util.Prng.int_in g (-5) 5 in
+    Testkit.check_true "int_in range" (v >= -5 && v <= 5)
+  done
+
+let test_prng_int_coverage () =
+  let g = Util.Prng.create 5 in
+  let seen = Array.make 6 false in
+  for _ = 1 to 500 do
+    seen.(Util.Prng.int g 6) <- true
+  done;
+  Array.iteri
+    (fun i s -> Testkit.check_true (Printf.sprintf "value %d drawn" i) s)
+    seen
+
+let test_prng_chance_extremes () =
+  let g = Util.Prng.create 11 in
+  Testkit.check_false "p=0 never" (Util.Prng.chance g 0.0);
+  Testkit.check_true "p=1 always" (Util.Prng.chance g 1.0)
+
+let test_prng_float_bounds () =
+  let g = Util.Prng.create 13 in
+  for _ = 1 to 1000 do
+    let v = Util.Prng.float g 2.5 in
+    Testkit.check_true "float in [0,2.5)" (v >= 0.0 && v < 2.5)
+  done
+
+let test_shuffle_is_permutation () =
+  let g = Util.Prng.create 17 in
+  let original = Array.init 50 (fun i -> i) in
+  let a = Array.copy original in
+  Util.Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort Int.compare sorted;
+  Testkit.check_true "same multiset" (sorted = original)
+
+let test_shuffle_list_permutation () =
+  let g = Util.Prng.create 19 in
+  let l = List.init 30 (fun i -> i) in
+  let s = Util.Prng.shuffle_list g l in
+  Testkit.check_true "permutation" (List.sort Int.compare s = l)
+
+let test_pick_member () =
+  let g = Util.Prng.create 23 in
+  let a = [| 3; 1; 4; 1; 5 |] in
+  for _ = 1 to 50 do
+    Testkit.check_true "pick from array" (Array.mem (Util.Prng.pick g a) a)
+  done;
+  Testkit.check_true "pick_list member"
+    (List.mem (Util.Prng.pick_list g [ 9; 8; 7 ]) [ 9; 8; 7 ])
+
+(* --- priority queue --- *)
+
+let test_pqueue_basic () =
+  let q = Util.Pqueue.create () in
+  Testkit.check_true "fresh empty" (Util.Pqueue.is_empty q);
+  Util.Pqueue.push q 5 50;
+  Util.Pqueue.push q 1 10;
+  Util.Pqueue.push q 3 30;
+  Testkit.check_int "length" 3 (Util.Pqueue.length q);
+  Testkit.check_true "peek min" (Util.Pqueue.peek q = (1, 10));
+  Testkit.check_true "pop 1" (Util.Pqueue.pop q = (1, 10));
+  Testkit.check_true "pop 3" (Util.Pqueue.pop q = (3, 30));
+  Testkit.check_true "pop 5" (Util.Pqueue.pop q = (5, 50));
+  Testkit.check_true "drained" (Util.Pqueue.is_empty q)
+
+let test_pqueue_empty_raises () =
+  let q = Util.Pqueue.create () in
+  Alcotest.check_raises "pop on empty" Not_found (fun () ->
+      ignore (Util.Pqueue.pop q));
+  Alcotest.check_raises "peek on empty" Not_found (fun () ->
+      ignore (Util.Pqueue.peek q))
+
+let test_pqueue_clear () =
+  let q = Util.Pqueue.create () in
+  Util.Pqueue.push q 1 1;
+  Util.Pqueue.clear q;
+  Testkit.check_true "cleared" (Util.Pqueue.is_empty q)
+
+let test_pqueue_duplicates () =
+  let q = Util.Pqueue.create () in
+  List.iter (fun p -> Util.Pqueue.push q p p) [ 2; 2; 2; 1; 1 ];
+  let pops = List.init 5 (fun _ -> fst (Util.Pqueue.pop q)) in
+  Testkit.check_true "sorted with duplicates" (pops = [ 1; 1; 2; 2; 2 ])
+
+let test_pqueue_growth () =
+  let q = Util.Pqueue.create ~capacity:4 () in
+  for i = 1000 downto 1 do
+    Util.Pqueue.push q i i
+  done;
+  Testkit.check_int "grew" 1000 (Util.Pqueue.length q);
+  let prev = ref min_int in
+  for _ = 1 to 1000 do
+    let p, _ = Util.Pqueue.pop q in
+    Testkit.check_true "monotone" (p >= !prev);
+    prev := p
+  done
+
+let prop_pqueue_heapsort =
+  Testkit.qcheck "pqueue pops sorted"
+    QCheck2.Gen.(list_size (int_range 0 200) (int_range (-1000) 1000))
+    (fun priorities ->
+      let q = Util.Pqueue.create () in
+      List.iteri (fun i p -> Util.Pqueue.push q p i) priorities;
+      let out =
+        List.init (List.length priorities) (fun _ -> fst (Util.Pqueue.pop q))
+      in
+      out = List.sort Int.compare priorities)
+
+(* --- union-find --- *)
+
+let test_union_find_basic () =
+  let uf = Util.Union_find.create 10 in
+  Testkit.check_false "initially apart" (Util.Union_find.same uf 0 1);
+  Util.Union_find.union uf 0 1;
+  Util.Union_find.union uf 2 3;
+  Testkit.check_true "joined" (Util.Union_find.same uf 0 1);
+  Testkit.check_false "separate sets" (Util.Union_find.same uf 1 2);
+  Util.Union_find.union uf 1 2;
+  Testkit.check_true "transitively joined" (Util.Union_find.same uf 0 3)
+
+let test_union_find_idempotent () =
+  let uf = Util.Union_find.create 4 in
+  Util.Union_find.union uf 0 1;
+  Util.Union_find.union uf 0 1;
+  Util.Union_find.union uf 1 0;
+  Testkit.check_true "still joined" (Util.Union_find.same uf 0 1)
+
+let test_union_find_components () =
+  let uf = Util.Union_find.create 8 in
+  Util.Union_find.union uf 0 1;
+  Util.Union_find.union uf 2 3;
+  Util.Union_find.union uf 3 4;
+  Testkit.check_int "components" 2
+    (Util.Union_find.count_components uf (fun i -> i <= 4));
+  Testkit.check_int "all elements" 5
+    (Util.Union_find.count_components uf (fun _ -> true))
+
+let prop_union_find_equivalence =
+  Testkit.qcheck "union-find matches naive closure"
+    QCheck2.Gen.(
+      list_size (int_range 0 40) (pair (int_range 0 14) (int_range 0 14)))
+    (fun unions ->
+      let uf = Util.Union_find.create 15 in
+      List.iter (fun (a, b) -> Util.Union_find.union uf a b) unions;
+      let repr = Array.init 15 (fun i -> i) in
+      let rec naive_find i = if repr.(i) = i then i else naive_find repr.(i) in
+      List.iter
+        (fun (a, b) ->
+          let ra = naive_find a and rb = naive_find b in
+          if ra <> rb then repr.(ra) <- rb)
+        unions;
+      List.for_all
+        (fun (a, b) ->
+          Util.Union_find.same uf a b = (naive_find a = naive_find b))
+        (List.concat_map
+           (fun a -> List.map (fun b -> (a, b)) [ 0; 3; 7; 14 ])
+           [ 0; 1; 5; 9; 14 ]))
+
+(* --- vec --- *)
+
+let test_vec_push_pop () =
+  let v = Util.Vec.create () in
+  Testkit.check_true "fresh empty" (Util.Vec.is_empty v);
+  for i = 1 to 100 do
+    Util.Vec.push v i
+  done;
+  Testkit.check_int "length" 100 (Util.Vec.length v);
+  Testkit.check_int "get" 50 (Util.Vec.get v 49);
+  Testkit.check_int "pop" 100 (Util.Vec.pop v);
+  Testkit.check_int "length after pop" 99 (Util.Vec.length v)
+
+let test_vec_bounds () =
+  let v = Util.Vec.of_list [ 1; 2; 3 ] in
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Vec: index out of bounds") (fun () ->
+      ignore (Util.Vec.get v 3));
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Vec: index out of bounds") (fun () ->
+      ignore (Util.Vec.get v (-1)))
+
+let test_vec_conversions () =
+  let l = [ 5; 6; 7; 8 ] in
+  let v = Util.Vec.of_list l in
+  Testkit.check_true "roundtrip list" (Util.Vec.to_list v = l);
+  Testkit.check_true "to_array" (Util.Vec.to_array v = [| 5; 6; 7; 8 |]);
+  Testkit.check_true "mem" (Util.Vec.mem v 7);
+  Testkit.check_false "not mem" (Util.Vec.mem v 9)
+
+let test_vec_copy_independent () =
+  let v = Util.Vec.of_list [ 1; 2 ] in
+  let w = Util.Vec.copy v in
+  Util.Vec.push v 3;
+  Testkit.check_int "copy unchanged" 2 (Util.Vec.length w);
+  Util.Vec.set w 0 99;
+  Testkit.check_int "original unchanged" 1 (Util.Vec.get v 0)
+
+let test_vec_iter_exists () =
+  let v = Util.Vec.of_list [ 2; 4; 6 ] in
+  let sum = ref 0 in
+  Util.Vec.iter (fun x -> sum := !sum + x) v;
+  Testkit.check_int "iter sum" 12 !sum;
+  Testkit.check_true "exists" (Util.Vec.exists (fun x -> x > 5) v);
+  Testkit.check_false "not exists" (Util.Vec.exists (fun x -> x > 6) v)
+
+(* --- table --- *)
+
+let test_table_render () =
+  let t = Util.Table.create ~headers:[ "name"; "count" ] in
+  Util.Table.add_row t [ "alpha"; "1" ];
+  Util.Table.add_row t [ "bee"; "22" ];
+  let s = Util.Table.render t in
+  let lines = String.split_on_char '\n' s in
+  (match lines with
+  | header :: sep :: _ ->
+      Testkit.check_true "header present" (String.length header >= 4);
+      Testkit.check_true "separator dashes" (String.contains sep '-')
+  | _ -> Alcotest.fail "table too short");
+  Testkit.check_true "right aligned number"
+    (List.exists
+       (fun l -> String.length l > 6 && l.[String.length l - 1] = '1')
+       lines)
+
+let test_table_cells () =
+  Testkit.check_true "int" (Util.Table.cell_int 42 = "42");
+  Testkit.check_true "pct" (Util.Table.cell_pct 0.5 = "50.0%");
+  Testkit.check_true "bool" (Util.Table.cell_bool true = "yes");
+  Testkit.check_true "float decimals"
+    (String.length (Util.Table.cell_float ~decimals:3 1.0) = 5)
+
+let test_table_ragged_rows () =
+  let t = Util.Table.create ~headers:[ "a" ] in
+  Util.Table.add_row t [ "1"; "2"; "3" ];
+  Util.Table.add_row t [];
+  Util.Table.add_sep t;
+  Testkit.check_true "renders ragged" (String.length (Util.Table.render t) > 0)
+
+let test_table_column_extension () =
+  let t = Util.Table.create ~headers:[ "a"; "b" ] in
+  Util.Table.add_row t [ "1"; "2"; "3"; "4" ];
+  let s = Util.Table.render t in
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  (* all lines padded to the same full width *)
+  match lines with
+  | first :: rest ->
+      List.iter
+        (fun l ->
+          Testkit.check_int "consistent width" (String.length first)
+            (String.length l))
+        rest
+  | [] -> Alcotest.fail "empty table"
+
+let test_prng_int_one () =
+  let g = Util.Prng.create 1 in
+  for _ = 1 to 20 do
+    Testkit.check_int "bound 1 always 0" 0 (Util.Prng.int g 1)
+  done
+
+let test_prng_shuffle_empty_and_single () =
+  let g = Util.Prng.create 1 in
+  let empty = [||] in
+  Util.Prng.shuffle g empty;
+  Testkit.check_int "empty ok" 0 (Array.length empty);
+  let single = [| 42 |] in
+  Util.Prng.shuffle g single;
+  Testkit.check_int "single untouched" 42 single.(0)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "copy independent" `Quick test_prng_copy_independent;
+          Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "int coverage" `Quick test_prng_int_coverage;
+          Alcotest.test_case "chance extremes" `Quick test_prng_chance_extremes;
+          Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+          Alcotest.test_case "shuffle_list permutation" `Quick test_shuffle_list_permutation;
+          Alcotest.test_case "pick membership" `Quick test_pick_member;
+          Alcotest.test_case "int bound one" `Quick test_prng_int_one;
+          Alcotest.test_case "shuffle edge sizes" `Quick test_prng_shuffle_empty_and_single;
+        ] );
+      ( "pqueue",
+        [
+          Alcotest.test_case "basic order" `Quick test_pqueue_basic;
+          Alcotest.test_case "empty raises" `Quick test_pqueue_empty_raises;
+          Alcotest.test_case "clear" `Quick test_pqueue_clear;
+          Alcotest.test_case "duplicates" `Quick test_pqueue_duplicates;
+          Alcotest.test_case "growth and order" `Quick test_pqueue_growth;
+          prop_pqueue_heapsort;
+        ] );
+      ( "union_find",
+        [
+          Alcotest.test_case "basic" `Quick test_union_find_basic;
+          Alcotest.test_case "idempotent" `Quick test_union_find_idempotent;
+          Alcotest.test_case "components" `Quick test_union_find_components;
+          prop_union_find_equivalence;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "push/pop" `Quick test_vec_push_pop;
+          Alcotest.test_case "bounds" `Quick test_vec_bounds;
+          Alcotest.test_case "conversions" `Quick test_vec_conversions;
+          Alcotest.test_case "copy independent" `Quick test_vec_copy_independent;
+          Alcotest.test_case "iter/exists" `Quick test_vec_iter_exists;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "cells" `Quick test_table_cells;
+          Alcotest.test_case "ragged rows" `Quick test_table_ragged_rows;
+          Alcotest.test_case "column extension" `Quick test_table_column_extension;
+        ] );
+    ]

@@ -1,0 +1,135 @@
+(* Tests for the renderers: stable net characters, correct map dimensions,
+   obstacle/pin/via markers and well-formed SVG. *)
+
+let routed_example () =
+  let prng = Util.Prng.create 6 in
+  let p = Workload.Gen.switchbox prng ~width:10 ~height:8 ~nets:6 in
+  let r = Router.Engine.route p in
+  (p, r.Router.Engine.grid)
+
+let test_net_char_stable_and_distinct () =
+  Testkit.check_true "net 1" (Viz.Ascii.net_char 1 = '1');
+  Testkit.check_true "net 10" (Viz.Ascii.net_char 10 = 'a');
+  Testkit.check_true "stable" (Viz.Ascii.net_char 5 = Viz.Ascii.net_char 5);
+  Testkit.check_true "distinct small ids"
+    (Viz.Ascii.net_char 3 <> Viz.Ascii.net_char 4)
+
+let test_render_layer_dimensions () =
+  let g = Grid.create ~width:7 ~height:4 in
+  let s = Viz.Ascii.render_layer g ~layer:0 in
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  Testkit.check_int "rows" 4 (List.length lines);
+  List.iter (fun l -> Testkit.check_int "cols" 7 (String.length l)) lines
+
+let test_render_markers () =
+  let g = Grid.create ~width:5 ~height:3 in
+  Grid.set_obstacle g ~layer:0 ~x:1 ~y:1;
+  Grid.occupy g ~net:1 (Grid.node g ~layer:0 ~x:0 ~y:0);
+  let s = Viz.Ascii.render_layer g ~layer:0 in
+  Testkit.check_true "obstacle marker" (String.contains s '#');
+  Testkit.check_true "net marker" (String.contains s '1');
+  Testkit.check_true "free marker" (String.contains s '.')
+
+let test_render_orientation () =
+  (* y increases upwards, so the cell at (0, 0) appears on the last line. *)
+  let g = Grid.create ~width:3 ~height:2 in
+  Grid.occupy g ~net:1 (Grid.node g ~layer:0 ~x:0 ~y:0);
+  let lines =
+    Viz.Ascii.render_layer g ~layer:0
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  (match lines with
+  | [ top; bottom ] ->
+      Testkit.check_true "top row empty" (not (String.contains top '1'));
+      Testkit.check_true "bottom row has net" (String.contains bottom '1')
+  | _ -> Alcotest.fail "unexpected line count")
+
+let test_render_combined_with_vias () =
+  let g = Grid.create ~width:4 ~height:3 in
+  Grid.occupy g ~net:1 (Grid.node g ~layer:0 ~x:1 ~y:1);
+  Grid.occupy g ~net:1 (Grid.node g ~layer:1 ~x:1 ~y:1);
+  Grid.set_via g ~x:1 ~y:1;
+  let s = Viz.Ascii.render g in
+  Testkit.check_true "via map present" (String.contains s 'x');
+  Testkit.check_true "titles present" (String.length s > 20)
+
+let test_render_problem_shows_pins () =
+  let p =
+    Netlist.Build.switchbox ~width:6 ~height:5
+      ~top:[| 1; 0; 0; 0; 0; 2 |]
+      ()
+  in
+  let s = Viz.Ascii.render_problem p in
+  Testkit.check_true "net 1 pin" (String.contains s '1');
+  Testkit.check_true "net 2 pin" (String.contains s '2')
+
+let test_heatmap_render () =
+  let p =
+    Workload.Gen.routable_chip ~macro_cols:2 ~macro_rows:2
+      (Util.Prng.create 8) ~width:32 ~height:24
+  in
+  let s = Viz.Ascii.render_heatmap p in
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  Testkit.check_int "rows" 24 (List.length lines);
+  Testkit.check_true "macros marked" (String.contains s '#')
+
+let test_usage_render () =
+  let _, g = routed_example () in
+  let s = Viz.Ascii.render_usage g in
+  Testkit.check_true "has used cells"
+    (String.contains s '1' || String.contains s '2')
+
+let test_svg_structure () =
+  let p, g = routed_example () in
+  let svg = Viz.Svg.render p g in
+  let contains sub =
+    let rec search i =
+      i + String.length sub <= String.length svg
+      && (String.sub svg i (String.length sub) = sub || search (i + 1))
+    in
+    search 0
+  in
+  Testkit.check_true "opens svg" (contains "<svg");
+  Testkit.check_true "closes svg" (contains "</svg>");
+  Testkit.check_true "has wiring lines" (contains "<line");
+  Testkit.check_true "has pin circles" (contains "<circle");
+  Testkit.check_true "has pin labels" (contains "<text")
+
+let test_svg_save () =
+  let p, g = routed_example () in
+  let path = Filename.temp_file "router" ".svg" in
+  Viz.Svg.save path p g;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  close_in ic;
+  Sys.remove path;
+  Testkit.check_true "file written" (len > 100)
+
+let test_svg_scales_with_cell () =
+  let p, g = routed_example () in
+  let small = Viz.Svg.render ~cell:8 p g in
+  let large = Viz.Svg.render ~cell:24 p g in
+  Testkit.check_true "different sizes" (small <> large)
+
+let () =
+  Alcotest.run "viz"
+    [
+      ( "ascii",
+        [
+          Alcotest.test_case "net chars" `Quick test_net_char_stable_and_distinct;
+          Alcotest.test_case "layer dimensions" `Quick test_render_layer_dimensions;
+          Alcotest.test_case "markers" `Quick test_render_markers;
+          Alcotest.test_case "orientation" `Quick test_render_orientation;
+          Alcotest.test_case "combined with vias" `Quick test_render_combined_with_vias;
+          Alcotest.test_case "problem pins" `Quick test_render_problem_shows_pins;
+          Alcotest.test_case "heatmap" `Quick test_heatmap_render;
+          Alcotest.test_case "usage map" `Quick test_usage_render;
+        ] );
+      ( "svg",
+        [
+          Alcotest.test_case "structure" `Quick test_svg_structure;
+          Alcotest.test_case "save" `Quick test_svg_save;
+          Alcotest.test_case "cell scaling" `Quick test_svg_scales_with_cell;
+        ] );
+    ]

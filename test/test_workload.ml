@@ -1,0 +1,230 @@
+(* Tests for the workload generators: determinism, structural validity and
+   calibration of the hard instances. *)
+
+let text p = Netlist.Parse.to_string p
+
+let test_channel_deterministic () =
+  let make seed =
+    Workload.Gen.channel (Util.Prng.create seed) ~columns:20 ~nets:8
+  in
+  Testkit.check_true "same seed, same problem" (text (make 4) = text (make 4));
+  Testkit.check_true "different seed differs" (text (make 4) <> text (make 5))
+
+let test_channel_structure () =
+  let p = Workload.Gen.channel (Util.Prng.create 1) ~columns:20 ~nets:8 in
+  Testkit.check_true "channel kind" (p.Netlist.Problem.kind = Netlist.Problem.Channel);
+  Testkit.check_int "width" 20 p.Netlist.Problem.width;
+  let d = Netlist.Analysis.channel_density p in
+  (* default slack is 2 *)
+  Testkit.check_int "tracks = density + slack" (d + 2 + 2) p.Netlist.Problem.height
+
+let test_channel_at_density () =
+  let p =
+    Workload.Gen.channel_at_density (Util.Prng.create 2) ~columns:40 ~density:10
+  in
+  Testkit.check_true "density reached"
+    (Netlist.Analysis.channel_density p >= 10)
+
+let test_channel_pin_rows_only () =
+  let p = Workload.Gen.channel (Util.Prng.create 3) ~columns:16 ~nets:6 in
+  List.iter
+    (fun (_, (pin : Netlist.Net.pin)) ->
+      Testkit.check_true "pins on boundary rows"
+        (pin.Netlist.Net.y = 0 || pin.Netlist.Net.y = p.Netlist.Problem.height - 1))
+    (Netlist.Problem.pin_cells p)
+
+let test_switchbox_deterministic () =
+  let make seed =
+    Workload.Gen.switchbox (Util.Prng.create seed) ~width:14 ~height:10 ~nets:9
+  in
+  Testkit.check_true "same seed" (text (make 7) = text (make 7))
+
+let test_switchbox_pins_on_boundary () =
+  let p =
+    Workload.Gen.switchbox (Util.Prng.create 1) ~width:14 ~height:10 ~nets:9
+  in
+  List.iter
+    (fun (_, (pin : Netlist.Net.pin)) ->
+      let x = pin.Netlist.Net.x and y = pin.Netlist.Net.y in
+      Testkit.check_true "on boundary"
+        (x = 0 || x = 13 || y = 0 || y = 9))
+    (Netlist.Problem.pin_cells p)
+
+let test_dense_switchbox_fill () =
+  let p =
+    Workload.Gen.dense_switchbox ~fill:0.9 (Util.Prng.create 5) ~width:12
+      ~height:10
+  in
+  let slots = (12 * 2) + (8 * 2) in
+  Testkit.check_true "most slots pinned"
+    (Netlist.Problem.total_pins p >= slots * 7 / 10)
+
+let test_routable_switchbox_is_routable () =
+  (* The defining property of the generator. *)
+  List.iter
+    (fun seed ->
+      let p =
+        Workload.Gen.routable_switchbox (Util.Prng.create seed) ~width:12
+          ~height:10
+      in
+      let r =
+        Router.Engine.route
+          ~config:{ Router.Config.default with restarts = 4 }
+          p
+      in
+      Testkit.check_true
+        (Printf.sprintf "seed %d routable" seed)
+        r.Router.Engine.completed)
+    [ 1; 2; 3 ]
+
+let test_routable_switchbox_deterministic () =
+  let make () =
+    Workload.Gen.routable_switchbox (Util.Prng.create 11) ~width:10 ~height:8
+  in
+  Testkit.check_true "deterministic" (text (make ()) = text (make ()))
+
+let test_routable_chip_structure () =
+  let p =
+    Workload.Gen.routable_chip ~macro_cols:2 ~macro_rows:2
+      (Util.Prng.create 8) ~width:32 ~height:24
+  in
+  Testkit.check_int "macro obstructions" 4
+    (List.length p.Netlist.Problem.obstructions);
+  Testkit.check_true "has nets" (Netlist.Problem.net_count p >= 5);
+  (* pins hug macros or the boundary *)
+  List.iter
+    (fun (_, (pin : Netlist.Net.pin)) ->
+      let x = pin.Netlist.Net.x and y = pin.Netlist.Net.y in
+      let near_macro =
+        List.exists
+          (fun (o : Netlist.Problem.obstruction) ->
+            Geom.Rect.mem (Geom.Rect.inflate o.Netlist.Problem.obs_rect 1) x y)
+          p.Netlist.Problem.obstructions
+      in
+      let on_boundary = x = 0 || y = 0 || x = 31 || y = 23 in
+      Testkit.check_true "pin near macro or boundary" (near_macro || on_boundary))
+    (Netlist.Problem.pin_cells p)
+
+let test_routable_chip_is_routable () =
+  let p =
+    Workload.Gen.routable_chip (Util.Prng.create 3) ~width:48 ~height:32
+  in
+  let r = Router.Engine.route p in
+  Testkit.check_true "chip routes" r.Router.Engine.completed
+
+let test_chip_rejects_tiny_region () =
+  try
+    ignore
+      (Workload.Gen.routable_chip ~macro_cols:5 ~macro_rows:5
+         (Util.Prng.create 1) ~width:12 ~height:12);
+    Alcotest.fail "expected size rejection"
+  with Invalid_argument _ -> ()
+
+let test_demand_map_properties () =
+  let p =
+    Workload.Gen.routable_chip ~macro_cols:2 ~macro_rows:2
+      (Util.Prng.create 8) ~width:32 ~height:24
+  in
+  let demand = Netlist.Analysis.demand_map p in
+  Testkit.check_int "size" (32 * 24) (Array.length demand);
+  (* macros are infinite, free corners near zero *)
+  let o = List.hd p.Netlist.Problem.obstructions in
+  let r = o.Netlist.Problem.obs_rect in
+  Testkit.check_true "macro infinite"
+    (Netlist.Analysis.demand_at p demand ~x:r.Geom.Rect.x0 ~y:r.Geom.Rect.y0
+     = infinity);
+  Testkit.check_true "finite elsewhere"
+    (Netlist.Analysis.demand_at p demand ~x:0 ~y:0 <> infinity);
+  Testkit.check_true "overflow estimate in [0,1]"
+    (let v = Netlist.Analysis.overflow_estimate p in
+     v >= 0.0 && v <= 1.0)
+
+let test_region_respects_obstacles () =
+  let p =
+    Workload.Gen.region (Util.Prng.create 13) ~width:16 ~height:12 ~nets:6
+  in
+  (* Problem.make already validates pins-vs-obstructions; re-validate by
+     instantiating. *)
+  let g = Netlist.Problem.instantiate p in
+  Testkit.check_true "instantiates" (Grid.width g = 16);
+  Testkit.check_true "has obstructions"
+    (List.length p.Netlist.Problem.obstructions > 0)
+
+let test_hard_instances_stable () =
+  (* The fixed-seed instances are part of the repo's benchmark contract:
+     lock their shape so accidental generator changes are caught. *)
+  let b = Workload.Hard.burstein_like () in
+  Testkit.check_int "burstein-like width" 23 b.Netlist.Problem.width;
+  Testkit.check_int "burstein-like height" 15 b.Netlist.Problem.height;
+  Testkit.check_int "burstein-like nets" 24 (Netlist.Problem.net_count b);
+  let t = Workload.Hard.tiny_blocked () in
+  Testkit.check_int "tiny width" 8 t.Netlist.Problem.width;
+  let d = Workload.Hard.deutsch_like () in
+  Testkit.check_int "deutsch-like columns" 72 d.Netlist.Problem.width;
+  Testkit.check_true "deutsch-like density >= 19"
+    (Netlist.Analysis.channel_density d >= 19)
+
+let test_staircase_properties () =
+  let p = Workload.Hard.staircase_channel 6 in
+  Testkit.check_int "nets" 6 (Netlist.Problem.net_count p);
+  Testkit.check_int "density 2" 2 (Netlist.Analysis.channel_density p);
+  let s = Channel.Model.spec_of_problem p in
+  let g = Channel.Vcg.of_spec s in
+  Testkit.check_false "acyclic" (Channel.Vcg.has_cycle g);
+  Testkit.check_int "chain length" 6 (Channel.Vcg.longest_path g)
+
+let test_suites_nonempty_and_named () =
+  let channels = Workload.Hard.all_channels () in
+  let switchboxes = Workload.Hard.all_switchboxes () in
+  Testkit.check_true "channels" (List.length channels >= 5);
+  Testkit.check_true "switchboxes" (List.length switchboxes >= 5);
+  List.iter
+    (fun (name, p) ->
+      Testkit.check_true "named" (String.length name > 0);
+      Testkit.check_true "has nets" (Netlist.Problem.net_count p > 0))
+    (channels @ switchboxes)
+
+let prop_generators_always_valid =
+  Testkit.qcheck ~count:30 "generators produce validated problems"
+    QCheck2.Gen.(pair (int_range 0 100000) (int_range 0 2))
+    (fun (seed, which) ->
+      let prng = Util.Prng.create seed in
+      let p =
+        match which with
+        | 0 -> Workload.Gen.channel prng ~columns:15 ~nets:6
+        | 1 -> Workload.Gen.switchbox prng ~width:10 ~height:8 ~nets:6
+        | _ -> Workload.Gen.region prng ~width:12 ~height:10 ~nets:5
+      in
+      (* Problem.make validates on construction; instantiating proves the
+         grid invariants hold too. *)
+      ignore (Netlist.Problem.instantiate p);
+      true)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "gen",
+        [
+          Alcotest.test_case "channel deterministic" `Quick test_channel_deterministic;
+          Alcotest.test_case "channel structure" `Quick test_channel_structure;
+          Alcotest.test_case "channel at density" `Quick test_channel_at_density;
+          Alcotest.test_case "channel pin rows" `Quick test_channel_pin_rows_only;
+          Alcotest.test_case "switchbox deterministic" `Quick test_switchbox_deterministic;
+          Alcotest.test_case "switchbox boundary pins" `Quick test_switchbox_pins_on_boundary;
+          Alcotest.test_case "dense fill" `Quick test_dense_switchbox_fill;
+          Alcotest.test_case "routable is routable" `Slow test_routable_switchbox_is_routable;
+          Alcotest.test_case "routable deterministic" `Quick test_routable_switchbox_deterministic;
+          Alcotest.test_case "region obstacles" `Quick test_region_respects_obstacles;
+          Alcotest.test_case "chip structure" `Quick test_routable_chip_structure;
+          Alcotest.test_case "chip routable" `Slow test_routable_chip_is_routable;
+          Alcotest.test_case "chip size rejection" `Quick test_chip_rejects_tiny_region;
+          Alcotest.test_case "demand map" `Quick test_demand_map_properties;
+          prop_generators_always_valid;
+        ] );
+      ( "hard",
+        [
+          Alcotest.test_case "instances stable" `Quick test_hard_instances_stable;
+          Alcotest.test_case "staircase" `Quick test_staircase_properties;
+          Alcotest.test_case "suites populated" `Quick test_suites_nonempty_and_named;
+        ] );
+    ]

@@ -1,0 +1,42 @@
+(* Shared helpers for the test suite. *)
+
+let qcheck ?(count = 100) name gen prop =
+  (* Fixed randomness: property tests are part of the deterministic suite
+     (set QCHECK_SEED to explore other seeds). *)
+  let rand =
+    match Sys.getenv_opt "QCHECK_SEED" with
+    | Some s -> Random.State.make [| int_of_string s |]
+    | None -> Random.State.make [| 0x5EED |]
+  in
+  QCheck_alcotest.to_alcotest ~rand (QCheck2.Test.make ~count ~name gen prop)
+
+(* Route a problem and fail the test unless the result is complete and
+   DRC-clean; returns the result for further assertions. *)
+let route_clean ?config problem =
+  let result = Router.Engine.route ?config problem in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s completes" problem.Netlist.Problem.name)
+    true result.Router.Engine.completed;
+  let violations = Drc.Check.check problem result.Router.Engine.grid in
+  if violations <> [] then
+    Alcotest.failf "%s: DRC violations:\n%s" problem.Netlist.Problem.name
+      (Drc.Check.explain violations);
+  result
+
+(* DRC restricted to the routed nets of a possibly incomplete result. *)
+let drc_routed problem (result : Router.Engine.t) =
+  let failed = result.Router.Engine.stats.Router.Engine.failed_nets in
+  let routed =
+    List.filter
+      (fun id -> not (List.mem id failed))
+      (List.init (Netlist.Problem.net_count problem) (fun i -> i + 1))
+  in
+  Drc.Check.check ~nets:routed problem result.Router.Engine.grid
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let check_true name b = Alcotest.(check bool) name true b
+
+let check_false name b = Alcotest.(check bool) name false b
