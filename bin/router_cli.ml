@@ -53,16 +53,49 @@ let config_term =
   let astar =
     Arg.(value & flag & info [ "astar" ] ~doc:"Use A* instead of Dijkstra.")
   in
-  let make strategy order restarts seed astar =
+  let kernel =
+    Arg.(
+      value
+      & opt
+          (Arg.enum
+             [
+               ("heap", Maze.Search.Binary_heap);
+               ("buckets", Maze.Search.Buckets);
+             ])
+          Maze.Search.Binary_heap
+      & info [ "kernel" ]
+          ~doc:
+            "Search frontier kernel: heap (binary heap) or buckets (Dial \
+             bucket queue, O(1) for the small integer edge costs).")
+  in
+  let window =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "window" ] ~docv:"MARGIN"
+          ~doc:
+            "Restrict each search to the endpoints' bounding box grown by \
+             MARGIN cells, widening and retrying automatically on failure.")
+  in
+  let make strategy order restarts seed astar kernel window =
     let base =
       match strategy with
       | `Full -> Router.Config.default
       | `Weak -> Router.Config.weak_only
       | `Maze -> Router.Config.maze_only
     in
-    { base with Router.Config.order; restarts; seed; use_astar = astar }
+    {
+      base with
+      Router.Config.order;
+      restarts;
+      seed;
+      use_astar = astar;
+      kernel;
+      window_margin = window;
+    }
   in
-  Term.(const make $ strategy $ order $ restarts $ seed $ astar)
+  Term.(
+    const make $ strategy $ order $ restarts $ seed $ astar $ kernel $ window)
 
 let load path =
   try Ok (Netlist.Parse.load path) with
@@ -264,37 +297,55 @@ let channel_cmd =
 (* --- suite --- *)
 
 let suite_cmd =
-  let run () =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Route suite instances on N domains in parallel (0 = one per \
+             core).  Results are independent of N.")
+  in
+  let run jobs =
+    let jobs = if jobs = 0 then Util.Parallel.default_jobs () else jobs in
     let table =
       Util.Table.create
         ~headers:[ "instance"; "kind"; "nets"; "maze-only"; "full"; "drc" ]
     in
-    let row name kind problem =
-      let maze = Router.Engine.route ~config:Router.Config.maze_only problem in
-      let full = Router.Engine.route problem in
-      Util.Table.add_row table
-        [
-          name;
-          kind;
-          Util.Table.cell_int (Netlist.Problem.net_count problem);
-          Util.Table.cell_bool maze.Router.Engine.completed;
-          Util.Table.cell_bool full.Router.Engine.completed;
-          (if
-             (not full.Router.Engine.completed)
-             || Drc.Check.is_clean problem full.Router.Engine.grid
-           then "clean"
-           else "VIOLATION");
-        ]
+    let instances =
+      List.map (fun (n, p) -> (n, "switchbox", p)) (Workload.Hard.all_switchboxes ())
+      @ List.map (fun (n, p) -> (n, "channel", p)) (Workload.Hard.all_channels ())
     in
-    List.iter (fun (n, p) -> row n "switchbox" p) (Workload.Hard.all_switchboxes ());
-    List.iter (fun (n, p) -> row n "channel" p) (Workload.Hard.all_channels ());
+    (* Each instance routes on its own grid/workspace, so instances are
+       independent and the pool keeps the row order deterministic. *)
+    let rows =
+      Util.Parallel.map ~jobs
+        (fun (name, kind, problem) ->
+          let maze =
+            Router.Engine.route ~config:Router.Config.maze_only problem
+          in
+          let full = Router.Engine.route problem in
+          [
+            name;
+            kind;
+            Util.Table.cell_int (Netlist.Problem.net_count problem);
+            Util.Table.cell_bool maze.Router.Engine.completed;
+            Util.Table.cell_bool full.Router.Engine.completed;
+            (if
+               (not full.Router.Engine.completed)
+               || Drc.Check.is_clean problem full.Router.Engine.grid
+             then "clean"
+             else "VIOLATION");
+          ])
+        instances
+    in
+    List.iter (Util.Table.add_row table) rows;
     Util.Table.print table;
     0
   in
   Cmd.v
     (Cmd.info "suite"
        ~doc:"Route the built-in hard instance suites and report completion.")
-    Term.(const run $ const ())
+    Term.(const run $ jobs)
 
 let () =
   let doc = "A rip-up-and-reroute detailed router for two-layer grids." in

@@ -9,6 +9,8 @@ type order =
 type t = {
   cost : Maze.Cost.t;
   use_astar : bool;
+  kernel : Maze.Search.kernel;
+  window_margin : int option;
   order : order;
   enable_weak : bool;
   enable_strong : bool;
@@ -23,6 +25,8 @@ let default =
   {
     cost = Maze.Cost.default;
     use_astar = false;
+    kernel = Maze.Search.Binary_heap;
+    window_margin = None;
     order = Hpwl_descending;
     enable_weak = true;
     enable_strong = true;
@@ -53,6 +57,12 @@ let describe c =
     | false, true -> "strong-only"
     | false, false -> "maze-only"
   in
-  Printf.sprintf "%s, order=%s%s%s" strategy (order_name c.order)
+  Printf.sprintf "%s, order=%s%s%s%s%s" strategy (order_name c.order)
     (if c.use_astar then ", astar" else "")
+    (match c.kernel with
+    | Maze.Search.Binary_heap -> ""
+    | k -> Printf.sprintf ", kernel=%s" (Maze.Search.kernel_name k))
+    (match c.window_margin with
+    | None -> ""
+    | Some m -> Printf.sprintf ", window=%d" m)
     (if c.restarts > 1 then Printf.sprintf ", restarts=%d" c.restarts else "")

@@ -18,7 +18,16 @@ type order =
 
 type t = {
   cost : Maze.Cost.t;
-  use_astar : bool;  (** A-star instead of plain Dijkstra (same paths) *)
+  use_astar : bool;  (** A-star instead of plain Dijkstra (same costs) *)
+  kernel : Maze.Search.kernel;
+      (** frontier data structure of every maze search: the classical
+          binary heap (default), or the Dial bucket queue exploiting the
+          small bounded integer edge costs — equal-cost results, O(1)
+          queue operations *)
+  window_margin : int option;
+      (** when set, restrict each search to the endpoints' bounding box
+          grown by this margin, with automatic widen-and-retry on failure
+          (same completeness, far fewer expansions on large regions) *)
   order : order;
   enable_weak : bool;  (** weak modification: segment shoving *)
   enable_strong : bool;  (** strong modification: rip-up and reroute *)

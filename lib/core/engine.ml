@@ -7,8 +7,12 @@ type stats = {
   shoves : int;
   searches : int;
   expanded : int;
+  effort : Outcome.effort;
   attempts : int;
 }
+
+(* The escalation mode a search serves, for the effort split. *)
+type phase = Maze | Weak | Strong
 
 type t = { grid : Grid.t; completed : bool; stats : stats }
 
@@ -28,6 +32,10 @@ type state = {
   mutable shoves : int;
   mutable searches : int;
   mutable expanded : int;
+  mutable expanded_maze : int;
+  mutable expanded_weak : int;
+  mutable expanded_strong : int;
+  expanded_per_net : int array;
 }
 
 let is_protected st n = Bytes.get st.protected n <> '\000'
@@ -70,6 +78,10 @@ let make_state config problem =
     shoves = 0;
     searches = 0;
     expanded = 0;
+    expanded_maze = 0;
+    expanded_weak = 0;
+    expanded_strong = 0;
+    expanded_per_net = Array.make nets 0;
   }
 
 let enqueue st id =
@@ -93,20 +105,28 @@ let passable_penalized st ~net n =
   else
     Some (st.config.Config.ripup_penalty * (1 + st.rip_count.(v - 1)))
 
-let run_search st ~net ~passable ~sources ~targets =
+let run_search st ~phase ~net ~passable ~sources ~targets =
   st.searches <- st.searches + 1;
+  let kernel = st.config.Config.kernel
+  and window = st.config.Config.window_margin in
   let search =
-    if st.config.Config.use_astar then Maze.Search.run_astar
-    else Maze.Search.run
+    if st.config.Config.use_astar then Maze.Search.run_astar ~kernel ?window
+    else Maze.Search.run ~kernel ?window
   in
   let result =
     search st.g st.ws ~cost:st.config.Config.cost ~passable ~sources ~targets
       ()
   in
   (match result with
-  | Some r -> st.expanded <- st.expanded + r.Maze.Search.expanded
+  | Some r ->
+      let e = r.Maze.Search.expanded in
+      st.expanded <- st.expanded + e;
+      (match phase with
+      | Maze -> st.expanded_maze <- st.expanded_maze + e
+      | Weak -> st.expanded_weak <- st.expanded_weak + e
+      | Strong -> st.expanded_strong <- st.expanded_strong + e);
+      st.expanded_per_net.(net - 1) <- st.expanded_per_net.(net - 1) + e
   | None -> ());
-  ignore net;
   result
 
 (* Rip a foreign net: clear its rippable wiring and put it back in the
@@ -134,7 +154,7 @@ let foreign_owners st ~net path =
    cell sideways, report whether anything moved. *)
 let weak_pass st ~net ~sources ~targets =
   match
-    run_search st ~net
+    run_search st ~phase:Weak ~net
       ~passable:(passable_penalized st ~net)
       ~sources ~targets
   with
@@ -163,7 +183,9 @@ let weak_pass st ~net ~sources ~targets =
    None if every enabled mode is exhausted. *)
 let connect st ~net ~sources ~targets =
   let standard () =
-    run_search st ~net ~passable:(passable_block st ~net) ~sources ~targets
+    run_search st ~phase:Maze ~net
+      ~passable:(passable_block st ~net)
+      ~sources ~targets
   in
   match standard () with
   | Some r -> Some (r, [])
@@ -184,7 +206,7 @@ let connect st ~net ~sources ~targets =
       | None ->
           if st.config.Config.enable_strong && st.rips_left > 0 then
             match
-              run_search st ~net
+              run_search st ~phase:Strong ~net
                 ~passable:(passable_penalized st ~net)
                 ~sources ~targets
             with
@@ -319,6 +341,14 @@ let route_once config problem order_ids =
       shoves = st.shoves;
       searches = st.searches;
       expanded = st.expanded;
+      effort =
+        {
+          Outcome.total_expanded = st.expanded;
+          maze_expanded = st.expanded_maze;
+          weak_expanded = st.expanded_weak;
+          strong_expanded = st.expanded_strong;
+          per_net_expanded = Array.copy st.expanded_per_net;
+        };
       attempts = 1;
     }
   in
@@ -374,7 +404,8 @@ let route ?(config = Config.default) problem =
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "routed=%d failed=[%s] wl=%d vias=%d rips=%d shoves=%d searches=%d expanded=%d"
+    "routed=%d failed=[%s] wl=%d vias=%d rips=%d shoves=%d searches=%d %a"
     s.routed_nets
     (String.concat "," (List.map string_of_int s.failed_nets))
-    s.total_wirelength s.total_vias s.rips s.shoves s.searches s.expanded
+    s.total_wirelength s.total_vias s.rips s.shoves s.searches
+    Outcome.pp_effort s.effort

@@ -28,6 +28,8 @@ type stats = {
   shoves : int;  (** weak modifications performed *)
   searches : int;  (** maze searches run *)
   expanded : int;  (** total nodes settled over all searches *)
+  effort : Outcome.effort;
+      (** the same total split by escalation phase and by net *)
   attempts : int;  (** restart attempts consumed (≥ 1) *)
 }
 

@@ -1,5 +1,26 @@
 type net_stats = { net_id : int; cells : int; wirelength : int; vias : int }
 
+type effort = {
+  total_expanded : int;
+  maze_expanded : int;
+  weak_expanded : int;
+  strong_expanded : int;
+  per_net_expanded : int array;
+}
+
+let no_effort ~nets =
+  {
+    total_expanded = 0;
+    maze_expanded = 0;
+    weak_expanded = 0;
+    strong_expanded = 0;
+    per_net_expanded = Array.make (max 0 nets) 0;
+  }
+
+let pp_effort fmt e =
+  Format.fprintf fmt "expanded=%d (maze=%d weak=%d strong=%d)" e.total_expanded
+    e.maze_expanded e.weak_expanded e.strong_expanded
+
 let measure_net g ~net =
   let w = Grid.width g and h = Grid.height g in
   let cells = ref 0 and wirelength = ref 0 and vias = ref 0 in

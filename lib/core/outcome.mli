@@ -11,6 +11,27 @@ type net_stats = {
   vias : int;  (** vias whose cells the net owns *)
 }
 
+(** Search-effort telemetry, the one set of numbers that {e is} taken from
+    the engine's counters (grid occupancy cannot recover where expansions
+    were spent): total nodes settled across all searches, split by the
+    escalation phase that ran the search — plain maze routing, weak
+    modification (shove planning), strong modification (rip-up planning) —
+    plus a per-net breakdown indexed by [net id - 1].  Rendered by
+    {!Report}; the phase split is how kernel/window wins show up in CLI
+    reports. *)
+type effort = {
+  total_expanded : int;
+  maze_expanded : int;
+  weak_expanded : int;
+  strong_expanded : int;
+  per_net_expanded : int array;
+}
+
+val no_effort : nets:int -> effort
+(** All-zero effort record for [nets] nets. *)
+
+val pp_effort : Format.formatter -> effort -> unit
+
 val measure_net : Grid.t -> net:int -> net_stats
 
 val measure : Netlist.Problem.t -> Grid.t -> net_stats list

@@ -1,8 +1,10 @@
 let per_net_table problem (result : Engine.t) =
   let failed = result.Engine.stats.Engine.failed_nets in
+  let effort = result.Engine.stats.Engine.effort in
   let table =
     Util.Table.create
-      ~headers:[ "net"; "pins"; "cells"; "wirelength"; "vias"; "status" ]
+      ~headers:
+        [ "net"; "pins"; "cells"; "wirelength"; "vias"; "expanded"; "status" ]
   in
   List.iter
     (fun (m : Outcome.net_stats) ->
@@ -12,6 +14,12 @@ let per_net_table problem (result : Engine.t) =
         else if Netlist.Net.is_trivial net then "trivial"
         else "routed"
       in
+      let expanded =
+        let i = m.Outcome.net_id - 1 in
+        if i >= 0 && i < Array.length effort.Outcome.per_net_expanded then
+          effort.Outcome.per_net_expanded.(i)
+        else 0
+      in
       Util.Table.add_row table
         [
           net.Netlist.Net.name;
@@ -19,6 +27,7 @@ let per_net_table problem (result : Engine.t) =
           Util.Table.cell_int m.Outcome.cells;
           Util.Table.cell_int m.Outcome.wirelength;
           Util.Table.cell_int m.Outcome.vias;
+          Util.Table.cell_int expanded;
           status;
         ])
     (Outcome.measure problem result.Engine.grid);
@@ -46,6 +55,10 @@ let summary problem (result : Engine.t) =
         s.Engine.shoves;
       Printf.sprintf "searches / expanded:  %d / %d" s.Engine.searches
         s.Engine.expanded;
+      Printf.sprintf "expanded by phase:    maze %d / shove %d / ripup %d"
+        s.Engine.effort.Outcome.maze_expanded
+        s.Engine.effort.Outcome.weak_expanded
+        s.Engine.effort.Outcome.strong_expanded;
       Printf.sprintf "restart attempts:     %d" s.Engine.attempts;
     ]
 

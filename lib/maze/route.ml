@@ -39,7 +39,8 @@ let release_nodes g nodes = List.iter (Grid.release g) nodes
 (* Connect the pins Prim-style: the tree starts at the first pin's node and
    every search targets all still-unconnected pins at once, so Dijkstra
    naturally picks the nearest one. *)
-let route_net ?passable ?(use_astar = false) g ws ~cost (net : Netlist.Net.t) =
+let route_net ?passable ?(use_astar = false) ?(kernel = Search.Binary_heap)
+    ?window g ws ~cost (net : Netlist.Net.t) =
   let net_id = net.Netlist.Net.id in
   let passable =
     match passable with Some f -> f | None -> passable_default g ~net:net_id
@@ -47,7 +48,10 @@ let route_net ?passable ?(use_astar = false) g ws ~cost (net : Netlist.Net.t) =
   match net.Netlist.Net.pins with
   | [] | [ _ ] -> Ok { added = []; wirelength = 0; vias = 0; expanded = 0 }
   | first :: rest ->
-      let search = if use_astar then Search.run_astar else Search.run in
+      let search =
+        if use_astar then Search.run_astar ~kernel ?window
+        else Search.run ~kernel ?window
+      in
       let tree = ref [ pin_node g first ] in
       let remaining = ref (List.map (fun p -> (pin_node g p, p)) rest) in
       let added = ref [] in

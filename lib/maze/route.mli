@@ -36,6 +36,8 @@ val pin_node : Grid.t -> Netlist.Net.pin -> int
 val route_net :
   ?passable:(int -> int option) ->
   ?use_astar:bool ->
+  ?kernel:Search.kernel ->
+  ?window:int ->
   Grid.t ->
   Workspace.t ->
   cost:Cost.t ->
@@ -45,4 +47,5 @@ val route_net :
     updated; on failure the grid is restored to its prior state.  Nets with
     fewer than two pins succeed trivially.  [passable] defaults to
     {!passable_default} (it must never price foreign cells if the result is
-    to be committed directly). *)
+    to be committed directly).  [kernel] and [window] are forwarded to the
+    underlying {!Search} runs. *)

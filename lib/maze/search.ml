@@ -1,5 +1,15 @@
 type result = { path : Grid.Path.t; total_cost : int; expanded : int }
 
+type kernel = Binary_heap | Buckets
+
+let kernel_name = function Binary_heap -> "heap" | Buckets -> "buckets"
+
+(* Inclusive search window in planar coordinates. *)
+type win = { x0 : int; y0 : int; x1 : int; y1 : int }
+
+let full_win g =
+  { x0 = 0; y0 = 0; x1 = Grid.width g - 1; y1 = Grid.height g - 1 }
+
 let backtrace ws target =
   let rec loop n acc =
     let p = Workspace.parent ws n in
@@ -8,20 +18,47 @@ let backtrace ws target =
   loop target []
 
 (* Core loop shared by Dijkstra ([heuristic] constant 0) and A*.  The
-   heap holds [g + h] priorities; [dist] holds settled/tentative [g]. *)
-let run_with g ws ~cost ~passable ~sources ~targets ~heuristic () =
+   frontier holds [g + h] priorities; [dist] holds settled/tentative [g].
+   Both kernels drive the same loop through monomorphic int closures, so
+   their relative cost is purely the queue discipline: the binary heap pays
+   O(log n) per operation, the bucket queue O(1) (edge costs are small
+   bounded ints — the ideal Dial case; the A* heuristic is consistent, so
+   popped priorities stay monotone and the bucket span stays small).
+   Returns the expansion count even on failure so windowed retries can
+   account for wasted effort. *)
+let core g ws ~kernel ~cost ~passable ~sources ~targets ~heuristic ~win () =
   Workspace.begin_search ws;
-  let heap = Workspace.heap ws in
+  let push, pop, has_more =
+    match kernel with
+    | Binary_heap ->
+        let q = Workspace.heap ws in
+        ( (fun p n -> Util.Pqueue.push q p n),
+          (fun () -> Util.Pqueue.pop q),
+          fun () -> not (Util.Pqueue.is_empty q) )
+    | Buckets ->
+        let q = Workspace.buckets ws in
+        ( (fun p n -> Util.Bucketq.push q p n),
+          (fun () -> Util.Bucketq.pop q),
+          fun () -> not (Util.Bucketq.is_empty q) )
+  in
+  let w = Grid.width g and h = Grid.height g in
+  let windowed = win.x0 > 0 || win.y0 > 0 || win.x1 < w - 1 || win.y1 < h - 1 in
+  let passable =
+    if not windowed then passable
+    else fun n ->
+      let x = Grid.node_x g n and y = Grid.node_y g n in
+      if x < win.x0 || x > win.x1 || y < win.y0 || y > win.y1 then None
+      else passable n
+  in
   List.iter (fun t -> Workspace.mark ws t) targets;
   List.iter
     (fun s ->
       if Workspace.dist ws s > 0 then begin
         Workspace.set_dist ws s 0;
         Workspace.set_parent ws s (-1);
-        Util.Pqueue.push heap (heuristic s) s
+        push (heuristic s) s
       end)
     sources;
-  let w = Grid.width g and h = Grid.height g in
   let expanded = ref 0 in
   let found = ref None in
   let relax from gscore n extra =
@@ -32,13 +69,13 @@ let run_with g ws ~cost ~passable ~sources ~targets ~heuristic () =
         if nd < Workspace.dist ws n then begin
           Workspace.set_dist ws n nd;
           Workspace.set_parent ws n from;
-          Util.Pqueue.push heap (nd + heuristic n) n
+          push (nd + heuristic n) n
         end
   in
-  while !found = None && not (Util.Pqueue.is_empty heap) do
-    let prio, n = Util.Pqueue.pop heap in
+  while !found = None && has_more () do
+    let prio, n = pop () in
     let gscore = Workspace.dist ws n in
-    (* Stale heap entry: the node was re-pushed with a smaller key. *)
+    (* Stale frontier entry: the node was re-pushed with a smaller key. *)
     if prio - heuristic n <= gscore then begin
       incr expanded;
       if Workspace.marked ws n then
@@ -56,26 +93,122 @@ let run_with g ws ~cost ~passable ~sources ~targets ~heuristic () =
       end
     end
   done;
-  !found
+  (!found, !expanded)
 
-let run g ws ~cost ~passable ~sources ~targets () =
-  run_with g ws ~cost ~passable ~sources ~targets ~heuristic:(fun _ -> 0) ()
+(* Bounding box of the endpoint sets, in planar coordinates. *)
+let bbox g nodes =
+  List.fold_left
+    (fun (x0, y0, x1, y1) n ->
+      let x = Grid.node_x g n and y = Grid.node_y g n in
+      (min x0 x, min y0 y, max x1 x, max y1 y))
+    (max_int, max_int, min_int, min_int)
+    nodes
 
-let run_astar g ws ~cost ~passable ~sources ~targets () =
-  let coords =
-    List.map (fun t -> (Grid.node_x g t, Grid.node_y g t)) targets
-  in
+(* Run [attempt] restricted to the endpoints' bounding box grown by
+   [margin] cells, widening geometrically and retrying until the window
+   covers the whole grid — the standard detailed-routing pruning: almost
+   every connection fits its bbox plus a small margin, and the rare detour
+   pays one cheap failed probe.
+
+   The windowed result is kept only when it is provably globally optimal:
+   any path that leaves the window must stray at least [margin + 1] planar
+   steps beyond the endpoints' bounding box and come back, so it costs at
+   least [wire * (min-L1 + 2 * (margin + 1))] (vias and penalties only add
+   to that).  A found cost at or below the bound cannot be beaten outside
+   the window; a costlier find triggers a widen-and-retry just like a
+   failure.  Windowed searches therefore return exactly the unwindowed
+   cost, and the expansion count of discarded probes is charged to the
+   final result so effort metrics stay honest. *)
+let with_window g ~window ~wire ~sources ~targets attempt =
+  let full = full_win g in
+  match window with
+  | None -> fst (attempt full)
+  | Some margin ->
+      if sources = [] || targets = [] then fst (attempt full)
+      else begin
+        let bx0, by0, bx1, by1 = bbox g (List.rev_append sources targets) in
+        let min_l1 =
+          List.fold_left
+            (fun acc s ->
+              let sx = Grid.node_x g s and sy = Grid.node_y g s in
+              List.fold_left
+                (fun acc t ->
+                  min acc
+                    (abs (sx - Grid.node_x g t) + abs (sy - Grid.node_y g t)))
+                acc targets)
+            max_int sources
+        in
+        let clip m =
+          {
+            x0 = max 0 (bx0 - m);
+            y0 = max 0 (by0 - m);
+            x1 = min full.x1 (bx1 + m);
+            y1 = min full.y1 (by1 + m);
+          }
+        in
+        let rec loop m wasted =
+          let win = clip m in
+          let optimal r =
+            win = full
+            || r.total_cost <= wire * (min_l1 + (2 * (m + 1)))
+          in
+          match attempt win with
+          | Some r, _ when optimal r ->
+              Some { r with expanded = r.expanded + wasted }
+          | Some r, _ -> loop ((2 * m) + 4) (wasted + r.expanded)
+          | None, expanded ->
+              if win = full then None
+              else loop ((2 * m) + 4) (wasted + expanded)
+        in
+        loop (max 0 margin) 0
+      end
+
+let run ?(kernel = Binary_heap) ?window g ws ~cost ~passable ~sources ~targets
+    () =
+  with_window g ~window ~wire:cost.Cost.wire ~sources ~targets (fun win ->
+      core g ws ~kernel ~cost ~passable ~sources ~targets
+        ~heuristic:(fun _ -> 0)
+        ~win ())
+
+(* Precompute the A* heuristic — L1 distance to the nearest target, times
+   the cheapest planar step — as a flat int array over the window with a
+   two-pass distance transform: O(window) total, independent of the target
+   count, replacing the former per-relax fold over the target list. *)
+let build_heuristic g ws ~wire ~targets ~win =
+  let w = Grid.width g in
+  let hf = Workspace.hfield ws in
+  let inf = max_int / 256 in
+  for y = win.y0 to win.y1 do
+    let row = y * w in
+    for x = win.x0 to win.x1 do
+      hf.(row + x) <- inf
+    done
+  done;
+  List.iter (fun t -> hf.(Grid.planar g t) <- 0) targets;
+  for y = win.y0 to win.y1 do
+    let row = y * w in
+    for x = win.x0 to win.x1 do
+      let i = row + x in
+      if x > win.x0 && hf.(i - 1) + 1 < hf.(i) then hf.(i) <- hf.(i - 1) + 1;
+      if y > win.y0 && hf.(i - w) + 1 < hf.(i) then hf.(i) <- hf.(i - w) + 1
+    done
+  done;
+  for y = win.y1 downto win.y0 do
+    let row = y * w in
+    for x = win.x1 downto win.x0 do
+      let i = row + x in
+      if x < win.x1 && hf.(i + 1) + 1 < hf.(i) then hf.(i) <- hf.(i + 1) + 1;
+      if y < win.y1 && hf.(i + w) + 1 < hf.(i) then hf.(i) <- hf.(i + w) + 1
+    done
+  done;
+  fun n -> wire * hf.(Grid.planar g n)
+
+let run_astar ?(kernel = Binary_heap) ?window g ws ~cost ~passable ~sources
+    ~targets () =
   let wire = cost.Cost.wire in
-  let heuristic n =
-    let x = Grid.node_x g n and y = Grid.node_y g n in
-    let d =
-      List.fold_left
-        (fun acc (tx, ty) -> min acc (abs (tx - x) + abs (ty - y)))
-        max_int coords
-    in
-    if d = max_int then 0 else wire * d
-  in
-  run_with g ws ~cost ~passable ~sources ~targets ~heuristic ()
+  with_window g ~window ~wire ~sources ~targets (fun win ->
+      let heuristic = build_heuristic g ws ~wire ~targets ~win in
+      core g ws ~kernel ~cost ~passable ~sources ~targets ~heuristic ~win ())
 
 (* Plain BFS wave expansion; dist doubles as the visited set. *)
 let run_lee g ws ~passable ~sources ~targets () =

@@ -5,6 +5,8 @@ type t = {
   mark_gen : int array;
   mutable gen : int;
   heap : Util.Pqueue.t;
+  buckets : Util.Bucketq.t;
+  hfield : int array;  (* planar heuristic field for array-based A* *)
 }
 
 let create g =
@@ -15,14 +17,22 @@ let create g =
     dist_gen = Array.make n 0;
     mark_gen = Array.make n 0;
     gen = 0;
-    heap = Util.Pqueue.create ~capacity:1024 ();
+    (* Sized to the grid: a search frontier rarely exceeds a small fraction
+       of the node count, so n/8 avoids every grow on large grids without
+       over-allocating on small ones. *)
+    heap = Util.Pqueue.create ~capacity:(max 1024 (n / 8)) ();
+    buckets = Util.Bucketq.create ();
+    hfield = Array.make (Grid.planar_cells g) 0;
   }
 
 let node_capacity ws = Array.length ws.dist
 
 let begin_search ws =
   ws.gen <- ws.gen + 1;
-  Util.Pqueue.clear ws.heap
+  Util.Pqueue.clear ws.heap;
+  Util.Bucketq.clear ws.buckets
+
+let reset = begin_search
 
 let dist ws n = if ws.dist_gen.(n) = ws.gen then ws.dist.(n) else max_int
 
@@ -42,3 +52,7 @@ let mark ws n = ws.mark_gen.(n) <- ws.gen
 let marked ws n = ws.mark_gen.(n) = ws.gen
 
 let heap ws = ws.heap
+
+let buckets ws = ws.buckets
+
+let hfield ws = ws.hfield

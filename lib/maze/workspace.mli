@@ -8,13 +8,20 @@
 type t
 
 val create : Grid.t -> t
-(** Workspace sized for the given grid.  It may be reused for any grid of
-    the same dimensions. *)
+(** Workspace sized for the given grid (frontier queues sized to
+    [node_count / 8], minimum 1024).  It may be reused for any grid of the
+    same dimensions. *)
 
 val node_capacity : t -> int
 
 val begin_search : t -> unit
 (** Invalidate all distances, parents and marks from previous searches. *)
+
+val reset : t -> unit
+(** Same O(1) invalidation as {!begin_search}, exposed for callers that
+    reuse one workspace across several grids of equal dimensions (the
+    parallel harness, track-sweep adapters): call [reset] when switching
+    grids so no stale state from the previous grid leaks through. *)
 
 val dist : t -> int -> int
 (** Tentative distance of a node in the current search; [max_int] when
@@ -33,4 +40,13 @@ val mark : t -> int -> unit
 val marked : t -> int -> bool
 
 val heap : t -> Util.Pqueue.t
-(** The search frontier (cleared by {!begin_search}). *)
+(** The binary-heap search frontier (cleared by {!begin_search}). *)
+
+val buckets : t -> Util.Bucketq.t
+(** The bucket-queue search frontier (cleared by {!begin_search}); used
+    when the search runs with the [Buckets] kernel. *)
+
+val hfield : t -> int array
+(** Planar scratch array ([width × height]) holding the precomputed
+    A* heuristic field (L1 distance to the nearest target); owned and
+    rebuilt by {!Search.run_astar}. *)

@@ -1,0 +1,31 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+let map ?(jobs = 1) f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  let jobs = min (max 1 jobs) n in
+  if jobs <= 1 then List.map f xs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else
+          results.(i) <-
+            Some (try Ok (f items.(i)) with e -> Error e)
+      done
+    in
+    let helpers = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join helpers;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error e) -> raise e
+         | None -> assert false)
+  end
+
+let run ?jobs tasks = map ?jobs (fun t -> t ()) tasks

@@ -1,0 +1,23 @@
+(** Domain-based work pool for independent tasks (OCaml 5 [Domain]).
+
+    Runs a list of independent jobs across [jobs] domains and returns their
+    results in input order, so output is identical for every [jobs] value —
+    callers get parallelism without giving up determinism.  Jobs must not
+    share mutable state (each experiment instance builds its own
+    [Grid]/[Workspace]); the pool only shares the read-only input array and
+    a work-stealing counter. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] applies [f] to every element of [xs], running up to
+    [jobs] applications concurrently (clamped to the list length;
+    [jobs <= 1] degrades to plain [List.map]).  Results preserve input
+    order.  If any application raises, the exception of the earliest
+    failing element is re-raised after all domains finish. *)
+
+val run : ?jobs:int -> (unit -> 'a) list -> 'a list
+(** [run ~jobs tasks] executes the thunks concurrently; [run] is
+    [map ~jobs (fun t -> t ())]. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count], the hardware-sized default for
+    [--jobs 0] style flags. *)

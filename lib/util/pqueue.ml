@@ -41,11 +41,13 @@ let push q priority payload =
   q.data.(!i) <- payload
 
 let peek q =
-  if q.size = 0 then raise Not_found;
+  if q.size = 0 then invalid_arg "Pqueue.peek: empty";
   (q.prio.(0), q.data.(0))
 
+let peek_opt q = if q.size = 0 then None else Some (q.prio.(0), q.data.(0))
+
 let pop q =
-  if q.size = 0 then raise Not_found;
+  if q.size = 0 then invalid_arg "Pqueue.pop: empty";
   let top = (q.prio.(0), q.data.(0)) in
   q.size <- q.size - 1;
   if q.size > 0 then begin
@@ -75,3 +77,5 @@ let pop q =
     q.data.(!i) <- payload
   end;
   top
+
+let pop_opt q = if q.size = 0 then None else Some (pop q)

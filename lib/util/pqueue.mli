@@ -22,7 +22,12 @@ val push : t -> int -> int -> unit
 val pop : t -> int * int
 (** Remove and return the [(priority, payload)] pair with the smallest
     priority.  Ties are broken arbitrarily.
-    @raise Not_found if the heap is empty. *)
+    @raise Invalid_argument if the heap is empty. *)
+
+val pop_opt : t -> (int * int) option
+(** [pop] returning [None] instead of raising on an empty heap. *)
 
 val peek : t -> int * int
-(** Like {!pop} without removing.  @raise Not_found if empty. *)
+(** Like {!pop} without removing.  @raise Invalid_argument if empty. *)
+
+val peek_opt : t -> (int * int) option

@@ -242,6 +242,114 @@ let prop_path_cost_consistent =
                = Grid.Path.wirelength g r.Maze.Search.path
                  + Grid.Path.via_steps g r.Maze.Search.path)
 
+(* --- kernel and window equivalence --- *)
+
+let prop_buckets_match_heap =
+  Testkit.qcheck ~count:60 "bucket kernel cost equals heap kernel cost"
+    QCheck2.Gen.(
+      triple (int_range 0 10000) (int_range 0 79) (int_range 0 79))
+    (fun (seed, a, b) ->
+      let g = random_obstacle_grid seed in
+      let ws = Maze.Workspace.create g in
+      if (not (Grid.is_free g a)) || not (Grid.is_free g b) then true
+      else begin
+        let with_kernel kernel astar =
+          let f = if astar then Maze.Search.run_astar else Maze.Search.run in
+          f ~kernel g ws ~cost:Maze.Cost.default ~passable:(free_passable g)
+            ~sources:[ a ] ~targets:[ b ] ()
+        in
+        let agree x y =
+          match (x, y) with
+          | None, None -> true
+          | Some (l : Maze.Search.result), Some (r : Maze.Search.result) ->
+              l.Maze.Search.total_cost = r.Maze.Search.total_cost
+          | Some _, None | None, Some _ -> false
+        in
+        let heap = with_kernel Maze.Search.Binary_heap false in
+        agree heap (with_kernel Maze.Search.Buckets false)
+        && agree heap (with_kernel Maze.Search.Binary_heap true)
+        && agree heap (with_kernel Maze.Search.Buckets true)
+      end)
+
+let prop_windowed_matches_full =
+  Testkit.qcheck ~count:60 "windowed search reaches everything full search does"
+    QCheck2.Gen.(
+      quad (int_range 0 10000) (int_range 0 79) (int_range 0 79)
+        (int_range 0 3))
+    (fun (seed, a, b, margin) ->
+      let g = random_obstacle_grid seed in
+      let ws = Maze.Workspace.create g in
+      if (not (Grid.is_free g a)) || not (Grid.is_free g b) then true
+      else begin
+        let full =
+          Maze.Search.run_astar g ws ~cost:Maze.Cost.default
+            ~passable:(free_passable g) ~sources:[ a ] ~targets:[ b ] ()
+        in
+        let windowed =
+          Maze.Search.run_astar ~window:margin g ws ~cost:Maze.Cost.default
+            ~passable:(free_passable g) ~sources:[ a ] ~targets:[ b ] ()
+        in
+        match (full, windowed) with
+        | None, None -> true
+        | Some f, Some w ->
+            f.Maze.Search.total_cost = w.Maze.Search.total_cost
+        | Some _, None | None, Some _ -> false
+      end)
+
+let test_window_widens_on_failure () =
+  (* The wall-detour geometry from test_search_detours_around_wall: the
+     optimal path must leave the pins' bounding row (y=0) and climb to y=4,
+     so a margin-0 window cannot contain it — the search must widen and
+     still return the optimal cost-16 detour. *)
+  let g, ws = empty_grid ~w:9 ~h:5 () in
+  for y = 0 to 3 do
+    Grid.set_obstacle_both g ~x:4 ~y
+  done;
+  let a = Grid.node g ~layer:0 ~x:0 ~y:0 and b = Grid.node g ~layer:0 ~x:8 ~y:0 in
+  match
+    Maze.Search.run ~window:0 g ws ~cost:Maze.Cost.uniform
+      ~passable:(free_passable g) ~sources:[ a ] ~targets:[ b ] ()
+  with
+  | Some r ->
+      Testkit.check_int "widened to optimal detour" 16 r.Maze.Search.total_cost;
+      Testkit.check_true "avoids wall"
+        (List.for_all (fun n -> not (Grid.is_obstacle g n)) r.Maze.Search.path)
+  | None -> Alcotest.fail "windowed search failed to widen"
+
+let test_window_unreachable_returns_none () =
+  let g, ws = empty_grid ~w:9 ~h:5 () in
+  for y = 0 to 4 do
+    Grid.set_obstacle_both g ~x:4 ~y
+  done;
+  let a = Grid.node g ~layer:0 ~x:0 ~y:2 and b = Grid.node g ~layer:0 ~x:8 ~y:2 in
+  Testkit.check_true "windowed search reports unreachable"
+    (Maze.Search.run ~window:1 g ws ~cost:Maze.Cost.uniform
+       ~passable:(free_passable g) ~sources:[ a ] ~targets:[ b ] ()
+    = None)
+
+let test_buckets_count_expansions () =
+  let g, ws = empty_grid () in
+  let a = Grid.node g ~layer:0 ~x:0 ~y:5 and b = Grid.node g ~layer:0 ~x:9 ~y:5 in
+  match
+    Maze.Search.run ~kernel:Maze.Search.Buckets g ws ~cost:Maze.Cost.uniform
+      ~passable:(free_passable g) ~sources:[ a ] ~targets:[ b ] ()
+  with
+  | Some r ->
+      Testkit.check_int "manhattan cost" 9 r.Maze.Search.total_cost;
+      Testkit.check_true "expanded counted" (r.Maze.Search.expanded > 0)
+  | None -> Alcotest.fail "bucket search failed"
+
+let test_workspace_reset_explicit () =
+  let g = Grid.create ~width:4 ~height:4 in
+  let ws = Maze.Workspace.create g in
+  Maze.Workspace.begin_search ws;
+  Maze.Workspace.mark ws 3;
+  Util.Bucketq.push (Maze.Workspace.buckets ws) 1 3;
+  Maze.Workspace.reset ws;
+  Testkit.check_false "marks cleared" (Maze.Workspace.marked ws 3);
+  Testkit.check_true "buckets cleared"
+    (Util.Bucketq.is_empty (Maze.Workspace.buckets ws))
+
 let test_cost_model () =
   Testkit.check_int "preferred horizontal on L0" 1
     (Maze.Cost.step_cost Maze.Cost.default ~layer:0 ~horizontal:true);
@@ -407,6 +515,15 @@ let () =
           prop_lee_length_matches_dijkstra;
           prop_astar_matches_dijkstra;
           prop_path_cost_consistent;
+        ] );
+      ( "kernels",
+        [
+          Alcotest.test_case "buckets basic" `Quick test_buckets_count_expansions;
+          Alcotest.test_case "window widens" `Quick test_window_widens_on_failure;
+          Alcotest.test_case "window unreachable" `Quick test_window_unreachable_returns_none;
+          Alcotest.test_case "workspace reset" `Quick test_workspace_reset_explicit;
+          prop_buckets_match_heap;
+          prop_windowed_matches_full;
         ] );
       ( "route",
         [

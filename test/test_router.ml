@@ -234,6 +234,30 @@ let test_engine_termination_budget () =
     (r.Router.Engine.stats.Router.Engine.rips <= budget + Netlist.Problem.net_count p);
   Testkit.check_true "partial result legal" (Testkit.drc_routed p r = [])
 
+let test_engine_fast_kernels_complete_clean () =
+  (* The bucket-queue kernel and the windowed A* search are drop-in
+     replacements: the hard switchbox still completes, DRC-clean, and the
+     effort counters stay populated. *)
+  let p = Workload.Hard.burstein_like () in
+  List.iter
+    (fun config ->
+      let r = Testkit.route_clean ~config p in
+      let e = r.Router.Engine.stats.Router.Engine.effort in
+      Testkit.check_true "expansions counted"
+        (e.Router.Outcome.total_expanded > 0);
+      Testkit.check_int "phase split sums to total" e.Router.Outcome.total_expanded
+        (e.Router.Outcome.maze_expanded + e.Router.Outcome.weak_expanded
+        + e.Router.Outcome.strong_expanded))
+    [
+      { Router.Config.default with kernel = Maze.Search.Buckets };
+      {
+        Router.Config.default with
+        kernel = Maze.Search.Buckets;
+        use_astar = true;
+        window_margin = Some 4;
+      };
+    ]
+
 let test_engine_weak_only_uses_shoves_not_rips () =
   let p = Workload.Hard.burstein_like () in
   let r = Router.Engine.route ~config:Router.Config.weak_only p in
@@ -771,6 +795,7 @@ let () =
           Alcotest.test_case "cyclic channel" `Quick test_engine_cyclic_channel;
           Alcotest.test_case "unroutable reported" `Quick test_engine_reports_unroutable;
           Alcotest.test_case "termination budget" `Quick test_engine_termination_budget;
+          Alcotest.test_case "fast kernels clean" `Quick test_engine_fast_kernels_complete_clean;
           Alcotest.test_case "weak-only no rips" `Quick test_engine_weak_only_uses_shoves_not_rips;
           Alcotest.test_case "maze-only no mods" `Quick test_engine_maze_only_no_modification;
           Alcotest.test_case "strategy monotonicity" `Slow test_engine_strategy_monotonicity;

@@ -100,10 +100,21 @@ let test_pqueue_basic () =
 
 let test_pqueue_empty_raises () =
   let q = Util.Pqueue.create () in
-  Alcotest.check_raises "pop on empty" Not_found (fun () ->
+  Alcotest.check_raises "pop on empty"
+    (Invalid_argument "Pqueue.pop: empty") (fun () ->
       ignore (Util.Pqueue.pop q));
-  Alcotest.check_raises "peek on empty" Not_found (fun () ->
+  Alcotest.check_raises "peek on empty"
+    (Invalid_argument "Pqueue.peek: empty") (fun () ->
       ignore (Util.Pqueue.peek q))
+
+let test_pqueue_opt () =
+  let q = Util.Pqueue.create () in
+  Testkit.check_true "pop_opt empty" (Util.Pqueue.pop_opt q = None);
+  Testkit.check_true "peek_opt empty" (Util.Pqueue.peek_opt q = None);
+  Util.Pqueue.push q 2 20;
+  Testkit.check_true "peek_opt" (Util.Pqueue.peek_opt q = Some (2, 20));
+  Testkit.check_true "pop_opt" (Util.Pqueue.pop_opt q = Some (2, 20));
+  Testkit.check_true "drained" (Util.Pqueue.pop_opt q = None)
 
 let test_pqueue_clear () =
   let q = Util.Pqueue.create () in
@@ -140,6 +151,137 @@ let prop_pqueue_heapsort =
         List.init (List.length priorities) (fun _ -> fst (Util.Pqueue.pop q))
       in
       out = List.sort Int.compare priorities)
+
+(* --- bucket queue --- *)
+
+let test_bucketq_basic () =
+  let q = Util.Bucketq.create () in
+  Testkit.check_true "fresh empty" (Util.Bucketq.is_empty q);
+  Util.Bucketq.push q 5 50;
+  Util.Bucketq.push q 1 10;
+  Util.Bucketq.push q 3 30;
+  Testkit.check_int "length" 3 (Util.Bucketq.length q);
+  Testkit.check_true "peek min" (Util.Bucketq.peek q = (1, 10));
+  Testkit.check_true "pop 1" (Util.Bucketq.pop q = (1, 10));
+  Testkit.check_true "pop 3" (Util.Bucketq.pop q = (3, 30));
+  Testkit.check_true "pop 5" (Util.Bucketq.pop q = (5, 50));
+  Testkit.check_true "drained" (Util.Bucketq.is_empty q)
+
+let test_bucketq_empty_raises () =
+  let q = Util.Bucketq.create () in
+  Alcotest.check_raises "pop on empty"
+    (Invalid_argument "Bucketq.pop: empty") (fun () ->
+      ignore (Util.Bucketq.pop q));
+  Testkit.check_true "pop_opt empty" (Util.Bucketq.pop_opt q = None)
+
+let test_bucketq_duplicates_lifo () =
+  let q = Util.Bucketq.create () in
+  List.iter (fun (p, x) -> Util.Bucketq.push q p x)
+    [ (2, 1); (2, 2); (1, 3); (2, 4) ];
+  Testkit.check_true "min first" (Util.Bucketq.pop q = (1, 3));
+  (* equal priorities pop LIFO *)
+  Testkit.check_true "lifo 4" (Util.Bucketq.pop q = (2, 4));
+  Testkit.check_true "lifo 2" (Util.Bucketq.pop q = (2, 2));
+  Testkit.check_true "lifo 1" (Util.Bucketq.pop q = (2, 1))
+
+let test_bucketq_window_growth () =
+  (* span 2 forces repeated rebucketing *)
+  let q = Util.Bucketq.create ~span:2 () in
+  for i = 500 downto 1 do
+    Util.Bucketq.push q (i * 3) i
+  done;
+  Testkit.check_int "grew" 500 (Util.Bucketq.length q);
+  let prev = ref min_int in
+  for _ = 1 to 500 do
+    let p, _ = Util.Bucketq.pop q in
+    Testkit.check_true "monotone" (p >= !prev);
+    prev := p
+  done
+
+let test_bucketq_sliding_window () =
+  (* monotone push/pop interleaving slides the circular window far past the
+     bucket count without growing it *)
+  let q = Util.Bucketq.create ~span:8 () in
+  let popped = ref [] in
+  for p = 0 to 999 do
+    Util.Bucketq.push q p p;
+    if p mod 2 = 1 then popped := fst (Util.Bucketq.pop q) :: !popped
+  done;
+  while not (Util.Bucketq.is_empty q) do
+    popped := fst (Util.Bucketq.pop q) :: !popped
+  done;
+  Testkit.check_true "all popped in order"
+    (List.rev !popped |> List.sort Int.compare
+    = List.init 1000 (fun i -> i))
+
+let test_bucketq_negative_and_reanchor () =
+  let q = Util.Bucketq.create () in
+  Util.Bucketq.push q 10 1;
+  Util.Bucketq.push q (-5) 2;
+  Util.Bucketq.push q 0 3;
+  Testkit.check_true "negative min" (Util.Bucketq.pop q = (-5, 2));
+  Testkit.check_true "then zero" (Util.Bucketq.pop q = (0, 3));
+  Testkit.check_true "then ten" (Util.Bucketq.pop q = (10, 1))
+
+let test_bucketq_clear () =
+  let q = Util.Bucketq.create () in
+  Util.Bucketq.push q 7 7;
+  Util.Bucketq.clear q;
+  Testkit.check_true "cleared" (Util.Bucketq.is_empty q);
+  Util.Bucketq.push q 3 3;
+  Testkit.check_true "reusable" (Util.Bucketq.pop q = (3, 3))
+
+let prop_bucketq_matches_pqueue =
+  Testkit.qcheck "bucketq pops same priorities as pqueue"
+    QCheck2.Gen.(list_size (int_range 0 200) (int_range (-100) 100))
+    (fun priorities ->
+      let bq = Util.Bucketq.create ~span:4 () in
+      let pq = Util.Pqueue.create () in
+      List.iteri
+        (fun i p ->
+          Util.Bucketq.push bq p i;
+          Util.Pqueue.push pq p i)
+        priorities;
+      let n = List.length priorities in
+      List.for_all Fun.id
+        (List.init n (fun _ ->
+             fst (Util.Bucketq.pop bq) = fst (Util.Pqueue.pop pq)))
+      && Util.Bucketq.is_empty bq)
+
+(* --- parallel --- *)
+
+let test_parallel_matches_sequential () =
+  let xs = List.init 200 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  let seq = Util.Parallel.map ~jobs:1 f xs in
+  let par = Util.Parallel.map ~jobs:4 f xs in
+  Testkit.check_true "jobs=1 is List.map" (seq = List.map f xs);
+  Testkit.check_true "jobs=4 identical" (par = seq)
+
+let test_parallel_order_preserved () =
+  let xs = [ 9; 1; 8; 2; 7 ] in
+  Testkit.check_true "order kept"
+    (Util.Parallel.map ~jobs:3 (fun x -> x) xs = xs)
+
+let test_parallel_edge_sizes () =
+  Testkit.check_true "empty" (Util.Parallel.map ~jobs:4 succ [] = []);
+  Testkit.check_true "singleton" (Util.Parallel.map ~jobs:4 succ [ 1 ] = [ 2 ]);
+  (* more jobs than items *)
+  Testkit.check_true "jobs > n"
+    (Util.Parallel.map ~jobs:16 succ [ 1; 2 ] = [ 2; 3 ])
+
+let test_parallel_exception_propagates () =
+  Alcotest.check_raises "worker exception re-raised" (Failure "boom")
+    (fun () ->
+      ignore
+        (Util.Parallel.map ~jobs:4
+           (fun x -> if x = 7 then failwith "boom" else x)
+           (List.init 20 (fun i -> i))))
+
+let test_parallel_run () =
+  let tasks = List.init 10 (fun i () -> i * 2) in
+  Testkit.check_true "run collects results"
+    (Util.Parallel.run ~jobs:4 tasks = List.init 10 (fun i -> i * 2))
 
 (* --- union-find --- *)
 
@@ -322,10 +464,30 @@ let () =
         [
           Alcotest.test_case "basic order" `Quick test_pqueue_basic;
           Alcotest.test_case "empty raises" `Quick test_pqueue_empty_raises;
+          Alcotest.test_case "opt variants" `Quick test_pqueue_opt;
           Alcotest.test_case "clear" `Quick test_pqueue_clear;
           Alcotest.test_case "duplicates" `Quick test_pqueue_duplicates;
           Alcotest.test_case "growth and order" `Quick test_pqueue_growth;
           prop_pqueue_heapsort;
+        ] );
+      ( "bucketq",
+        [
+          Alcotest.test_case "basic order" `Quick test_bucketq_basic;
+          Alcotest.test_case "empty raises" `Quick test_bucketq_empty_raises;
+          Alcotest.test_case "duplicates lifo" `Quick test_bucketq_duplicates_lifo;
+          Alcotest.test_case "window growth" `Quick test_bucketq_window_growth;
+          Alcotest.test_case "sliding window" `Quick test_bucketq_sliding_window;
+          Alcotest.test_case "negative re-anchor" `Quick test_bucketq_negative_and_reanchor;
+          Alcotest.test_case "clear" `Quick test_bucketq_clear;
+          prop_bucketq_matches_pqueue;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "matches sequential" `Quick test_parallel_matches_sequential;
+          Alcotest.test_case "order preserved" `Quick test_parallel_order_preserved;
+          Alcotest.test_case "edge sizes" `Quick test_parallel_edge_sizes;
+          Alcotest.test_case "exception propagates" `Quick test_parallel_exception_propagates;
+          Alcotest.test_case "run" `Quick test_parallel_run;
         ] );
       ( "union_find",
         [
