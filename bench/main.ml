@@ -25,6 +25,18 @@ let pmap f xs = Util.Parallel.map ~jobs:!jobs f xs
 let time_cell ?(decimals = 2) ms =
   if !no_time then "-" else Util.Table.cell_float ~decimals ms
 
+(* Every direct engine invocation in the harness runs under a hard
+   per-run wall-clock budget: a pathological instance degrades its own
+   row (the engine returns best-so-far) instead of hanging the whole
+   table run.  The deadline is far above any observed row time, so
+   result columns are unaffected. *)
+let run_deadline = 120.0
+
+let route ?config problem =
+  Router.Engine.route ?config
+    ~budget:(Router.Budget.create ~deadline:run_deadline ())
+    problem
+
 let strategies =
   [
     ("maze-only", Router.Config.maze_only);
@@ -63,7 +75,7 @@ let e1 () =
     (fun (name, problem) ->
       List.iter
         (fun (sname, config) ->
-          let r = Router.Engine.route ~config problem in
+          let r = route ~config problem in
           let s = r.Router.Engine.stats in
           Util.Table.add_row table
             [
@@ -243,7 +255,7 @@ let remove_unpinned_column (problem : Netlist.Problem.t) =
 
 let min_width config problem =
   let rec loop p =
-    let r = Router.Engine.route ~config p in
+    let r = route ~config p in
     if not r.Router.Engine.completed then None
     else
       match remove_unpinned_column p with
@@ -315,9 +327,9 @@ let e4 () =
         pmap
           (fun p ->
             let done_with config =
-              (Router.Engine.route ~config p).Router.Engine.completed
+              (route ~config p).Router.Engine.completed
             in
-            let full = Router.Engine.route p in
+            let full = route p in
             ( done_with Router.Config.maze_only,
               done_with Router.Config.weak_only,
               full.Router.Engine.completed,
@@ -372,7 +384,7 @@ let e5 () =
         let times = ref [] and result = ref None in
         for _ = 1 to 3 do
           let t0 = Unix.gettimeofday () in
-          let r = Router.Engine.route problem in
+          let r = route problem in
           times := (Unix.gettimeofday () -. t0) :: !times;
           result := Some r
         done;
@@ -453,7 +465,7 @@ let e6 () =
       and expanded = ref 0 in
       List.iter
         (fun (_, problem) ->
-          let r = Router.Engine.route ~config problem in
+          let r = route ~config problem in
           let s = r.Router.Engine.stats in
           if r.Router.Engine.completed then incr completed;
           failed := !failed + List.length s.Router.Engine.failed_nets;
@@ -502,7 +514,7 @@ let route_cells problem grid ~net =
 let make_eco seed =
   let prng = Util.Prng.create seed in
   let base = Workload.Gen.region prng ~width:16 ~height:12 ~nets:8 in
-  let first = Router.Engine.route base in
+  let first = route base in
   if not first.Router.Engine.completed then None
   else begin
     let grid = first.Router.Engine.grid in
@@ -560,7 +572,7 @@ let e7 () =
       | None -> ()
       | Some eco ->
           incr attempted;
-          let r = Router.Engine.route eco in
+          let r = route eco in
           let s = r.Router.Engine.stats in
           let fixed_intact =
             List.for_all
@@ -603,7 +615,7 @@ let e8 () =
   in
   List.iter
     (fun (name, problem) ->
-      let r = Router.Engine.route problem in
+      let r = route problem in
       if r.Router.Engine.completed then begin
         let s = Router.Improve.refine problem r.Router.Engine.grid in
         Util.Table.add_row table
@@ -647,7 +659,7 @@ let e9 () =
             ~width:w ~height:h
         in
         let t0 = Unix.gettimeofday () in
-        let r = Router.Engine.route problem in
+        let r = route problem in
         let elapsed = Unix.gettimeofday () -. t0 in
         let s = r.Router.Engine.stats in
         let refined = Router.Improve.refine problem r.Router.Engine.grid in
@@ -709,7 +721,7 @@ let e10 () =
           let routed =
             List.length
               (List.filter
-                 (fun p -> (Router.Engine.route p).Router.Engine.completed)
+                 (fun p -> (route p).Router.Engine.completed)
                  selected)
           in
           Util.Table.add_row table
@@ -724,6 +736,71 @@ let e10 () =
     | [] | [ _ ] -> ()
   in
   pairs buckets;
+  Util.Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* budget: anytime behavior — quality vs expansion budget              *)
+(* ------------------------------------------------------------------ *)
+
+let budget_sweep () =
+  heading "budget (table): solution quality vs expansion budget"
+    "Claim: the engine is an anytime router — under a hard expansion\n\
+     budget it returns a DRC-clean best-so-far layout, routed nets grow\n\
+     monotonically with the budget, and an unlimited budget reproduces\n\
+     the default run exactly.  Instances mirror the E4/E5/E9 suites.";
+  let instances =
+    [
+      ( "dense 12x10 (E4, fill 0.6)",
+        Workload.Gen.dense_switchbox ~fill:0.6 (Util.Prng.create 1007)
+          ~width:12 ~height:10 );
+      ( "switchbox 32x26 (E5)",
+        Workload.Gen.routable_switchbox (Util.Prng.create 58) ~width:32
+          ~height:26 );
+      ( "switchbox 64x52 (E5)",
+        Workload.Gen.routable_switchbox (Util.Prng.create 116) ~width:64
+          ~height:52 );
+      ( "chip 64x48 (E9, 3x3 macros)",
+        Workload.Gen.routable_chip ~macro_cols:3 ~macro_rows:3
+          (Util.Prng.create 112) ~width:64 ~height:48 );
+    ]
+  in
+  let budgets = [ Some 250; Some 1_000; Some 4_000; Some 16_000; None ] in
+  let table =
+    Util.Table.create
+      ~headers:
+        [ "instance"; "max expanded"; "status"; "routed"; "failed";
+          "expanded"; "wirelen"; "drc" ]
+  in
+  List.iter
+    (fun (name, problem) ->
+      let rows =
+        pmap
+          (fun max_expanded ->
+            let budget =
+              match max_expanded with
+              | Some m -> Router.Budget.create ~max_expanded:m ()
+              | None -> Router.Budget.create ~deadline:run_deadline ()
+            in
+            let r = Router.Engine.route ~budget problem in
+            let s = r.Router.Engine.stats in
+            [
+              name;
+              (match max_expanded with
+              | Some m -> Util.Table.cell_int m
+              | None -> "unlimited");
+              Router.Outcome.status_name r.Router.Engine.status;
+              Printf.sprintf "%d/%d" s.Router.Engine.routed_nets
+                (Netlist.Problem.net_count problem);
+              Util.Table.cell_int (List.length s.Router.Engine.failed_nets);
+              Util.Table.cell_int (Router.Budget.expanded budget);
+              Util.Table.cell_int s.Router.Engine.total_wirelength;
+              (if drc_ok problem r then "clean" else "VIOLATION");
+            ])
+          budgets
+      in
+      List.iter (Util.Table.add_row table) rows;
+      Util.Table.add_sep table)
+    instances;
   Util.Table.print table
 
 (* ------------------------------------------------------------------ *)
@@ -847,7 +924,7 @@ let micro_kernels () =
   in
   List.iter
     (fun (name, config) ->
-      let r = Router.Engine.route ~config problem in
+      let r = route ~config problem in
       let s = r.Router.Engine.stats in
       Util.Table.add_row engine_table
         [
@@ -955,7 +1032,8 @@ let micro () =
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
-    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("micro", micro);
+    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
+    ("budget", budget_sweep); ("micro", micro);
   ]
 
 let () =

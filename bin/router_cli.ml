@@ -7,7 +7,15 @@
                     region | suite instances by name)
      show    FILE   render the unrouted problem as ASCII art
      channel FILE   run the channel baselines and the engine on a channel
-*)
+
+   Exit codes of `route` (the contract scripts may rely on):
+     0   complete — every non-trivial net routed
+     2   incomplete — the run was degraded by a budget (--deadline,
+         --max-expanded, --max-searches; reason printed on stderr) or the
+         instance is infeasible for the engine; the layout printed/saved is
+         the DRC-clean best-so-far partial result
+     1   usage, parse or internal error
+   Other subcommands use 0 for success and 1 for any error. *)
 
 open Cmdliner
 
@@ -77,7 +85,51 @@ let config_term =
             "Restrict each search to the endpoints' bounding box grown by \
              MARGIN cells, widening and retrying automatically on failure.")
   in
-  let make strategy order restarts seed astar kernel window =
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget for the whole route call (restarts \
+             included).  On expiry the best partial result found so far is \
+             reported and the exit code is 2.")
+  in
+  let max_expanded =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-expanded" ] ~docv:"N"
+          ~doc:
+            "Node-expansion budget: total maze-search expansions allowed \
+             across the run.")
+  in
+  let max_searches =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-searches" ] ~docv:"N"
+          ~doc:"Total maze searches allowed across the run.")
+  in
+  let audit =
+    Arg.(
+      value
+      & opt
+          (Arg.enum
+             [
+               ("off", Router.Config.Audit_off);
+               ("phase", Router.Config.Audit_phase);
+               ("net", Router.Config.Audit_net);
+             ])
+          Router.Config.Audit_off
+      & info [ "audit" ]
+          ~doc:
+            "Run the engine/grid invariant auditor during routing: off \
+             (default), phase (after every engine phase), net (after \
+             every net — slow).")
+  in
+  let make strategy order restarts seed astar kernel window deadline
+      max_expanded max_searches audit =
     let base =
       match strategy with
       | `Full -> Router.Config.default
@@ -92,16 +144,21 @@ let config_term =
       use_astar = astar;
       kernel;
       window_margin = window;
+      deadline;
+      max_expanded;
+      max_searches;
+      audit;
     }
   in
   Term.(
-    const make $ strategy $ order $ restarts $ seed $ astar $ kernel $ window)
+    const make $ strategy $ order $ restarts $ seed $ astar $ kernel $ window
+    $ deadline $ max_expanded $ max_searches $ audit)
 
 let load path =
-  try Ok (Netlist.Parse.load path) with
-  | Netlist.Parse.Error (line, msg) ->
-      Error (Printf.sprintf "%s:%d: %s" path line msg)
-  | Invalid_argument msg -> Error (Printf.sprintf "%s: %s" path msg)
+  match Netlist.Parse.load path with
+  | Ok _ as ok -> ok
+  | Error e ->
+      Error (Printf.sprintf "%s: %s" path (Netlist.Parse.error_to_string e))
 
 (* --- route --- *)
 
@@ -158,7 +215,17 @@ let route_cmd =
             Viz.Svg.save out problem result.Router.Engine.grid;
             Format.printf "wrote %s@." out
         | None -> ());
-        if result.Router.Engine.completed then 0 else 2
+        (match result.Router.Engine.status with
+        | Router.Outcome.Complete -> 0
+        | Router.Outcome.Degraded reason ->
+            Printf.eprintf "degraded: %s; %d net(s) left unrouted\n%!"
+              (Router.Budget.reason_to_string reason)
+              (List.length result.Router.Engine.stats.Router.Engine.failed_nets);
+            2
+        | Router.Outcome.Infeasible ->
+            Printf.eprintf "infeasible: %d net(s) could not be routed\n%!"
+              (List.length result.Router.Engine.stats.Router.Engine.failed_nets);
+            2)
   in
   let term =
     Term.(

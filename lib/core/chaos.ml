@@ -1,0 +1,51 @@
+exception Injected_fault of string
+
+type t = {
+  prng : Util.Prng.t option;  (* [None] disables every injection *)
+  p_search_fail : float;
+  p_trip : float;
+  p_crash : float;
+  mutable injected : int;
+}
+
+let none =
+  { prng = None; p_search_fail = 0.; p_trip = 0.; p_crash = 0.; injected = 0 }
+
+let create ?(search_fail = 0.) ?(trip = 0.) ?(crash = 0.) ~seed () =
+  {
+    prng = Some (Util.Prng.create seed);
+    p_search_fail = search_fail;
+    p_trip = trip;
+    p_crash = crash;
+    injected = 0;
+  }
+
+let enabled t = match t.prng with None -> false | Some _ -> true
+
+let roll t p =
+  match t.prng with
+  | None -> false
+  | Some g -> p > 0. && Util.Prng.chance g p
+
+let hit t =
+  t.injected <- t.injected + 1;
+  true
+
+let fail_search t = roll t t.p_search_fail && hit t
+
+let hook t =
+  match t.prng with
+  | None -> None
+  | Some _ when t.p_trip <= 0. -> None
+  | Some _ ->
+      Some
+        (fun () ->
+          if roll t t.p_trip && hit t then
+            Some (Budget.Cancelled "chaos: injected trip")
+          else None)
+
+let maybe_crash t =
+  if roll t t.p_crash && hit t then
+    raise (Injected_fault "chaos: injected crash")
+
+let injected t = t.injected

@@ -1,0 +1,39 @@
+(** Deterministic fault injection for robustness tests.
+
+    A chaos injector perturbs the engine and session at PRNG-chosen points:
+    forced search failures (the search "finds nothing" even though a path
+    exists), spurious budget trips (the run is cancelled mid-flight), and
+    hard crashes ({!Injected_fault} raised from inside a mutation).  All
+    decisions come from a seeded {!Util.Prng}, so a failing sequence
+    replays exactly.  Production code paths use {!none}, which never
+    injects and costs a test per call site. *)
+
+exception Injected_fault of string
+(** Raised by {!maybe_crash} at an injection point.  Transactional code
+    (sessions) must roll back and may re-raise; it must never leave shared
+    state inconsistent. *)
+
+type t
+
+val none : t
+(** The no-op injector: never fails, trips, or crashes. *)
+
+val create :
+  ?search_fail:float -> ?trip:float -> ?crash:float -> seed:int -> unit -> t
+(** Each probability is per opportunity: [search_fail] per maze search,
+    [trip] per budget poll, [crash] per {!maybe_crash} call site. *)
+
+val enabled : t -> bool
+
+val fail_search : t -> bool
+(** Roll for a forced search failure. *)
+
+val hook : t -> (unit -> Budget.reason option) option
+(** Budget hook rolling for a spurious [Cancelled] trip; [None] when
+    injection is disabled or [trip] is zero. *)
+
+val maybe_crash : t -> unit
+(** Roll for a hard fault; raises {!Injected_fault} on a hit. *)
+
+val injected : t -> int
+(** Number of faults injected so far (all kinds). *)

@@ -6,6 +6,8 @@ type order =
   | Congestion_descending
   | Random
 
+type audit_level = Audit_off | Audit_phase | Audit_net
+
 type t = {
   cost : Maze.Cost.t;
   use_astar : bool;
@@ -19,6 +21,10 @@ type t = {
   rip_budget_factor : int;
   restarts : int;
   seed : int;
+  deadline : float option;
+  max_expanded : int option;
+  max_searches : int option;
+  audit : audit_level;
 }
 
 let default =
@@ -35,6 +41,10 @@ let default =
     rip_budget_factor = 16;
     restarts = 1;
     seed = 1;
+    deadline = None;
+    max_expanded = None;
+    max_searches = None;
+    audit = Audit_off;
   }
 
 let maze_only = { default with enable_weak = false; enable_strong = false }
@@ -49,6 +59,11 @@ let order_name = function
   | Congestion_descending -> "congestion-desc"
   | Random -> "random"
 
+let audit_name = function
+  | Audit_off -> "off"
+  | Audit_phase -> "phase"
+  | Audit_net -> "net"
+
 let describe c =
   let strategy =
     match (c.enable_weak, c.enable_strong) with
@@ -57,7 +72,7 @@ let describe c =
     | false, true -> "strong-only"
     | false, false -> "maze-only"
   in
-  Printf.sprintf "%s, order=%s%s%s%s%s" strategy (order_name c.order)
+  Printf.sprintf "%s, order=%s%s%s%s%s%s%s%s%s" strategy (order_name c.order)
     (if c.use_astar then ", astar" else "")
     (match c.kernel with
     | Maze.Search.Binary_heap -> ""
@@ -66,3 +81,15 @@ let describe c =
     | None -> ""
     | Some m -> Printf.sprintf ", window=%d" m)
     (if c.restarts > 1 then Printf.sprintf ", restarts=%d" c.restarts else "")
+    (match c.deadline with
+    | None -> ""
+    | Some s -> Printf.sprintf ", deadline=%gs" s)
+    (match c.max_expanded with
+    | None -> ""
+    | Some m -> Printf.sprintf ", max-expanded=%d" m)
+    (match c.max_searches with
+    | None -> ""
+    | Some m -> Printf.sprintf ", max-searches=%d" m)
+    (match c.audit with
+    | Audit_off -> ""
+    | a -> Printf.sprintf ", audit=%s" (audit_name a))

@@ -16,6 +16,13 @@ type order =
           pre-routing demand map) *)
   | Random  (** seeded shuffle *)
 
+type audit_level =
+  | Audit_off  (** no auditing (default) *)
+  | Audit_phase
+      (** run the {!Audit} invariant checks after every engine phase
+          (maze pass, retry sweeps, end of each restart attempt) *)
+  | Audit_net  (** additionally audit after every net routed — slow *)
+
 type t = {
   cost : Maze.Cost.t;
   use_astar : bool;  (** A-star instead of plain Dijkstra (same costs) *)
@@ -44,6 +51,16 @@ type t = {
       (** orderings attempted before giving up (default 1 = no restart);
           restarts > 1 reshuffles the queue with the seed *)
   seed : int;  (** tie-breaking and restart shuffles *)
+  deadline : float option;
+      (** wall-clock budget in seconds for the whole route call (restarts
+          included); on expiry the engine returns its best-so-far layout
+          with [status = Degraded Deadline].  [None] (default) = unlimited *)
+  max_expanded : int option;
+      (** total node-expansion budget across every search of the run *)
+  max_searches : int option;  (** total maze-search budget for the run *)
+  audit : audit_level;
+      (** paranoia level: run the invariant auditor during routing and
+          raise {!Audit.Inconsistent} on any violation *)
 }
 
 val default : t
@@ -55,5 +72,9 @@ val maze_only : t
 val weak_only : t
 (** Shoving enabled, rip-up disabled. *)
 
+val audit_name : audit_level -> string
+
 val describe : t -> string
-(** Short human-readable summary, e.g. ["weak+strong, order=hpwl-desc"]. *)
+(** Short human-readable summary, e.g. ["weak+strong, order=hpwl-desc"].
+    Budget and audit fields are mentioned only when set, so configurations
+    without them render exactly as before. *)

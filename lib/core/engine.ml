@@ -14,11 +14,18 @@ type stats = {
 (* The escalation mode a search serves, for the effort split. *)
 type phase = Maze | Weak | Strong
 
-type t = { grid : Grid.t; completed : bool; stats : stats }
+type t = {
+  grid : Grid.t;
+  completed : bool;
+  status : Outcome.status;
+  stats : stats;
+}
 
 type state = {
   problem : Netlist.Problem.t;
   config : Config.t;
+  budget : Budget.t;
+  chaos : Chaos.t;
   g : Grid.t;
   ws : Maze.Workspace.t;
   protected : Bytes.t;  (* pins of all nets and fixed prewiring *)
@@ -40,7 +47,7 @@ type state = {
 
 let is_protected st n = Bytes.get st.protected n <> '\000'
 
-let make_state config problem =
+let make_state config problem ~budget ~chaos =
   let g = Netlist.Problem.instantiate problem in
   let nets = Netlist.Problem.net_count problem in
   let protected = Bytes.make (Grid.node_count g) '\000' in
@@ -65,6 +72,8 @@ let make_state config problem =
   {
     problem;
     config;
+    budget;
+    chaos;
     g;
     ws = Maze.Workspace.create g;
     protected;
@@ -105,29 +114,56 @@ let passable_penalized st ~net n =
   else
     Some (st.config.Config.ripup_penalty * (1 + st.rip_count.(v - 1)))
 
+(* A search under a tripped budget is skipped outright; a live budget is
+   threaded into the search core as a cooperative stop hook.  The budget's
+   expansion ledger also charges failed and aborted searches (via the
+   hook's high-water mark, so within one polling interval of exact),
+   whereas the engine's own stats keep their historical meaning of
+   "expansions of successful searches". *)
 let run_search st ~phase ~net ~passable ~sources ~targets =
-  st.searches <- st.searches + 1;
-  let kernel = st.config.Config.kernel
-  and window = st.config.Config.window_margin in
-  let search =
-    if st.config.Config.use_astar then Maze.Search.run_astar ~kernel ?window
-    else Maze.Search.run ~kernel ?window
-  in
-  let result =
-    search st.g st.ws ~cost:st.config.Config.cost ~passable ~sources ~targets
-      ()
-  in
-  (match result with
-  | Some r ->
-      let e = r.Maze.Search.expanded in
-      st.expanded <- st.expanded + e;
-      (match phase with
-      | Maze -> st.expanded_maze <- st.expanded_maze + e
-      | Weak -> st.expanded_weak <- st.expanded_weak + e
-      | Strong -> st.expanded_strong <- st.expanded_strong + e);
-      st.expanded_per_net.(net - 1) <- st.expanded_per_net.(net - 1) + e
-  | None -> ());
-  result
+  if Budget.check st.budget <> None then None
+  else if Chaos.fail_search st.chaos then begin
+    st.searches <- st.searches + 1;
+    Budget.note_search st.budget;
+    None
+  end
+  else begin
+    st.searches <- st.searches + 1;
+    let kernel = st.config.Config.kernel
+    and window = st.config.Config.window_margin in
+    let high_water = ref 0 in
+    let stop =
+      match Budget.stop_hook st.budget with
+      | None -> None
+      | Some f ->
+          Some
+            (fun in_flight ->
+              high_water := in_flight;
+              f in_flight)
+    in
+    let search =
+      if st.config.Config.use_astar then
+        Maze.Search.run_astar ~kernel ?window ?stop
+      else Maze.Search.run ~kernel ?window ?stop
+    in
+    let result =
+      search st.g st.ws ~cost:st.config.Config.cost ~passable ~sources
+        ~targets ()
+    in
+    Budget.note_search st.budget;
+    (match result with
+    | Some r ->
+        let e = r.Maze.Search.expanded in
+        st.expanded <- st.expanded + e;
+        Budget.note_expanded st.budget e;
+        (match phase with
+        | Maze -> st.expanded_maze <- st.expanded_maze + e
+        | Weak -> st.expanded_weak <- st.expanded_weak + e
+        | Strong -> st.expanded_strong <- st.expanded_strong + e);
+        st.expanded_per_net.(net - 1) <- st.expanded_per_net.(net - 1) + e
+    | None -> Budget.note_expanded st.budget !high_water);
+    result
+  end
 
 (* Rip a foreign net: clear its rippable wiring and put it back in the
    routing queue.  Pins stay on the grid, so the net can always be
@@ -297,15 +333,55 @@ let route_net st id =
       end;
       !ok
 
+(* The auditor: structural problem/grid consistency (via [Audit]) plus the
+   engine's own bookkeeping — tracked route nodes must be owned by their
+   net, rip counters must balance the rip budget, and every net marked
+   routed must be one connected component spanning its pins. *)
+let run_audit st ~where =
+  let findings = ref (Audit.check_grid st.problem st.g) in
+  let add fmt = Printf.ksprintf (fun s -> findings := s :: !findings) fmt in
+  let nets = Netlist.Problem.net_count st.problem in
+  for i = 0 to nets - 1 do
+    List.iter
+      (fun n ->
+        let v = Grid.occ st.g n in
+        if v <> i + 1 then add "net %d: tracked route node %d owned by %d"
+            (i + 1) n v)
+      st.route_nodes.(i)
+  done;
+  let per_net_rips = Array.fold_left ( + ) 0 st.rip_count in
+  if per_net_rips <> st.rips then
+    add "rip counters disagree: per-net sum %d, total %d" per_net_rips st.rips;
+  let initial = st.config.Config.rip_budget_factor * max 1 nets in
+  if st.rips + st.rips_left <> initial then
+    add "rip budget accounting broken: %d used + %d left <> %d initial"
+      st.rips st.rips_left initial;
+  for i = 0 to nets - 1 do
+    if st.routed.(i) then
+      findings :=
+        List.rev_append
+          (Audit.check_net_connected st.problem st.g (i + 1))
+          !findings
+  done;
+  Audit.require ~where (List.rev !findings)
+
+let audit_phase st ~where =
+  if st.config.Config.audit <> Config.Audit_off then run_audit st ~where
+
+let audit_net st ~where =
+  if st.config.Config.audit = Config.Audit_net then run_audit st ~where
+
 let drain st =
   let failed = ref [] in
-  while not (Queue.is_empty st.queue) do
+  while (not (Queue.is_empty st.queue)) && Budget.check st.budget = None do
     let id = Queue.pop st.queue in
     st.in_queue.(id - 1) <- false;
-    if not st.routed.(id - 1) then
+    if not st.routed.(id - 1) then begin
       if route_net st id then
         failed := List.filter (fun f -> f <> id) !failed
-      else if not (List.mem id !failed) then failed := id :: !failed
+      else if not (List.mem id !failed) then failed := id :: !failed;
+      audit_net st ~where:(Printf.sprintf "after net %d" id)
+    end
   done;
   !failed
 
@@ -315,19 +391,32 @@ let drain st =
 let rec retry_failed st failed =
   match failed with
   | [] -> []
+  | _ when Budget.check st.budget <> None -> failed
   | _ ->
       List.iter (enqueue st) failed;
       let still_failed = drain st in
+      audit_phase st ~where:"after retry sweep";
       if List.length still_failed < List.length failed then
         retry_failed st still_failed
       else still_failed
 
-let route_once config problem order_ids =
-  let st = make_state config problem in
+let route_once config problem order_ids ~budget ~chaos =
+  let st = make_state config problem ~budget ~chaos in
   List.iter (enqueue st) order_ids;
   let failed = drain st in
+  audit_phase st ~where:"after queue drain";
   let failed = retry_failed st failed in
-  let failed = List.sort Int.compare failed in
+  ignore (failed : int list);
+  (* Derive the failed set from the routed flags rather than the drain
+     bookkeeping: when the budget trips mid-queue, nets never attempted
+     must be reported failed too.  For an uninterrupted run the two sets
+     are identical. *)
+  let failed =
+    List.filter
+      (fun id -> not st.routed.(id - 1))
+      (Netlist.Problem.nontrivial_net_ids problem)
+  in
+  audit_phase st ~where:"end of attempt";
   let routed_nets =
     Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 st.routed
   in
@@ -352,7 +441,14 @@ let route_once config problem order_ids =
       attempts = 1;
     }
   in
-  { grid = st.g; completed = failed = []; stats }
+  let status =
+    if failed = [] then Outcome.Complete
+    else
+      match Budget.tripped budget with
+      | Some reason -> Outcome.Degraded reason
+      | None -> Outcome.Infeasible
+  in
+  { grid = st.g; completed = failed = []; status; stats }
 
 let better a b =
   (* true when [a] beats [b]. *)
@@ -378,29 +474,56 @@ let restart_order ~seed ~attempt ~last_failed base_order =
   let others = List.filter (fun id -> not (List.mem id last_failed)) shuffled in
   failed_first @ others
 
-let route ?(config = Config.default) problem =
+let route ?(config = Config.default) ?budget ?chaos problem =
+  let budget =
+    match budget with
+    | Some b -> b
+    | None ->
+        Budget.create ?deadline:config.Config.deadline
+          ?max_expanded:config.Config.max_expanded
+          ?max_searches:config.Config.max_searches ()
+  in
+  let chaos = match chaos with Some c -> c | None -> Chaos.none in
+  (match Chaos.hook chaos with
+  | Some h -> Budget.add_hook budget h
+  | None -> ());
   let ids = Netlist.Problem.nontrivial_net_ids problem in
   let base_order =
     Order.arrange config.Config.order ~seed:config.Config.seed problem ids
   in
   let max_attempts = max 1 config.Config.restarts in
   let with_attempts r n = { r with stats = { r.stats with attempts = n } } in
+  (* The budget is shared across restart attempts, and the final status
+     reflects the whole run: an attempt kept from before the trip is still
+     Degraded, because better orderings were cut short. *)
+  let finalize r =
+    let status =
+      if r.completed then Outcome.Complete
+      else
+        match Budget.tripped budget with
+        | Some reason -> Outcome.Degraded reason
+        | None -> Outcome.Infeasible
+    in
+    { r with status }
+  in
   let rec attempts i best =
     if i >= max_attempts then with_attempts best max_attempts
+    else if Budget.check budget <> None then with_attempts best i
     else begin
       let order =
         restart_order ~seed:config.Config.seed ~attempt:i
           ~last_failed:best.stats.failed_nets base_order
       in
-      let result = route_once config problem order in
+      let result = route_once config problem order ~budget ~chaos in
       let best = if better result best then result else best in
       if best.completed then with_attempts best (i + 1)
       else attempts (i + 1) best
     end
   in
-  let first = route_once config problem base_order in
-  if first.completed || max_attempts = 1 then with_attempts first 1
-  else attempts 1 first
+  let first = route_once config problem base_order ~budget ~chaos in
+  finalize
+    (if first.completed || max_attempts = 1 then with_attempts first 1
+     else attempts 1 first)
 
 let pp_stats fmt s =
   Format.fprintf fmt

@@ -17,7 +17,16 @@
     modifications, so the algorithm terminates in finite time: once the
     budget is exhausted, nets route with search + weak modification only,
     each of which strictly consumes bounded work.  Nets that remain blocked
-    are reported as failed rather than looping. *)
+    are reported as failed rather than looping.
+
+    On top of the rip budget, a {!Budget.t} bounds the whole call by
+    wall-clock deadline, total expansions, or search count.  The budget is
+    polled between nets and phases and cooperatively inside each search;
+    when it trips the engine {e never raises} — it stops starting work,
+    unwinds (any half-routed net is rolled back), and returns the
+    best-so-far DRC-clean layout with [status = Degraded reason] and the
+    unrouted nets in [stats.failed_nets].  Without budget options the
+    engine behaves exactly as an unbudgeted build. *)
 
 type stats = {
   routed_nets : int;
@@ -36,12 +45,26 @@ type stats = {
 type t = {
   grid : Grid.t;  (** final grid (of the best attempt) *)
   completed : bool;  (** every non-trivial net routed *)
+  status : Outcome.status;
+      (** [Complete] iff [completed]; [Degraded] when a budget trip cut
+          the run short; [Infeasible] when the engine ran out of
+          strategies with no budget pressure *)
   stats : stats;
 }
 
-val route : ?config:Config.t -> Netlist.Problem.t -> t
+val route :
+  ?config:Config.t -> ?budget:Budget.t -> ?chaos:Chaos.t ->
+  Netlist.Problem.t -> t
 (** Route the whole problem on a freshly instantiated grid.  With
     [config.restarts > 1], several net orders are attempted and the best
-    result (completion first, then fewest vias, then wirelength) is kept. *)
+    result (completion first, then fewest vias, then wirelength) is kept.
+
+    [budget] (default: built from the config's [deadline] /
+    [max_expanded] / [max_searches] fields, i.e. unlimited when unset) is
+    shared across all restart attempts.  [chaos] (default {!Chaos.none})
+    is the fault injector used by the robustness tests; its spurious-trip
+    hook is composed into the budget.  With [config.audit] above
+    [Audit_off] the invariant auditor runs after each engine phase and
+    raises {!Audit.Inconsistent} on any violation. *)
 
 val pp_stats : Format.formatter -> stats -> unit

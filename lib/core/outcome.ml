@@ -1,5 +1,17 @@
 type net_stats = { net_id : int; cells : int; wirelength : int; vias : int }
 
+type status = Complete | Degraded of Budget.reason | Infeasible
+
+let status_name = function
+  | Complete -> "complete"
+  | Degraded _ -> "degraded"
+  | Infeasible -> "infeasible"
+
+let pp_status fmt = function
+  | Complete -> Format.pp_print_string fmt "complete"
+  | Degraded r -> Format.fprintf fmt "degraded: %a" Budget.pp_reason r
+  | Infeasible -> Format.pp_print_string fmt "infeasible"
+
 type effort = {
   total_expanded : int;
   maze_expanded : int;

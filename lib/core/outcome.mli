@@ -11,6 +11,21 @@ type net_stats = {
   vias : int;  (** vias whose cells the net owns *)
 }
 
+(** How a routing run ended.  A degraded result is still a valid,
+    DRC-clean layout — the best one found before the budget tripped —
+    with the unrouted nets listed in the stats. *)
+type status =
+  | Complete  (** every non-trivial net routed *)
+  | Degraded of Budget.reason
+      (** the budget tripped; partial best-so-far result *)
+  | Infeasible
+      (** the engine exhausted its strategies with no budget pressure *)
+
+val status_name : status -> string
+(** ["complete"], ["degraded"] or ["infeasible"]. *)
+
+val pp_status : Format.formatter -> status -> unit
+
 (** Search-effort telemetry, the one set of numbers that {e is} taken from
     the engine's counters (grid occupancy cannot recover where expansions
     were spent): total nodes settled across all searches, split by the

@@ -43,9 +43,17 @@ let summary problem (result : Engine.t) =
         (100.0
         *. (float_of_int s.Engine.total_wirelength /. float_of_int lower -. 1.0))
   in
+  (* The status line appears only on non-complete runs, so reports of
+     complete (and pre-budget-era) runs render byte-identically. *)
+  let status_line =
+    match result.Engine.status with
+    | Outcome.Complete -> []
+    | st -> [ Format.asprintf "status:               %a" Outcome.pp_status st ]
+  in
   String.concat "\n"
-    [
-      Printf.sprintf "completed:            %b" result.Engine.completed;
+    (Printf.sprintf "completed:            %b" result.Engine.completed
+     :: status_line
+    @ [
       Printf.sprintf "nets routed:          %d / %d" s.Engine.routed_nets
         (Netlist.Problem.net_count problem);
       Printf.sprintf "total wirelength:     %d (lower bound %d, +%s)"
@@ -60,7 +68,7 @@ let summary problem (result : Engine.t) =
         s.Engine.effort.Outcome.weak_expanded
         s.Engine.effort.Outcome.strong_expanded;
       Printf.sprintf "restart attempts:     %d" s.Engine.attempts;
-    ]
+      ])
 
 let render problem result =
   Util.Table.render (per_net_table problem result) ^ "\n" ^ summary problem result

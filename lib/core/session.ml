@@ -1,9 +1,36 @@
 type t = {
   config : Config.t;
+  chaos : Chaos.t;
   mutable problem : Netlist.Problem.t;
   mutable grid : Grid.t;
-  frozen : (string, unit) Hashtbl.t; (* keyed by name: survives renumbering *)
+  mutable frozen : (string, unit) Hashtbl.t;
+      (* keyed by name: survives renumbering *)
 }
+
+(* Transactional core: every public mutation snapshots the session state
+   and restores it on failure, so callers never observe a half-applied
+   mutation — not even when a budget trip or an injected fault fires in
+   the middle of a rebuild. *)
+let snapshot st = (st.problem, Grid.copy st.grid, Hashtbl.copy st.frozen)
+
+let restore st (problem, grid, frozen) =
+  st.problem <- problem;
+  st.grid <- grid;
+  st.frozen <- frozen
+
+let transactionally st f =
+  let saved = snapshot st in
+  match f () with
+  | Ok _ as ok -> ok
+  | Error _ as e ->
+      restore st saved;
+      e
+  | exception Chaos.Injected_fault msg ->
+      restore st saved;
+      Error msg
+  | exception exn ->
+      restore st saved;
+      raise exn
 
 let problem st = st.problem
 
@@ -75,16 +102,21 @@ let rebuild st ?(keep_wiring = fun _ -> true) new_nets =
       ~height:old.Netlist.Problem.height new_nets
   in
   st.problem <- problem;
+  (* Deliberately placed between the two state updates: an injected crash
+     here leaves the session visibly inconsistent unless the caller's
+     transaction rolls back — exactly what the chaos suite exercises. *)
+  Chaos.maybe_crash st.chaos;
   st.grid <- Netlist.Problem.instantiate problem
 
 let current_nets st = Array.to_list st.problem.Netlist.Problem.nets
 
 let sync ?keep_wiring st = rebuild st ?keep_wiring (current_nets st)
 
-let create ?(config = Config.default) problem =
+let create ?(config = Config.default) ?(chaos = Chaos.none) problem =
   let st =
     {
       config;
+      chaos;
       problem;
       grid = Netlist.Problem.instantiate problem;
       frozen = Hashtbl.create 8;
@@ -102,12 +134,22 @@ let create ?(config = Config.default) problem =
   st
 
 let route st =
-  sync st;
-  let result = Engine.route ~config:st.config st.problem in
-  st.grid <- result.Engine.grid;
-  result.Engine.stats
+  let saved = snapshot st in
+  try
+    sync st;
+    let result =
+      Engine.route ~config:st.config ~chaos:st.chaos st.problem
+    in
+    st.grid <- result.Engine.grid;
+    result.Engine.stats
+  with exn ->
+    (* A degraded result commits (it is a consistent best-so-far layout);
+       only an exception — injected fault, audit failure — rolls back. *)
+    restore st saved;
+    raise exn
 
 let add_net st ~name pins =
+  transactionally st @@ fun () ->
   if Netlist.Problem.find_net st.problem name <> None then
     Error (Printf.sprintf "net %S already exists" name)
   else begin
@@ -138,6 +180,7 @@ let renumber nets =
     nets
 
 let remove_net st ~net =
+  transactionally st @@ fun () ->
   if net < 1 || net > Netlist.Problem.net_count st.problem then
     Error (Printf.sprintf "unknown net %d" net)
   else if is_frozen st ~net then Error "net is frozen; thaw it first"
@@ -152,6 +195,7 @@ let remove_net st ~net =
   end
 
 let rip st ~net =
+  transactionally st @@ fun () ->
   if net < 1 || net > Netlist.Problem.net_count st.problem then
     Error (Printf.sprintf "unknown net %d" net)
   else if is_frozen st ~net then Error "net is frozen; thaw it first"
@@ -189,5 +233,10 @@ let verify st =
   Drc.Check.check ~nets:routed st.problem st.grid
 
 let refine ?max_passes st =
-  sync st;
-  Improve.refine ?max_passes ~cost:st.config.Config.cost st.problem st.grid
+  let saved = snapshot st in
+  try
+    sync st;
+    Improve.refine ?max_passes ~cost:st.config.Config.cost st.problem st.grid
+  with exn ->
+    restore st saved;
+    raise exn

@@ -10,13 +10,23 @@
     unrouted, leaving untouched wiring in place.
 
     This is the ECO workflow as a first-class API: route a block, freeze
-    the critical nets, keep editing the rest. *)
+    the critical nets, keep editing the rest.
+
+    Every mutation is {b transactional}: it either completes, or the
+    session's problem, grid and frozen set are restored to the exact
+    pre-call state — including when a budget trip, an {!Audit} failure or
+    an injected {!Chaos} fault fires in the middle of the call.  An
+    injected fault surfaces as [Error] from the result-returning
+    mutations, and re-raises from {!route}/{!refine} after rollback;
+    either way the session stays usable and consistent. *)
 
 type t
 
-val create : ?config:Config.t -> Netlist.Problem.t -> t
+val create : ?config:Config.t -> ?chaos:Chaos.t -> Netlist.Problem.t -> t
 (** A session over a fresh instantiation of the problem (nothing routed
-    yet beyond the problem's own pre-wiring). *)
+    yet beyond the problem's own pre-wiring).  [chaos] (default
+    {!Chaos.none}) is the fault injector threaded into every mutation and
+    into the engine — test-only. *)
 
 val problem : t -> Netlist.Problem.t
 (** The current problem description (changes as nets are added/removed). *)
@@ -35,7 +45,9 @@ val is_frozen : t -> net:int -> bool
 val route : t -> Engine.stats
 (** Route everything currently unrouted with the session's engine
     configuration.  Already-routed nets are carried as pre-wiring (rippable
-    unless frozen).  Updates the session grid. *)
+    unless frozen).  Updates the session grid.  A degraded (budget-tripped)
+    result still commits — it is a consistent best-so-far layout; an
+    exception rolls the session back and re-raises. *)
 
 val add_net : t -> name:string -> Netlist.Net.pin list -> (int, string) Stdlib.result
 (** Add a net (unrouted).  Its pins must be in bounds, off obstructions and

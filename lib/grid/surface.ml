@@ -25,6 +25,11 @@ let create ~width ~height =
 let copy g =
   { g with occ = Array.copy g.occ; via = Bytes.copy g.via }
 
+(* n_vias is derived from the via bytes, so comparing occupancy and via
+   flags is a complete state comparison. *)
+let equal a b =
+  a.w = b.w && a.h = b.h && a.occ = b.occ && Bytes.equal a.via b.via
+
 let width g = g.w
 
 let height g = g.h

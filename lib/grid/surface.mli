@@ -32,6 +32,10 @@ val create : width:int -> height:int -> t
 val copy : t -> t
 (** Deep copy; mutations of the copy do not affect the original. *)
 
+val equal : t -> t -> bool
+(** Same dimensions, occupancy, and vias — used by the transactional
+    session tests to prove rollbacks are exact. *)
+
 val width : t -> int
 
 val height : t -> int

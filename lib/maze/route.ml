@@ -40,7 +40,7 @@ let release_nodes g nodes = List.iter (Grid.release g) nodes
    every search targets all still-unconnected pins at once, so Dijkstra
    naturally picks the nearest one. *)
 let route_net ?passable ?(use_astar = false) ?(kernel = Search.Binary_heap)
-    ?window g ws ~cost (net : Netlist.Net.t) =
+    ?window ?stop g ws ~cost (net : Netlist.Net.t) =
   let net_id = net.Netlist.Net.id in
   let passable =
     match passable with Some f -> f | None -> passable_default g ~net:net_id
@@ -49,8 +49,8 @@ let route_net ?passable ?(use_astar = false) ?(kernel = Search.Binary_heap)
   | [] | [ _ ] -> Ok { added = []; wirelength = 0; vias = 0; expanded = 0 }
   | first :: rest ->
       let search =
-        if use_astar then Search.run_astar ~kernel ?window
-        else Search.run ~kernel ?window
+        if use_astar then Search.run_astar ~kernel ?window ?stop
+        else Search.run ~kernel ?window ?stop
       in
       let tree = ref [ pin_node g first ] in
       let remaining = ref (List.map (fun p -> (pin_node g p, p)) rest) in

@@ -38,6 +38,7 @@ val route_net :
   ?use_astar:bool ->
   ?kernel:Search.kernel ->
   ?window:int ->
+  ?stop:(int -> bool) ->
   Grid.t ->
   Workspace.t ->
   cost:Cost.t ->
@@ -47,5 +48,6 @@ val route_net :
     updated; on failure the grid is restored to its prior state.  Nets with
     fewer than two pins succeed trivially.  [passable] defaults to
     {!passable_default} (it must never price foreign cells if the result is
-    to be committed directly).  [kernel] and [window] are forwarded to the
-    underlying {!Search} runs. *)
+    to be committed directly).  [kernel], [window] and [stop] are forwarded
+    to the underlying {!Search} runs; an aborted search counts as a failed
+    connection, and the partial net is released as usual. *)

@@ -25,8 +25,16 @@ let backtrace ws target =
    bounded ints — the ideal Dial case; the A* heuristic is consistent, so
    popped priorities stay monotone and the bucket span stays small).
    Returns the expansion count even on failure so windowed retries can
-   account for wasted effort. *)
-let core g ws ~kernel ~cost ~passable ~sources ~targets ~heuristic ~win () =
+   account for wasted effort.
+
+   [stop] is the cooperative cancellation hook: polled every 64 expansions
+   with the in-flight expansion count, and when it answers [true] the
+   search aborts, reporting the abort distinctly from exhaustion so a
+   windowed caller gives up instead of widening and retrying. *)
+let stop_interval = 64
+
+let core g ws ~kernel ~cost ~passable ~sources ~targets ~heuristic ~win ~stop
+    () =
   Workspace.begin_search ws;
   let push, pop, has_more =
     match kernel with
@@ -61,6 +69,12 @@ let core g ws ~kernel ~cost ~passable ~sources ~targets ~heuristic ~win () =
     sources;
   let expanded = ref 0 in
   let found = ref None in
+  let aborted = ref false in
+  let should_stop =
+    match stop with
+    | None -> fun _ -> false
+    | Some f -> fun n -> n land (stop_interval - 1) = 0 && f n
+  in
   let relax from gscore n extra =
     match passable n with
     | None -> ()
@@ -72,13 +86,14 @@ let core g ws ~kernel ~cost ~passable ~sources ~targets ~heuristic ~win () =
           push (nd + heuristic n) n
         end
   in
-  while !found = None && has_more () do
+  while !found = None && (not !aborted) && has_more () do
     let prio, n = pop () in
     let gscore = Workspace.dist ws n in
     (* Stale frontier entry: the node was re-pushed with a smaller key. *)
     if prio - heuristic n <= gscore then begin
       incr expanded;
-      if Workspace.marked ws n then
+      if should_stop !expanded then aborted := true
+      else if Workspace.marked ws n then
         found := Some { path = backtrace ws n; total_cost = gscore; expanded = !expanded }
       else begin
         let layer = Grid.node_layer g n in
@@ -93,7 +108,7 @@ let core g ws ~kernel ~cost ~passable ~sources ~targets ~heuristic ~win () =
       end
     end
   done;
-  (!found, !expanded)
+  (!found, !expanded, !aborted)
 
 (* Bounding box of the endpoint sets, in planar coordinates. *)
 let bbox g nodes =
@@ -121,10 +136,11 @@ let bbox g nodes =
    final result so effort metrics stay honest. *)
 let with_window g ~window ~wire ~sources ~targets attempt =
   let full = full_win g in
+  let first (r, _, _) = r in
   match window with
-  | None -> fst (attempt full)
+  | None -> first (attempt full)
   | Some margin ->
-      if sources = [] || targets = [] then fst (attempt full)
+      if sources = [] || targets = [] then first (attempt full)
       else begin
         let bx0, by0, bx1, by1 = bbox g (List.rev_append sources targets) in
         let min_l1 =
@@ -153,22 +169,25 @@ let with_window g ~window ~wire ~sources ~targets attempt =
             || r.total_cost <= wire * (min_l1 + (2 * (m + 1)))
           in
           match attempt win with
-          | Some r, _ when optimal r ->
+          | Some r, _, _ when optimal r ->
               Some { r with expanded = r.expanded + wasted }
-          | Some r, _ -> loop ((2 * m) + 4) (wasted + r.expanded)
-          | None, expanded ->
+          | Some r, _, _ -> loop ((2 * m) + 4) (wasted + r.expanded)
+          (* Aborted probe: the budget tripped mid-search — give up
+             instead of widening, the caller is unwinding anyway. *)
+          | None, _, true -> None
+          | None, expanded, false ->
               if win = full then None
               else loop ((2 * m) + 4) (wasted + expanded)
         in
         loop (max 0 margin) 0
       end
 
-let run ?(kernel = Binary_heap) ?window g ws ~cost ~passable ~sources ~targets
-    () =
+let run ?(kernel = Binary_heap) ?window ?stop g ws ~cost ~passable ~sources
+    ~targets () =
   with_window g ~window ~wire:cost.Cost.wire ~sources ~targets (fun win ->
       core g ws ~kernel ~cost ~passable ~sources ~targets
         ~heuristic:(fun _ -> 0)
-        ~win ())
+        ~win ~stop ())
 
 (* Precompute the A* heuristic — L1 distance to the nearest target, times
    the cheapest planar step — as a flat int array over the window with a
@@ -203,12 +222,13 @@ let build_heuristic g ws ~wire ~targets ~win =
   done;
   fun n -> wire * hf.(Grid.planar g n)
 
-let run_astar ?(kernel = Binary_heap) ?window g ws ~cost ~passable ~sources
-    ~targets () =
+let run_astar ?(kernel = Binary_heap) ?window ?stop g ws ~cost ~passable
+    ~sources ~targets () =
   let wire = cost.Cost.wire in
   with_window g ~window ~wire ~sources ~targets (fun win ->
       let heuristic = build_heuristic g ws ~wire ~targets ~win in
-      core g ws ~kernel ~cost ~passable ~sources ~targets ~heuristic ~win ())
+      core g ws ~kernel ~cost ~passable ~sources ~targets ~heuristic ~win
+        ~stop ())
 
 (* Plain BFS wave expansion; dist doubles as the visited set. *)
 let run_lee g ws ~passable ~sources ~targets () =

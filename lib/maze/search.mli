@@ -44,6 +44,7 @@ val kernel_name : kernel -> string
 val run :
   ?kernel:kernel ->
   ?window:int ->
+  ?stop:(int -> bool) ->
   Grid.t ->
   Workspace.t ->
   cost:Cost.t ->
@@ -55,11 +56,17 @@ val run :
 (** Cheapest path from the source set to the target set; [None] when no
     target is reachable.  Uses plain Dijkstra (complete and optimal under
     non-negative costs).  [kernel] defaults to [Binary_heap]; [window]
-    (off by default) is the initial bbox margin of the search window. *)
+    (off by default) is the initial bbox margin of the search window.
+
+    [stop] is a cooperative cancellation hook, polled every few dozen
+    expansions with the in-flight expansion count; answering [true]
+    aborts the search, which then returns [None] without widening any
+    search window (an aborted probe must not trigger retries). *)
 
 val run_astar :
   ?kernel:kernel ->
   ?window:int ->
+  ?stop:(int -> bool) ->
   Grid.t ->
   Workspace.t ->
   cost:Cost.t ->

@@ -1,6 +1,17 @@
+type error = { line : int; col : int; msg : string }
+
+let error_to_string e =
+  if e.line = 0 then e.msg
+  else Printf.sprintf "line %d, column %d: %s" e.line e.col e.msg
+
 exception Error of int * string
 
-let fail line fmt = Printf.ksprintf (fun m -> raise (Error (line, m))) fmt
+(* Internal control flow of the parser; converted to [error] at the API
+   boundary so the result-returning entry points never leak it. *)
+exception Fail of error
+
+let fail line col fmt =
+  Printf.ksprintf (fun msg -> raise (Fail { line; col; msg })) fmt
 
 type header = {
   hname : string;
@@ -17,44 +28,61 @@ type state = {
   mutable context : [ `Top | `Net | `Prewire ];
 }
 
-let kind_of_string line = function
+(* A token and the 1-based column it starts at. *)
+type tok = { col : int; text : string }
+
+let kind_of_string line (t : tok) =
+  match t.text with
   | "switchbox" -> Problem.Switchbox
   | "channel" -> Problem.Channel
   | "region" -> Problem.Region
-  | s -> fail line "unknown problem kind %S" s
+  | s -> fail line t.col "unknown problem kind %S" s
 
 let string_of_kind = function
   | Problem.Switchbox -> "switchbox"
   | Problem.Channel -> "channel"
   | Problem.Region -> "region"
 
-let int_of line s =
-  match int_of_string_opt s with
+let int_of line (t : tok) =
+  match int_of_string_opt t.text with
   | Some v -> v
-  | None -> fail line "expected an integer, got %S" s
+  | None -> fail line t.col "expected an integer, got %S" t.text
 
 let tokens line_text =
-  String.split_on_char ' ' line_text
-  |> List.concat_map (String.split_on_char '\t')
-  |> List.filter (fun s -> s <> "")
+  let n = String.length line_text in
+  let rec scan i acc =
+    if i >= n then List.rev acc
+    else if line_text.[i] = ' ' || line_text.[i] = '\t' then scan (i + 1) acc
+    else begin
+      let j = ref i in
+      while
+        !j < n && line_text.[!j] <> ' ' && line_text.[!j] <> '\t'
+      do
+        incr j
+      done;
+      scan !j
+        ({ col = i + 1; text = String.sub line_text i (!j - i) } :: acc)
+    end
+  in
+  scan 0 []
 
 let handle st lineno line_text =
   match tokens line_text with
   | [] -> ()
-  | word :: _ when String.length word > 0 && word.[0] = '#' -> ()
-  | [ "problem"; name; kind; w; h ] ->
-      if st.header <> None then fail lineno "duplicate problem line";
+  | word :: _ when word.text.[0] = '#' -> ()
+  | [ { text = "problem"; col }; name; kind; w; h ] ->
+      if st.header <> None then fail lineno col "duplicate problem line";
       st.header <-
         Some
           {
-            hname = name;
+            hname = name.text;
             hkind = kind_of_string lineno kind;
             hwidth = int_of lineno w;
             hheight = int_of lineno h;
           }
-  | [ "obstruct"; layer; x0; y0; x1; y1 ] ->
+  | [ { text = "obstruct"; _ }; layer; x0; y0; x1; y1 ] ->
       let obs_layer =
-        if layer = "*" then None else Some (int_of lineno layer)
+        if layer.text = "*" then None else Some (int_of lineno layer)
       in
       st.obstructions <-
         {
@@ -64,43 +92,44 @@ let handle st lineno line_text =
               (int_of lineno x1) (int_of lineno y1);
         }
         :: st.obstructions
-  | [ "net"; name ] ->
-      if List.mem_assoc name st.nets then fail lineno "duplicate net %S" name;
-      st.nets <- (name, []) :: st.nets;
+  | [ { text = "net"; _ }; name ] ->
+      if List.mem_assoc name.text st.nets then
+        fail lineno name.col "duplicate net %S" name.text;
+      st.nets <- (name.text, []) :: st.nets;
       st.context <- `Net
-  | "pin" :: rest -> begin
+  | { text = "pin"; col } :: rest -> begin
       let pin =
         match rest with
         | [ x; y ] -> Net.pin (int_of lineno x) (int_of lineno y)
         | [ x; y; layer ] ->
             Net.pin ~layer:(int_of lineno layer) (int_of lineno x)
               (int_of lineno y)
-        | _ -> fail lineno "pin expects: pin <x> <y> [layer]"
+        | _ -> fail lineno col "pin expects: pin <x> <y> [layer]"
       in
       match (st.context, st.nets) with
       | `Net, (name, pins) :: rest_nets ->
           st.nets <- (name, pin :: pins) :: rest_nets
       | (`Top | `Prewire), _ | `Net, [] ->
-          fail lineno "pin outside of a net block"
+          fail lineno col "pin outside of a net block"
     end
-  | [ "prewire"; net_name; fixity ] ->
+  | [ { text = "prewire"; _ }; net_name; fixity ] ->
       let fixed =
-        match fixity with
+        match fixity.text with
         | "fixed" -> true
         | "loose" -> false
-        | s -> fail lineno "expected fixed|loose, got %S" s
+        | s -> fail lineno fixity.col "expected fixed|loose, got %S" s
       in
-      st.prewires <- (net_name, fixed, []) :: st.prewires;
+      st.prewires <- (net_name.text, fixed, []) :: st.prewires;
       st.context <- `Prewire
-  | [ "cell"; layer; x; y ] -> begin
+  | [ { text = "cell"; col }; layer; x; y ] -> begin
       let cell = (int_of lineno layer, int_of lineno x, int_of lineno y) in
       match (st.context, st.prewires) with
       | `Prewire, (name, fixed, cells) :: rest ->
           st.prewires <- (name, fixed, cell :: cells) :: rest
       | (`Top | `Net), _ | `Prewire, [] ->
-          fail lineno "cell outside of a prewire block"
+          fail lineno col "cell outside of a prewire block"
     end
-  | word :: _ -> fail lineno "unknown directive %S" word
+  | word :: _ -> fail lineno word.col "unknown directive %S" word.text
 
 let of_string text =
   let st =
@@ -112,38 +141,50 @@ let of_string text =
       context = `Top;
     }
   in
-  List.iteri
-    (fun i line_text -> handle st (i + 1) line_text)
-    (String.split_on_char '\n' text);
-  match st.header with
-  | None -> fail 0 "missing problem line"
-  | Some h ->
-      let named_nets = List.rev st.nets in
-      let nets =
-        List.mapi
-          (fun i (name, pins) -> Net.make ~id:(i + 1) ~name (List.rev pins))
-          named_nets
-      in
-      let id_of_name name =
-        let rec loop i = function
-          | [] -> fail 0 "prewire references unknown net %S" name
-          | (n, _) :: rest -> if n = name then i else loop (i + 1) rest
+  try
+    List.iteri
+      (fun i line_text -> handle st (i + 1) line_text)
+      (String.split_on_char '\n' text);
+    match st.header with
+    | None -> Result.Error { line = 0; col = 0; msg = "missing problem line" }
+    | Some h ->
+        let named_nets = List.rev st.nets in
+        let nets =
+          List.mapi
+            (fun i (name, pins) -> Net.make ~id:(i + 1) ~name (List.rev pins))
+            named_nets
         in
-        loop 1 named_nets
-      in
-      let prewires =
-        List.rev_map
-          (fun (name, fixed, cells) ->
-            {
-              Problem.pre_net = id_of_name name;
-              pre_cells = List.rev cells;
-              pre_fixed = fixed;
-            })
-          st.prewires
-      in
-      Problem.make ~kind:h.hkind
-        ~obstructions:(List.rev st.obstructions)
-        ~prewires ~name:h.hname ~width:h.hwidth ~height:h.hheight nets
+        let id_of_name name =
+          let rec loop i = function
+            | [] -> fail 0 0 "prewire references unknown net %S" name
+            | (n, _) :: rest -> if n = name then i else loop (i + 1) rest
+          in
+          loop 1 named_nets
+        in
+        let prewires =
+          List.rev_map
+            (fun (name, fixed, cells) ->
+              {
+                Problem.pre_net = id_of_name name;
+                pre_cells = List.rev cells;
+                pre_fixed = fixed;
+              })
+            st.prewires
+        in
+        Ok
+          (Problem.make ~kind:h.hkind
+             ~obstructions:(List.rev st.obstructions)
+             ~prewires ~name:h.hname ~width:h.hwidth ~height:h.hheight nets)
+  with
+  | Fail e -> Result.Error e
+  (* Semantic validation (Net.make / Problem.make) has no line to point
+     at: report the message alone. *)
+  | Invalid_argument msg -> Result.Error { line = 0; col = 0; msg }
+
+let of_string_exn text =
+  match of_string text with
+  | Ok p -> p
+  | Result.Error e -> raise (Error (e.line, error_to_string e))
 
 let to_string (p : Problem.t) =
   let buf = Buffer.create 1024 in
@@ -178,11 +219,19 @@ let to_string (p : Problem.t) =
   Buffer.contents buf
 
 let load path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  of_string text
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> of_string text
+  | exception Sys_error msg -> Result.Error { line = 0; col = 0; msg }
+
+let load_exn path =
+  match load path with
+  | Ok p -> p
+  | Result.Error e -> raise (Error (e.line, error_to_string e))
 
 let save path p =
   let oc = open_out path in

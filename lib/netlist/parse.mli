@@ -14,18 +14,42 @@
     [prewire] line opens a pre-existing wire for the named net; subsequent
     [cell] lines belong to it.  Net ids are assigned in order of appearance.
     [to_string] followed by [of_string] round-trips a problem (up to
-    obstruction merging). *)
+    obstruction merging).
+
+    Parsing never raises: {!of_string} and {!load} return a [result] whose
+    error carries the 1-based line and column of the offending token.
+    The [_exn] variants raise {!Error} for callers that prefer
+    exceptions. *)
+
+type error = {
+  line : int;  (** 1-based; 0 for file-level or semantic errors *)
+  col : int;  (** 1-based column of the offending token; 0 if unknown *)
+  msg : string;
+}
+
+val error_to_string : error -> string
+(** ["line L, column C: msg"], or just the message for position-less
+    errors. *)
 
 exception Error of int * string
-(** Parse error: 1-based line number and message. *)
+(** Raised only by the [_exn] entry points: 1-based line number (0 when
+    unknown) and rendered message. *)
 
-val of_string : string -> Problem.t
-(** @raise Error on malformed input, [Invalid_argument] on a description
-    that fails {!Problem.make} validation. *)
+val of_string : string -> (Problem.t, error) result
+(** Parse a problem description.  Syntax errors carry their position;
+    semantic validation failures ({!Problem.make}, {!Net.make}) are
+    reported with [line = 0] and the validation message. *)
+
+val of_string_exn : string -> Problem.t
+(** @raise Error on any parse or validation failure. *)
 
 val to_string : Problem.t -> string
 
-val load : string -> Problem.t
-(** Read a problem from a file path. *)
+val load : string -> (Problem.t, error) result
+(** Read a problem from a file path; I/O failures (missing file,
+    permissions) are reported as position-less errors. *)
+
+val load_exn : string -> Problem.t
+(** @raise Error on any I/O, parse or validation failure. *)
 
 val save : string -> Problem.t -> unit

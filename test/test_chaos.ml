@@ -1,0 +1,208 @@
+(* Fault injection: chaos determinism, the engine's no-raise guarantee
+   under injected failures, and the transactional-session property —
+   an interrupted mutation leaves the session exactly at its last
+   committed state.
+
+   Set DESIGN_CHAOS=1 to crank the qcheck iteration counts. *)
+
+let heavy = Sys.getenv_opt "DESIGN_CHAOS" <> None
+let count n = if heavy then n * 5 else n
+let prng seed = Util.Prng.create seed
+
+(* --- injector determinism --- *)
+
+let test_none_never_injects () =
+  let c = Router.Chaos.none in
+  Testkit.check_false "disabled" (Router.Chaos.enabled c);
+  for _ = 1 to 1000 do
+    Testkit.check_false "no search failures" (Router.Chaos.fail_search c);
+    Router.Chaos.maybe_crash c
+  done;
+  Testkit.check_true "no hook" (Router.Chaos.hook c = None);
+  Testkit.check_int "nothing injected" 0 (Router.Chaos.injected c)
+
+let test_same_seed_same_faults () =
+  let rolls c = List.init 500 (fun _ -> Router.Chaos.fail_search c) in
+  let a = Router.Chaos.create ~search_fail:0.3 ~seed:42 () in
+  let b = Router.Chaos.create ~search_fail:0.3 ~seed:42 () in
+  Testkit.check_true "identical decision streams" (rolls a = rolls b);
+  Testkit.check_int "same injection count" (Router.Chaos.injected a)
+    (Router.Chaos.injected b);
+  Testkit.check_true "faults actually fire" (Router.Chaos.injected a > 0)
+
+let test_crash_probability () =
+  let c = Router.Chaos.create ~crash:1.0 ~seed:1 () in
+  (match Router.Chaos.maybe_crash c with
+  | () -> Alcotest.fail "crash at p=1 must raise"
+  | exception Router.Chaos.Injected_fault _ -> ());
+  Testkit.check_int "counted" 1 (Router.Chaos.injected c)
+
+(* --- engine under chaos: never raises, never corrupts --- *)
+
+(* Audit_phase makes the engine itself assert grid consistency after
+   every phase; a violation raises Audit.Inconsistent and fails the
+   property. *)
+let audit_config =
+  { Router.Config.default with audit = Router.Config.Audit_phase }
+
+let prop_engine_survives_search_failures =
+  Testkit.qcheck ~count:(count 40) "forced search failures stay clean"
+    QCheck2.Gen.(pair (int_range 0 100_000) (int_range 0 100_000))
+    (fun (pseed, cseed) ->
+      let p = Workload.Gen.switchbox (prng pseed) ~width:12 ~height:10 ~nets:5 in
+      let chaos = Router.Chaos.create ~search_fail:0.3 ~seed:cseed () in
+      let result = Router.Engine.route ~config:audit_config ~chaos p in
+      Testkit.drc_routed p result = []
+      && (result.Router.Engine.status <> Router.Outcome.Complete
+         || result.Router.Engine.stats.Router.Engine.failed_nets = []))
+
+let prop_engine_survives_spurious_trips =
+  Testkit.qcheck ~count:(count 40) "spurious cancellations stay clean"
+    QCheck2.Gen.(pair (int_range 0 100_000) (int_range 0 100_000))
+    (fun (pseed, cseed) ->
+      let p = Workload.Gen.switchbox (prng pseed) ~width:12 ~height:10 ~nets:5 in
+      let chaos = Router.Chaos.create ~trip:0.05 ~seed:cseed () in
+      let result = Router.Engine.route ~config:audit_config ~chaos p in
+      let ok_status =
+        match result.Router.Engine.status with
+        | Router.Outcome.Complete ->
+            result.Router.Engine.stats.Router.Engine.failed_nets = []
+        | Router.Outcome.Degraded (Router.Budget.Cancelled _) -> true
+        | Router.Outcome.Degraded _ | Router.Outcome.Infeasible -> false
+      in
+      ok_status && Testkit.drc_routed p result = [])
+
+(* --- satellite 3: transactional sessions under injected faults --- *)
+
+type op = Add | Rip | Remove | Freeze | Thaw | Route
+
+let op_of_int i =
+  match i mod 10 with
+  | 0 | 1 -> Add
+  | 2 | 3 -> Rip
+  | 4 -> Remove
+  | 5 -> Freeze
+  | 6 -> Thaw
+  | _ -> Route
+
+(* Runs one op against the session.  Returns [`Committed] when the op
+   succeeded (the session advanced to a new consistent state) or
+   [`Rolled_back] when it reported an error or an injected fault fired. *)
+let run_op s rng i op =
+  let net_count = Array.length (Router.Session.problem s).Netlist.Problem.nets in
+  let some_net () = 1 + Util.Prng.int rng (max 1 net_count) in
+  match op with
+  | Add ->
+      let g = Router.Session.grid s in
+      let pin () =
+        Netlist.Net.pin
+          (Util.Prng.int rng (Grid.width g))
+          (Util.Prng.int rng (Grid.height g))
+      in
+      let pins = [ pin (); pin () ] in
+      (match Router.Session.add_net s ~name:(Printf.sprintf "chaos%d" i) pins with
+      | Ok _ -> `Committed
+      | Error _ -> `Rolled_back)
+  | Rip -> (
+      match Router.Session.rip s ~net:(some_net ()) with
+      | Ok () -> `Committed
+      | Error _ -> `Rolled_back)
+  | Remove -> (
+      match Router.Session.remove_net s ~net:(some_net ()) with
+      | Ok () -> `Committed
+      | Error _ -> `Rolled_back)
+  | Freeze -> (
+      match Router.Session.freeze s ~net:(some_net ()) with
+      | Ok () -> `Committed
+      | Error _ -> `Rolled_back)
+  | Thaw -> (
+      match Router.Session.thaw s ~net:(some_net ()) with
+      | Ok () -> `Committed
+      | Error _ -> `Rolled_back)
+  | Route -> (
+      match Router.Session.route s with
+      | (_ : Router.Engine.stats) -> `Committed
+      | exception Router.Chaos.Injected_fault _ -> `Rolled_back)
+
+let prop_session_rolls_back_cleanly =
+  Testkit.qcheck ~count:(count 30)
+    "interrupted mutations leave the last committed state"
+    QCheck2.Gen.(
+      pair (int_range 0 100_000) (list_size (int_range 1 10) (int_range 0 999)))
+    (fun (seed, ops) ->
+      let p = Workload.Gen.switchbox (prng seed) ~width:10 ~height:8 ~nets:4 in
+      let chaos =
+        Router.Chaos.create ~search_fail:0.15 ~trip:0.02 ~crash:0.3 ~seed ()
+      in
+      let config =
+        { audit_config with max_expanded = Some 20_000 }
+      in
+      let s = Router.Session.create ~config ~chaos p in
+      let rng = prng (seed lxor 0x5A5A) in
+      let committed =
+        ref (Router.Session.problem s, Grid.copy (Router.Session.grid s))
+      in
+      let ok = ref true in
+      List.iteri
+        (fun i code ->
+          if !ok then
+            match run_op s rng i (op_of_int code) with
+            | `Committed ->
+                committed :=
+                  (Router.Session.problem s, Grid.copy (Router.Session.grid s))
+            | `Rolled_back ->
+                let prev_problem, prev_grid = !committed in
+                ok :=
+                  prev_problem == Router.Session.problem s
+                  && Grid.equal prev_grid (Router.Session.grid s))
+        ops;
+      (* Whatever happened, the surviving layout passes full DRC. *)
+      !ok && Router.Session.verify s = [])
+
+let test_session_usable_after_crash () =
+  (* Force a crash on the first mutation, then show the same session
+     still routes to completion once the injector runs out of luck. *)
+  let p = Workload.Gen.routable_switchbox (prng 17) ~width:10 ~height:8 in
+  let chaos = Router.Chaos.create ~crash:1.0 ~seed:9 () in
+  let s = Router.Session.create ~chaos p in
+  let before = Grid.copy (Router.Session.grid s) in
+  (match Router.Session.rip s ~net:1 with
+  | Ok () -> Alcotest.fail "crash at p=1 must abort the mutation"
+  | Error _ -> ());
+  Testkit.check_true "grid untouched after rollback"
+    (Grid.equal before (Router.Session.grid s));
+  Testkit.check_true "fault was injected" (Router.Chaos.injected chaos > 0);
+  Testkit.check_true "session still verifies" (Router.Session.verify s = [])
+
+let test_chaos_run_reports_injections () =
+  let p = Workload.Gen.routable_switchbox (prng 29) ~width:12 ~height:10 in
+  let chaos = Router.Chaos.create ~search_fail:0.5 ~seed:3 () in
+  let result = Router.Engine.route ~chaos p in
+  Testkit.check_true "faults were exercised" (Router.Chaos.injected chaos > 0);
+  Testkit.check_true "layout still DRC-clean"
+    (Testkit.drc_routed p result = [])
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "injector",
+        [
+          Alcotest.test_case "none never injects" `Quick test_none_never_injects;
+          Alcotest.test_case "same seed, same faults" `Quick
+            test_same_seed_same_faults;
+          Alcotest.test_case "crash at p=1" `Quick test_crash_probability;
+        ] );
+      ( "engine",
+        [
+          prop_engine_survives_search_failures;
+          prop_engine_survives_spurious_trips;
+          Alcotest.test_case "injections are counted" `Quick
+            test_chaos_run_reports_injections;
+        ] );
+      ( "session",
+        [
+          prop_session_rolls_back_cleanly;
+          Alcotest.test_case "usable after an injected crash" `Quick
+            test_session_usable_after_crash;
+        ] );
+    ]

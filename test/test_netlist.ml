@@ -229,7 +229,7 @@ let test_parse_roundtrip () =
       ]
   in
   let text = Netlist.Parse.to_string p in
-  let q = Netlist.Parse.of_string text in
+  let q = Netlist.Parse.of_string_exn text in
   Testkit.check_true "same text again" (Netlist.Parse.to_string q = text);
   Testkit.check_int "same nets" 2 (Netlist.Problem.net_count q);
   Testkit.check_true "same kind"
@@ -237,23 +237,28 @@ let test_parse_roundtrip () =
   Testkit.check_int "same pins" 4 (Netlist.Problem.total_pins q)
 
 let test_parse_errors () =
-  let expect_error text =
-    try
-      ignore (Netlist.Parse.of_string text);
-      Alcotest.failf "expected parse error for %S" text
-    with Netlist.Parse.Error _ -> ()
+  let expect_error ?line ?col text =
+    match Netlist.Parse.of_string text with
+    | Ok _ -> Alcotest.failf "expected parse error for %S" text
+    | Error e ->
+        Option.iter (fun l -> Testkit.check_int "error line" l e.Netlist.Parse.line) line;
+        Option.iter (fun c -> Testkit.check_int "error column" c e.Netlist.Parse.col) col
   in
   expect_error "net a\n";
-  expect_error "problem p region 4 4\npin 0 0\n";
-  expect_error "problem p region 4 4\nbogus 1 2\n";
-  expect_error "problem p region 4 4\nproblem q region 4 4\n";
-  expect_error "problem p region x 4\n";
-  expect_error "problem p region 4 4\ncell 0 1 1\n";
-  expect_error "problem p region 4 4\nnet a\nnet a\n"
+  expect_error ~line:2 ~col:1 "problem p region 4 4\npin 0 0\n";
+  expect_error ~line:2 ~col:1 "problem p region 4 4\nbogus 1 2\n";
+  expect_error ~line:2 "problem p region 4 4\nproblem q region 4 4\n";
+  expect_error ~line:1 ~col:18 "problem p region x 4\n";
+  expect_error ~line:2 "problem p region 4 4\ncell 0 1 1\n";
+  expect_error ~line:3 ~col:5 "problem p region 4 4\nnet a\nnet a\n";
+  (* The raising wrapper reports the same failures as exceptions. *)
+  match Netlist.Parse.of_string_exn "problem p region x 4\n" with
+  | _ -> Alcotest.fail "expected Parse.Error"
+  | exception Netlist.Parse.Error (1, _) -> ()
 
 let test_parse_comments_and_blanks () =
   let p =
-    Netlist.Parse.of_string
+    Netlist.Parse.of_string_exn
       "# a comment\n\nproblem p region 5 5\n\nnet a\npin 0 0\npin 1 1 1\n# end\n"
   in
   Testkit.check_int "one net" 1 (Netlist.Problem.net_count p);
@@ -267,12 +272,12 @@ let test_parse_generated_problems () =
   List.iter
     (fun (_, p) ->
       let text = Netlist.Parse.to_string p in
-      let q = Netlist.Parse.of_string text in
+      let q = Netlist.Parse.of_string_exn text in
       Testkit.check_true "roundtrip equal" (Netlist.Parse.to_string q = text))
     (Workload.Hard.all_channels () @ Workload.Hard.all_switchboxes ())
 
 let prop_parse_never_crashes =
-  Testkit.qcheck ~count:120 "parser only raises its own error"
+  Testkit.qcheck ~count:120 "parser never raises"
     QCheck2.Gen.(
       list_size (int_range 0 12)
         (oneofl
@@ -284,10 +289,7 @@ let prop_parse_never_crashes =
            ]))
     (fun lines ->
       let text = String.concat "\n" lines in
-      match Netlist.Parse.of_string text with
-      | _ -> true
-      | exception Netlist.Parse.Error _ -> true
-      | exception Invalid_argument _ -> true)
+      match Netlist.Parse.of_string text with Ok _ | Error _ -> true)
 
 let prop_roundtrip_random_problems =
   Testkit.qcheck ~count:40 "random generated problems round-trip"
@@ -301,7 +303,7 @@ let prop_roundtrip_random_problems =
         | _ -> Workload.Gen.region prng ~width:10 ~height:8 ~nets:4
       in
       let text = Netlist.Parse.to_string p in
-      Netlist.Parse.to_string (Netlist.Parse.of_string text) = text)
+      Netlist.Parse.to_string (Netlist.Parse.of_string_exn text) = text)
 
 (* --- analysis --- *)
 
