@@ -1028,12 +1028,144 @@ let micro () =
   Util.Table.print table
 
 (* ------------------------------------------------------------------ *)
+(* router: --jobs sweep over the committed instances                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The engine-level parallel sweep.  Unlike the --jobs flag of the
+   harness itself (which parallelises over instances), this sweeps
+   [config.jobs] — the speculative wave router inside the engine — and
+   verifies the determinism contract on every committed instance: the
+   layout at every jobs value is byte-identical to the sequential run.
+   Results go to BENCH_router.json next to the human-readable table.
+
+   Speedup is wall-clock relative to --jobs 1 on the same instance and
+   config.  It is only meaningful on a multicore host: the JSON records
+   host_cores so a sweep run on a 1-core container (where extra domains
+   are pure stop-the-world overhead) is not mistaken for a regression. *)
+
+let bench_router_config =
+  {
+    Router.Config.default with
+    Router.Config.use_astar = true;
+    kernel = Maze.Search.Buckets;
+    window_margin = Some 4;
+  }
+
+let router_bench () =
+  heading "router (json): engine --jobs sweep over the committed instances"
+    "Claim: speculative parallel routing produces byte-identical layouts\n\
+     at every jobs value; on multicore hosts the wall-clock drops with\n\
+     jobs.  Best of 3 runs per point; written to BENCH_router.json.";
+  let instances =
+    [ "switchbox_12x10"; "switchbox_32x26"; "switchbox_64x52";
+      "switchbox_128x104"; "chip_96x64"; "chip_128x96" ]
+  in
+  let jobs_values = [ 1; 2; 4 ] and reps = 3 in
+  let table =
+    Util.Table.create
+      ~headers:
+        [ "instance"; "jobs"; "ms"; "speedup"; "expanded"; "waves"; "spec";
+          "commit"; "confl"; "identical"; "drc" ]
+  in
+  let json_rows = ref [] in
+  let all_identical = ref true in
+  List.iter
+    (fun name ->
+      let path = Filename.concat "instances" (name ^ ".problem") in
+      if not (Sys.file_exists path) then
+        Printf.printf "(skipping %s: %s not found — run from the repo root)\n"
+          name path
+      else begin
+        let problem = Netlist.Parse.load_exn path in
+        let baseline = ref None in
+        List.iter
+          (fun j ->
+            let config = { bench_router_config with Router.Config.jobs = j } in
+            let best = ref infinity and result = ref None in
+            for _ = 1 to reps do
+              let t0 = Unix.gettimeofday () in
+              let r = route ~config problem in
+              let t = Unix.gettimeofday () -. t0 in
+              if t < !best then best := t;
+              result := Some r
+            done;
+            let r = Option.get !result in
+            let s = r.Router.Engine.stats in
+            let p = s.Router.Engine.par in
+            let identical, speedup =
+              match !baseline with
+              | None ->
+                  baseline := Some (r, !best);
+                  (true, 1.0)
+              | Some (b, t1) ->
+                  ( Grid.equal b.Router.Engine.grid r.Router.Engine.grid,
+                    t1 /. !best )
+            in
+            if not identical then all_identical := false;
+            let drc = drc_ok problem r in
+            Util.Table.add_row table
+              [
+                name;
+                Util.Table.cell_int j;
+                time_cell (1000.0 *. !best);
+                (if !no_time then "-" else Printf.sprintf "%.2fx" speedup);
+                Util.Table.cell_int s.Router.Engine.expanded;
+                Util.Table.cell_int p.Router.Outcome.waves;
+                Util.Table.cell_int p.Router.Outcome.speculated;
+                Util.Table.cell_int p.Router.Outcome.committed;
+                Util.Table.cell_int p.Router.Outcome.conflicts;
+                Util.Table.cell_bool identical;
+                (if drc then "clean" else "VIOLATION");
+              ];
+            json_rows :=
+              Printf.sprintf
+                "    {\"instance\": \"%s\", \"nets\": %d, \"jobs\": %d, \
+                 \"wall_ms\": %.3f, \"expanded\": %d, \"waves\": %d, \
+                 \"speculated\": %d, \"committed\": %d, \"conflicts\": %d, \
+                 \"cache_hits\": %d, \"speedup_vs_jobs1\": %.3f, \
+                 \"identical_to_jobs1\": %b, \"drc_clean\": %b}"
+                name
+                (Netlist.Problem.net_count problem)
+                j
+                (1000.0 *. !best)
+                s.Router.Engine.expanded p.Router.Outcome.waves
+                p.Router.Outcome.speculated p.Router.Outcome.committed
+                p.Router.Outcome.conflicts p.Router.Outcome.cache_hits speedup
+                identical drc
+              :: !json_rows)
+          jobs_values;
+        Util.Table.add_sep table
+      end)
+    instances;
+  Util.Table.print table;
+  if !json_rows <> [] then begin
+    let oc = open_out "BENCH_router.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"bench\": \"router_jobs_sweep\",\n\
+      \  \"config\": \"%s\",\n\
+      \  \"host_cores\": %d,\n\
+      \  \"runs_per_point\": %d,\n\
+      \  \"all_identical_to_jobs1\": %b,\n\
+      \  \"results\": [\n\
+       %s\n\
+      \  ]\n\
+       }\n"
+      (Router.Config.describe bench_router_config)
+      (Util.Parallel.default_jobs ())
+      reps !all_identical
+      (String.concat ",\n" (List.rev !json_rows));
+    close_out oc;
+    Printf.printf "layouts identical to --jobs 1 everywhere: %b\n"
+      !all_identical;
+    Printf.printf "wrote BENCH_router.json\n"
+  end
 
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
-    ("budget", budget_sweep); ("micro", micro);
+    ("budget", budget_sweep); ("micro", micro); ("router", router_bench);
   ]
 
 let () =

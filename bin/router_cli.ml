@@ -128,8 +128,25 @@ let config_term =
              (default), phase (after every engine phase), net (after \
              every net — slow).")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Routing domains for speculative wave parallelism: 1 = \
+             sequential (default), 0 = one per core.  Layouts are \
+             identical for every value.")
+  in
+  let no_cost_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cost-cache" ]
+          ~doc:
+            "Disable the dirty-region failure-replay cache (retry sweeps \
+             re-run every failed search).")
+  in
   let make strategy order restarts seed astar kernel window deadline
-      max_expanded max_searches audit =
+      max_expanded max_searches audit jobs no_cost_cache =
     let base =
       match strategy with
       | `Full -> Router.Config.default
@@ -148,11 +165,13 @@ let config_term =
       max_expanded;
       max_searches;
       audit;
+      jobs = max 0 jobs;
+      cost_cache = not no_cost_cache;
     }
   in
   Term.(
     const make $ strategy $ order $ restarts $ seed $ astar $ kernel $ window
-    $ deadline $ max_expanded $ max_searches $ audit)
+    $ deadline $ max_expanded $ max_searches $ audit $ jobs $ no_cost_cache)
 
 let load path =
   match Netlist.Parse.load path with
@@ -183,7 +202,15 @@ let route_cmd =
       value & flag
       & info [ "report" ] ~doc:"Print the per-net routing report.")
   in
-  let run path config svg ascii refine report =
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose" ]
+          ~doc:
+            "Print speculative-wave and cost-cache statistics (waves, \
+             speculated/committed nets, conflicts, cache hits).")
+  in
+  let run path config svg ascii refine report verbose =
     match load path with
     | Error msg ->
         prerr_endline msg;
@@ -197,6 +224,17 @@ let route_cmd =
         Format.printf "completed: %b  (%.3fs)@." result.Router.Engine.completed
           elapsed;
         Format.printf "%a@." Router.Engine.pp_stats result.Router.Engine.stats;
+        if verbose then begin
+          let p = result.Router.Engine.stats.Router.Engine.par in
+          Format.printf
+            "waves: %d  speculated: %d  committed: %d  conflicts: %d  \
+             wasted-expanded: %d@."
+            p.Router.Outcome.waves p.Router.Outcome.speculated
+            p.Router.Outcome.committed p.Router.Outcome.conflicts
+            p.Router.Outcome.wasted_expanded;
+          Format.printf "cost-cache: %d hit(s), %d stale@."
+            p.Router.Outcome.cache_hits p.Router.Outcome.cache_stale
+        end;
         if refine && result.Router.Engine.completed then begin
           let s = Router.Improve.refine problem result.Router.Engine.grid in
           Format.printf "refined: wirelength %d -> %d, vias %d -> %d@."
@@ -230,7 +268,7 @@ let route_cmd =
   let term =
     Term.(
       const run $ problem_arg $ config_term $ svg_out $ ascii $ refine
-      $ report)
+      $ report $ verbose)
   in
   Cmd.v
     (Cmd.info "route" ~doc:"Route a problem file and verify the result.")

@@ -9,6 +9,7 @@ type stats = {
   expanded : int;
   effort : Outcome.effort;
   attempts : int;
+  par : Outcome.par_stats;
 }
 
 (* The escalation mode a search serves, for the effort split. *)
@@ -19,6 +20,17 @@ type t = {
   completed : bool;
   status : Outcome.status;
   stats : stats;
+}
+
+(* A recorded route failure: the attempt had no side effects, and every
+   grid cell its searches could have read lies inside the per-layer
+   certificate rectangles.  Until one of those regions is written again
+   (checked against the grid's dirty journal from [since]), re-running the
+   attempt would replay the same failure — so it is skipped. *)
+type cache_entry = {
+  cert0 : Geom.Rect.t option;
+  cert1 : Geom.Rect.t option;
+  since : Grid.mark;
 }
 
 type state = {
@@ -34,6 +46,13 @@ type state = {
   routed : bool array;
   in_queue : bool array;
   queue : int Queue.t;
+  bbox : Geom.Rect.t option array;
+      (* halo-inflated pin bbox per net index; None for trivial nets *)
+  hard : bool array;
+      (* the net's standard-mode search failed at least once: it needs
+         escalation, so speculating it would waste a domain on a search
+         that runs to exhaustion inside the wave barrier *)
+  cache : cache_entry option array;
   mutable rips_left : int;
   mutable rips : int;
   mutable shoves : int;
@@ -43,6 +62,13 @@ type state = {
   mutable expanded_weak : int;
   mutable expanded_strong : int;
   expanded_per_net : int array;
+  mutable waves : int;
+  mutable speculated : int;
+  mutable committed : int;
+  mutable conflicts : int;
+  mutable wasted_expanded : int;
+  mutable cache_hits : int;
+  mutable cache_stale : int;
 }
 
 let is_protected st n = Bytes.get st.protected n <> '\000'
@@ -69,6 +95,10 @@ let make_state config problem ~budget ~chaos =
         let i = pw.Netlist.Problem.pre_net - 1 in
         route_nodes.(i) <- nodes @ route_nodes.(i))
     problem.Netlist.Problem.prewires;
+  (* Instantiation dirtied the journal; seal it so both sequential and
+     parallel drains start from the same journal state (they both seal at
+     every later slot boundary). *)
+  Grid.seal g;
   {
     problem;
     config;
@@ -82,6 +112,21 @@ let make_state config problem ~budget ~chaos =
     routed = Array.make nets false;
     in_queue = Array.make nets false;
     queue = Queue.create ();
+    bbox =
+      (* The halo must cover what a search actually explores beyond the
+         pin box: the window margin when windowed searches are on (their
+         first probe spans bbox + margin), plus the configured slack. *)
+      (let halo =
+         config.Config.wave_halo
+         + match config.Config.window_margin with Some m -> m + 1 | None -> 0
+       in
+       Array.init nets (fun i ->
+           let n = Netlist.Problem.net problem (i + 1) in
+           match n.Netlist.Net.pins with
+           | [] | [ _ ] -> None
+           | _ -> Netlist.Analysis.net_bbox ~halo n));
+    hard = Array.make nets false;
+    cache = Array.make nets None;
     rips_left = config.Config.rip_budget_factor * max 1 nets;
     rips = 0;
     shoves = 0;
@@ -91,6 +136,13 @@ let make_state config problem ~budget ~chaos =
     expanded_weak = 0;
     expanded_strong = 0;
     expanded_per_net = Array.make nets 0;
+    waves = 0;
+    speculated = 0;
+    committed = 0;
+    conflicts = 0;
+    wasted_expanded = 0;
+    cache_hits = 0;
+    cache_stale = 0;
   }
 
 let enqueue st id =
@@ -226,6 +278,7 @@ let connect st ~net ~sources ~targets =
   match standard () with
   | Some r -> Some (r, [])
   | None ->
+      st.hard.(net - 1) <- true;
       let rec weak_loop pass =
         if (not st.config.Config.enable_weak)
            || pass >= st.config.Config.max_weak_passes
@@ -371,41 +424,308 @@ let audit_phase st ~where =
 let audit_net st ~where =
   if st.config.Config.audit = Config.Audit_net then run_audit st ~where
 
-let drain st =
-  let failed = ref [] in
+(* ------------------------------------------------------------------ *)
+(* Dirty-region certificates: shared by the failure-replay cache and   *)
+(* the speculative commit check.                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The cells a set of searches may have read, from the workspace's
+   per-layer expanded bounding boxes: an expanded node's reads are its
+   four planar neighbours (same layer, one step) and the same (x,y) on
+   the other layer, so layer [l]'s read set is the dilated layer-[l] box
+   joined with the other layer's undilated box. *)
+let read_certs ws =
+  let t0 = Maze.Workspace.touched ws ~layer:0 in
+  let t1 = Maze.Workspace.touched ws ~layer:1 in
+  let dil = Option.map (fun r -> Geom.Rect.inflate r 1) in
+  let join a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (Geom.Rect.hull a b)
+  in
+  (join (dil t0) t1, join (dil t1) t0)
+
+let region_clean st ~since c0 c1 =
+  (match c0 with
+  | None -> true
+  | Some r -> not (Grid.dirtied_in st.g ~since ~layer:0 r))
+  && match c1 with
+     | None -> true
+     | Some r -> not (Grid.dirtied_in st.g ~since ~layer:1 r)
+
+let cache_valid st e = region_clean st ~since:e.since e.cert0 e.cert1
+
+(* Latched lookup at a routing slot: a stale entry is dropped (and
+   counted) exactly once, so cache statistics evolve identically at every
+   jobs value. *)
+let cache_lookup st id =
+  let i = id - 1 in
+  match st.cache.(i) with
+  | None -> `Miss
+  | Some e ->
+      if cache_valid st e then `Hit
+      else begin
+        st.cache.(i) <- None;
+        st.cache_stale <- st.cache_stale + 1;
+        `Miss
+      end
+
+(* Route one net at its slot, recording a replayable failure when the
+   attempt provably had no side effects: no rips, no shoves, no budget
+   trip (an aborted search is not a proof of infeasibility), no fault
+   injection (the PRNG makes replay order-dependent).  The certificate is
+   everything the workspace's searches expanded during the attempt —
+   windowed probes and escalation searches included. *)
+let attempt_net st id =
+  let rips0 = st.rips and shoves0 = st.shoves in
+  let recordable =
+    st.config.Config.cost_cache && not (Chaos.enabled st.chaos)
+  in
+  if recordable then Maze.Workspace.clear_touched st.ws;
+  let ok = route_net st id in
+  if
+    (not ok) && recordable && st.rips = rips0 && st.shoves = shoves0
+    && Budget.tripped st.budget = None
+  then begin
+    (* Seal first: the attempt's rolled-back temporary writes must land in
+       the journal before [since], or they would self-invalidate the
+       entry. *)
+    Grid.seal st.g;
+    let c0, c1 = read_certs st.ws in
+    st.cache.(id - 1) <- Some { cert0 = c0; cert1 = c1; since = Grid.mark st.g }
+  end;
+  ok
+
+(* Commit a validated speculative plan: occupy the recorded paths and
+   charge searches/expansions exactly as the sequential standard-mode
+   route of this net would have, so counters match a [jobs = 1] run. *)
+let commit_spec st id segs =
+  let i = id - 1 in
+  let session = ref [] in
+  List.iter
+    (fun (path, e) ->
+      st.searches <- st.searches + 1;
+      Budget.note_search st.budget;
+      st.expanded <- st.expanded + e;
+      Budget.note_expanded st.budget e;
+      st.expanded_maze <- st.expanded_maze + e;
+      st.expanded_per_net.(i) <- st.expanded_per_net.(i) + e;
+      let added = Maze.Route.occupy_path st.g ~net:id path in
+      session := added @ !session)
+    segs;
+  st.route_nodes.(i) <- !session @ st.route_nodes.(i);
+  st.routed.(i) <- true;
+  prune_orphans st id;
+  st.committed <- st.committed + 1
+
+(* One routing slot, shared verbatim by the sequential and parallel
+   drains: pop bookkeeping, cache lookup, optional speculative commit,
+   sequential fallback, failure tracking, audit, journal seal.  [spec]
+   carries a speculative plan with its read certificates and the wave's
+   journal mark. *)
+let process_slot st failed ~spec id =
+  let i = id - 1 in
+  st.in_queue.(i) <- false;
+  if not st.routed.(i) then begin
+    let ok =
+      match cache_lookup st id with
+      | `Hit ->
+          st.cache_hits <- st.cache_hits + 1;
+          false
+      | `Miss -> (
+          match spec with
+          | Some (since, Some segs, c0, c1)
+            when region_clean st ~since c0 c1 ->
+              commit_spec st id segs;
+              true
+          | Some (_, Some segs, _, _) ->
+              (* An earlier commit wrote inside this plan's read set:
+                 discard it and re-route against current costs. *)
+              st.conflicts <- st.conflicts + 1;
+              st.wasted_expanded <-
+                st.wasted_expanded
+                + List.fold_left (fun a (_, e) -> a + e) 0 segs;
+              attempt_net st id
+          | _ -> attempt_net st id)
+    in
+    if ok then failed := List.filter (fun f -> f <> id) !failed
+    else if not (List.mem id !failed) then failed := id :: !failed;
+    audit_net st ~where:(Printf.sprintf "after net %d" id)
+  end;
+  Grid.seal st.g
+
+(* ------------------------------------------------------------------ *)
+(* Wave formation and speculative execution.                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Prefix-scan factor: how far past [jobs] speculation candidates the
+   queue prefix may extend (cheap slots between candidates ride along). *)
+let wave_span = 4
+
+(* Scan the queue prefix (without popping — ripped wave-mates must still
+   see [in_queue = true], exactly as in a sequential drain) and pick the
+   speculation set: unrouted multi-pin nets without a valid cached
+   failure, admitted while their halo-inflated pin boxes stay disjoint —
+   or unconditionally up to [jobs] members, since commit-time validation
+   is what guarantees correctness and narrow waves waste domains.  The
+   first rejected candidate ends the wave.  Returns the slot prefix in
+   queue order and the admitted ids. *)
+let form_wave st ~jobs =
+  let cap = wave_span * jobs in
+  let prefix = ref [] and admitted = ref [] and n_admitted = ref 0 in
+  let count = ref 0 in
+  let rec scan seq =
+    if !count < cap then
+      match seq () with
+      | Seq.Nil -> ()
+      | Seq.Cons (id, tl) ->
+          let i = id - 1 in
+          let eligible =
+            (not st.routed.(i))
+            && (not st.hard.(i))
+            && st.bbox.(i) <> None
+            && (match st.cache.(i) with
+               | Some e -> not (cache_valid st e)
+               | None -> true)
+          in
+          if not eligible then begin
+            prefix := id :: !prefix;
+            incr count;
+            scan tl
+          end
+          else begin
+            let r = Option.get st.bbox.(i) in
+            let disjoint =
+              List.for_all
+                (fun r' -> not (Geom.Rect.overlap r r'))
+                !admitted
+            in
+            if disjoint then begin
+              admitted := r :: !admitted;
+              incr n_admitted;
+              prefix := (-id) :: !prefix;
+              incr count;
+              scan tl
+            end
+            (* An overlapping candidate ends the wave: it must route
+               after the commits it would conflict with. *)
+          end
+  in
+  scan (Queue.to_seq st.queue);
+  let slots = List.rev_map (fun id -> abs id) !prefix in
+  let specs = List.rev (List.filter_map (fun id -> if id < 0 then Some (-id) else None) !prefix) in
+  (slots, specs)
+
+(* Speculatively plan one net on a worker domain: read-only against the
+   live grid, with a pooled per-domain workspace.  The budget is polled
+   through the non-latching [Budget.peek] so domains never race on the
+   latch; an abort simply yields no plan and the slot falls back to the
+   sequential path (where the latching check runs). *)
+let speculate st ~stop ws id =
+  Maze.Workspace.reset ws;
+  Maze.Workspace.clear_touched ws;
+  let net = Netlist.Problem.net st.problem id in
+  (* Bail out of hopeless speculations early: a standard route of an easy
+     net settles within a few window areas; far past that it is almost
+     certainly widening toward a full-grid failure, which would stall the
+     whole wave behind one domain.  The sequential slot (which can
+     escalate) is the right place for that work. *)
+  let cap =
+    match st.bbox.(id - 1) with
+    | Some r -> 16 * Geom.Rect.area r
+    | None -> max_int
+  in
+  let stop =
+    Some
+      (fun in_flight ->
+        in_flight > cap
+        || match stop with Some f -> f in_flight | None -> false)
+  in
+  let plan =
+    Maze.Route.plan_net ~use_astar:st.config.Config.use_astar
+      ~kernel:st.config.Config.kernel ?window:st.config.Config.window_margin
+      ?stop st.g ws ~cost:st.config.Config.cost
+      ~passable:(passable_block st ~net:id)
+      net
+  in
+  let c0, c1 = read_certs ws in
+  (id, plan, c0, c1)
+
+let drain_par st pool failed =
+  let jobs = Util.Parallel.Pool.jobs pool in
+  let stop =
+    if Budget.is_unlimited st.budget then None
+    else Some (fun in_flight -> Budget.peek ~in_flight st.budget <> None)
+  in
   while (not (Queue.is_empty st.queue)) && Budget.check st.budget = None do
-    let id = Queue.pop st.queue in
-    st.in_queue.(id - 1) <- false;
-    if not st.routed.(id - 1) then begin
-      if route_net st id then
-        failed := List.filter (fun f -> f <> id) !failed
-      else if not (List.mem id !failed) then failed := id :: !failed;
-      audit_net st ~where:(Printf.sprintf "after net %d" id)
-    end
-  done;
+    let slots, specs = form_wave st ~jobs in
+    match specs with
+    | [] | [ _ ] ->
+        (* No exploitable parallelism at the head: one sequential slot. *)
+        let id = Queue.pop st.queue in
+        process_slot st failed ~spec:None id
+    | _ ->
+        st.waves <- st.waves + 1;
+        st.speculated <- st.speculated + List.length specs;
+        let since = Grid.mark st.g in
+        let results =
+          Util.Parallel.Pool.map pool (fun ws id -> speculate st ~stop ws id)
+            specs
+        in
+        let tbl = Hashtbl.create (2 * List.length specs) in
+        List.iter
+          (fun (id, plan, c0, c1) ->
+            Hashtbl.replace tbl id (since, plan, c0, c1))
+          results;
+        (* Commit in queue order, re-checking the latched budget before
+           every pop — the exact loop condition of a sequential drain, so
+           a budget trip leaves the same nets unattempted. *)
+        let continue_ = ref true in
+        List.iter
+          (fun id ->
+            if !continue_ then
+              if Budget.check st.budget <> None then continue_ := false
+              else begin
+                let popped = Queue.pop st.queue in
+                assert (popped = id);
+                process_slot st failed ~spec:(Hashtbl.find_opt tbl id) id
+              end)
+          slots
+  done
+
+let drain ?pool st =
+  let failed = ref [] in
+  (match pool with
+  | Some pool -> drain_par st pool failed
+  | None ->
+      while (not (Queue.is_empty st.queue)) && Budget.check st.budget = None do
+        let id = Queue.pop st.queue in
+        process_slot st failed ~spec:None id
+      done);
   !failed
 
 (* After the queue drains, blocked nets get fresh chances: other nets may
    have been ripped or shoved since they failed.  Each sweep must make
    progress (route at least one failed net) to continue. *)
-let rec retry_failed st failed =
+let rec retry_failed ?pool st failed =
   match failed with
   | [] -> []
   | _ when Budget.check st.budget <> None -> failed
   | _ ->
       List.iter (enqueue st) failed;
-      let still_failed = drain st in
+      let still_failed = drain ?pool st in
       audit_phase st ~where:"after retry sweep";
       if List.length still_failed < List.length failed then
-        retry_failed st still_failed
+        retry_failed ?pool st still_failed
       else still_failed
 
-let route_once config problem order_ids ~budget ~chaos =
+let route_once config problem order_ids ~budget ~chaos ~pool =
   let st = make_state config problem ~budget ~chaos in
+  let pool = pool st.g in
   List.iter (enqueue st) order_ids;
-  let failed = drain st in
+  let failed = drain ?pool st in
   audit_phase st ~where:"after queue drain";
-  let failed = retry_failed st failed in
+  let failed = retry_failed ?pool st failed in
   ignore (failed : int list);
   (* Derive the failed set from the routed flags rather than the drain
      bookkeeping: when the budget trips mid-queue, nets never attempted
@@ -439,6 +759,16 @@ let route_once config problem order_ids ~budget ~chaos =
           per_net_expanded = Array.copy st.expanded_per_net;
         };
       attempts = 1;
+      par =
+        {
+          Outcome.waves = st.waves;
+          speculated = st.speculated;
+          committed = st.committed;
+          conflicts = st.conflicts;
+          wasted_expanded = st.wasted_expanded;
+          cache_hits = st.cache_hits;
+          cache_stale = st.cache_stale;
+        };
     }
   in
   let status =
@@ -487,6 +817,32 @@ let route ?(config = Config.default) ?budget ?chaos problem =
   (match Chaos.hook chaos with
   | Some h -> Budget.add_hook budget h
   | None -> ());
+  (* Speculation is disabled under fault injection: the chaos PRNG makes
+     search outcomes depend on global search order, which speculative
+     planning would perturb.  Sequential fallback keeps chaos runs exact. *)
+  let jobs =
+    if config.Config.jobs = 0 then Util.Parallel.default_jobs ()
+    else max 1 config.Config.jobs
+  in
+  let use_par = jobs > 1 && not (Chaos.enabled chaos) in
+  let pool_cell = ref None in
+  let pool g =
+    if not use_par then None
+    else
+      Some
+        (match !pool_cell with
+        | Some p -> p
+        | None ->
+            (* Per-domain workspaces are created lazily inside their
+               domains; the grid only supplies dimensions, which are
+               identical across restart attempts. *)
+            let p =
+              Util.Parallel.Pool.create ~jobs ~init:(fun _ ->
+                  Maze.Workspace.create g)
+            in
+            pool_cell := Some p;
+            p)
+  in
   let ids = Netlist.Problem.nontrivial_net_ids problem in
   let base_order =
     Order.arrange config.Config.order ~seed:config.Config.seed problem ids
@@ -514,16 +870,22 @@ let route ?(config = Config.default) ?budget ?chaos problem =
         restart_order ~seed:config.Config.seed ~attempt:i
           ~last_failed:best.stats.failed_nets base_order
       in
-      let result = route_once config problem order ~budget ~chaos in
+      let result = route_once config problem order ~budget ~chaos ~pool in
       let best = if better result best then result else best in
       if best.completed then with_attempts best (i + 1)
       else attempts (i + 1) best
     end
   in
-  let first = route_once config problem base_order ~budget ~chaos in
-  finalize
-    (if first.completed || max_attempts = 1 then with_attempts first 1
-     else attempts 1 first)
+  Fun.protect
+    ~finally:(fun () ->
+      match !pool_cell with
+      | Some p -> Util.Parallel.Pool.shutdown p
+      | None -> ())
+    (fun () ->
+      let first = route_once config problem base_order ~budget ~chaos ~pool in
+      finalize
+        (if first.completed || max_attempts = 1 then with_attempts first 1
+         else attempts 1 first))
 
 let pp_stats fmt s =
   Format.fprintf fmt
@@ -531,4 +893,8 @@ let pp_stats fmt s =
     s.routed_nets
     (String.concat "," (List.map string_of_int s.failed_nets))
     s.total_wirelength s.total_vias s.rips s.shoves s.searches
-    Outcome.pp_effort s.effort
+    Outcome.pp_effort s.effort;
+  (* Parallel/cache telemetry appears only when something happened, so
+     sequential cache-less runs render exactly as before. *)
+  if s.par <> Outcome.no_par then
+    Format.fprintf fmt " %a" Outcome.pp_par s.par

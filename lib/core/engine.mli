@@ -40,6 +40,9 @@ type stats = {
   effort : Outcome.effort;
       (** the same total split by escalation phase and by net *)
   attempts : int;  (** restart attempts consumed (≥ 1) *)
+  par : Outcome.par_stats;
+      (** speculative-wave and failure-cache telemetry of the winning
+          attempt; all-zero for sequential cache-less runs *)
 }
 
 type t = {
@@ -65,6 +68,18 @@ val route :
     is the fault injector used by the robustness tests; its spurious-trip
     hook is composed into the budget.  With [config.audit] above
     [Audit_off] the invariant auditor runs after each engine phase and
-    raises {!Audit.Inconsistent} on any violation. *)
+    raises {!Audit.Inconsistent} on any violation.
+
+    With [config.jobs] ≠ 1 the drain routes spatially independent queue
+    prefixes speculatively on a pool of domains and commits the plans in
+    deterministic queue order, validating each against the grid's dirty
+    journal; invalidated plans are re-routed sequentially at their slot.
+    On unbudgeted, chaos-free runs the layout {e and} the stats are
+    identical for every [jobs] value (see DESIGN.md §8 for the argument);
+    under a budget, trip timing may differ between jobs values (each value
+    still honors the budget).  Under fault injection speculation is
+    disabled.  The [config.cost_cache] failure-replay cache never changes
+    the layout — it only skips provably-replayed failures — and its
+    statistics are jobs-invariant too. *)
 
 val pp_stats : Format.formatter -> stats -> unit

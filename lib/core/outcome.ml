@@ -33,6 +33,33 @@ let pp_effort fmt e =
   Format.fprintf fmt "expanded=%d (maze=%d weak=%d strong=%d)" e.total_expanded
     e.maze_expanded e.weak_expanded e.strong_expanded
 
+type par_stats = {
+  waves : int;
+  speculated : int;
+  committed : int;
+  conflicts : int;
+  wasted_expanded : int;
+  cache_hits : int;
+  cache_stale : int;
+}
+
+let no_par =
+  {
+    waves = 0;
+    speculated = 0;
+    committed = 0;
+    conflicts = 0;
+    wasted_expanded = 0;
+    cache_hits = 0;
+    cache_stale = 0;
+  }
+
+let pp_par fmt p =
+  Format.fprintf fmt
+    "waves=%d speculated=%d committed=%d conflicts=%d wasted=%d cache=%d/%d"
+    p.waves p.speculated p.committed p.conflicts p.wasted_expanded p.cache_hits
+    (p.cache_hits + p.cache_stale)
+
 let measure_net g ~net =
   let w = Grid.width g and h = Grid.height g in
   let cells = ref 0 and wirelength = ref 0 and vias = ref 0 in

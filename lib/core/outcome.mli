@@ -47,6 +47,27 @@ val no_effort : nets:int -> effort
 
 val pp_effort : Format.formatter -> effort -> unit
 
+(** Telemetry of the speculative parallel drain and the dirty-region
+    failure cache.  All-zero on sequential cache-less runs; none of these
+    numbers affect the layout (see DESIGN.md §8). *)
+type par_stats = {
+  waves : int;  (** parallel waves executed *)
+  speculated : int;  (** nets routed speculatively on the domain pool *)
+  committed : int;  (** speculative routes committed unchanged *)
+  conflicts : int;
+      (** speculative routes invalidated by an earlier commit and re-routed
+          sequentially *)
+  wasted_expanded : int;
+      (** node expansions of discarded speculative plans (conflicts only;
+          failed speculations don't report their effort) *)
+  cache_hits : int;  (** failed route attempts skipped by the cache *)
+  cache_stale : int;  (** cache entries invalidated by dirty regions *)
+}
+
+val no_par : par_stats
+
+val pp_par : Format.formatter -> par_stats -> unit
+
 val measure_net : Grid.t -> net:int -> net_stats
 
 val measure : Netlist.Problem.t -> Grid.t -> net_stats list

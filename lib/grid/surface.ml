@@ -1,12 +1,79 @@
+(* Dirty-region journal of one layer.  Mutations accumulate into a pending
+   rectangle that grows while writes stay near each other (a path being
+   occupied, a net being released) and is flushed into a bounded ring of
+   recent rectangles when writes jump elsewhere or a consumer queries.
+   Consumers hold a [mark] (the ring sequence number at some instant) and
+   ask whether a region was written since; once the ring has wrapped past
+   a mark the answer is a conservative "yes". *)
+type dirt = {
+  ring : Geom.Rect.t array;
+  mutable seq : int; (* rectangles ever flushed; ring.(i mod cap) = rect i *)
+  (* pending rectangle; px0 > px1 encodes empty *)
+  mutable px0 : int;
+  mutable py0 : int;
+  mutable px1 : int;
+  mutable py1 : int;
+}
+
+type mark = int array (* per-layer ring sequence numbers *)
+
 type t = {
   w : int;
   h : int;
   occ : int array; (* 2*w*h cells: 0 free, -1 obstacle, net id > 0 *)
   via : Bytes.t; (* w*h flags *)
   mutable n_vias : int;
+  dirt : dirt array; (* one journal per layer *)
 }
 
 let layers = 2
+
+let dirt_cap = 64
+
+let make_dirt () =
+  {
+    ring = Array.make dirt_cap (Geom.Rect.make 0 0 0 0);
+    seq = 0;
+    px0 = 1;
+    py0 = 1;
+    px1 = 0;
+    py1 = 0;
+  }
+
+let dirt_flush d =
+  if d.px0 <= d.px1 then begin
+    d.ring.(d.seq mod dirt_cap) <- Geom.Rect.make d.px0 d.py0 d.px1 d.py1;
+    d.seq <- d.seq + 1;
+    d.px0 <- 1;
+    d.px1 <- 0
+  end
+
+(* Coalesce writes within two cells of the pending rectangle (consecutive
+   cells of a path segment, a via stack, a shove); farther writes flush
+   the pending rectangle so the journal keeps per-segment granularity
+   instead of hulling distant mutations together. *)
+let dirt_touch d x y =
+  if d.px0 > d.px1 then begin
+    d.px0 <- x;
+    d.py0 <- y;
+    d.px1 <- x;
+    d.py1 <- y
+  end
+  else if
+    x >= d.px0 - 2 && x <= d.px1 + 2 && y >= d.py0 - 2 && y <= d.py1 + 2
+  then begin
+    if x < d.px0 then d.px0 <- x;
+    if x > d.px1 then d.px1 <- x;
+    if y < d.py0 then d.py0 <- y;
+    if y > d.py1 then d.py1 <- y
+  end
+  else begin
+    dirt_flush d;
+    d.px0 <- x;
+    d.py0 <- y;
+    d.px1 <- x;
+    d.py1 <- y
+  end
 
 let obstacle = -1
 
@@ -20,10 +87,16 @@ let create ~width ~height =
     occ = Array.make (layers * width * height) free;
     via = Bytes.make (width * height) '\000';
     n_vias = 0;
+    dirt = Array.init layers (fun _ -> make_dirt ());
   }
 
 let copy g =
-  { g with occ = Array.copy g.occ; via = Bytes.copy g.via }
+  {
+    g with
+    occ = Array.copy g.occ;
+    via = Bytes.copy g.via;
+    dirt = Array.map (fun d -> { d with ring = Array.copy d.ring }) g.dirt;
+  }
 
 (* n_vias is derived from the via bytes, so comparing occupancy and via
    flags is a complete state comparison. *)
@@ -66,10 +139,20 @@ let owner g n =
   let v = g.occ.(n) in
   if v > 0 then Some v else None
 
+let touch g n =
+  dirt_touch g.dirt.(n / (g.w * g.h)) (node_x g n) (node_y g n)
+
+let touch_both g ~x ~y =
+  dirt_touch g.dirt.(0) x y;
+  dirt_touch g.dirt.(1) x y
+
 let occupy g ~net n =
   if net <= 0 then invalid_arg "Surface.occupy: net ids are positive";
   let v = g.occ.(n) in
-  if v = free || v = net then g.occ.(n) <- net
+  if v = free || v = net then begin
+    g.occ.(n) <- net;
+    if v = free then touch g n
+  end
   else if v = obstacle then invalid_arg "Surface.occupy: cell is an obstacle"
   else
     invalid_arg
@@ -83,7 +166,8 @@ let clear_via g ~x ~y =
   let p = (y * g.w) + x in
   if Bytes.get g.via p <> '\000' then begin
     Bytes.set g.via p '\000';
-    g.n_vias <- g.n_vias - 1
+    g.n_vias <- g.n_vias - 1;
+    touch_both g ~x ~y
   end
 
 let set_via g ~x ~y =
@@ -94,7 +178,8 @@ let set_via g ~x ~y =
     invalid_arg "Surface.set_via: both layers must be owned by the same net";
   if Bytes.get g.via p = '\000' then begin
     Bytes.set g.via p '\001';
-    g.n_vias <- g.n_vias + 1
+    g.n_vias <- g.n_vias + 1;
+    touch_both g ~x ~y
   end
 
 let release g n =
@@ -102,6 +187,7 @@ let release g n =
   if v = obstacle then invalid_arg "Surface.release: cell is an obstacle";
   if v > 0 then begin
     g.occ.(n) <- free;
+    touch g n;
     let x = node_x g n and y = node_y g n in
     if has_via g ~x ~y then clear_via g ~x ~y
   end
@@ -110,7 +196,10 @@ let set_obstacle g ~layer ~x ~y =
   let n = node g ~layer ~x ~y in
   let v = g.occ.(n) in
   if v > 0 then invalid_arg "Surface.set_obstacle: cell owned by a net";
-  g.occ.(n) <- obstacle
+  if v <> obstacle then begin
+    g.occ.(n) <- obstacle;
+    dirt_touch g.dirt.(layer) x y
+  end
 
 let set_obstacle_both g ~x ~y =
   set_obstacle g ~layer:0 ~x ~y;
@@ -132,6 +221,26 @@ let block_rect g ?layer (r : Geom.Rect.t) =
         match layer with
         | Some l -> set_obstacle g ~layer:l ~x ~y
         | None -> set_obstacle_both g ~x ~y)
+
+let seal g = Array.iter dirt_flush g.dirt
+
+let mark g =
+  seal g;
+  Array.map (fun d -> d.seq) g.dirt
+
+let dirtied_in g ~since ~layer (r : Geom.Rect.t) =
+  let d = g.dirt.(layer) in
+  dirt_flush d;
+  let s = since.(layer) in
+  if d.seq - s > dirt_cap then true (* ring wrapped: be conservative *)
+  else begin
+    let hit = ref false in
+    for i = s to d.seq - 1 do
+      if (not !hit) && Geom.Rect.overlap d.ring.(i mod dirt_cap) r then
+        hit := true
+    done;
+    !hit
+  end
 
 let via_count g = g.n_vias
 

@@ -120,6 +120,34 @@ val clear_via : t -> x:int -> y:int -> unit
 
 val via_count : t -> int
 
+(** {1 Dirty-region journal}
+
+    Every occupancy or via mutation is recorded, per layer, in a bounded
+    journal of dirty rectangles (nearby writes coalesce, so a path segment
+    becomes one rectangle).  Consumers take a {!mark} and later ask whether
+    a region of a layer has been written since; once the journal's ring has
+    wrapped past a mark the answer degrades to a conservative "yes".  This
+    is what lets the engine validate speculative routes and replay cached
+    failures without rescanning the grid. *)
+
+type mark
+(** A point in the journal's history (one sequence number per layer). *)
+
+val mark : t -> mark
+(** Flush pending coalescing and capture the current journal position. *)
+
+val dirtied_in : t -> since:mark -> layer:int -> Geom.Rect.t -> bool
+(** [dirtied_in g ~since ~layer r] is [true] iff some cell of layer
+    [layer] inside [r] may have been mutated after [since] was taken.
+    Never returns a false "clean"; may return a false "dirty" after ring
+    wrap-around or because of rectangle coalescing. *)
+
+val seal : t -> unit
+(** Flush pending coalescing into the journal.  Callers that need journal
+    evolution to be independent of {e when} queries happen (the engine
+    seals after every net, so sequential and parallel drains journal
+    identically) call this at their unit-of-work boundaries. *)
+
 (** {1 Iteration and statistics} *)
 
 val iter_nodes : t -> (int -> unit) -> unit

@@ -36,6 +36,49 @@ let occupy_path g ~net path =
 
 let release_nodes g nodes = List.iter (Grid.release g) nodes
 
+(* Plan a net without touching the grid: the same Prim-style connection
+   sequence as a mutating route, but found paths are only recorded.  The
+   searches are exact replicas of the mutating run's: the only cells a
+   mutating run would have changed are the planned path cells, which it
+   makes self-owned — and under the standard passability self-owned and
+   free both cost [Some 0], so every subsequent search sees identical
+   passability either way.  Returns the connection paths in order with
+   per-connection expansion counts (windowed-probe waste included), or
+   [None] as soon as a connection fails or aborts. *)
+let plan_net ?(use_astar = false) ?(kernel = Search.Binary_heap) ?window
+    ?stop g ws ~cost ~passable (net : Netlist.Net.t) =
+  match net.Netlist.Net.pins with
+  | [] | [ _ ] -> Some []
+  | first :: rest ->
+      let search =
+        if use_astar then Search.run_astar ~kernel ?window ?stop
+        else Search.run ~kernel ?window ?stop
+      in
+      let tree = ref [ pin_node g first ] in
+      let remaining = ref (List.map (fun p -> pin_node g p) rest) in
+      let acc = ref [] in
+      let rec loop () =
+        match !remaining with
+        | [] -> Some (List.rev !acc)
+        | _ -> begin
+            match
+              search g ws ~cost ~passable ~sources:!tree ~targets:!remaining ()
+            with
+            | None -> None
+            | Some r ->
+                acc := (r.Search.path, r.Search.expanded) :: !acc;
+                tree := r.Search.path @ !tree;
+                let reached =
+                  match List.rev r.Search.path with
+                  | last :: _ -> last
+                  | [] -> assert false
+                in
+                remaining := List.filter (fun n -> n <> reached) !remaining;
+                loop ()
+          end
+      in
+      loop ()
+
 (* Connect the pins Prim-style: the tree starts at the first pin's node and
    every search targets all still-unconnected pins at once, so Dijkstra
    naturally picks the nearest one. *)

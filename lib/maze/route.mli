@@ -33,6 +33,28 @@ val release_nodes : Grid.t -> int list -> unit
 
 val pin_node : Grid.t -> Netlist.Net.pin -> int
 
+val plan_net :
+  ?use_astar:bool ->
+  ?kernel:Search.kernel ->
+  ?window:int ->
+  ?stop:(int -> bool) ->
+  Grid.t ->
+  Workspace.t ->
+  cost:Cost.t ->
+  passable:(int -> int option) ->
+  Netlist.Net.t ->
+  (Grid.Path.t * int) list option
+(** Read-only twin of a standard (non-escalating) net route: runs the same
+    Prim-style connection searches against the current grid but never
+    occupies anything.  Returns the connection paths in order, each with
+    its expansion count (including discarded windowed probes), or [None]
+    if some connection fails or is aborted by [stop].  Because free and
+    self-owned cells are indistinguishable to the standard passability,
+    the searches — and thus the paths — are exactly those a mutating run
+    from the same grid state would produce.  The speculative parallel
+    engine runs this on worker domains and commits the recorded paths
+    later. *)
+
 val route_net :
   ?passable:(int -> int option) ->
   ?use_astar:bool ->

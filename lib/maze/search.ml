@@ -70,6 +70,13 @@ let core g ws ~kernel ~cost ~passable ~sources ~targets ~heuristic ~win ~stop
   let expanded = ref 0 in
   let found = ref None in
   let aborted = ref false in
+  (* Per-layer bbox of expanded nodes, merged into the workspace's
+     touched accumulator at loop exit (so failed and aborted searches are
+     covered too).  Local refs keep the hot loop allocation-free. *)
+  let t0x0 = ref max_int and t0y0 = ref max_int in
+  let t0x1 = ref min_int and t0y1 = ref min_int in
+  let t1x0 = ref max_int and t1y0 = ref max_int in
+  let t1x1 = ref min_int and t1y1 = ref min_int in
   let should_stop =
     match stop with
     | None -> fun _ -> false
@@ -92,12 +99,24 @@ let core g ws ~kernel ~cost ~passable ~sources ~targets ~heuristic ~win ~stop
     (* Stale frontier entry: the node was re-pushed with a smaller key. *)
     if prio - heuristic n <= gscore then begin
       incr expanded;
+      let layer = Grid.node_layer g n in
+      let x = Grid.node_x g n and y = Grid.node_y g n in
+      if layer = 0 then begin
+        if x < !t0x0 then t0x0 := x;
+        if x > !t0x1 then t0x1 := x;
+        if y < !t0y0 then t0y0 := y;
+        if y > !t0y1 then t0y1 := y
+      end
+      else begin
+        if x < !t1x0 then t1x0 := x;
+        if x > !t1x1 then t1x1 := x;
+        if y < !t1y0 then t1y0 := y;
+        if y > !t1y1 then t1y1 := y
+      end;
       if should_stop !expanded then aborted := true
       else if Workspace.marked ws n then
         found := Some { path = backtrace ws n; total_cost = gscore; expanded = !expanded }
       else begin
-        let layer = Grid.node_layer g n in
-        let x = Grid.node_x g n and y = Grid.node_y g n in
         let horizontal_cost = Cost.step_cost cost ~layer ~horizontal:true in
         let vertical_cost = Cost.step_cost cost ~layer ~horizontal:false in
         if x + 1 < w then relax n gscore (n + 1) horizontal_cost;
@@ -108,6 +127,12 @@ let core g ws ~kernel ~cost ~passable ~sources ~targets ~heuristic ~win ~stop
       end
     end
   done;
+  if !t0x1 >= !t0x0 then
+    Workspace.note_touched ws ~layer:0 ~x0:!t0x0 ~y0:!t0y0 ~x1:!t0x1
+      ~y1:!t0y1;
+  if !t1x1 >= !t1x0 then
+    Workspace.note_touched ws ~layer:1 ~x0:!t1x0 ~y0:!t1y0 ~x1:!t1x1
+      ~y1:!t1y1;
   (!found, !expanded, !aborted)
 
 (* Bounding box of the endpoint sets, in planar coordinates. *)

@@ -7,6 +7,15 @@ type t = {
   heap : Util.Pqueue.t;
   buckets : Util.Bucketq.t;
   hfield : int array;  (* planar heuristic field for array-based A* *)
+  (* Per-layer bounding box of nodes expanded since [clear_touched];
+     x0 > x1 encodes empty.  Deliberately NOT reset by [begin_search]:
+     the region a whole net attempt read spans several searches
+     (windowed probes included), so the accumulator survives until the
+     caller clears it. *)
+  tx0 : int array;
+  ty0 : int array;
+  tx1 : int array;
+  ty1 : int array;
 }
 
 let create g =
@@ -23,7 +32,38 @@ let create g =
     heap = Util.Pqueue.create ~capacity:(max 1024 (n / 8)) ();
     buckets = Util.Bucketq.create ();
     hfield = Array.make (Grid.planar_cells g) 0;
+    tx0 = Array.make 2 1;
+    ty0 = Array.make 2 1;
+    tx1 = Array.make 2 0;
+    ty1 = Array.make 2 0;
   }
+
+let clear_touched ws =
+  for l = 0 to 1 do
+    ws.tx0.(l) <- 1;
+    ws.tx1.(l) <- 0
+  done
+
+let note_touched ws ~layer ~x0 ~y0 ~x1 ~y1 =
+  if ws.tx0.(layer) > ws.tx1.(layer) then begin
+    ws.tx0.(layer) <- x0;
+    ws.ty0.(layer) <- y0;
+    ws.tx1.(layer) <- x1;
+    ws.ty1.(layer) <- y1
+  end
+  else begin
+    if x0 < ws.tx0.(layer) then ws.tx0.(layer) <- x0;
+    if y0 < ws.ty0.(layer) then ws.ty0.(layer) <- y0;
+    if x1 > ws.tx1.(layer) then ws.tx1.(layer) <- x1;
+    if y1 > ws.ty1.(layer) then ws.ty1.(layer) <- y1
+  end
+
+let touched ws ~layer =
+  if ws.tx0.(layer) > ws.tx1.(layer) then None
+  else
+    Some
+      (Geom.Rect.make ws.tx0.(layer) ws.ty0.(layer) ws.tx1.(layer)
+         ws.ty1.(layer))
 
 let node_capacity ws = Array.length ws.dist
 

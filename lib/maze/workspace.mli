@@ -50,3 +50,24 @@ val hfield : t -> int array
 (** Planar scratch array ([width × height]) holding the precomputed
     A* heuristic field (L1 distance to the nearest target); owned and
     rebuilt by {!Search.run_astar}. *)
+
+(** {1 Touched-region accumulator}
+
+    {!Search.core} records the per-layer bounding box of every node it
+    expands (successful, failed and aborted searches alike).  Unlike the
+    generation stamps this accumulator is {e not} cleared by
+    {!begin_search}: a net attempt spans several searches (windowed
+    probes, one search per connection) and the engine needs the union of
+    everything those searches read, so only an explicit {!clear_touched}
+    resets it. *)
+
+val clear_touched : t -> unit
+
+val note_touched :
+  t -> layer:int -> x0:int -> y0:int -> x1:int -> y1:int -> unit
+(** Merge a rectangle of expanded nodes into the accumulator (called by
+    the search core once per completed search loop). *)
+
+val touched : t -> layer:int -> Geom.Rect.t option
+(** Bounding box of nodes expanded on [layer] since the last
+    {!clear_touched}; [None] when no node of that layer was expanded. *)

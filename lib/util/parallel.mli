@@ -7,12 +7,18 @@
     [Grid]/[Workspace]); the pool only shares the read-only input array and
     a work-stealing counter. *)
 
+exception Multiple of exn list
+(** Raised when two or more applications of a parallel map fail, carrying
+    every failure in input order (earliest first).  A sole failure is
+    re-raised as itself. *)
+
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] applies [f] to every element of [xs], running up to
-    [jobs] applications concurrently (clamped to the list length;
-    [jobs <= 1] degrades to plain [List.map]).  Results preserve input
-    order.  If any application raises, the exception of the earliest
-    failing element is re-raised after all domains finish. *)
+    [jobs] applications concurrently (clamped below to 1 and above to the
+    list length; [jobs <= 1] degrades to plain [List.map]).  Results
+    preserve input order.  After all domains finish, a single failing
+    element's exception is re-raised as-is; several failures raise
+    {!Multiple} with the earliest first. *)
 
 val run : ?jobs:int -> (unit -> 'a) list -> 'a list
 (** [run ~jobs tasks] executes the thunks concurrently; [run] is
@@ -21,3 +27,33 @@ val run : ?jobs:int -> (unit -> 'a) list -> 'a list
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count], the hardware-sized default for
     [--jobs 0] style flags. *)
+
+(** Persistent domain pool with per-slot worker state.
+
+    {!map} spawns and joins domains on every call — fine for bench-sized
+    tasks, too slow for the engine's per-wave fan-out.  A [Pool] keeps
+    [jobs - 1] helper domains parked on a condition variable and reuses
+    them across calls; the calling domain always participates as slot 0.
+    Each slot lazily builds one ['w] state (a {e workspace}) via [init]
+    inside the domain that owns it, and that state is handed back to every
+    task the slot executes — allocate-once, reset-per-use scratch space. *)
+module Pool : sig
+  type 'w t
+
+  val create : jobs:int -> init:(int -> 'w) -> 'w t
+  (** [create ~jobs ~init] starts a pool of [max 1 jobs] slots
+      ([jobs - 1] helper domains).  [init slot] is called at most once per
+      slot, lazily, inside the owning domain, on the slot's first task. *)
+
+  val jobs : 'w t -> int
+
+  val map : 'w t -> ('w -> 'a -> 'b) -> 'a list -> 'b list
+  (** [map pool f xs] applies [f state x] across the pool, preserving
+      input order.  Exception policy matches {!Parallel.map}: one failure
+      re-raises as-is, several raise {!Multiple}.  Not reentrant: do not
+      call [map] from inside a task of the same pool. *)
+
+  val shutdown : 'w t -> unit
+  (** Park, join and release the helper domains.  Idempotent; the pool
+      must not be used afterwards. *)
+end

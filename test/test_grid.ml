@@ -291,6 +291,84 @@ let prop_random_ops_keep_invariants =
       done;
       !ok && !count = Grid.via_count g)
 
+(* --- dirty-region journal --- *)
+
+let rect_at x y = Geom.Rect.make x y x y
+
+let test_dirty_basic () =
+  let g = mk () in
+  let m = Grid.mark g in
+  Testkit.check_false "clean after mark"
+    (Grid.dirtied_in g ~since:m ~layer:0 (Geom.Rect.make 0 0 7 5));
+  Grid.occupy g ~net:3 (Grid.node g ~layer:0 ~x:2 ~y:2);
+  Testkit.check_true "write dirties its cell"
+    (Grid.dirtied_in g ~since:m ~layer:0 (rect_at 2 2));
+  Testkit.check_true "and any overlapping rect"
+    (Grid.dirtied_in g ~since:m ~layer:0 (Geom.Rect.make 0 0 3 3));
+  Testkit.check_false "other layer untouched"
+    (Grid.dirtied_in g ~since:m ~layer:1 (rect_at 2 2));
+  Testkit.check_false "distant rect untouched"
+    (Grid.dirtied_in g ~since:m ~layer:0 (Geom.Rect.make 6 5 7 5));
+  let m2 = Grid.mark g in
+  Testkit.check_false "new mark is clean"
+    (Grid.dirtied_in g ~since:m2 ~layer:0 (rect_at 2 2))
+
+let test_dirty_idempotent_writes_are_clean () =
+  let g = mk () in
+  let n = Grid.node g ~layer:0 ~x:1 ~y:1 in
+  Grid.occupy g ~net:3 n;
+  let m = Grid.mark g in
+  Grid.occupy g ~net:3 n;
+  (* re-claiming an owned cell is a no-op *)
+  Grid.release g (Grid.node g ~layer:1 ~x:4 ~y:4);
+  (* releasing free too *)
+  Testkit.check_false "no-op writes leave the journal alone"
+    (Grid.dirtied_in g ~since:m ~layer:0 (Geom.Rect.make 0 0 7 5)
+    || Grid.dirtied_in g ~since:m ~layer:1 (Geom.Rect.make 0 0 7 5))
+
+let test_dirty_release_and_via () =
+  let g = mk () in
+  let n = Grid.node g ~layer:0 ~x:1 ~y:1 in
+  Grid.occupy g ~net:3 n;
+  let m = Grid.mark g in
+  Grid.release g n;
+  Testkit.check_true "release dirties"
+    (Grid.dirtied_in g ~since:m ~layer:0 (rect_at 1 1));
+  let m = Grid.mark g in
+  Grid.occupy g ~net:5 (Grid.node g ~layer:0 ~x:4 ~y:3);
+  Grid.occupy g ~net:5 (Grid.node g ~layer:1 ~x:4 ~y:3);
+  Grid.set_via g ~x:4 ~y:3;
+  Testkit.check_true "via dirties layer 0"
+    (Grid.dirtied_in g ~since:m ~layer:0 (rect_at 4 3));
+  Testkit.check_true "via dirties layer 1"
+    (Grid.dirtied_in g ~since:m ~layer:1 (rect_at 4 3))
+
+let test_dirty_coalescing_is_conservative () =
+  let g = mk () in
+  let m = Grid.mark g in
+  (* a straight wire: nearby writes coalesce into one rectangle that
+     still covers every written cell *)
+  for x = 0 to 7 do
+    Grid.occupy g ~net:2 (Grid.node g ~layer:0 ~x ~y:2)
+  done;
+  for x = 0 to 7 do
+    Testkit.check_true "every cell of the wire is dirty"
+      (Grid.dirtied_in g ~since:m ~layer:0 (rect_at x 2))
+  done
+
+let test_dirty_ring_wrap_degrades_safely () =
+  let g = Grid.create ~width:32 ~height:32 in
+  let m = Grid.mark g in
+  (* far-apart alternating writes defeat coalescing and wrap the ring *)
+  for i = 0 to 79 do
+    let x = if i land 1 = 0 then 0 else 31 in
+    let y = (7 * i) mod 32 in
+    let n = Grid.node g ~layer:0 ~x ~y in
+    if Grid.is_free g n then Grid.occupy g ~net:1 n else Grid.release g n
+  done;
+  Testkit.check_true "wrapped journal reports everything dirty"
+    (Grid.dirtied_in g ~since:m ~layer:0 (rect_at 16 16))
+
 let () =
   Alcotest.run "grid"
     [
@@ -310,6 +388,17 @@ let () =
           Alcotest.test_case "copy independent" `Quick test_copy_independent;
           Alcotest.test_case "counting" `Quick test_counting;
           prop_random_ops_keep_invariants;
+        ] );
+      ( "dirty journal",
+        [
+          Alcotest.test_case "mark and query" `Quick test_dirty_basic;
+          Alcotest.test_case "no-op writes clean" `Quick
+            test_dirty_idempotent_writes_are_clean;
+          Alcotest.test_case "release and via" `Quick test_dirty_release_and_via;
+          Alcotest.test_case "coalescing conservative" `Quick
+            test_dirty_coalescing_is_conservative;
+          Alcotest.test_case "ring wrap conservative" `Quick
+            test_dirty_ring_wrap_degrades_safely;
         ] );
       ( "path",
         [

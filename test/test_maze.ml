@@ -491,6 +491,51 @@ let test_self_cells_passable () =
   | Some r -> Testkit.check_int "straight through" 7 r.Maze.Search.total_cost
   | None -> Alcotest.fail "self-passable failed"
 
+(* --- the touched-region accumulator (read certificates, DESIGN.md §8) --- *)
+
+let test_touched_accumulates_across_searches () =
+  let g, ws = empty_grid () in
+  Maze.Workspace.clear_touched ws;
+  Testkit.check_true "initially empty"
+    (Maze.Workspace.touched ws ~layer:0 = None
+    && Maze.Workspace.touched ws ~layer:1 = None);
+  let a = Grid.node g ~layer:0 ~x:0 ~y:2 and b = Grid.node g ~layer:0 ~x:4 ~y:2 in
+  ignore (run g ws ~sources:[ a ] ~targets:[ b ] ());
+  let r1 =
+    match Maze.Workspace.touched ws ~layer:0 with
+    | Some r -> r
+    | None -> Alcotest.fail "search touched nothing"
+  in
+  Testkit.check_true "covers both endpoints"
+    (Geom.Rect.mem r1 0 2 && Geom.Rect.mem r1 4 2);
+  (* a second search widens, never resets, the accumulator — escalation
+     runs several probes per connection and the certificate must cover
+     them all *)
+  let c = Grid.node g ~layer:0 ~x:9 ~y:8 in
+  ignore (run g ws ~sources:[ b ] ~targets:[ c ] ());
+  let r2 =
+    match Maze.Workspace.touched ws ~layer:0 with
+    | Some r -> r
+    | None -> Alcotest.fail "accumulator lost"
+  in
+  Testkit.check_true "accumulates across begin_search"
+    (Geom.Rect.contains r2 r1 && Geom.Rect.mem r2 9 8);
+  Maze.Workspace.clear_touched ws;
+  Testkit.check_true "explicit clear empties"
+    (Maze.Workspace.touched ws ~layer:0 = None)
+
+let test_touched_note_merges () =
+  let g, ws = empty_grid () in
+  ignore g;
+  Maze.Workspace.clear_touched ws;
+  Maze.Workspace.note_touched ws ~layer:1 ~x0:2 ~y0:3 ~x1:4 ~y1:5;
+  Maze.Workspace.note_touched ws ~layer:1 ~x0:6 ~y0:1 ~x1:7 ~y1:2;
+  (match Maze.Workspace.touched ws ~layer:1 with
+  | Some r -> Testkit.check_true "hull of notes" (r = Geom.Rect.make 2 1 7 5)
+  | None -> Alcotest.fail "notes lost");
+  Testkit.check_true "other layer untouched"
+    (Maze.Workspace.touched ws ~layer:0 = None)
+
 let () =
   Alcotest.run "maze"
     [
@@ -524,6 +569,12 @@ let () =
           Alcotest.test_case "workspace reset" `Quick test_workspace_reset_explicit;
           prop_buckets_match_heap;
           prop_windowed_matches_full;
+        ] );
+      ( "touched",
+        [
+          Alcotest.test_case "accumulates across searches" `Quick
+            test_touched_accumulates_across_searches;
+          Alcotest.test_case "note merges" `Quick test_touched_note_merges;
         ] );
       ( "route",
         [

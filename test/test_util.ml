@@ -278,6 +278,26 @@ let test_parallel_exception_propagates () =
            (fun x -> if x = 7 then failwith "boom" else x)
            (List.init 20 (fun i -> i))))
 
+let test_parallel_multiple_failures () =
+  match
+    Util.Parallel.map ~jobs:4
+      (fun x -> if x mod 7 = 3 then failwith (string_of_int x) else x)
+      (List.init 20 (fun i -> i))
+  with
+  | _ -> Alcotest.fail "expected Multiple"
+  | exception Util.Parallel.Multiple exns ->
+      let msgs =
+        List.map (function Failure m -> m | e -> Printexc.to_string e) exns
+      in
+      Testkit.check_true "every failure, in input order"
+        (msgs = [ "3"; "10"; "17" ])
+
+let test_parallel_jobs_clamped () =
+  (* jobs <= 0 behaves as 1 instead of spawning nothing (or raising) *)
+  Testkit.check_true "jobs=0" (Util.Parallel.map ~jobs:0 succ [ 1; 2 ] = [ 2; 3 ]);
+  Testkit.check_true "jobs<0"
+    (Util.Parallel.map ~jobs:(-3) succ [ 1; 2 ] = [ 2; 3 ])
+
 let test_parallel_run () =
   let tasks = List.init 10 (fun i () -> i * 2) in
   Testkit.check_true "run collects results"
@@ -487,6 +507,8 @@ let () =
           Alcotest.test_case "order preserved" `Quick test_parallel_order_preserved;
           Alcotest.test_case "edge sizes" `Quick test_parallel_edge_sizes;
           Alcotest.test_case "exception propagates" `Quick test_parallel_exception_propagates;
+          Alcotest.test_case "multiple failures aggregated" `Quick test_parallel_multiple_failures;
+          Alcotest.test_case "jobs clamped" `Quick test_parallel_jobs_clamped;
           Alcotest.test_case "run" `Quick test_parallel_run;
         ] );
       ( "union_find",
