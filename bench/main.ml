@@ -1161,11 +1161,163 @@ let router_bench () =
     Printf.printf "wrote BENCH_router.json\n"
   end
 
+(* ------------------------------------------------------------------ *)
+(* service: N-client request trace against the daemon                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Replays a generated multi-client trace against an in-process server
+   through the same submit/drain engine the transports use, so the
+   numbers measure the service layers (protocol, admission, scheduler,
+   sessions) without pipe noise.  The queue cap is set below one round's
+   burst size on purpose: a fixed slice of every burst is shed, which
+   exercises (and measures) admission control.  Shed requests are
+   retried once after the burst drains, mimicking a client honoring
+   retry_after_ms. *)
+
+let service_bench () =
+  heading "service (json): N-client request trace against the daemon"
+    "Claim: the service layer adds microseconds to millisecond-scale\n\
+     routing requests; under a burst that overflows the queue, admission\n\
+     control sheds deterministically instead of hanging.  Written to\n\
+     BENCH_service.json.";
+  let clients = 8 and rounds = 6 and queue_cap = 16 in
+  let sconfig =
+    {
+      Service.Server.default_config with
+      Service.Server.router = bench_router_config;
+      queue_cap;
+    }
+  in
+  let server = Service.Server.create ~config:sconfig () in
+  let session c = Printf.sprintf "client%d" c in
+  let submitted = ref 0 in
+  let is_shed line =
+    match Util.Json.of_string line with
+    | Ok json ->
+        Option.bind (Util.Json.member "error" json) (Util.Json.member "code")
+        = Some (Util.Json.String "queue_full")
+    | Error _ -> false
+  in
+  (* Submit a burst; returns the lines shed by admission control. *)
+  let submit_burst lines =
+    List.filter
+      (fun line ->
+        incr submitted;
+        match Service.Server.submit server ~client:0 line with
+        | Some reply when is_shed reply -> true
+        | Some _ | None -> false)
+      lines
+  in
+  let drain () =
+    let rec go () =
+      match Service.Server.drain_one server with
+      | Some _ -> go ()
+      | None -> ()
+    in
+    go ()
+  in
+  let t0 = Unix.gettimeofday () in
+  (* Round 0: every client opens a session on its own routable problem. *)
+  let opens =
+    List.init clients (fun c ->
+        let prng = Util.Prng.create (100 + c) in
+        let problem =
+          Workload.Gen.routable_switchbox prng ~width:16 ~height:12
+        in
+        Printf.sprintf
+          {|{"id":%d,"op":"open","session":"%s","problem":%s}|}
+          c (session c)
+          (Util.Json.to_string
+             (Util.Json.String (Netlist.Parse.to_string problem))))
+  in
+  let shed0 = submit_burst opens in
+  drain ();
+  ignore (submit_burst shed0);
+  drain ();
+  (* Each following round: every client rips a net, reroutes, verifies —
+     a 3×clients burst against a cap of 16, so sheds are guaranteed. *)
+  for round = 1 to rounds do
+    let burst =
+      List.concat_map
+        (fun c ->
+          let s = session c in
+          [
+            Printf.sprintf
+              {|{"id":%d,"op":"rip","session":"%s","net":%d}|}
+              (1000 + round) s ((round mod 5) + 1);
+            Printf.sprintf {|{"id":%d,"op":"route","session":"%s"}|}
+              (2000 + round) s;
+            Printf.sprintf {|{"id":%d,"op":"verify","session":"%s"}|}
+              (3000 + round) s;
+          ])
+        (List.init clients (fun c -> c))
+    in
+    let shed = submit_burst burst in
+    drain ();
+    let shed_again = submit_burst shed in
+    drain ();
+    ignore (submit_burst shed_again);
+    drain ()
+  done;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let m = Service.Server.metrics server in
+  let executed = Service.Metrics.requests m in
+  let sheds = Service.Metrics.shed_count m in
+  let snapshot = Service.Metrics.snapshot m in
+  let route_q name =
+    match
+      Option.bind (Util.Json.member "by_kind" snapshot) (fun k ->
+          Option.bind (Util.Json.member "route" k) (fun r ->
+              Option.bind (Util.Json.member name r) Util.Json.to_float_opt))
+    with
+    | Some v -> v
+    | None -> 0.0
+  in
+  let throughput = float_of_int executed /. wall_s in
+  let shed_rate = float_of_int sheds /. float_of_int !submitted in
+  Printf.printf
+    "clients %d  rounds %d  queue-cap %d\n\
+     submitted %d  executed %d  shed %d (%.1f%%)\n\
+     wall %ss  throughput %s req/s\n\
+     route p50 %.3fms  p95 %.3fms  p99 %.3fms\n"
+    clients rounds queue_cap !submitted executed sheds (100.0 *. shed_rate)
+    (time_cell ~decimals:3 wall_s)
+    (time_cell ~decimals:1 throughput)
+    (route_q "p50_ms") (route_q "p95_ms") (route_q "p99_ms");
+  let oc = open_out "BENCH_service.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"service_trace\",\n\
+    \  \"config\": \"%s\",\n\
+    \  \"host_cores\": %d,\n\
+    \  \"clients\": %d,\n\
+    \  \"rounds\": %d,\n\
+    \  \"queue_cap\": %d,\n\
+    \  \"submitted\": %d,\n\
+    \  \"executed\": %d,\n\
+    \  \"shed\": %d,\n\
+    \  \"shed_rate\": %.4f,\n\
+    \  \"wall_s\": %.3f,\n\
+    \  \"throughput_rps\": %.1f,\n\
+    \  \"route_p50_ms\": %.3f,\n\
+    \  \"route_p95_ms\": %.3f,\n\
+    \  \"route_p99_ms\": %.3f,\n\
+    \  \"metrics\": %s\n\
+     }\n"
+    (Router.Config.describe bench_router_config)
+    (Util.Parallel.default_jobs ())
+    clients rounds queue_cap !submitted executed sheds shed_rate wall_s
+    throughput (route_q "p50_ms") (route_q "p95_ms") (route_q "p99_ms")
+    (Util.Json.to_string snapshot);
+  close_out oc;
+  Printf.printf "wrote BENCH_service.json\n"
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
     ("budget", budget_sweep); ("micro", micro); ("router", router_bench);
+    ("service", service_bench);
   ]
 
 let () =

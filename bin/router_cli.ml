@@ -173,11 +173,12 @@ let config_term =
     const make $ strategy $ order $ restarts $ seed $ astar $ kernel $ window
     $ deadline $ max_expanded $ max_searches $ audit $ jobs $ no_cost_cache)
 
+(* Parse errors already carry the source path since errors grew a [src]
+   field — no prefixing needed here. *)
 let load path =
   match Netlist.Parse.load path with
   | Ok _ as ok -> ok
-  | Error e ->
-      Error (Printf.sprintf "%s: %s" path (Netlist.Parse.error_to_string e))
+  | Error e -> Error (Netlist.Parse.error_to_string e)
 
 (* --- route --- *)
 
@@ -399,6 +400,79 @@ let channel_cmd =
        ~doc:"Compare channel routers (minimum tracks) on a channel file.")
     Term.(const run $ problem_arg)
 
+(* --- serve --- *)
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Serve on a Unix domain socket at $(docv) (multiple clients) \
+             instead of stdin/stdout pipe mode.")
+  in
+  let queue_cap =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "Admission-control bound on queued requests; past it new \
+             requests are shed with a queue_full + retry_after_ms reply.")
+  in
+  let slo =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "slo" ] ~docv:"MS"
+          ~doc:
+            "Default per-request wall-clock budget for route requests, in \
+             milliseconds (a request's slo_ms field overrides it).  A \
+             request that trips its budget is rolled back and answered \
+             with a budget_tripped error.")
+  in
+  let max_sessions =
+    Arg.(
+      value & opt int 64
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:"Hard cap on concurrently open sessions.")
+  in
+  let idle_ticks =
+    Arg.(
+      value & opt int 10_000
+      & info [ "idle-ticks" ] ~docv:"N"
+          ~doc:
+            "Evict a session after it has sat idle for $(docv) served \
+             requests.")
+  in
+  let run config socket queue_cap slo max_sessions idle_ticks =
+    let sconfig =
+      {
+        Service.Server.default_config with
+        Service.Server.router = config;
+        queue_cap;
+        default_slo_ms = slo;
+        max_sessions;
+        idle_ticks;
+      }
+    in
+    let server = Service.Server.create ~config:sconfig () in
+    (match socket with
+    | None -> Service.Server.serve_pipe server stdin stdout
+    | Some path -> Service.Server.serve_socket server ~path);
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the router as a long-lived service: line-delimited JSON \
+          requests (see docs/PROTOCOL.md) over stdin/stdout, or over a \
+          Unix socket with --socket.  Metrics are dumped to stderr on \
+          shutdown.")
+    Term.(
+      const run $ config_term $ socket $ queue_cap $ slo $ max_sessions
+      $ idle_ticks)
+
 (* --- suite --- *)
 
 let suite_cmd =
@@ -458,4 +532,7 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ route_cmd; info_cmd; show_cmd; gen_cmd; channel_cmd; suite_cmd ]))
+          [
+            route_cmd; info_cmd; show_cmd; gen_cmd; channel_cmd; suite_cmd;
+            serve_cmd;
+          ]))

@@ -133,20 +133,37 @@ let create ?(config = Config.default) ?(chaos = Chaos.none) problem =
     problem.Netlist.Problem.prewires;
   st
 
-let route st =
+(* Shared core of [route]/[try_route]: run the engine over the synced
+   problem and either commit the resulting grid or roll the session back.
+   [commit_degraded] decides the fate of budget-tripped results: the
+   interactive API commits them (a consistent best-so-far layout), the
+   service path rolls them back so a request that blows its SLO leaves
+   the session exactly as it found it. *)
+let route_core st ?budget ~commit_degraded () =
   let saved = snapshot st in
   try
     sync st;
     let result =
-      Engine.route ~config:st.config ~chaos:st.chaos st.problem
+      Engine.route ~config:st.config ?budget ~chaos:st.chaos st.problem
     in
-    st.grid <- result.Engine.grid;
-    result.Engine.stats
+    match result.Engine.status with
+    | Outcome.Degraded reason when not commit_degraded ->
+        restore st saved;
+        Error reason
+    | Outcome.Complete | Outcome.Degraded _ | Outcome.Infeasible ->
+        st.grid <- result.Engine.grid;
+        Ok result.Engine.stats
   with exn ->
-    (* A degraded result commits (it is a consistent best-so-far layout);
-       only an exception — injected fault, audit failure — rolls back. *)
+    (* An exception — injected fault, audit failure — always rolls back. *)
     restore st saved;
     raise exn
+
+let route ?budget st =
+  match route_core st ?budget ~commit_degraded:true () with
+  | Ok stats -> stats
+  | Error _ -> assert false (* commit_degraded:true never returns Error *)
+
+let try_route ?budget st = route_core st ?budget ~commit_degraded:false ()
 
 let add_net st ~name pins =
   transactionally st @@ fun () ->

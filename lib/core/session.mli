@@ -42,12 +42,22 @@ val is_routed : t -> net:int -> bool
 
 val is_frozen : t -> net:int -> bool
 
-val route : t -> Engine.stats
+val route : ?budget:Budget.t -> t -> Engine.stats
 (** Route everything currently unrouted with the session's engine
     configuration.  Already-routed nets are carried as pre-wiring (rippable
     unless frozen).  Updates the session grid.  A degraded (budget-tripped)
     result still commits — it is a consistent best-so-far layout; an
-    exception rolls the session back and re-raises. *)
+    exception rolls the session back and re-raises.  [budget] (default:
+    built from the session config's budget fields) caps this one call;
+    create a fresh budget per call. *)
+
+val try_route : ?budget:Budget.t -> t -> (Engine.stats, Budget.reason) result
+(** Like {!route}, but a budget trip {e rolls the session back} to its
+    exact pre-call state and returns [Error reason] instead of committing
+    the degraded layout.  This is the all-or-nothing contract the routing
+    service builds its per-request SLOs on: a request that runs out of
+    budget mid-flight leaves its session untouched.  [Complete] and
+    [Infeasible] results commit as in {!route}. *)
 
 val add_net : t -> name:string -> Netlist.Net.pin list -> (int, string) Stdlib.result
 (** Add a net (unrouted).  Its pins must be in bounds, off obstructions and

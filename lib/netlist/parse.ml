@@ -1,17 +1,19 @@
-type error = { line : int; col : int; msg : string }
+type error = { src : string; line : int; col : int; msg : string }
 
 let error_to_string e =
-  if e.line = 0 then e.msg
-  else Printf.sprintf "line %d, column %d: %s" e.line e.col e.msg
+  if e.line = 0 then Printf.sprintf "%s: %s" e.src e.msg
+  else Printf.sprintf "%s: line %d, column %d: %s" e.src e.line e.col e.msg
 
 exception Error of int * string
 
 (* Internal control flow of the parser; converted to [error] at the API
-   boundary so the result-returning entry points never leak it. *)
+   boundary so the result-returning entry points never leak it.  The
+   source name is not known at the failure site — the entry point stamps
+   it on before handing the error out. *)
 exception Fail of error
 
 let fail line col fmt =
-  Printf.ksprintf (fun msg -> raise (Fail { line; col; msg })) fmt
+  Printf.ksprintf (fun msg -> raise (Fail { src = ""; line; col; msg })) fmt
 
 type header = {
   hname : string;
@@ -131,7 +133,7 @@ let handle st lineno line_text =
     end
   | word :: _ -> fail lineno word.col "unknown directive %S" word.text
 
-let of_string text =
+let of_string ?(src = "<string>") text =
   let st =
     {
       header = None;
@@ -146,7 +148,8 @@ let of_string text =
       (fun i line_text -> handle st (i + 1) line_text)
       (String.split_on_char '\n' text);
     match st.header with
-    | None -> Result.Error { line = 0; col = 0; msg = "missing problem line" }
+    | None ->
+        Result.Error { src; line = 0; col = 0; msg = "missing problem line" }
     | Some h ->
         let named_nets = List.rev st.nets in
         let nets =
@@ -176,13 +179,13 @@ let of_string text =
              ~obstructions:(List.rev st.obstructions)
              ~prewires ~name:h.hname ~width:h.hwidth ~height:h.hheight nets)
   with
-  | Fail e -> Result.Error e
+  | Fail e -> Result.Error { e with src }
   (* Semantic validation (Net.make / Problem.make) has no line to point
      at: report the message alone. *)
-  | Invalid_argument msg -> Result.Error { line = 0; col = 0; msg }
+  | Invalid_argument msg -> Result.Error { src; line = 0; col = 0; msg }
 
-let of_string_exn text =
-  match of_string text with
+let of_string_exn ?src text =
+  match of_string ?src text with
   | Ok p -> p
   | Result.Error e -> raise (Error (e.line, error_to_string e))
 
@@ -225,8 +228,9 @@ let load path =
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   with
-  | text -> of_string text
-  | exception Sys_error msg -> Result.Error { line = 0; col = 0; msg }
+  | text -> of_string ~src:path text
+  | exception Sys_error msg ->
+      Result.Error { src = path; line = 0; col = 0; msg }
 
 let load_exn path =
   match load path with

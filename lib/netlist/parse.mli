@@ -17,30 +17,36 @@
     obstruction merging).
 
     Parsing never raises: {!of_string} and {!load} return a [result] whose
-    error carries the 1-based line and column of the offending token.
-    The [_exn] variants raise {!Error} for callers that prefer
-    exceptions. *)
+    error carries the source name (file path, or ["<string>"] /
+    ["<stdin>"] for in-memory input) and the 1-based line and column of
+    the offending token.  The [_exn] variants raise {!Error} for callers
+    that prefer exceptions. *)
 
 type error = {
+  src : string;
+      (** where the text came from: the file path for {!load}, the
+          [?src] argument of {!of_string} (default ["<string>"]) *)
   line : int;  (** 1-based; 0 for file-level or semantic errors *)
   col : int;  (** 1-based column of the offending token; 0 if unknown *)
   msg : string;
 }
 
 val error_to_string : error -> string
-(** ["line L, column C: msg"], or just the message for position-less
-    errors. *)
+(** ["src: line L, column C: msg"], or ["src: msg"] for position-less
+    errors — always prefixed with the source name. *)
 
 exception Error of int * string
 (** Raised only by the [_exn] entry points: 1-based line number (0 when
-    unknown) and rendered message. *)
+    unknown) and rendered message (which includes the source name). *)
 
-val of_string : string -> (Problem.t, error) result
+val of_string : ?src:string -> string -> (Problem.t, error) result
 (** Parse a problem description.  Syntax errors carry their position;
     semantic validation failures ({!Problem.make}, {!Net.make}) are
-    reported with [line = 0] and the validation message. *)
+    reported with [line = 0] and the validation message.  [src] (default
+    ["<string>"]) names the source in errors — pass ["<stdin>"] when
+    parsing piped input. *)
 
-val of_string_exn : string -> Problem.t
+val of_string_exn : ?src:string -> string -> Problem.t
 (** @raise Error on any parse or validation failure. *)
 
 val to_string : Problem.t -> string

@@ -1,0 +1,154 @@
+module J = Util.Json
+
+(* Power-of-two microsecond buckets: bucket [i] counts latencies in
+   [2^i, 2^(i+1)) µs.  Bucket 0 also absorbs sub-microsecond samples;
+   the last bucket absorbs everything from ~17.9 minutes up. *)
+let buckets = 31
+
+let bucket_of_latency s =
+  let us = int_of_float (s *. 1e6) in
+  if us <= 1 then 0
+  else
+    let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+    min (buckets - 1) (log2 us 0)
+
+(* Upper bound of bucket [i], in milliseconds. *)
+let bucket_upper_ms i = Float.ldexp 1.0 (i + 1) /. 1000.0
+
+type kind_stats = {
+  mutable count : int;
+  mutable errors : int;
+  mutable sum_s : float;
+  mutable max_s : float;
+  hist : int array;
+}
+
+type t = {
+  kinds : (string, kind_stats) Hashtbl.t;
+  mutable total : int;
+  mutable total_errors : int;
+  mutable sheds : int;
+  mutable budget_trips : int;
+  mutable faults : int;
+  mutable evictions : int;
+  mutable max_queue_depth : int;
+}
+
+let create () =
+  {
+    kinds = Hashtbl.create 16;
+    total = 0;
+    total_errors = 0;
+    sheds = 0;
+    budget_trips = 0;
+    faults = 0;
+    evictions = 0;
+    max_queue_depth = 0;
+  }
+
+let kind_stats t kind =
+  match Hashtbl.find_opt t.kinds kind with
+  | Some ks -> ks
+  | None ->
+      let ks =
+        { count = 0; errors = 0; sum_s = 0.0; max_s = 0.0;
+          hist = Array.make buckets 0 }
+      in
+      Hashtbl.replace t.kinds kind ks;
+      ks
+
+let record t ~kind ~ok ~latency_s =
+  let ks = kind_stats t kind in
+  ks.count <- ks.count + 1;
+  if not ok then ks.errors <- ks.errors + 1;
+  ks.sum_s <- ks.sum_s +. latency_s;
+  if latency_s > ks.max_s then ks.max_s <- latency_s;
+  let b = bucket_of_latency latency_s in
+  ks.hist.(b) <- ks.hist.(b) + 1;
+  t.total <- t.total + 1;
+  if not ok then t.total_errors <- t.total_errors + 1
+
+let shed t = t.sheds <- t.sheds + 1
+
+let budget_trip t = t.budget_trips <- t.budget_trips + 1
+
+let fault t = t.faults <- t.faults + 1
+
+let evicted t n = t.evictions <- t.evictions + n
+
+let note_queue_depth t d =
+  if d > t.max_queue_depth then t.max_queue_depth <- d
+
+let shed_count t = t.sheds
+
+let requests t = t.total
+
+(* Upper bound of the bucket holding the q-quantile sample. *)
+let quantile_ms ks q =
+  if ks.count = 0 then 0.0
+  else begin
+    let target =
+      max 1 (int_of_float (Float.round (q *. float_of_int ks.count)))
+    in
+    let seen = ref 0 and result = ref (bucket_upper_ms (buckets - 1)) in
+    (try
+       for i = 0 to buckets - 1 do
+         seen := !seen + ks.hist.(i);
+         if !seen >= target then begin
+           result := bucket_upper_ms i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let sorted_kinds t =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.kinds [])
+
+let snapshot ?(queue_depth = 0) ?(sessions = 0) t =
+  let kind_row (name, ks) =
+    ( name,
+      J.Obj
+        [
+          ("count", J.Int ks.count);
+          ("errors", J.Int ks.errors);
+          ("p50_ms", J.Float (quantile_ms ks 0.50));
+          ("p95_ms", J.Float (quantile_ms ks 0.95));
+          ("p99_ms", J.Float (quantile_ms ks 0.99));
+          ("max_ms", J.Float (ks.max_s *. 1000.0));
+        ] )
+  in
+  J.Obj
+    [
+      ("requests", J.Int t.total);
+      ("errors", J.Int t.total_errors);
+      ("shed", J.Int t.sheds);
+      ("budget_trips", J.Int t.budget_trips);
+      ("faults", J.Int t.faults);
+      ("evictions", J.Int t.evictions);
+      ("sessions", J.Int sessions);
+      ("queue_depth", J.Int queue_depth);
+      ("max_queue_depth", J.Int t.max_queue_depth);
+      ("by_kind", J.Obj (List.map kind_row (sorted_kinds t)));
+    ]
+
+let render ?(queue_depth = 0) ?(sessions = 0) t =
+  let buf = Buffer.create 512 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "service metrics:\n";
+  addf
+    "  requests %d  errors %d  shed %d  budget-trips %d  faults %d  \
+     evictions %d\n"
+    t.total t.total_errors t.sheds t.budget_trips t.faults t.evictions;
+  addf "  sessions %d  queue-depth %d (max %d)\n" sessions queue_depth
+    t.max_queue_depth;
+  List.iter
+    (fun (name, ks) ->
+      addf "  %-12s count %-6d errors %-4d p50 %.3fms  p95 %.3fms  p99 %.3fms  max %.3fms\n"
+        name ks.count ks.errors (quantile_ms ks 0.50) (quantile_ms ks 0.95)
+        (quantile_ms ks 0.99) (ks.max_s *. 1000.0))
+    (sorted_kinds t);
+  Buffer.contents buf

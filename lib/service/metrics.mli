@@ -1,0 +1,49 @@
+(** Live service telemetry: monotonic counters and latency histograms.
+
+    One {!t} lives for the whole life of a server.  Every executed
+    request records its kind, outcome and wall-clock latency; admission
+    control records sheds; the session layer records budget trips,
+    injected faults and idle evictions.  Latencies go into per-kind
+    histograms with power-of-two microsecond buckets, from which
+    {!snapshot} reports p50/p95/p99 (as the upper bound of the quantile's
+    bucket — cheap, monotone, and accurate to a factor of two, which is
+    all a service dashboard needs).
+
+    Everything here is plain mutation on one domain: the scheduler
+    serialises request execution, so no locking is required. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> kind:string -> ok:bool -> latency_s:float -> unit
+(** Account one executed request of wire kind [kind] (e.g. ["route"]).
+    [latency_s] is seconds of wall clock spent executing it. *)
+
+val shed : t -> unit
+(** One request refused by admission control. *)
+
+val budget_trip : t -> unit
+(** One request rolled back by a budget trip. *)
+
+val fault : t -> unit
+(** One request aborted by an injected chaos fault. *)
+
+val evicted : t -> int -> unit
+(** [n] sessions evicted for idleness. *)
+
+val note_queue_depth : t -> int -> unit
+(** Sample the scheduler queue depth (tracked as a high-water mark). *)
+
+val shed_count : t -> int
+
+val requests : t -> int
+(** Total executed requests (sheds excluded). *)
+
+val snapshot : ?queue_depth:int -> ?sessions:int -> t -> Util.Json.t
+(** The [stats] reply body: totals, gauges and the per-kind table
+    [{count, errors, p50_ms, p95_ms, p99_ms, max_ms}], kinds sorted
+    alphabetically so snapshots diff cleanly. *)
+
+val render : ?queue_depth:int -> ?sessions:int -> t -> string
+(** Human-readable multi-line dump (the shutdown report). *)

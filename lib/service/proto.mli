@@ -1,0 +1,76 @@
+(** The routing-service wire protocol.
+
+    Line-delimited JSON: every request is one line, every reply is one
+    line.  Requests carry an [op] string, an optional client-chosen [id]
+    (echoed verbatim in the reply, default 0) and, for session-scoped
+    operations, the [session] name.  Replies are versioned ([v], see
+    {!version}) and either [{"ok":true, "gen":…, "result":…}] or
+    [{"ok":false, "error":{"code":…, "msg":…}}] with a machine-parseable
+    {!error_code}; shed replies additionally carry [retry_after_ms].
+
+    The full message catalogue, field by field, lives in
+    docs/PROTOCOL.md — this module is its executable form. *)
+
+val version : int
+(** Protocol version stamped on every reply ([1]). *)
+
+(** A net referenced either by id (the protocol's [net] field) or by name
+    (the [name] field).  Ids are renumbered by [remove_net]; names are
+    stable, so interactive clients should prefer them. *)
+type target = Net_id of int | Net_name of string
+
+type op =
+  | Open of { problem_text : string option; file : string option }
+      (** create a session; the problem arrives inline ([problem]) or as
+          a server-side path ([file]) — exactly one must be present *)
+  | Route of { slo_ms : int option }
+      (** route everything unrouted, under an optional per-request SLO
+          overriding the server default *)
+  | Add_net of { name : string; pins : Netlist.Net.pin list }
+  | Remove_net of target
+  | Rip of target
+  | Freeze of target
+  | Thaw of target
+  | Refine of { max_passes : int option }
+  | Verify
+  | Render  (** ASCII rendering of the session's current layout *)
+  | Stats  (** server-wide metrics + registry snapshot; no session *)
+  | Close
+  | Shutdown
+
+type request = { rid : int; session : string option; op : op }
+
+val op_name : op -> string
+(** The wire name of the operation — also the metrics key. *)
+
+type error_code =
+  | Parse_error  (** request line is not valid JSON *)
+  | Bad_request  (** JSON is fine, fields are not *)
+  | Unknown_op
+  | Unknown_session
+  | Session_exists
+  | Session_cap  (** registry hard cap reached *)
+  | Net_error  (** session mutation rejected (bad pin, frozen net, …) *)
+  | Budget_tripped
+      (** the per-request budget expired; the session was rolled back *)
+  | Fault_injected
+      (** an injected chaos fault aborted the request after rollback *)
+  | Queue_full  (** admission control shed the request; retry later *)
+  | Shutting_down
+  | Internal
+
+val code_name : error_code -> string
+(** Stable wire identifier, e.g. ["queue_full"]. *)
+
+val parse : string -> (request, error_code * string) result
+(** Decode one request line.  Errors come back as the code to put in the
+    structured reply plus a human-readable message. *)
+
+val ok_line : rid:int -> ?gen:int -> Util.Json.t -> string
+(** Encode a success reply line (no trailing newline).  [gen] is the
+    session's generation counter after the request, present on
+    session-scoped replies. *)
+
+val error_line :
+  rid:int -> ?retry_after_ms:int -> error_code -> string -> string
+(** Encode a failure reply line (no trailing newline). *)

@@ -1,0 +1,97 @@
+module J = Util.Json
+
+type entry = {
+  name : string;
+  session : Router.Session.t;
+  mutable gen : int;
+  mutable last_used : int;
+}
+
+type t = {
+  config : Router.Config.t;
+  chaos : Router.Chaos.t;
+  max_sessions : int;
+  idle_ticks : int;
+  sessions : (string, entry) Hashtbl.t;
+  mutable clock : int;
+}
+
+let create ?(config = Router.Config.default) ?(chaos = Router.Chaos.none)
+    ?(max_sessions = 64) ?(idle_ticks = 10_000) () =
+  {
+    config;
+    chaos;
+    max_sessions = max 1 max_sessions;
+    idle_ticks = max 1 idle_ticks;
+    sessions = Hashtbl.create 16;
+    clock = 0;
+  }
+
+let count t = Hashtbl.length t.sessions
+
+let open_session t ~name problem =
+  if Hashtbl.mem t.sessions name then Error `Exists
+  else if count t >= t.max_sessions then Error (`Cap t.max_sessions)
+  else begin
+    let session =
+      Router.Session.create ~config:t.config ~chaos:t.chaos problem
+    in
+    let e = { name; session; gen = 0; last_used = t.clock } in
+    Hashtbl.replace t.sessions name e;
+    Ok e
+  end
+
+let find t name =
+  match Hashtbl.find_opt t.sessions name with
+  | None -> None
+  | Some e ->
+      e.last_used <- t.clock;
+      Some e
+
+let session e = e.session
+
+let generation e = e.gen
+
+let bump e = e.gen <- e.gen + 1
+
+let close t name =
+  if Hashtbl.mem t.sessions name then begin
+    Hashtbl.remove t.sessions name;
+    true
+  end
+  else false
+
+let names t =
+  List.sort String.compare
+    (Hashtbl.fold (fun name _ acc -> name :: acc) t.sessions [])
+
+let tick t =
+  t.clock <- t.clock + 1;
+  let stale =
+    Hashtbl.fold
+      (fun name e acc ->
+        if t.clock - e.last_used > t.idle_ticks then name :: acc else acc)
+      t.sessions []
+  in
+  let stale = List.sort String.compare stale in
+  List.iter (Hashtbl.remove t.sessions) stale;
+  stale
+
+let snapshot t =
+  let row name =
+    let e = Hashtbl.find t.sessions name in
+    let problem = Router.Session.problem e.session in
+    let nets = Netlist.Problem.net_count problem in
+    let routed = ref 0 in
+    for net = 1 to nets do
+      if Router.Session.is_routed e.session ~net then incr routed
+    done;
+    ( name,
+      J.Obj
+        [
+          ("gen", J.Int e.gen);
+          ("nets", J.Int nets);
+          ("routed", J.Int !routed);
+        ] )
+  in
+  J.Obj (List.map row (names t))

@@ -1,0 +1,58 @@
+(** Named concurrent routing sessions with lifecycle management.
+
+    The registry owns every live {!Router.Session.t} of the server, keyed
+    by client-chosen name.  It enforces a hard cap on concurrent sessions
+    (opening past it fails with a structured error, it never blocks),
+    tracks a per-session {e generation counter} — bumped once per
+    committed mutation and echoed in every reply, so a client can detect
+    it raced another client on the same session — and evicts sessions
+    that have sat idle for more than [idle_ticks] server requests
+    (a logical clock: one tick per executed request, which keeps eviction
+    deterministic for replayed traces). *)
+
+type t
+
+type entry
+
+val create :
+  ?config:Router.Config.t ->
+  ?chaos:Router.Chaos.t ->
+  ?max_sessions:int ->
+  ?idle_ticks:int ->
+  unit ->
+  t
+(** [config] (default {!Router.Config.default}) and [chaos] (default
+    {!Router.Chaos.none}) are handed to every session created.
+    [max_sessions] defaults to 64; [idle_ticks] defaults to 10_000. *)
+
+val open_session :
+  t -> name:string -> Netlist.Problem.t ->
+  (entry, [ `Exists | `Cap of int ]) result
+(** Create and register a fresh session over [problem].  [`Cap n] carries
+    the configured maximum. *)
+
+val find : t -> string -> entry option
+(** Look up a session and mark it used at the current tick. *)
+
+val session : entry -> Router.Session.t
+
+val generation : entry -> int
+
+val bump : entry -> unit
+(** Record one committed mutation: the generation counter increments. *)
+
+val close : t -> string -> bool
+(** [false] when no such session. *)
+
+val count : t -> int
+
+val names : t -> string list
+(** Alphabetical. *)
+
+val tick : t -> string list
+(** Advance the logical clock by one request and evict every session idle
+    longer than [idle_ticks]; returns the evicted names (alphabetical). *)
+
+val snapshot : t -> Util.Json.t
+(** Registry half of the [stats] reply: per-session name, generation,
+    net count and routed-net count. *)

@@ -1,0 +1,47 @@
+type 'a t = {
+  cap : int;
+  per_key : (string, 'a Queue.t) Hashtbl.t;
+  ring : string Queue.t;  (* rotation of keys with pending requests *)
+  mutable length : int;
+}
+
+let create ~cap () =
+  { cap = max 1 cap; per_key = Hashtbl.create 8; ring = Queue.create ();
+    length = 0 }
+
+let cap t = t.cap
+
+let length t = t.length
+
+let submit t ~key item =
+  if t.length >= t.cap then false
+  else begin
+    (match Hashtbl.find_opt t.per_key key with
+    | Some q -> Queue.push item q
+    | None ->
+        let q = Queue.create () in
+        Queue.push item q;
+        Hashtbl.replace t.per_key key q;
+        Queue.push key t.ring);
+    t.length <- t.length + 1;
+    true
+  end
+
+let pop t =
+  if t.length = 0 then None
+  else begin
+    (* The ring only ever holds keys with a live queue, so this loop pops
+       at most one stale entry per vanished key and terminates. *)
+    let rec next () =
+      let key = Queue.pop t.ring in
+      match Hashtbl.find_opt t.per_key key with
+      | None -> next ()
+      | Some q ->
+          let item = Queue.pop q in
+          t.length <- t.length - 1;
+          if Queue.is_empty q then Hashtbl.remove t.per_key key
+          else Queue.push key t.ring;
+          Some (key, item)
+    in
+    next ()
+  end

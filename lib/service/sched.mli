@@ -1,0 +1,33 @@
+(** Bounded request queue with admission control and per-session fairness.
+
+    Requests enter through {!submit} keyed by their session name.  The
+    queue holds at most [cap] requests in total; past that, admission
+    control rejects ({b sheds}) the request immediately — the caller
+    turns that into a structured [queue_full] reply with a
+    [retry_after_ms] hint, so a client under overload always gets a
+    prompt, parseable answer instead of a hang.
+
+    {!pop} drains in {b round-robin order over sessions}: sessions with
+    pending work are served one request at a time in rotation, so a
+    client that floods one session cannot starve the others — its
+    requests wait behind one request of every other active session.
+    Within one session, order is strictly FIFO (a single-session trace
+    drains in submission order, which is what the byte-identical
+    trace-equivalence guarantee relies on). *)
+
+type 'a t
+
+val create : cap:int -> unit -> 'a t
+(** [cap] is clamped to at least 1. *)
+
+val cap : 'a t -> int
+
+val length : 'a t -> int
+(** Requests currently queued. *)
+
+val submit : 'a t -> key:string -> 'a -> bool
+(** Enqueue under the session key; [false] when the queue is full (the
+    request was shed — nothing was enqueued). *)
+
+val pop : 'a t -> (string * 'a) option
+(** Next request in fair rotation, with its key. *)

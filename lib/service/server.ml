@@ -1,0 +1,480 @@
+module J = Util.Json
+
+type config = {
+  router : Router.Config.t;
+  chaos : Router.Chaos.t;
+  queue_cap : int;
+  default_slo_ms : int option;
+  max_sessions : int;
+  idle_ticks : int;
+  allow_files : bool;
+}
+
+let default_config =
+  {
+    router = Router.Config.default;
+    chaos = Router.Chaos.none;
+    queue_cap = 64;
+    default_slo_ms = None;
+    max_sessions = 64;
+    idle_ticks = 10_000;
+    allow_files = true;
+  }
+
+type item = { client : int; request : Proto.request }
+
+type t = {
+  config : config;
+  registry : Registry.t;
+  queue : item Sched.t;
+  metrics : Metrics.t;
+  mutable shutdown : bool;
+  (* Running mean of request execution time, feeding the retry_after_ms
+     hint of shed replies. *)
+  mutable exec_count : int;
+  mutable exec_sum_s : float;
+}
+
+let create ?(config = default_config) () =
+  {
+    config;
+    registry =
+      Registry.create ~config:config.router ~chaos:config.chaos
+        ~max_sessions:config.max_sessions ~idle_ticks:config.idle_ticks ();
+    queue = Sched.create ~cap:config.queue_cap ();
+    metrics = Metrics.create ();
+    shutdown = false;
+    exec_count = 0;
+    exec_sum_s = 0.0;
+  }
+
+let metrics t = t.metrics
+
+let registry t = t.registry
+
+let queue_depth t = Sched.length t.queue
+
+let shutdown_requested t = t.shutdown
+
+(* How long a shed client should wait before retrying: the time the
+   current backlog will plausibly take to drain, from the observed mean
+   request latency (falling back to the SLO, then to a token 50ms before
+   any request has executed). *)
+let retry_after_ms t =
+  let mean_ms =
+    if t.exec_count > 0 then 1000.0 *. t.exec_sum_s /. float_of_int t.exec_count
+    else
+      match t.config.default_slo_ms with
+      | Some ms -> float_of_int ms
+      | None -> 50.0
+  in
+  max 1 (int_of_float (mean_ms *. float_of_int (Sched.length t.queue + 1)))
+
+(* --- request execution --- *)
+
+exception Reply of string
+
+let error_reply ~rid ?retry_after_ms code msg =
+  raise (Reply (Proto.error_line ~rid ?retry_after_ms code msg))
+
+let chaos_message msg =
+  String.length msg >= 6 && String.sub msg 0 6 = "chaos:"
+
+let with_session t (req : Proto.request) f =
+  match req.Proto.session with
+  | None ->
+      error_reply ~rid:req.Proto.rid Proto.Bad_request
+        "this op needs a \"session\" field"
+  | Some name -> (
+      match Registry.find t.registry name with
+      | None ->
+          error_reply ~rid:req.Proto.rid Proto.Unknown_session
+            (Printf.sprintf "no session named %S" name)
+      | Some entry -> f name entry)
+
+let resolve_target ~rid entry = function
+  | Proto.Net_id id -> id
+  | Proto.Net_name name -> (
+      match Router.Session.net_id (Registry.session entry) name with
+      | Some id -> id
+      | None ->
+          error_reply ~rid Proto.Net_error
+            (Printf.sprintf "no net named %S" name))
+
+(* Session mutations surface injected faults as [Error msg] with a
+   recognisable prefix; give them their own error code so clients (and
+   the chaos tests) can tell a fault-aborted request from a rejected
+   one.  Either way the session has already rolled back. *)
+let mutation_error ~rid t msg =
+  if chaos_message msg then begin
+    Metrics.fault t.metrics;
+    error_reply ~rid Proto.Fault_injected msg
+  end
+  else error_reply ~rid Proto.Net_error msg
+
+let engine_stats_json (s : Router.Engine.stats) =
+  let status = if s.Router.Engine.failed_nets = [] then "complete" else "infeasible" in
+  J.Obj
+    [
+      ("status", J.String status);
+      ("routed", J.Int s.Router.Engine.routed_nets);
+      ( "failed",
+        J.List (List.map (fun id -> J.Int id) s.Router.Engine.failed_nets) );
+      ("wirelength", J.Int s.Router.Engine.total_wirelength);
+      ("vias", J.Int s.Router.Engine.total_vias);
+      ("rips", J.Int s.Router.Engine.rips);
+      ("shoves", J.Int s.Router.Engine.shoves);
+      ("searches", J.Int s.Router.Engine.searches);
+      ("expanded", J.Int s.Router.Engine.expanded);
+      ("attempts", J.Int s.Router.Engine.attempts);
+    ]
+
+let load_problem t ~rid = function
+  | Proto.Open { problem_text = Some text; _ } -> (
+      match Netlist.Parse.of_string ~src:"<request>" text with
+      | Ok p -> p
+      | Error e ->
+          error_reply ~rid Proto.Bad_request (Netlist.Parse.error_to_string e))
+  | Proto.Open { file = Some path; _ } -> (
+      if not t.config.allow_files then
+        error_reply ~rid Proto.Bad_request
+          "open by \"file\" is disabled on this server";
+      match Netlist.Parse.load path with
+      | Ok p -> p
+      | Error e ->
+          error_reply ~rid Proto.Bad_request (Netlist.Parse.error_to_string e))
+  | _ -> error_reply ~rid Proto.Bad_request "open needs \"problem\" or \"file\""
+
+let exec t (req : Proto.request) =
+  let rid = req.Proto.rid in
+  let ok ?gen result = Proto.ok_line ~rid ?gen result in
+  match req.Proto.op with
+  | Proto.Open _ -> assert false (* dispatched to [exec_open] by [execute] *)
+  | Proto.Route { slo_ms } ->
+      with_session t req @@ fun _ entry ->
+      let session = Registry.session entry in
+      let budget =
+        match (slo_ms, t.config.default_slo_ms) with
+        | Some ms, _ | None, Some ms ->
+            Some (Router.Budget.create ~deadline:(float_of_int ms /. 1000.0) ())
+        | None, None -> None
+      in
+      (match Router.Session.try_route ?budget session with
+      | Ok stats ->
+          Registry.bump entry;
+          ok ~gen:(Registry.generation entry) (engine_stats_json stats)
+      | Error reason ->
+          let msg = Router.Budget.reason_to_string reason in
+          if chaos_message msg then begin
+            Metrics.fault t.metrics;
+            error_reply ~rid Proto.Fault_injected msg
+          end
+          else begin
+            Metrics.budget_trip t.metrics;
+            error_reply ~rid Proto.Budget_tripped msg
+          end
+      | exception Router.Chaos.Injected_fault msg ->
+          Metrics.fault t.metrics;
+          error_reply ~rid Proto.Fault_injected msg)
+  | Proto.Add_net { name; pins } -> (
+      with_session t req @@ fun _ entry ->
+      match Router.Session.add_net (Registry.session entry) ~name pins with
+      | Ok id ->
+          Registry.bump entry;
+          ok ~gen:(Registry.generation entry) (J.Obj [ ("net", J.Int id) ])
+      | Error msg -> mutation_error ~rid t msg)
+  | Proto.Remove_net target | Proto.Rip target
+  | Proto.Freeze target | Proto.Thaw target -> (
+      with_session t req @@ fun _ entry ->
+      let session = Registry.session entry in
+      let net = resolve_target ~rid entry target in
+      let call =
+        match req.Proto.op with
+        | Proto.Remove_net _ -> Router.Session.remove_net
+        | Proto.Rip _ -> Router.Session.rip
+        | Proto.Freeze _ -> Router.Session.freeze
+        | _ -> Router.Session.thaw
+      in
+      match call session ~net with
+      | Ok () ->
+          Registry.bump entry;
+          ok ~gen:(Registry.generation entry) (J.Obj [ ("done", J.Bool true) ])
+      | Error msg -> mutation_error ~rid t msg)
+  | Proto.Refine { max_passes } -> (
+      with_session t req @@ fun _ entry ->
+      match Router.Session.refine ?max_passes (Registry.session entry) with
+      | s ->
+          Registry.bump entry;
+          ok ~gen:(Registry.generation entry)
+            (J.Obj
+               [
+                 ("passes", J.Int s.Router.Improve.passes);
+                 ("improved_nets", J.Int s.Router.Improve.improved_nets);
+                 ("wirelength_before", J.Int s.Router.Improve.wirelength_before);
+                 ("wirelength_after", J.Int s.Router.Improve.wirelength_after);
+                 ("vias_before", J.Int s.Router.Improve.vias_before);
+                 ("vias_after", J.Int s.Router.Improve.vias_after);
+               ])
+      | exception Router.Chaos.Injected_fault msg ->
+          Metrics.fault t.metrics;
+          error_reply ~rid Proto.Fault_injected msg)
+  | Proto.Verify ->
+      with_session t req @@ fun _ entry ->
+      let violations = Router.Session.verify (Registry.session entry) in
+      ok ~gen:(Registry.generation entry)
+        (J.Obj
+           [
+             ("clean", J.Bool (violations = []));
+             ( "violations",
+               J.List
+                 (List.map
+                    (fun v ->
+                      J.String
+                        (Format.asprintf "%a" Drc.Check.pp_violation v))
+                    violations) );
+           ])
+  | Proto.Render ->
+      with_session t req @@ fun _ entry ->
+      ok ~gen:(Registry.generation entry)
+        (J.Obj
+           [
+             ( "ascii",
+               J.String (Viz.Ascii.render (Router.Session.grid (Registry.session entry)))
+             );
+           ])
+  | Proto.Stats ->
+      ok
+        (J.Obj
+           [
+             ("protocol", J.Int Proto.version);
+             ( "metrics",
+               Metrics.snapshot ~queue_depth:(Sched.length t.queue)
+                 ~sessions:(Registry.count t.registry) t.metrics );
+             ("registry", Registry.snapshot t.registry);
+           ])
+  | Proto.Close -> (
+      match req.Proto.session with
+      | None ->
+          error_reply ~rid Proto.Bad_request "close needs a \"session\" field"
+      | Some name ->
+          if Registry.close t.registry name then
+            ok (J.Obj [ ("closed", J.String name) ])
+          else
+            error_reply ~rid Proto.Unknown_session
+              (Printf.sprintf "no session named %S" name))
+  | Proto.Shutdown ->
+      t.shutdown <- true;
+      ok (J.Obj [ ("stopping", J.Bool true) ])
+
+(* [open] is special-cased before [exec]'s session lookup: it is the one
+   session-scoped op whose session must not exist yet. *)
+let exec_open t (req : Proto.request) op =
+  let rid = req.Proto.rid in
+  match req.Proto.session with
+  | None -> error_reply ~rid Proto.Bad_request "open needs a \"session\" field"
+  | Some name -> (
+      let problem = load_problem t ~rid op in
+      match Registry.open_session t.registry ~name problem with
+      | Ok entry ->
+          Proto.ok_line ~rid ~gen:(Registry.generation entry)
+            (J.Obj
+               [
+                 ("session", J.String name);
+                 ("nets", J.Int (Netlist.Problem.net_count problem));
+                 ("width", J.Int problem.Netlist.Problem.width);
+                 ("height", J.Int problem.Netlist.Problem.height);
+               ])
+      | Error `Exists ->
+          error_reply ~rid Proto.Session_exists
+            (Printf.sprintf "session %S already exists" name)
+      | Error (`Cap n) ->
+          error_reply ~rid Proto.Session_cap
+            (Printf.sprintf "session cap reached (%d); close one first" n))
+
+let execute t (req : Proto.request) =
+  let t0 = Unix.gettimeofday () in
+  let reply, ok_flag =
+    match
+      match req.Proto.op with
+      | Proto.Open _ as op -> exec_open t req op
+      | _ -> exec t req
+    with
+    | reply -> (reply, true)
+    | exception Reply reply -> (reply, false)
+    | exception exn ->
+        ( Proto.error_line ~rid:req.Proto.rid Proto.Internal
+            (Printexc.to_string exn),
+          false )
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  t.exec_count <- t.exec_count + 1;
+  t.exec_sum_s <- t.exec_sum_s +. dt;
+  Metrics.record t.metrics ~kind:(Proto.op_name req.Proto.op) ~ok:ok_flag
+    ~latency_s:dt;
+  Metrics.evicted t.metrics (List.length (Registry.tick t.registry));
+  reply
+
+(* --- admission --- *)
+
+let submit t ~client line =
+  if t.shutdown then
+    Some
+      (Proto.error_line ~rid:0 Proto.Shutting_down "server is shutting down")
+  else
+    match Proto.parse line with
+    | Error (code, msg) ->
+        Metrics.record t.metrics ~kind:"invalid" ~ok:false ~latency_s:0.0;
+        Some (Proto.error_line ~rid:0 code msg)
+    | Ok request ->
+        let key = Option.value ~default:"" request.Proto.session in
+        if Sched.submit t.queue ~key { client; request } then begin
+          Metrics.note_queue_depth t.metrics (Sched.length t.queue);
+          None
+        end
+        else begin
+          Metrics.shed t.metrics;
+          Some
+            (Proto.error_line ~rid:request.Proto.rid
+               ~retry_after_ms:(retry_after_ms t) Proto.Queue_full
+               (Printf.sprintf "queue full (%d queued)" (Sched.length t.queue)))
+        end
+
+let drain_one t =
+  match Sched.pop t.queue with
+  | None -> None
+  | Some (_key, { client; request }) -> Some (client, execute t request)
+
+let handle_line t line =
+  let immediate = submit t ~client:0 line in
+  let drained = ref [] in
+  let rec drain () =
+    match drain_one t with
+    | Some (_, reply) ->
+        drained := reply :: !drained;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  (match immediate with Some r -> [ r ] | None -> []) @ List.rev !drained
+
+let metrics_dump t =
+  Metrics.render ~queue_depth:(Sched.length t.queue)
+    ~sessions:(Registry.count t.registry) t.metrics
+
+(* --- transports --- *)
+
+let serve_pipe t ic oc =
+  let rec loop () =
+    if not t.shutdown then
+      match input_line ic with
+      | exception End_of_file -> ()
+      | line ->
+          List.iter
+            (fun reply ->
+              output_string oc reply;
+              output_char oc '\n')
+            (handle_line t line);
+          flush oc;
+          loop ()
+  in
+  loop ();
+  prerr_string (metrics_dump t);
+  flush stderr
+
+(* One connected socket client: fd, partial-line input buffer. *)
+type client = { fd : Unix.file_descr; buf : Buffer.t }
+
+let serve_socket t ~path =
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  Unix.bind listen_fd (Unix.ADDR_UNIX path);
+  Unix.listen listen_fd 16;
+  let clients : (int, client) Hashtbl.t = Hashtbl.create 8 in
+  let next_id = ref 0 in
+  let close_client id =
+    match Hashtbl.find_opt clients id with
+    | None -> ()
+    | Some c ->
+        (try Unix.close c.fd with Unix.Unix_error _ -> ());
+        Hashtbl.remove clients id
+  in
+  let send id line =
+    match Hashtbl.find_opt clients id with
+    | None -> () (* client went away; its reply is dropped *)
+    | Some c -> (
+        let data = Bytes.of_string (line ^ "\n") in
+        let len = Bytes.length data in
+        let rec write off =
+          if off < len then
+            let n = Unix.write c.fd data off (len - off) in
+            write (off + n)
+        in
+        try write 0 with Unix.Unix_error _ -> close_client id)
+  in
+  let read_chunk = Bytes.create 4096 in
+  let feed id c =
+    match Unix.read c.fd read_chunk 0 (Bytes.length read_chunk) with
+    | 0 -> close_client id
+    | n ->
+        Buffer.add_subbytes c.buf read_chunk 0 n;
+        (* Split completed lines off the front of the buffer. *)
+        let data = Buffer.contents c.buf in
+        Buffer.clear c.buf;
+        let lines = String.split_on_char '\n' data in
+        let rec consume = function
+          | [] -> ()
+          | [ partial ] -> Buffer.add_string c.buf partial
+          | line :: rest ->
+              (match submit t ~client:id line with
+              | Some reply -> send id reply
+              | None -> ());
+              consume rest
+        in
+        consume lines
+    | exception Unix.Unix_error _ -> close_client id
+  in
+  let rec loop () =
+    let fds =
+      listen_fd :: Hashtbl.fold (fun _ c acc -> c.fd :: acc) clients []
+    in
+    (match Unix.select fds [] [] 0.2 with
+    | ready, _, _ ->
+        List.iter
+          (fun fd ->
+            if fd = listen_fd then begin
+              let cfd, _ = Unix.accept listen_fd in
+              incr next_id;
+              Hashtbl.replace clients !next_id
+                { fd = cfd; buf = Buffer.create 256 }
+            end
+            else
+              let found =
+                Hashtbl.fold
+                  (fun id c acc -> if c.fd = fd then Some (id, c) else acc)
+                  clients None
+              in
+              match found with
+              | Some (id, c) -> feed id c
+              | None -> ())
+          ready
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    (* Drain everything admitted before going back to select: requests
+       are compute-bound and execution is serialised by design. *)
+    let rec drain () =
+      match drain_one t with
+      | Some (client, reply) ->
+          send client reply;
+          drain ()
+      | None -> ()
+    in
+    drain ();
+    if (not t.shutdown) || Sched.length t.queue > 0 then loop ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) clients;
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      prerr_string (metrics_dump t);
+      flush stderr)
+    loop

@@ -1,0 +1,85 @@
+(** The routing service: a long-lived daemon around {!Router.Session}.
+
+    One server owns a {!Registry} of named sessions, a bounded {!Sched}
+    request queue and a {!Metrics} core.  Requests arrive as protocol
+    lines ({!Proto}), pass admission control, and execute one at a time
+    in the scheduler's fair order; every reply is one line.
+
+    {b Transactionality.}  Every mutating request rides the transactional
+    session layer: a request that trips its per-request budget (the SLO)
+    or hits an injected chaos fault returns a structured error {e and
+    leaves its session exactly as it was before the request} — the reply
+    stream tells the client precisely which requests took effect (and the
+    [gen] counter in each reply counts them).
+
+    {b Determinism.}  With no budget and no chaos, a request trace
+    produces layouts byte-identical to running the equivalent batch
+    calls directly — the service adds scheduling, not behaviour.
+
+    Two transports share this engine: {!serve_pipe} (stdin/stdout, one
+    client) and {!serve_socket} (Unix domain socket, many clients
+    multiplexed onto the one scheduler).  Tests and benches can also
+    drive the engine directly with {!submit}/{!drain_one}. *)
+
+type config = {
+  router : Router.Config.t;  (** engine configuration of every session *)
+  chaos : Router.Chaos.t;  (** fault injector handed to every session *)
+  queue_cap : int;  (** admission-control bound on queued requests *)
+  default_slo_ms : int option;
+      (** default per-request wall-clock budget for [route] requests;
+          a request's [slo_ms] field overrides it.  [None] = no deadline
+          unless the client asks for one. *)
+  max_sessions : int;  (** registry hard cap *)
+  idle_ticks : int;  (** idle-session eviction horizon, in requests *)
+  allow_files : bool;
+      (** permit [open] by server-side [file] path (on for the CLI;
+          turn off when exposing the socket beyond trusted clients) *)
+}
+
+val default_config : config
+(** [Router.Config.default], no chaos, queue cap 64, no default SLO,
+    64 sessions, eviction after 10_000 requests, files allowed. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val metrics : t -> Metrics.t
+
+val registry : t -> Registry.t
+
+val queue_depth : t -> int
+
+val shutdown_requested : t -> bool
+
+val submit : t -> client:int -> string -> string option
+(** Feed one request line.  [Some reply] is an immediate reply that
+    bypassed the queue — a parse error, a shed ([queue_full] with
+    [retry_after_ms]), or a [shutting_down] refusal.  [None] means the
+    request was admitted; its reply will come out of {!drain_one} tagged
+    with [client]. *)
+
+val drain_one : t -> (int * string) option
+(** Execute the next queued request (fair round-robin over sessions) and
+    return its client tag and reply line.  [None] when the queue is
+    empty. *)
+
+val handle_line : t -> string -> string list
+(** Synchronous convenience for single-client transports and tests:
+    {!submit} as client 0, then drain until empty; returns every reply
+    produced, in order. *)
+
+val metrics_dump : t -> string
+(** Human-readable metrics + registry summary (printed to stderr on
+    shutdown by the transports). *)
+
+val serve_pipe : t -> in_channel -> out_channel -> unit
+(** Serve line-delimited requests until EOF or a [shutdown] request;
+    replies go to [oc], flushed per line.  Returns after dumping metrics
+    to [stderr]. *)
+
+val serve_socket : t -> path:string -> unit
+(** Bind a Unix domain socket at [path] (replacing any stale file),
+    accept any number of clients, and multiplex their requests onto the
+    scheduler.  Runs until a [shutdown] request, then closes every
+    client, unlinks [path] and dumps metrics to [stderr]. *)

@@ -1,0 +1,48 @@
+(** Minimal JSON: the wire format of the routing service.
+
+    Hand-rolled on purpose — the service protocol must not pull in new
+    dependencies.  The encoder emits compact single-line JSON (no
+    newlines, so one message is always one line of the line-delimited
+    protocol); the decoder is a plain recursive-descent parser accepting
+    standard JSON with arbitrary whitespace.
+
+    Numbers without a fraction or exponent that fit an OCaml [int] decode
+    as {!Int}; everything else numeric decodes as {!Float}.  String
+    escapes cover the JSON standard including [\uXXXX] (decoded to
+    UTF-8).  [to_string] and [of_string] round-trip every value built
+    from these constructors. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** insertion order preserved *)
+
+val to_string : t -> string
+(** Compact encoding: no spaces, no newlines, strings escaped. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value; trailing garbage (beyond whitespace) is an
+    error.  The error message includes the 0-based byte offset. *)
+
+val of_string_exn : string -> t
+(** @raise Failure on malformed input. *)
+
+(** {2 Accessors} — total functions used by the protocol decoder. *)
+
+val member : string -> t -> t option
+(** Field of an object; [None] on missing field or non-object. *)
+
+val to_int_opt : t -> int option
+(** [Int n] and integral [Float]s. *)
+
+val to_float_opt : t -> float option
+
+val to_string_opt : t -> string option
+
+val to_bool_opt : t -> bool option
+
+val to_list_opt : t -> t list option

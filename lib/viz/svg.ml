@@ -1,5 +1,21 @@
 let layer_color = function 0 -> "#2c6fbb" | _ -> "#c0392b"
 
+(* Net names are client-chosen free text; anything landing in markup must
+   be escaped or a net named "a<b" produces invalid XML. *)
+let xml_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 (* Grid y grows upwards; SVG y grows downwards. *)
 let render ?(cell = 14) problem g =
   let w = Grid.width g and h = Grid.height g in
@@ -66,19 +82,25 @@ let render ?(cell = 14) problem g =
           (2 * cell / 5) (2 * cell / 5)
     done
   done;
-  (* Pins with net labels. *)
+  (* Pins with net labels; the <title> child gives the full net name as a
+     hover tooltip.  Both the name and the label go through xml_escape. *)
   List.iter
     (fun (net, (pin : Netlist.Net.pin)) ->
+      let name =
+        xml_escape (Netlist.Problem.net problem net).Netlist.Net.name
+      in
       addf
         "<circle cx=\"%d\" cy=\"%d\" r=\"%d\" fill=\"none\" stroke=\"#1b1b1b\" \
-         stroke-width=\"1.5\"/>\n"
-        (cx pin.Netlist.Net.x) (cy pin.Netlist.Net.y) (cell * 2 / 5);
+         stroke-width=\"1.5\"><title>%s</title></circle>\n"
+        (cx pin.Netlist.Net.x) (cy pin.Netlist.Net.y) (cell * 2 / 5) name;
       addf
         "<text x=\"%d\" y=\"%d\" font-size=\"%d\" font-family=\"monospace\" \
-         text-anchor=\"middle\">%c</text>\n"
+         text-anchor=\"middle\">%s<title>%s</title></text>\n"
         (cx pin.Netlist.Net.x)
         (cy pin.Netlist.Net.y + (cell / 4))
-        (cell * 3 / 5) (Ascii.net_char net))
+        (cell * 3 / 5)
+        (xml_escape (String.make 1 (Ascii.net_char net)))
+        name)
     (Netlist.Problem.pin_cells problem);
   addf "</svg>\n";
   Buffer.contents buf

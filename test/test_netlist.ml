@@ -268,6 +268,36 @@ let test_parse_comments_and_blanks () =
        (fun (q : Netlist.Net.pin) -> q.Netlist.Net.layer = 0)
        n.Netlist.Net.pins)
 
+let test_parse_error_source_names () =
+  (* Every parse error names where its text came from: the file path for
+     [load], the caller-supplied [src] for strings, "<string>" otherwise. *)
+  let bad = "problem p region x 4\n" in
+  (match Netlist.Parse.of_string bad with
+  | Error e ->
+      Testkit.check_true "default src" (e.Netlist.Parse.src = "<string>");
+      Testkit.check_true "rendered with src"
+        (String.length (Netlist.Parse.error_to_string e) > 9
+        && String.sub (Netlist.Parse.error_to_string e) 0 9 = "<string>:")
+  | Ok _ -> Alcotest.fail "expected parse error");
+  (match Netlist.Parse.of_string ~src:"ticket.problem" bad with
+  | Error e -> Testkit.check_true "explicit src" (e.Netlist.Parse.src = "ticket.problem")
+  | Ok _ -> Alcotest.fail "expected parse error");
+  let path = Filename.temp_file "netlist" ".problem" in
+  let oc = open_out path in
+  output_string oc bad;
+  close_out oc;
+  (match Netlist.Parse.load path with
+  | Error e ->
+      Testkit.check_true "load src is the path" (e.Netlist.Parse.src = path)
+  | Ok _ -> Alcotest.fail "expected parse error");
+  Sys.remove path;
+  match Netlist.Parse.load path with
+  | Error e ->
+      Testkit.check_true "missing file src is the path"
+        (e.Netlist.Parse.src = path);
+      Testkit.check_int "no line for io errors" 0 e.Netlist.Parse.line
+  | Ok _ -> Alcotest.fail "expected io error"
+
 let test_parse_generated_problems () =
   List.iter
     (fun (_, p) ->
@@ -377,6 +407,8 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_parse_roundtrip;
           Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "error source names" `Quick
+            test_parse_error_source_names;
           Alcotest.test_case "comments/blanks" `Quick
             test_parse_comments_and_blanks;
           Alcotest.test_case "suite roundtrips" `Quick

@@ -1,0 +1,582 @@
+(* The routing service (lib/service): protocol, scheduler fairness,
+   registry lifecycle, admission control, and the two service-level
+   guarantees the acceptance criteria pin:
+
+   - a scripted request trace produces layouts byte-identical to the
+     equivalent batch engine run, on every committed instance;
+   - a request that trips its budget or hits an injected chaos fault
+     returns a structured error and leaves its session state unchanged —
+     the qcheck property replays only the committed requests of a
+     fault-riddled trace on a clean server and demands identical state.
+
+   Set DESIGN_CHAOS=1 to crank the qcheck iteration counts. *)
+
+let heavy = Sys.getenv_opt "DESIGN_CHAOS" <> None
+let count n = if heavy then n * 5 else n
+let prng seed = Util.Prng.create seed
+
+module J = Util.Json
+
+let ok_of_reply line =
+  match J.of_string line with
+  | Ok json -> Option.bind (J.member "ok" json) J.to_bool_opt = Some true
+  | Error _ -> false
+
+let error_code_of_reply line =
+  match J.of_string line with
+  | Ok json ->
+      Option.bind (J.member "error" json) (fun e ->
+          Option.bind (J.member "code" e) J.to_string_opt)
+  | Error _ -> None
+
+let result_of_reply line name =
+  match J.of_string line with
+  | Ok json -> Option.bind (J.member "result" json) (J.member name)
+  | Error _ -> None
+
+let one_reply server line =
+  match Service.Server.handle_line server line with
+  | [ reply ] -> reply
+  | replies ->
+      Alcotest.failf "expected one reply to %s, got %d" line
+        (List.length replies)
+
+(* --- protocol --- *)
+
+let test_proto_parse_ok () =
+  (match Service.Proto.parse {|{"id":7,"op":"route","session":"s","slo_ms":250}|} with
+  | Ok { rid; session; op = Service.Proto.Route { slo_ms } } ->
+      Testkit.check_int "id" 7 rid;
+      Testkit.check_true "session" (session = Some "s");
+      Testkit.check_true "slo" (slo_ms = Some 250)
+  | Ok _ -> Alcotest.fail "wrong op"
+  | Error (_, msg) -> Alcotest.fail msg);
+  match
+    Service.Proto.parse
+      {|{"op":"add_net","session":"s","name":"n1","pins":[[0,1],[2,3,1]]}|}
+  with
+  | Ok { rid; op = Service.Proto.Add_net { name; pins }; _ } ->
+      Testkit.check_int "default id" 0 rid;
+      Testkit.check_true "name" (name = "n1");
+      Testkit.check_int "pins" 2 (List.length pins);
+      Testkit.check_true "layered pin"
+        (List.exists (fun (p : Netlist.Net.pin) -> p.Netlist.Net.layer = 1) pins)
+  | Ok _ -> Alcotest.fail "wrong op"
+  | Error (_, msg) -> Alcotest.fail msg
+
+let test_proto_parse_errors () =
+  let expect code line =
+    match Service.Proto.parse line with
+    | Ok _ -> Alcotest.failf "expected %s for %s" (Service.Proto.code_name code) line
+    | Error (c, _) ->
+        Testkit.check_true
+          (Printf.sprintf "%s -> %s" line (Service.Proto.code_name code))
+          (c = code)
+  in
+  expect Service.Proto.Parse_error "not json at all";
+  expect Service.Proto.Parse_error {|{"op":"route"|};
+  expect Service.Proto.Unknown_op {|{"op":"frobnicate"}|};
+  expect Service.Proto.Bad_request {|{"noop":1}|};
+  expect Service.Proto.Bad_request {|{"op":"add_net","session":"s","name":"x"}|};
+  expect Service.Proto.Bad_request {|{"op":"rip","session":"s"}|};
+  expect Service.Proto.Bad_request
+    {|{"op":"open","session":"s","problem":"p","file":"f"}|}
+
+let test_proto_reply_shape () =
+  let line =
+    Service.Proto.error_line ~rid:3 ~retry_after_ms:120
+      Service.Proto.Queue_full "queue full"
+  in
+  let json = J.of_string_exn line in
+  Testkit.check_true "versioned"
+    (J.member "v" json = Some (J.Int Service.Proto.version));
+  Testkit.check_true "not ok" (J.member "ok" json = Some (J.Bool false));
+  let error = Option.get (J.member "error" json) in
+  Testkit.check_true "code"
+    (J.member "code" error = Some (J.String "queue_full"));
+  Testkit.check_true "retry hint"
+    (J.member "retry_after_ms" error = Some (J.Int 120));
+  let okl = Service.Proto.ok_line ~rid:9 ~gen:4 (J.Obj [ ("x", J.Int 1) ]) in
+  let json = J.of_string_exn okl in
+  Testkit.check_true "ok" (J.member "ok" json = Some (J.Bool true));
+  Testkit.check_true "gen" (J.member "gen" json = Some (J.Int 4));
+  Testkit.check_true "id echoed" (J.member "id" json = Some (J.Int 9))
+
+(* --- scheduler --- *)
+
+let test_sched_fifo_and_cap () =
+  let q = Service.Sched.create ~cap:3 () in
+  Testkit.check_true "a" (Service.Sched.submit q ~key:"s" 1);
+  Testkit.check_true "b" (Service.Sched.submit q ~key:"s" 2);
+  Testkit.check_true "c" (Service.Sched.submit q ~key:"s" 3);
+  Testkit.check_false "full -> shed" (Service.Sched.submit q ~key:"s" 4);
+  Testkit.check_int "depth" 3 (Service.Sched.length q);
+  Testkit.check_true "fifo 1" (Service.Sched.pop q = Some ("s", 1));
+  Testkit.check_true "fifo 2" (Service.Sched.pop q = Some ("s", 2));
+  Testkit.check_true "shed left no trace" (Service.Sched.pop q = Some ("s", 3));
+  Testkit.check_true "empty" (Service.Sched.pop q = None)
+
+let test_sched_round_robin_fairness () =
+  (* A floods 4 requests before B and C submit one each: the drain order
+     must still interleave sessions, so B and C wait behind exactly one
+     of A's requests, not all four. *)
+  let q = Service.Sched.create ~cap:16 () in
+  List.iter (fun i -> ignore (Service.Sched.submit q ~key:"a" (10 + i)))
+    [ 0; 1; 2; 3 ];
+  ignore (Service.Sched.submit q ~key:"b" 20);
+  ignore (Service.Sched.submit q ~key:"c" 30);
+  let order = List.init 6 (fun _ -> Option.get (Service.Sched.pop q)) in
+  Testkit.check_true "fair rotation"
+    (order
+    = [ ("a", 10); ("b", 20); ("c", 30); ("a", 11); ("a", 12); ("a", 13) ])
+
+(* --- registry --- *)
+
+let small_problem seed =
+  Workload.Gen.routable_switchbox (prng seed) ~width:8 ~height:6
+
+let test_registry_cap_and_generations () =
+  let r = Service.Registry.create ~max_sessions:2 () in
+  let open_ok name seed =
+    match Service.Registry.open_session r ~name (small_problem seed) with
+    | Ok e -> e
+    | Error _ -> Alcotest.failf "open %s failed" name
+  in
+  let a = open_ok "a" 1 in
+  let _b = open_ok "b" 2 in
+  (match Service.Registry.open_session r ~name:"c" (small_problem 3) with
+  | Error (`Cap 2) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "cap must refuse the third session");
+  (match Service.Registry.open_session r ~name:"a" (small_problem 4) with
+  | Error `Exists -> ()
+  | Ok _ | Error _ -> Alcotest.fail "duplicate name must be refused");
+  Testkit.check_int "fresh gen" 0 (Service.Registry.generation a);
+  Service.Registry.bump a;
+  Service.Registry.bump a;
+  Testkit.check_int "bumped" 2 (Service.Registry.generation a);
+  Testkit.check_true "close" (Service.Registry.close r "b");
+  Testkit.check_false "close twice" (Service.Registry.close r "b");
+  match Service.Registry.open_session r ~name:"c" (small_problem 3) with
+  | Ok _ -> Testkit.check_int "slot freed" 2 (Service.Registry.count r)
+  | Error _ -> Alcotest.fail "slot freed by close"
+
+let test_registry_idle_eviction () =
+  let r = Service.Registry.create ~idle_ticks:3 () in
+  (match Service.Registry.open_session r ~name:"idle" (small_problem 5) with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "open failed");
+  (match Service.Registry.open_session r ~name:"busy" (small_problem 6) with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "open failed");
+  let evicted = ref [] in
+  for _ = 1 to 6 do
+    ignore (Service.Registry.find r "busy");
+    evicted := !evicted @ Service.Registry.tick r
+  done;
+  Testkit.check_true "idle session evicted" (!evicted = [ "idle" ]);
+  Testkit.check_true "gone" (Service.Registry.find r "idle" = None);
+  Testkit.check_true "busy survives" (Service.Registry.find r "busy" <> None)
+
+(* --- metrics --- *)
+
+let test_metrics_quantiles_and_counters () =
+  let m = Service.Metrics.create () in
+  for i = 1 to 100 do
+    (* 95 fast requests and a 5-wide slow tail: p50/p95 stay small, the
+       p99 rank (99 of 100) lands inside the tail's bucket. *)
+    let latency_s = if i > 95 then 0.5 else 0.0001 in
+    Service.Metrics.record m ~kind:"route" ~ok:(i mod 10 <> 0) ~latency_s
+  done;
+  Service.Metrics.shed m;
+  Service.Metrics.shed m;
+  Service.Metrics.budget_trip m;
+  Service.Metrics.note_queue_depth m 7;
+  let s = Service.Metrics.snapshot ~queue_depth:1 ~sessions:2 m in
+  let get path =
+    match
+      List.fold_left (fun acc k -> Option.bind acc (J.member k)) (Some s) path
+    with
+    | Some v -> v
+    | None -> Alcotest.failf "missing %s" (String.concat "." path)
+  in
+  Testkit.check_true "requests" (get [ "requests" ] = J.Int 100);
+  Testkit.check_true "errors" (get [ "errors" ] = J.Int 10);
+  Testkit.check_true "shed" (get [ "shed" ] = J.Int 2);
+  Testkit.check_true "trips" (get [ "budget_trips" ] = J.Int 1);
+  Testkit.check_true "hwm" (get [ "max_queue_depth" ] = J.Int 7);
+  let q name = Option.get (J.to_float_opt (get [ "by_kind"; "route"; name ])) in
+  Testkit.check_true "p50 under 1ms" (q "p50_ms" <= 1.0);
+  Testkit.check_true "p99 sees the outlier" (q "p99_ms" >= 100.0);
+  Testkit.check_true "monotone" (q "p50_ms" <= q "p95_ms" && q "p95_ms" <= q "p99_ms")
+
+(* --- server: trace equivalence with the batch engine --- *)
+
+let fast_config =
+  {
+    Router.Config.default with
+    Router.Config.use_astar = true;
+    kernel = Maze.Search.Buckets;
+    window_margin = Some 4;
+  }
+
+let server ?(config = fast_config) ?(chaos = Router.Chaos.none)
+    ?(queue_cap = 64) ?default_slo_ms () =
+  Service.Server.create
+    ~config:
+      {
+        Service.Server.default_config with
+        Service.Server.router = config;
+        chaos;
+        queue_cap;
+        default_slo_ms;
+      }
+    ()
+
+let open_line ~session problem =
+  J.to_string
+    (J.Obj
+       [
+         ("op", J.String "open");
+         ("session", J.String session);
+         ("problem", J.String (Netlist.Parse.to_string problem));
+       ])
+
+let session_of server name =
+  match Service.Registry.find (Service.Server.registry server) name with
+  | Some e -> Service.Registry.session e
+  | None -> Alcotest.failf "session %s disappeared" name
+
+let load_instance name =
+  (* cwd is test/ under [dune runtest], the project root under [dune exec] *)
+  let file = name ^ ".problem" in
+  let candidates =
+    [ Filename.concat "../instances" file; Filename.concat "instances" file ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some path -> Netlist.Parse.load_exn path
+  | None -> Alcotest.failf "instance %s not found" file
+
+(* The acceptance criterion: open → route → verify over the service must
+   give the byte-identical layout and the same DRC verdict as the batch
+   engine call it wraps, on every committed instance. *)
+let check_trace_equivalence name =
+  let problem = load_instance name in
+  let batch = Router.Engine.route ~config:fast_config problem in
+  let batch_ascii = Viz.Ascii.render batch.Router.Engine.grid in
+  let batch_clean = Drc.Check.check problem batch.Router.Engine.grid = [] in
+  let s = server () in
+  let reply line =
+    let r = one_reply s line in
+    Testkit.check_true (name ^ ": ok reply to " ^ line) (ok_of_reply r);
+    r
+  in
+  ignore (reply (open_line ~session:"t" problem));
+  ignore (reply {|{"op":"route","session":"t"}|});
+  let render = reply {|{"op":"render","session":"t"}|} in
+  let service_ascii =
+    match Option.bind (result_of_reply render "ascii") J.to_string_opt with
+    | Some a -> a
+    | None -> Alcotest.fail "render reply carries no ascii"
+  in
+  Testkit.check_true (name ^ ": byte-identical layout")
+    (String.equal batch_ascii service_ascii);
+  Testkit.check_true (name ^ ": grid equal")
+    (Grid.equal batch.Router.Engine.grid
+       (Router.Session.grid (session_of s "t")));
+  let verify = reply {|{"op":"verify","session":"t"}|} in
+  let service_clean =
+    Option.bind (result_of_reply verify "clean") J.to_bool_opt = Some true
+  in
+  Testkit.check_true (name ^ ": same DRC verdict")
+    (Bool.equal batch_clean service_clean)
+
+let test_trace_equivalence_small () =
+  List.iter check_trace_equivalence
+    [ "switchbox_12x10"; "switchbox_32x26"; "chip_128x96" ]
+
+let test_trace_equivalence_large () =
+  List.iter check_trace_equivalence
+    [ "switchbox_64x52"; "switchbox_128x104"; "chip_96x64" ]
+
+(* --- server: admission control --- *)
+
+let test_shed_with_retry_after () =
+  let s = server ~queue_cap:2 () in
+  let line n = Printf.sprintf {|{"id":%d,"op":"stats"}|} n in
+  Testkit.check_true "1 admitted" (Service.Server.submit s ~client:0 (line 1) = None);
+  Testkit.check_true "2 admitted" (Service.Server.submit s ~client:0 (line 2) = None);
+  (match Service.Server.submit s ~client:0 (line 3) with
+  | None -> Alcotest.fail "third request must be shed"
+  | Some reply ->
+      Testkit.check_true "queue_full code"
+        (error_code_of_reply reply = Some "queue_full");
+      let retry =
+        Option.bind (J.of_string reply |> Result.to_option) (fun j ->
+            Option.bind (J.member "error" j) (fun e ->
+                Option.bind (J.member "retry_after_ms" e) J.to_int_opt))
+      in
+      Testkit.check_true "positive retry_after_ms"
+        (match retry with Some ms -> ms > 0 | None -> false));
+  (* Drain; the shed count must be visible in the next stats snapshot. *)
+  let rec drain () =
+    match Service.Server.drain_one s with Some _ -> drain () | None -> ()
+  in
+  drain ();
+  let stats = one_reply s {|{"op":"stats"}|} in
+  let shed =
+    Option.bind (result_of_reply stats "metrics") (fun m ->
+        Option.bind (J.member "shed" m) J.to_int_opt)
+  in
+  Testkit.check_true "shed count surfaces in stats" (shed = Some 1);
+  Testkit.check_int "metrics agree" 1
+    (Service.Metrics.shed_count (Service.Server.metrics s))
+
+(* --- server: budget trips and chaos faults leave sessions unchanged --- *)
+
+let test_budget_trip_rolls_back () =
+  let s = server () in
+  let problem =
+    Workload.Gen.routable_switchbox (prng 11) ~width:16 ~height:12
+  in
+  Testkit.check_true "open ok"
+    (ok_of_reply (one_reply s (open_line ~session:"b" problem)));
+  let before = Grid.copy (Router.Session.grid (session_of s "b")) in
+  (* slo_ms 0: the deadline has already passed when routing starts, so
+     the request must trip, roll back and answer budget_tripped. *)
+  let reply = one_reply s {|{"op":"route","session":"b","slo_ms":0}|} in
+  Testkit.check_true "budget_tripped code"
+    (error_code_of_reply reply = Some "budget_tripped");
+  Testkit.check_true "session unchanged"
+    (Grid.equal before (Router.Session.grid (session_of s "b")));
+  (* The same session still routes fine without the impossible SLO. *)
+  let reply = one_reply s {|{"op":"route","session":"b"}|} in
+  Testkit.check_true "recovers" (ok_of_reply reply);
+  let stats = one_reply s {|{"op":"stats"}|} in
+  let trips =
+    Option.bind (result_of_reply stats "metrics") (fun m ->
+        Option.bind (J.member "budget_trips" m) J.to_int_opt)
+  in
+  Testkit.check_true "trip counted" (trips = Some 1)
+
+let test_chaos_fault_rolls_back () =
+  let chaos = Router.Chaos.create ~crash:1.0 ~seed:3 () in
+  let s = server ~chaos () in
+  let problem = small_problem 21 in
+  Testkit.check_true "open ok"
+    (ok_of_reply (one_reply s (open_line ~session:"c" problem)));
+  let before = Grid.copy (Router.Session.grid (session_of s "c")) in
+  let reply = one_reply s {|{"op":"rip","session":"c","net":1}|} in
+  Testkit.check_true "fault_injected code"
+    (error_code_of_reply reply = Some "fault_injected");
+  Testkit.check_true "session unchanged"
+    (Grid.equal before (Router.Session.grid (session_of s "c")));
+  Testkit.check_true "fault counted"
+    (Option.bind
+       (result_of_reply (one_reply s {|{"op":"stats"}|}) "metrics")
+       (fun m -> Option.bind (J.member "faults" m) J.to_int_opt)
+    = Some 1)
+
+(* --- the qcheck property (satellite): committed-requests replay --- *)
+
+(* Drive a fault-riddled trace (spurious budget trips + injected crashes
+   + a tight expansion budget; NO forced search failures, which would
+   make committed results chaos-dependent) against server A.  Every
+   reply is structured: ok means the request committed, an error means
+   the session rolled back.  Replaying exactly the committed mutations
+   on a chaos-free server B must reproduce every session byte for
+   byte — problem text and grid. *)
+
+let trace_line rng i session =
+  match Util.Prng.int rng 10 with
+  | 0 | 1 ->
+      let x () = Util.Prng.int rng 10 and y () = Util.Prng.int rng 8 in
+      Printf.sprintf
+        {|{"op":"add_net","session":"%s","name":"t%d","pins":[[%d,%d],[%d,%d]]}|}
+        session i (x ()) (y ()) (x ()) (y ())
+  | 2 | 3 ->
+      Printf.sprintf {|{"op":"rip","session":"%s","net":%d}|} session
+        (1 + Util.Prng.int rng 6)
+  | 4 ->
+      Printf.sprintf {|{"op":"remove_net","session":"%s","net":%d}|} session
+        (1 + Util.Prng.int rng 6)
+  | 5 ->
+      Printf.sprintf {|{"op":"freeze","session":"%s","net":%d}|} session
+        (1 + Util.Prng.int rng 6)
+  | 6 ->
+      Printf.sprintf {|{"op":"thaw","session":"%s","net":%d}|} session
+        (1 + Util.Prng.int rng 6)
+  | 7 ->
+      Printf.sprintf {|{"op":"refine","session":"%s"}|} session
+  | _ -> Printf.sprintf {|{"op":"route","session":"%s"}|} session
+
+let replay_config =
+  { fast_config with Router.Config.max_expanded = Some 2_000 }
+
+let sessions = [ "a"; "b" ]
+
+let prop_committed_replay =
+  Testkit.qcheck ~count:(count 20)
+    "fault-riddled trace == replay of its committed requests"
+    QCheck2.Gen.(
+      pair (int_range 0 100_000) (list_size (int_range 1 14) (int_range 0 999)))
+    (fun (seed, codes) ->
+      let chaos = Router.Chaos.create ~trip:0.05 ~crash:0.25 ~seed () in
+      let a = server ~config:replay_config ~chaos () in
+      let b = server ~config:replay_config () in
+      let rng = prng (seed lxor 0x7E57) in
+      let committed = ref [] in
+      (* open both sessions on both servers — opens never fault (no
+         chaos decision point), so they are always part of the replay *)
+      List.iteri
+        (fun i name ->
+          let problem =
+            Workload.Gen.switchbox (prng (seed + i)) ~width:10 ~height:8
+              ~nets:4
+          in
+          let line = open_line ~session:name problem in
+          if not (ok_of_reply (one_reply a line)) then
+            Alcotest.failf "open %s failed on the chaos server" name;
+          if not (ok_of_reply (one_reply b line)) then
+            Alcotest.failf "open %s failed on the replay server" name)
+        sessions;
+      List.iteri
+        (fun i code ->
+          let session = List.nth sessions (code mod List.length sessions) in
+          let line = trace_line rng i session in
+          if ok_of_reply (one_reply a line) then
+            committed := line :: !committed)
+        codes;
+      List.iter
+        (fun line ->
+          if not (ok_of_reply (one_reply b line)) then
+            Alcotest.failf
+              "committed request failed on the replay server: %s" line)
+        (List.rev !committed);
+      List.for_all
+        (fun name ->
+          let sa = session_of a name and sb = session_of b name in
+          Grid.equal (Router.Session.grid sa) (Router.Session.grid sb)
+          && String.equal
+               (Netlist.Parse.to_string (Router.Session.problem sa))
+               (Netlist.Parse.to_string (Router.Session.problem sb))
+          && Router.Session.verify sa = [])
+        sessions)
+
+(* --- misc server behaviour --- *)
+
+let test_unknown_session_and_close () =
+  let s = server () in
+  let r = one_reply s {|{"op":"route","session":"ghost"}|} in
+  Testkit.check_true "unknown_session"
+    (error_code_of_reply r = Some "unknown_session");
+  let r = one_reply s {|{"op":"close","session":"ghost"}|} in
+  Testkit.check_true "close unknown"
+    (error_code_of_reply r = Some "unknown_session")
+
+let test_session_cap_reply () =
+  let s =
+    Service.Server.create
+      ~config:
+        {
+          Service.Server.default_config with
+          Service.Server.router = fast_config;
+          max_sessions = 1;
+        }
+      ()
+  in
+  Testkit.check_true "first open"
+    (ok_of_reply (one_reply s (open_line ~session:"one" (small_problem 1))));
+  let r = one_reply s (open_line ~session:"two" (small_problem 2)) in
+  Testkit.check_true "session_cap"
+    (error_code_of_reply r = Some "session_cap");
+  let r = one_reply s (open_line ~session:"one" (small_problem 3)) in
+  Testkit.check_true "session_exists"
+    (error_code_of_reply r = Some "session_exists")
+
+let test_shutdown_refuses_new_requests () =
+  let s = server () in
+  Testkit.check_true "shutdown ok"
+    (ok_of_reply (one_reply s {|{"op":"shutdown"}|}));
+  Testkit.check_true "flag" (Service.Server.shutdown_requested s);
+  match Service.Server.submit s ~client:0 {|{"op":"stats"}|} with
+  | Some reply ->
+      Testkit.check_true "shutting_down"
+        (error_code_of_reply reply = Some "shutting_down")
+  | None -> Alcotest.fail "requests after shutdown must be refused"
+
+let test_generation_counts_commits () =
+  let s = server () in
+  let problem = Workload.Gen.routable_switchbox (prng 31) ~width:10 ~height:8 in
+  ignore (one_reply s (open_line ~session:"g" problem));
+  let gen_of reply =
+    match J.of_string reply with
+    | Ok j -> Option.bind (J.member "gen" j) J.to_int_opt
+    | Error _ -> None
+  in
+  let r1 = one_reply s {|{"op":"route","session":"g"}|} in
+  Testkit.check_true "gen 1 after route" (gen_of r1 = Some 1);
+  let r2 = one_reply s {|{"op":"rip","session":"g","net":1}|} in
+  Testkit.check_true "gen 2 after rip" (gen_of r2 = Some 2);
+  (* A failed mutation must not advance the generation. *)
+  let r3 = one_reply s {|{"op":"rip","session":"g","net":999}|} in
+  Testkit.check_true "error reply" (not (ok_of_reply r3));
+  let r4 = one_reply s {|{"op":"verify","session":"g"}|} in
+  Testkit.check_true "gen unchanged by failure/read" (gen_of r4 = Some 2)
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "proto",
+        [
+          Alcotest.test_case "parse ok" `Quick test_proto_parse_ok;
+          Alcotest.test_case "parse errors" `Quick test_proto_parse_errors;
+          Alcotest.test_case "reply shape" `Quick test_proto_reply_shape;
+        ] );
+      ( "sched",
+        [
+          Alcotest.test_case "fifo and cap" `Quick test_sched_fifo_and_cap;
+          Alcotest.test_case "round-robin fairness" `Quick
+            test_sched_round_robin_fairness;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "cap and generations" `Quick
+            test_registry_cap_and_generations;
+          Alcotest.test_case "idle eviction" `Quick test_registry_idle_eviction;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "quantiles and counters" `Quick
+            test_metrics_quantiles_and_counters;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "committed instances (small)" `Quick
+            test_trace_equivalence_small;
+          Alcotest.test_case "committed instances (large)" `Slow
+            test_trace_equivalence_large;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "shed with retry_after" `Quick
+            test_shed_with_retry_after;
+        ] );
+      ( "transactions",
+        [
+          Alcotest.test_case "budget trip rolls back" `Quick
+            test_budget_trip_rolls_back;
+          Alcotest.test_case "chaos fault rolls back" `Quick
+            test_chaos_fault_rolls_back;
+          prop_committed_replay;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "unknown session" `Quick
+            test_unknown_session_and_close;
+          Alcotest.test_case "session cap" `Quick test_session_cap_reply;
+          Alcotest.test_case "shutdown refuses" `Quick
+            test_shutdown_refuses_new_requests;
+          Alcotest.test_case "generation counts commits" `Quick
+            test_generation_counts_commits;
+        ] );
+    ]

@@ -461,6 +461,132 @@ let test_prng_shuffle_empty_and_single () =
   Util.Prng.shuffle g single;
   Testkit.check_int "single untouched" 42 single.(0)
 
+(* --- json --- *)
+
+module J = Util.Json
+
+let test_json_encode () =
+  let v =
+    J.Obj
+      [
+        ("s", J.String "a\"b\\c\nd");
+        ("n", J.Int (-3));
+        ("f", J.Float 1.5);
+        ("b", J.Bool true);
+        ("z", J.Null);
+        ("l", J.List [ J.Int 1; J.Int 2 ]);
+      ]
+  in
+  Testkit.check_true "compact one-line encoding"
+    (J.to_string v
+    = {|{"s":"a\"b\\c\nd","n":-3,"f":1.5,"b":true,"z":null,"l":[1,2]}|})
+
+let test_json_parse () =
+  let ok text expected =
+    match J.of_string text with
+    | Ok v -> Testkit.check_true text (v = expected)
+    | Error msg -> Alcotest.failf "%s: %s" text msg
+  in
+  ok {| {"a": [1, 2.5, "x", null, false]} |}
+    (J.Obj
+       [ ("a", J.List [ J.Int 1; J.Float 2.5; J.String "x"; J.Null; J.Bool false ]) ]);
+  ok {|"Aé"|} (J.String "A\xc3\xa9");
+  ok "-0.5e2" (J.Float (-50.0));
+  let bad text =
+    match J.of_string text with
+    | Ok _ -> Alcotest.failf "expected parse failure for %s" text
+    | Error _ -> ()
+  in
+  bad "{";
+  bad {|{"a":1,}|};
+  bad "[1 2]";
+  bad {|"unterminated|};
+  bad "1 trailing";
+  bad "nul"
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      J.Null;
+      J.Bool false;
+      J.Int 0;
+      J.Int max_int;
+      J.Float 0.125;
+      J.String "control \x01 and unicode \xe2\x9c\x93 and quote \"";
+      J.List [];
+      J.Obj [];
+      J.Obj [ ("nested", J.List [ J.Obj [ ("k", J.Null) ]; J.Int 7 ]) ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      match J.of_string (J.to_string v) with
+      | Ok v' -> Testkit.check_true (J.to_string v) (v = v')
+      | Error msg -> Alcotest.failf "%s: %s" (J.to_string v) msg)
+    cases
+
+let test_json_accessors () =
+  let v = J.of_string_exn {|{"i":3,"f":2.0,"s":"x","b":true,"l":[1]}|} in
+  Testkit.check_true "member" (J.member "i" v = Some (J.Int 3));
+  Testkit.check_true "missing member" (J.member "nope" v = None);
+  Testkit.check_true "to_int" (Option.bind (J.member "i" v) J.to_int_opt = Some 3);
+  Testkit.check_true "int widens to float"
+    (Option.bind (J.member "i" v) J.to_float_opt = Some 3.0);
+  Testkit.check_true "integral float narrows"
+    (Option.bind (J.member "f" v) J.to_int_opt = Some 2);
+  Testkit.check_true "to_string"
+    (Option.bind (J.member "s" v) J.to_string_opt = Some "x");
+  Testkit.check_true "to_bool"
+    (Option.bind (J.member "b" v) J.to_bool_opt = Some true);
+  Testkit.check_true "to_list"
+    (Option.bind (J.member "l" v) J.to_list_opt = Some [ J.Int 1 ]);
+  Testkit.check_true "wrong type" (Option.bind (J.member "s" v) J.to_int_opt = None)
+
+let json_gen =
+  (* Structure-bounded generator: depth-2 values over a small alphabet. *)
+  QCheck2.Gen.(
+    let scalar =
+      oneof
+        [
+          return J.Null;
+          map (fun b -> J.Bool b) bool;
+          map (fun n -> J.Int n) int;
+          (* Dyadic rationals only: the encoder prints %.12g, which does
+             not round-trip arbitrary doubles. *)
+          map
+            (fun n -> J.Float (float_of_int n /. 64.0))
+            (int_range (-1_000_000) 1_000_000);
+          map (fun s -> J.String s) (string_size ~gen:printable (int_range 0 12));
+        ]
+    in
+    let node self =
+      oneof
+        [
+          scalar;
+          map (fun l -> J.List l) (list_size (int_range 0 4) self);
+          map
+            (fun kvs ->
+              (* Duplicate keys make [member] ambiguous — keep first wins
+                 out of scope of the round-trip property. *)
+              let seen = Hashtbl.create 4 in
+              J.Obj
+                (List.filter
+                   (fun (k, _) ->
+                     if Hashtbl.mem seen k then false
+                     else (Hashtbl.add seen k (); true))
+                   kvs))
+            (list_size (int_range 0 4)
+               (pair (string_size ~gen:printable (int_range 0 6)) self));
+        ]
+    in
+    node (node scalar))
+
+let prop_json_roundtrip =
+  Testkit.qcheck ~count:200 "parse (encode v) = v" json_gen (fun v ->
+      match J.of_string (J.to_string v) with
+      | Ok v' -> v = v'
+      | Error _ -> false)
+
 let () =
   Alcotest.run "util"
     [
@@ -532,5 +658,13 @@ let () =
           Alcotest.test_case "cells" `Quick test_table_cells;
           Alcotest.test_case "ragged rows" `Quick test_table_ragged_rows;
           Alcotest.test_case "column extension" `Quick test_table_column_extension;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "encode" `Quick test_json_encode;
+          Alcotest.test_case "parse" `Quick test_json_parse;
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+          prop_json_roundtrip;
         ] );
     ]

@@ -96,6 +96,34 @@ let test_svg_structure () =
   Testkit.check_true "has pin circles" (contains "<circle");
   Testkit.check_true "has pin labels" (contains "<text")
 
+let test_svg_escapes_net_names () =
+  (* Net names are client-chosen free text (the service lets clients pick
+     them); markup metacharacters must come out escaped or the SVG is not
+     well-formed XML. *)
+  let net name id pins = Netlist.Net.make ~id ~name pins in
+  let p =
+    Netlist.Problem.make ~kind:Netlist.Problem.Region ~name:"esc" ~width:6
+      ~height:5
+      [
+        net "a<b" 1 [ Netlist.Net.pin 0 0; Netlist.Net.pin 5 0 ];
+        net "x&\"y'\"" 2 [ Netlist.Net.pin 0 4; Netlist.Net.pin 5 4 ];
+      ]
+  in
+  let svg = Viz.Svg.render p (Netlist.Problem.instantiate p) in
+  let contains sub =
+    let rec search i =
+      i + String.length sub <= String.length svg
+      && (String.sub svg i (String.length sub) = sub || search (i + 1))
+    in
+    search 0
+  in
+  Testkit.check_true "angle bracket escaped" (contains "a&lt;b");
+  Testkit.check_true "ampersand and quotes escaped"
+    (contains "x&amp;&quot;y&apos;&quot;");
+  Testkit.check_true "raw name absent" (not (contains "a<b"));
+  Testkit.check_true "raw ampersand name absent" (not (contains "x&\""));
+  Testkit.check_true "names carried as tooltips" (contains "<title>")
+
 let test_svg_save () =
   let p, g = routed_example () in
   let path = Filename.temp_file "router" ".svg" in
@@ -129,6 +157,8 @@ let () =
       ( "svg",
         [
           Alcotest.test_case "structure" `Quick test_svg_structure;
+          Alcotest.test_case "escapes net names" `Quick
+            test_svg_escapes_net_names;
           Alcotest.test_case "save" `Quick test_svg_save;
           Alcotest.test_case "cell scaling" `Quick test_svg_scales_with_cell;
         ] );
