@@ -887,6 +887,19 @@ let micro_kernels () =
         fun ~passable ~sources ~targets ->
           Maze.Search.run_astar ~kernel:buckets ~window:4 g ws ~cost ~passable
             ~sources ~targets () );
+      (* The lower-bound-field A*: the heuristic is the exact cost-to-
+         target, so expansion collapses to the optimal corridor.  The
+         per-search field build (a full-grid backward Dijkstra) is timed
+         too — worthwhile only when the field is reused across rip-up
+         iterations, which is what the `incremental` sweep measures. *)
+      ( "astar / buckets / lb field (build + search)",
+        fun ~passable ~sources ~targets ->
+          let f =
+            Maze.Lowerbound.build g ~cost ~passable ~targets
+              ~around:(sources @ targets) ~margin:(max w h)
+          in
+          Maze.Search.run_astar_lb ~kernel:buckets g ws ~lb:f ~cost ~passable
+            ~sources ~targets () );
     ]
   in
   let table =
@@ -1162,6 +1175,189 @@ let router_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* incremental: refine-phase cache reuse across rip-up cycles          *)
+(* ------------------------------------------------------------------ *)
+
+(* Measures the tentpole of DESIGN.md §11 where it pays: the refine
+   phase of a rip-up/improve loop.  Each committed instance is routed
+   once, then both modes replay the identical deterministic schedule —
+   an initial refine, then [cycles] rounds of (rip a few nets, reroute
+   them, refine) — on their own copy of the routed grid.  The initial
+   refine is an untimed warm-up in both modes (it is where the
+   incremental mode pays its one-time field builds, and where both
+   modes converge the fresh routing); the per-cycle refine calls are
+   what is timed.  The baseline replans every connected net every
+   pass; the incremental mode carries one {!Maze.Cache} across all
+   refine calls, so untouched nets are answered by certificate or
+   lower-bound oracle.  Final layouts must be byte-identical. *)
+
+let incremental_bench () =
+  heading "incremental (json): refine-phase reuse across rip-up cycles"
+    "Claim: per-net certificates and journal-repaired lower-bound fields\n\
+     cut the wall-clock of repeated refinement passes (>= 1.5x on the\n\
+     committed instances) at byte-identical layouts.  The initial refine\n\
+     after routing is an untimed warm-up in both modes; the per-cycle\n\
+     refines are timed.  Best of 3 runs per mode; written to\n\
+     BENCH_incremental.json.";
+  let instances =
+    [ "switchbox_12x10"; "switchbox_32x26"; "switchbox_64x52";
+      "switchbox_128x104"; "chip_96x64"; "chip_128x96" ]
+  in
+  let reps = 3 and cycles = 6 and rips_per_cycle = 4 in
+  let table =
+    Util.Table.create
+      ~headers:
+        [ "instance"; "nets"; "refine ms (base)"; "refine ms (incr)";
+          "speedup"; "planned base/incr"; "cert-skips"; "bound-skips";
+          "repairs"; "identical"; "drc" ]
+  in
+  let json_rows = ref [] in
+  let all_identical = ref true in
+  List.iter
+    (fun name ->
+      let path = Filename.concat "instances" (name ^ ".problem") in
+      if not (Sys.file_exists path) then
+        Printf.printf "(skipping %s: %s not found — run from the repo root)\n"
+          name path
+      else begin
+        let problem = Netlist.Parse.load_exn path in
+        let routed = route ~config:bench_router_config problem in
+        let nets_total = Netlist.Problem.net_count problem in
+        let candidates =
+          Array.of_list (Netlist.Problem.nontrivial_net_ids problem)
+        in
+        (* One deterministic rip schedule per instance, shared by every
+           mode and rep, so all runs walk the same grid trajectory. *)
+        let schedule =
+          let prng = Util.Prng.create (nets_total * 7919) in
+          List.init cycles (fun _ ->
+              List.init rips_per_cycle (fun _ ->
+                  Util.Prng.pick prng candidates))
+        in
+        let pins_of g net =
+          List.filter_map
+            (fun (id, p) ->
+              if id = net then Some (Maze.Route.pin_node g p) else None)
+            (Netlist.Problem.pin_cells problem)
+        in
+        let rip_and_reroute g ws net =
+          let pins = pins_of g net in
+          List.iter
+            (fun n -> if not (List.mem n pins) then Grid.release g n)
+            (Grid.occupied_nodes g ~net);
+          ignore
+            (Maze.Route.route_net g ws ~cost:Maze.Cost.default
+               (Netlist.Problem.net problem net))
+        in
+        (* Runs the whole schedule in one mode; returns the refine-phase
+           wall clock, the final grid and the accumulated refine stats. *)
+        let run_mode ~incremental =
+          let g = Grid.copy routed.Router.Engine.grid in
+          let ws = Maze.Workspace.create g in
+          let cache = Maze.Cache.create g ~nets:nets_total in
+          let refine_s = ref 0.0 in
+          let planned = ref 0
+          and cert_skips = ref 0
+          and bound_skips = ref 0
+          and builds = ref 0
+          and repairs = ref 0 in
+          let refine ~timed =
+            let t0 = Unix.gettimeofday () in
+            let s =
+              Router.Improve.refine ~max_passes:50 ~incremental ~cache
+                problem g
+            in
+            if timed then begin
+              refine_s := !refine_s +. (Unix.gettimeofday () -. t0);
+              planned := !planned + s.Router.Improve.planned;
+              cert_skips := !cert_skips + s.Router.Improve.skipped_cert;
+              bound_skips := !bound_skips + s.Router.Improve.skipped_bound;
+              builds := !builds + s.Router.Improve.field_builds;
+              repairs := !repairs + s.Router.Improve.field_repairs
+            end
+          in
+          refine ~timed:false;
+          List.iter
+            (fun rips ->
+              List.iter (fun net -> rip_and_reroute g ws net) rips;
+              refine ~timed:true)
+            schedule;
+          ( !refine_s,
+            g,
+            (!planned, !cert_skips, !bound_skips, !builds, !repairs) )
+        in
+        let best_of mode =
+          let best = ref infinity and out = ref None in
+          for _ = 1 to reps do
+            let t, g, st = run_mode ~incremental:mode in
+            if t < !best then best := t;
+            out := Some (g, st)
+          done;
+          let g, st = Option.get !out in
+          (!best, g, st)
+        in
+        let tb, gb, (pb, _, _, _, _) = best_of false in
+        let ti, gi, (pi, certs, bounds, builds, repairs) = best_of true in
+        let identical = Grid.equal gb gi in
+        if not identical then all_identical := false;
+        let drc = Drc.Check.is_clean problem gi in
+        let speedup = tb /. ti in
+        Util.Table.add_row table
+          [
+            name;
+            Util.Table.cell_int nets_total;
+            time_cell (1000.0 *. tb);
+            time_cell (1000.0 *. ti);
+            (if !no_time then "-" else Printf.sprintf "%.2fx" speedup);
+            Printf.sprintf "%d/%d" pb pi;
+            Util.Table.cell_int certs;
+            Util.Table.cell_int bounds;
+            Util.Table.cell_int repairs;
+            Util.Table.cell_bool identical;
+            (if drc then "clean" else "VIOLATION");
+          ];
+        json_rows :=
+          Printf.sprintf
+            "    {\"instance\": \"%s\", \"nets\": %d, \"cycles\": %d, \
+             \"rips_per_cycle\": %d, \"baseline_refine_ms\": %.3f, \
+             \"incremental_refine_ms\": %.3f, \"speedup\": %.3f, \
+             \"planned_baseline\": %d, \"planned_incremental\": %d, \
+             \"cert_skips\": %d, \"bound_skips\": %d, \"field_builds\": %d, \
+             \"field_repairs\": %d, \"identical\": %b, \"drc_clean\": %b}"
+            name nets_total cycles rips_per_cycle (1000.0 *. tb)
+            (1000.0 *. ti) speedup pb pi certs bounds builds repairs identical
+            drc
+          :: !json_rows
+      end)
+    instances;
+  Util.Table.print table;
+  if !json_rows <> [] then begin
+    let oc = open_out "BENCH_incremental.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"bench\": \"incremental_refine_sweep\",\n\
+      \  \"config\": \"%s\",\n\
+      \  \"host_cores\": %d,\n\
+      \  \"runs_per_point\": %d,\n\
+      \  \"all_identical_to_baseline\": %b,\n\
+      \  \"results\": [\n\
+       %s\n\
+      \  ]\n\
+       }\n"
+      (Router.Config.describe bench_router_config)
+      (Util.Parallel.default_jobs ())
+      reps !all_identical
+      (String.concat ",\n" (List.rev !json_rows));
+    close_out oc;
+    Printf.printf "layouts identical to baseline everywhere: %b\n"
+      !all_identical;
+    Printf.printf "wrote BENCH_incremental.json\n";
+    (* The exactness contract is the whole point: a divergent layout is a
+       correctness bug, not a perf data point. *)
+    if not !all_identical then exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* service: N-client request trace against the daemon                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -1317,7 +1513,7 @@ let experiments =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
     ("budget", budget_sweep); ("micro", micro); ("router", router_bench);
-    ("service", service_bench);
+    ("incremental", incremental_bench); ("service", service_bench);
   ]
 
 let () =

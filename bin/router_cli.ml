@@ -145,8 +145,27 @@ let config_term =
             "Disable the dirty-region failure-replay cache (retry sweeps \
              re-run every failed search).")
   in
+  let incremental =
+    Arg.(
+      value
+      & vflag true
+          [
+            ( true,
+              info [ "incremental" ]
+                ~doc:
+                  "Enable incremental search reuse (default): memoized \
+                   heuristic transforms plus per-net certificate and \
+                   lower-bound caches in refinement.  Layouts are \
+                   byte-identical either way." );
+            ( false,
+              info [ "no-incremental" ]
+                ~doc:
+                  "Disable incremental search reuse; every search and \
+                   refinement visit recomputes from scratch." );
+          ])
+  in
   let make strategy order restarts seed astar kernel window deadline
-      max_expanded max_searches audit jobs no_cost_cache =
+      max_expanded max_searches audit jobs no_cost_cache incremental =
     let base =
       match strategy with
       | `Full -> Router.Config.default
@@ -167,11 +186,13 @@ let config_term =
       audit;
       jobs = max 0 jobs;
       cost_cache = not no_cost_cache;
+      incremental;
     }
   in
   Term.(
     const make $ strategy $ order $ restarts $ seed $ astar $ kernel $ window
-    $ deadline $ max_expanded $ max_searches $ audit $ jobs $ no_cost_cache)
+    $ deadline $ max_expanded $ max_searches $ audit $ jobs $ no_cost_cache
+    $ incremental)
 
 (* Parse errors already carry the source path since errors grew a [src]
    field — no prefixing needed here. *)
@@ -237,10 +258,21 @@ let route_cmd =
             p.Router.Outcome.cache_hits p.Router.Outcome.cache_stale
         end;
         if refine && result.Router.Engine.completed then begin
-          let s = Router.Improve.refine problem result.Router.Engine.grid in
+          let s =
+            Router.Improve.refine
+              ~incremental:config.Router.Config.incremental problem
+              result.Router.Engine.grid
+          in
           Format.printf "refined: wirelength %d -> %d, vias %d -> %d@."
             s.Router.Improve.wirelength_before s.Router.Improve.wirelength_after
-            s.Router.Improve.vias_before s.Router.Improve.vias_after
+            s.Router.Improve.vias_before s.Router.Improve.vias_after;
+          if verbose then
+            Format.printf
+              "refine-cache: planned %d  cert-skips %d  bound-skips %d  \
+               stale %d  field builds/repairs %d/%d@."
+              s.Router.Improve.planned s.Router.Improve.skipped_cert
+              s.Router.Improve.skipped_bound s.Router.Improve.cache_stale
+              s.Router.Improve.field_builds s.Router.Improve.field_repairs
         end;
         (match Drc.Check.check problem result.Router.Engine.grid with
         | [] -> Format.printf "drc: clean@."

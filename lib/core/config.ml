@@ -28,6 +28,7 @@ type t = {
   jobs : int;  (* routing domains; 0 = Parallel.default_jobs () *)
   wave_halo : int;  (* bbox inflation for wave independence *)
   cost_cache : bool;  (* dirty-region failure-replay cache *)
+  incremental : bool;  (* incremental search reuse: hfield memo + improve cache *)
 }
 
 let default =
@@ -51,6 +52,7 @@ let default =
     jobs = 1;
     wave_halo = 2;
     cost_cache = true;
+    incremental = true;
   }
 
 let maze_only = { default with enable_weak = false; enable_strong = false }
@@ -104,4 +106,5 @@ let describe c =
        ^ (if c.wave_halo <> 2 then Printf.sprintf ", halo=%d" c.wave_halo
           else "")
      else "")
-  ^ if not c.cost_cache then ", no-cost-cache" else ""
+  ^ (if not c.cost_cache then ", no-cost-cache" else "")
+  ^ if not c.incremental then ", no-incremental" else ""

@@ -74,6 +74,14 @@ type t = {
       (** dirty-region failure-replay cache (default [true]): a net whose
           route attempt failed without side effects is skipped on retry
           until the grid region its searches explored is written again *)
+  incremental : bool;
+      (** incremental search reuse (default [true], DESIGN.md §11): the
+          engine memoizes the A* heuristic transform across searches with
+          an unchanged target set, and refinement keeps a per-net
+          {!Maze.Cache} — read-region certificates plus journal-repaired
+          lower-bound fields — so clean nets are skipped instead of
+          replanned.  Value-exact either way: layouts and costs are
+          byte-identical with the flag on or off *)
 }
 
 val default : t

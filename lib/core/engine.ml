@@ -195,7 +195,10 @@ let run_search st ~phase ~net ~passable ~sources ~targets =
     in
     let search =
       if st.config.Config.use_astar then
+        (* The heuristic-transform memo is value-exact, so gating it on
+           [incremental] only changes speed, never results. *)
         Maze.Search.run_astar ~kernel ?window ?stop
+          ~memo:st.config.Config.incremental
       else Maze.Search.run ~kernel ?window ?stop
     in
     let result =
@@ -429,29 +432,12 @@ let audit_net st ~where =
 (* the speculative commit check.                                       *)
 (* ------------------------------------------------------------------ *)
 
-(* The cells a set of searches may have read, from the workspace's
-   per-layer expanded bounding boxes: an expanded node's reads are its
-   four planar neighbours (same layer, one step) and the same (x,y) on
-   the other layer, so layer [l]'s read set is the dilated layer-[l] box
-   joined with the other layer's undilated box. *)
-let read_certs ws =
-  let t0 = Maze.Workspace.touched ws ~layer:0 in
-  let t1 = Maze.Workspace.touched ws ~layer:1 in
-  let dil = Option.map (fun r -> Geom.Rect.inflate r 1) in
-  let join a b =
-    match (a, b) with
-    | None, x | x, None -> x
-    | Some a, Some b -> Some (Geom.Rect.hull a b)
-  in
-  (join (dil t0) t1, join (dil t1) t0)
+(* Certificate construction and validation live in [Maze.Cache]: the
+   refinement pass shares the exact same read-region semantics. *)
+let read_certs = Maze.Cache.read_certs
 
 let region_clean st ~since c0 c1 =
-  (match c0 with
-  | None -> true
-  | Some r -> not (Grid.dirtied_in st.g ~since ~layer:0 r))
-  && match c1 with
-     | None -> true
-     | Some r -> not (Grid.dirtied_in st.g ~since ~layer:1 r)
+  Maze.Cache.region_clean st.g ~since c0 c1
 
 let cache_valid st e = region_clean st ~since:e.since e.cert0 e.cert1
 
@@ -644,7 +630,8 @@ let speculate st ~stop ws id =
   let plan =
     Maze.Route.plan_net ~use_astar:st.config.Config.use_astar
       ~kernel:st.config.Config.kernel ?window:st.config.Config.window_margin
-      ?stop st.g ws ~cost:st.config.Config.cost
+      ?stop ~memo:st.config.Config.incremental st.g ws
+      ~cost:st.config.Config.cost
       ~passable:(passable_block st ~net:id)
       net
   in

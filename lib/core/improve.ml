@@ -5,21 +5,56 @@ type stats = {
   wirelength_after : int;
   vias_before : int;
   vias_after : int;
+  planned : int;
+  skipped_cert : int;
+  skipped_bound : int;
+  cache_stale : int;
+  field_builds : int;
+  field_repairs : int;
 }
 
 let net_cost ~cost g ~net =
   let m = Outcome.measure_net g ~net in
   m.Outcome.wirelength + (cost.Maze.Cost.via * m.Outcome.vias)
 
-let net_vias g ~net =
-  (* Via positions currently owned by the net (for exact restore). *)
-  let acc = ref [] in
-  Grid.iter_planar g (fun ~x ~y ->
-      if Grid.has_via g ~x ~y && Grid.occ_at g ~layer:0 ~x ~y = net then
-        acc := (x, y) :: !acc);
-  !acc
+(* Window inflation of the per-net lower-bound fields.  Purely a
+   sharpness/size trade-off: the escape bound keeps any margin sound. *)
+let field_margin = 4
 
-let refine ?(max_passes = 3) ?(cost = Maze.Cost.default) problem g =
+(* The refine planner: windowed A* over the bucket queue.  Cost-exact
+   versus a full-grid search (the window widens and retries on failure),
+   while keeping each visit's read region — and with it the recorded
+   certificate — local, so a write elsewhere does not invalidate it. *)
+let plan_use_astar = true
+
+let plan_kernel = Maze.Search.Buckets
+
+let plan_window = 4
+
+
+let refine ?(max_passes = 3) ?(cost = Maze.Cost.default) ?(incremental = true)
+    ?cache problem g =
+  let nets_total = Netlist.Problem.net_count problem in
+  (* The cache is bound to one physical grid: a caller-supplied cache for
+     a different grid (or net count) is silently replaced, never trusted. *)
+  let cache =
+    if not incremental then None
+    else
+      match cache with
+      | Some c when Maze.Cache.matches c g ~nets:nets_total -> Some c
+      | _ -> Some (Maze.Cache.create g ~nets:nets_total)
+  in
+  let counters () =
+    match cache with
+    | Some c ->
+        ( Maze.Cache.hits c,
+          Maze.Cache.stale c,
+          Maze.Cache.field_builds c,
+          Maze.Cache.field_repairs c )
+    | None -> (0, 0, 0, 0)
+  in
+  let hits0, stale0, builds0, repairs0 = counters () in
+  let bound0 = match cache with Some c -> Maze.Cache.bound_skips c | None -> 0 in
   let ws = Maze.Workspace.create g in
   let has_fixed_prewire net =
     List.exists
@@ -27,52 +62,295 @@ let refine ?(max_passes = 3) ?(cost = Maze.Cost.default) problem g =
         pw.Netlist.Problem.pre_fixed && pw.Netlist.Problem.pre_net = net)
       problem.Netlist.Problem.prewires
   in
-  let pin_nodes net =
-    List.filter_map
-      (fun (id, pin) ->
-        if id = net then Some (Maze.Route.pin_node g pin) else None)
-      (Netlist.Problem.pin_cells problem)
-  in
+  let pin_nodes_tbl = Array.make (nets_total + 1) [] in
+  List.iter
+    (fun (id, pin) ->
+      if id >= 1 && id <= nets_total then
+        pin_nodes_tbl.(id) <- Maze.Route.pin_node g pin :: pin_nodes_tbl.(id))
+    (Netlist.Problem.pin_cells problem);
+  let pin_nodes net = pin_nodes_tbl.(net) in
   let candidates =
     List.filter
       (fun net -> not (has_fixed_prewire net))
       (Netlist.Problem.nontrivial_net_ids problem)
   in
+  (* One O(grid) scan per call hoists the per-net cell lists that every
+     verdict reads (cost, connectivity, wiring boxes).  A net's cells
+     change only when the net itself commits — other nets' commits never
+     touch them — so each list is refreshed from the committed plan
+     instead of rescanning the grid on every visit. *)
+  let gw = Grid.width g and gh = Grid.height g in
+  let cells = Array.make (nets_total + 1) [] in
+  for n = Grid.node_count g - 1 downto 0 do
+    let v = Grid.occ g n in
+    if v > 0 && v <= nets_total then cells.(v) <- n :: cells.(v)
+  done;
+  (* [Outcome.measure_net]'s objective over the hoisted list: same-layer
+     +x/+y adjacencies within the cell set, plus the via charge (a via's
+     two cells share one owner, so counting layer-0 via cells counts each
+     via once). *)
+  let net_cost net =
+    let nodes = cells.(net) in
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun n -> Hashtbl.replace tbl n ()) nodes;
+    let wl = ref 0 and vias = ref 0 in
+    List.iter
+      (fun n ->
+        let x = Grid.node_x g n and y = Grid.node_y g n in
+        if x + 1 < gw && Hashtbl.mem tbl (n + 1) then incr wl;
+        if y + 1 < gh && Hashtbl.mem tbl (n + gw) then incr wl;
+        if Grid.node_layer g n = 0 && Grid.has_via_node g n then incr vias)
+      nodes;
+    !wl + (cost.Maze.Cost.via * !vias)
+  in
+  (* [Drc.Check.connected_components _ = 1] over the hoisted list: flood
+     along the same adjacency (same-layer planar steps, via links). *)
+  let connected net =
+    match cells.(net) with
+    | [] -> false
+    | start :: _ as nodes ->
+        let tbl = Hashtbl.create 64 in
+        List.iter (fun n -> Hashtbl.replace tbl n ()) nodes;
+        let seen = Hashtbl.create 64 in
+        Hashtbl.replace seen start ();
+        let stack = ref [ start ] in
+        let count = ref 0 in
+        let continue_ = ref true in
+        while !continue_ do
+          match !stack with
+          | [] -> continue_ := false
+          | n :: rest ->
+              stack := rest;
+              incr count;
+              let push m =
+                if Hashtbl.mem tbl m && not (Hashtbl.mem seen m) then begin
+                  Hashtbl.replace seen m ();
+                  stack := m :: !stack
+                end
+              in
+              let x = Grid.node_x g n and y = Grid.node_y g n in
+              if x + 1 < gw then push (n + 1);
+              if x > 0 then push (n - 1);
+              if y + 1 < gh then push (n + gw);
+              if y > 0 then push (n - gw);
+              if Grid.has_via_node g n then push (Grid.other_layer_node g n)
+        done;
+        !count = List.length nodes
+  in
   let wirelength_before = Outcome.total_wirelength g problem in
   let vias_before = Outcome.total_vias g in
   let improved_nets = ref 0 in
   let passes = ref 0 in
+  let planned = ref 0 in
+  (* The cost the net would measure AFTER committing [segs], computed
+     without touching the grid: committing releases every non-pin cell
+     and occupies the planned paths, so the future cell set is exactly
+     pins ∪ path nodes; wirelength is the same-layer adjacencies within
+     it.  Vias afterwards are the planned layer-change positions plus
+     the current vias that survive the rip — only those whose both layer
+     cells are pins, since releasing either cell clears a via. *)
+  let hyp_cost ~pins ~segs =
+    let w = Grid.width g and h = Grid.height g in
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun n -> Hashtbl.replace tbl n ()) pins;
+    List.iter
+      (fun (path, _) -> List.iter (fun n -> Hashtbl.replace tbl n ()) path)
+      segs;
+    let wl = ref 0 in
+    Hashtbl.iter
+      (fun n () ->
+        let x = Grid.node_x g n and y = Grid.node_y g n in
+        if x + 1 < w && Hashtbl.mem tbl (n + 1) then incr wl;
+        if y + 1 < h && Hashtbl.mem tbl (n + w) then incr wl)
+      tbl;
+    let vias = Hashtbl.create 16 in
+    List.iter
+      (fun (path, _) ->
+        let rec steps = function
+          | a :: (b :: _ as rest) ->
+              if Grid.node_layer g a <> Grid.node_layer g b then
+                Hashtbl.replace vias (Grid.planar g a) ();
+              steps rest
+          | [] | [ _ ] -> ()
+        in
+        steps path)
+      segs;
+    List.iter
+      (fun n ->
+        if Grid.has_via_node g n && List.mem (Grid.other_layer_node g n) pins
+        then Hashtbl.replace vias (Grid.planar g n) ())
+      pins;
+    !wl + (cost.Maze.Cost.via * Hashtbl.length vias)
+  in
+  (* Rip the old wiring (pins stay) and occupy the planned paths — the
+     same grid trajectory a mutating reroute would have taken, so the
+     measured result equals the hypothetical cost above. *)
+  let commit ~net ~pins ~segs =
+    List.iter
+      (fun n -> if not (List.mem n pins) then Grid.release g n)
+      cells.(net);
+    List.iter
+      (fun (path, _) -> ignore (Maze.Route.occupy_path g ~net path))
+      segs;
+    (* The committed cell set is exactly pins ∪ path nodes. *)
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun n -> Hashtbl.replace tbl n ()) pins;
+    List.iter
+      (fun (path, _) -> List.iter (fun n -> Hashtbl.replace tbl n ()) path)
+      segs;
+    cells.(net) <- Hashtbl.fold (fun n () acc -> n :: acc) tbl []
+  in
+  (* Per-layer bounding boxes of the net's current wiring.  Every skip
+     verdict reads the net's own cells (through [net_cost] and the
+     connectivity check), wherever they lie — possibly outside the
+     planning searches' windows — so certificates must cover them too:
+     an external rip of this net must always invalidate its cert. *)
+  let own_boxes net =
+    let b0 = ref None and b1 = ref None in
+    List.iter
+      (fun n ->
+        let x = Grid.node_x g n and y = Grid.node_y g n in
+        let r = Geom.Rect.make x y x y in
+        let b = if Grid.node_layer g n = 0 then b0 else b1 in
+        b := Some (match !b with None -> r | Some b -> Geom.Rect.hull b r))
+      cells.(net);
+    (!b0, !b1)
+  in
+  let join a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (Geom.Rect.hull a b)
+  in
   let improve_net net =
-    (* Only refine nets that are currently complete. *)
-    if Drc.Check.connected_components g ~net = 1 then begin
-      let old_cost = net_cost ~cost g ~net in
-      let saved_nodes = Grid.occupied_nodes g ~net in
-      let saved_vias = net_vias g ~net in
+    let record_cert () =
+      match cache with
+      | Some c ->
+          let r0, r1 = Maze.Cache.read_certs ws in
+          let o0, o1 = own_boxes net in
+          Maze.Cache.record_cert c ~net ~cert0:(join r0 o0)
+            ~cert1:(join r1 o1)
+            ~owned:(List.length cells.(net))
+      | None -> ()
+    in
+    let cert_hit =
+      match cache with
+      | Some c ->
+          Maze.Cache.cert_status c ~net ~owned:(List.length cells.(net))
+          = `Hit
+      | None -> false
+    in
+    (* A clean certificate proves the last no-commit verdict replays.
+       The verdict read the planning searches' region and the net's own
+       wiring; since then only blocking writes landed there (freeing
+       writes invalidate, and the net's cell count is unchanged — its
+       own releases land inside its recorded wiring boxes).  Blocks can
+       remove candidate routes but never create a cheaper one, so "no
+       plan beats the current wiring" still holds and the whole visit
+       skips without touching the grid — exactly what the baseline's
+       plan-and-reject would do. *)
+    if cert_hit then false
+    else if connected net then begin
+      let old_cost = net_cost net in
       let pins = pin_nodes net in
-      let restore () =
-        (* Release whatever the reroute left, then replay the old route. *)
-        List.iter
-          (fun n -> if not (List.mem n pins) then Grid.release g n)
-          (Grid.occupied_nodes g ~net);
-        List.iter (fun n -> Grid.occupy g ~net n) saved_nodes;
-        List.iter (fun (x, y) -> Grid.set_via g ~x ~y) saved_vias
+      let netdef = Netlist.Problem.net problem net in
+      let passable = Maze.Route.passable_default g ~net in
+      (* Lower-bound oracle for two-pin nets under the wire=1 objective:
+         if even an admissible lower bound on any reroute reaches the
+         current cost, replanning provably cannot improve — skip without
+         searching.  The field must bound the MEASURED cost (wirelength +
+         via × vias), which has no wrong-way term, so it is built with
+         [wrong_way = 0]: any path's measured cost ≥ its same-layer steps
+         + via × layer changes = its cost under that relaxed model ≥ the
+         field's bound.  The decision read only the field's window (plus
+         the net's own wiring), so certify the window hulled with the
+         net's own per-layer wiring boxes. *)
+      let oracle_skip =
+        match cache with
+        | Some c when cost.Maze.Cost.wire = 1 && pins <> [] ->
+            (* The skip decision read the pins (static) and the net's own
+               wiring (through [old_cost]); a field decision additionally
+               read the field's window.  Certify exactly that. *)
+            let skip window =
+              Maze.Cache.note_bound_skip c;
+              let o0, o1 = own_boxes net in
+              Maze.Cache.record_cert c ~net ~cert0:(join window o0)
+                ~cert1:(join window o1)
+                ~owned:(List.length cells.(net));
+              true
+            in
+            (* Tier 1 — closed-form floor, no field, any pin count: a
+               connected set containing all pins crosses every planar
+               column and row boundary of the pin bounding box (at least
+               half-perimeter wire edges) and joins the layers with at
+               least one via when the pins span both.  A net already at
+               that cost is at its global optimum. *)
+            let x0, y0, x1, y1, l0, l1 =
+              List.fold_left
+                (fun (x0, y0, x1, y1, l0, l1) p ->
+                  let x = Grid.node_x g p and y = Grid.node_y g p in
+                  ( min x0 x,
+                    min y0 y,
+                    max x1 x,
+                    max y1 y,
+                    l0 || Grid.node_layer g p = 0,
+                    l1 || Grid.node_layer g p = 1 ))
+                (max_int, max_int, min_int, min_int, false, false)
+                pins
+            in
+            let hp = x1 - x0 + (y1 - y0) in
+            let floor_cost =
+              (cost.Maze.Cost.wire * hp)
+              + (if l0 && l1 then cost.Maze.Cost.via else 0)
+            in
+            if floor_cost >= old_cost then skip None
+            else begin
+              match netdef.Netlist.Net.pins with
+              | [ a; b ] ->
+                  (* Tier 2, two-pin nets — the journal-repaired distance
+                     field.  The escape bound must be able to reach
+                     [old_cost], so the margin adapts to the net's detour
+                     excess: with wire = 1 the escape term is
+                     L1 + 2(margin+1) >= old_cost at this margin. *)
+                  let pa = Maze.Route.pin_node g a
+                  and pb = Maze.Route.pin_node g b in
+                  let margin =
+                    max field_margin ((old_cost - hp) / 2)
+                  in
+                  let f =
+                    Maze.Cache.field c ~net
+                      ~cost:{ cost with Maze.Cost.wrong_way = 0 }
+                      ~passable ~targets:[ pb ] ~around:[ pa; pb ] ~margin
+                  in
+                  if Maze.Lowerbound.bound f g ~source:pa >= old_cost then
+                    skip (Some (Maze.Lowerbound.window f))
+                  else false
+              | _ -> false
+            end
+        | _ -> false
       in
-      List.iter
-        (fun n -> if not (List.mem n pins) then Grid.release g n)
-        saved_nodes;
-      match
-        Maze.Route.route_net g ws ~cost (Netlist.Problem.net problem net)
-      with
-      | Error _ ->
-          restore ();
-          false
-      | Ok _ ->
-          let new_cost = net_cost ~cost g ~net in
-          if new_cost < old_cost then true
-          else begin
-            restore ();
+      if oracle_skip then false
+      else begin
+        Maze.Workspace.clear_touched ws;
+        incr planned;
+        match
+          Maze.Route.plan_net ~use_astar:plan_use_astar ~kernel:plan_kernel
+            ~window:plan_window ~memo:incremental g ws ~cost ~passable netdef
+        with
+        | None ->
+            record_cert ();
             false
-          end
+        | Some segs ->
+            let new_cost = hyp_cost ~pins ~segs in
+            if new_cost < old_cost then begin
+              commit ~net ~pins ~segs;
+              record_cert ();
+              true
+            end
+            else begin
+              record_cert ();
+              false
+            end
+      end
     end
     else false
   in
@@ -89,6 +367,8 @@ let refine ?(max_passes = 3) ?(cost = Maze.Cost.default) problem g =
       candidates;
     continue := !improved_this_pass
   done;
+  let hits1, stale1, builds1, repairs1 = counters () in
+  let bound1 = match cache with Some c -> Maze.Cache.bound_skips c | None -> 0 in
   {
     passes = !passes;
     improved_nets = !improved_nets;
@@ -96,4 +376,10 @@ let refine ?(max_passes = 3) ?(cost = Maze.Cost.default) problem g =
     wirelength_after = Outcome.total_wirelength g problem;
     vias_before;
     vias_after = Outcome.total_vias g;
+    planned = !planned;
+    skipped_cert = hits1 - hits0;
+    skipped_bound = bound1 - bound0;
+    cache_stale = stale1 - stale0;
+    field_builds = builds1 - builds0;
+    field_repairs = repairs1 - repairs0;
   }

@@ -2,12 +2,25 @@
 
     After a complete routing, early nets often took detours around wiring
     that has since moved or never materialised.  The classical cleanup pass
-    revisits each net: rip it up, re-route it against the final state of
-    everything else, and keep the new route only if it improves the
-    weighted cost (wirelength + via cost × vias); otherwise the original
-    route is restored exactly.  The pass is strictly monotone — total cost
-    never increases and completeness is preserved — and it iterates until a
-    pass makes no further improvement (or [max_passes] is reached).
+    revisits each net: replan it against the final state of everything
+    else and commit the new route only if it improves the weighted cost
+    (wirelength + via cost × vias).  Planning is read-only ([plan_net]'s
+    free ≡ self-owned equivalence makes the searches exact replicas of a
+    rip-then-reroute), so a rejected replan leaves the grid — and its
+    dirty journal — completely untouched.  The pass is strictly monotone —
+    total cost never increases and completeness is preserved — and it
+    iterates until a pass makes no further improvement (or [max_passes]
+    is reached).
+
+    With [incremental] (the default, DESIGN.md §11) a per-net
+    {!Maze.Cache} carries read-region certificates and journal-repaired
+    {!Maze.Lowerbound} fields across passes (and, via [cache], across
+    refine calls): a net whose certificate region is untouched by any
+    dirty rectangle is skipped outright, and a two-pin net whose
+    admissible lower bound already reaches its current cost is skipped
+    without searching.  Both skips replay decisions that a full replan
+    would provably reproduce, so layouts, costs, pass counts and improved
+    counts are byte-identical with the flag on or off.
 
     This is the quality knob the ablation experiment E8 measures. *)
 
@@ -18,17 +31,29 @@ type stats = {
   wirelength_after : int;
   vias_before : int;
   vias_after : int;
+  planned : int;  (** net-visits that actually ran planning searches *)
+  skipped_cert : int;  (** visits skipped on a clean read-region certificate *)
+  skipped_bound : int;  (** visits skipped by the lower-bound oracle *)
+  cache_stale : int;  (** certificates invalidated by dirty rectangles *)
+  field_builds : int;  (** lower-bound fields built (or ring-wrap rebuilt) *)
+  field_repairs : int;  (** incremental dirty-region field repairs *)
 }
 
 val refine :
   ?max_passes:int ->
   ?cost:Maze.Cost.t ->
+  ?incremental:bool ->
+  ?cache:Maze.Cache.t ->
   Netlist.Problem.t ->
   Grid.t ->
   stats
 (** Refine the routed grid in place.  Only nets that are currently fully
     connected are touched; fixed pre-wiring is never moved ([max_passes]
-    defaults to 3, [cost] to {!Maze.Cost.default}). *)
+    defaults to 3, [cost] to {!Maze.Cost.default}, [incremental] to
+    [true]).  [cache] persists certificates and lower-bound fields across
+    refine calls on the {e same} grid value — rip-up/reroute cycles
+    between calls invalidate exactly the nets whose regions were written;
+    a cache created for another grid is ignored and rebuilt. *)
 
 val net_cost : cost:Maze.Cost.t -> Grid.t -> net:int -> int
 (** The objective: same-layer wire edges + [cost.via] × vias of the net. *)

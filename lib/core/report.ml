@@ -50,6 +50,17 @@ let summary problem (result : Engine.t) =
     | Outcome.Complete -> []
     | st -> [ Format.asprintf "status:               %a" Outcome.pp_status st ]
   in
+  (* Cache telemetry appears only when the caches actually fired, so
+     cache-less runs render byte-identically to older reports. *)
+  let cache_line =
+    let p = s.Engine.par in
+    if p.Outcome.cache_hits + p.Outcome.cache_stale = 0 then []
+    else
+      [
+        Printf.sprintf "cost-cache hits:      %d (stale %d)"
+          p.Outcome.cache_hits p.Outcome.cache_stale;
+      ]
+  in
   String.concat "\n"
     (Printf.sprintf "completed:            %b" result.Engine.completed
      :: status_line
@@ -68,7 +79,8 @@ let summary problem (result : Engine.t) =
         s.Engine.effort.Outcome.weak_expanded
         s.Engine.effort.Outcome.strong_expanded;
       Printf.sprintf "restart attempts:     %d" s.Engine.attempts;
-      ])
+      ]
+    @ cache_line)
 
 let render problem result =
   Util.Table.render (per_net_table problem result) ^ "\n" ^ summary problem result

@@ -253,7 +253,8 @@ let refine ?max_passes st =
   let saved = snapshot st in
   try
     sync st;
-    Improve.refine ?max_passes ~cost:st.config.Config.cost st.problem st.grid
+    Improve.refine ?max_passes ~cost:st.config.Config.cost
+      ~incremental:st.config.Config.incremental st.problem st.grid
   with exn ->
     restore st saved;
     raise exn

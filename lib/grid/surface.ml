@@ -7,12 +7,14 @@
    a mark the answer is a conservative "yes". *)
 type dirt = {
   ring : Geom.Rect.t array;
+  freed : Bytes.t; (* parallel to [ring]: did the rect see a release? *)
   mutable seq : int; (* rectangles ever flushed; ring.(i mod cap) = rect i *)
   (* pending rectangle; px0 > px1 encodes empty *)
   mutable px0 : int;
   mutable py0 : int;
   mutable px1 : int;
   mutable py1 : int;
+  mutable pfreed : bool;
 }
 
 type mark = int array (* per-layer ring sequence numbers *)
@@ -28,36 +30,51 @@ type t = {
 
 let layers = 2
 
-let dirt_cap = 64
+(* Sized so that a handful of rip-up/reroute cycles between refinement
+   passes does not wrap the ring: a wrap forgets history and forces every
+   consumer (cost cache, refine certificates, lower-bound fields) into
+   conservative full invalidation.  512 rects × 2 layers is still tiny,
+   and validation scans only the entries written since the queried mark. *)
+let dirt_cap = 512
+
+let dirt_capacity = dirt_cap
 
 let make_dirt () =
   {
     ring = Array.make dirt_cap (Geom.Rect.make 0 0 0 0);
+    freed = Bytes.make dirt_cap '\000';
     seq = 0;
     px0 = 1;
     py0 = 1;
     px1 = 0;
     py1 = 0;
+    pfreed = false;
   }
 
 let dirt_flush d =
   if d.px0 <= d.px1 then begin
     d.ring.(d.seq mod dirt_cap) <- Geom.Rect.make d.px0 d.py0 d.px1 d.py1;
+    Bytes.set d.freed (d.seq mod dirt_cap) (if d.pfreed then '\001' else '\000');
     d.seq <- d.seq + 1;
     d.px0 <- 1;
-    d.px1 <- 0
+    d.px1 <- 0;
+    d.pfreed <- false
   end
 
 (* Coalesce writes within two cells of the pending rectangle (consecutive
    cells of a path segment, a via stack, a shove); farther writes flush
    the pending rectangle so the journal keeps per-segment granularity
-   instead of hulling distant mutations together. *)
-let dirt_touch d x y =
+   instead of hulling distant mutations together.  The freeing flag is
+   OR-coalesced: a rectangle that mixes releases and occupies counts as
+   freeing — widening "freeing" is the conservative direction for every
+   consumer. *)
+let dirt_touch d ~freeing x y =
   if d.px0 > d.px1 then begin
     d.px0 <- x;
     d.py0 <- y;
     d.px1 <- x;
-    d.py1 <- y
+    d.py1 <- y;
+    d.pfreed <- freeing
   end
   else if
     x >= d.px0 - 2 && x <= d.px1 + 2 && y >= d.py0 - 2 && y <= d.py1 + 2
@@ -65,14 +82,16 @@ let dirt_touch d x y =
     if x < d.px0 then d.px0 <- x;
     if x > d.px1 then d.px1 <- x;
     if y < d.py0 then d.py0 <- y;
-    if y > d.py1 then d.py1 <- y
+    if y > d.py1 then d.py1 <- y;
+    d.pfreed <- d.pfreed || freeing
   end
   else begin
     dirt_flush d;
     d.px0 <- x;
     d.py0 <- y;
     d.px1 <- x;
-    d.py1 <- y
+    d.py1 <- y;
+    d.pfreed <- freeing
   end
 
 let obstacle = -1
@@ -95,7 +114,10 @@ let copy g =
     g with
     occ = Array.copy g.occ;
     via = Bytes.copy g.via;
-    dirt = Array.map (fun d -> { d with ring = Array.copy d.ring }) g.dirt;
+    dirt =
+      Array.map
+        (fun d -> { d with ring = Array.copy d.ring; freed = Bytes.copy d.freed })
+        g.dirt;
   }
 
 (* n_vias is derived from the via bytes, so comparing occupancy and via
@@ -139,19 +161,19 @@ let owner g n =
   let v = g.occ.(n) in
   if v > 0 then Some v else None
 
-let touch g n =
-  dirt_touch g.dirt.(n / (g.w * g.h)) (node_x g n) (node_y g n)
+let touch g ~freeing n =
+  dirt_touch g.dirt.(n / (g.w * g.h)) ~freeing (node_x g n) (node_y g n)
 
-let touch_both g ~x ~y =
-  dirt_touch g.dirt.(0) x y;
-  dirt_touch g.dirt.(1) x y
+let touch_both g ~freeing ~x ~y =
+  dirt_touch g.dirt.(0) ~freeing x y;
+  dirt_touch g.dirt.(1) ~freeing x y
 
 let occupy g ~net n =
   if net <= 0 then invalid_arg "Surface.occupy: net ids are positive";
   let v = g.occ.(n) in
   if v = free || v = net then begin
     g.occ.(n) <- net;
-    if v = free then touch g n
+    if v = free then touch g ~freeing:false n
   end
   else if v = obstacle then invalid_arg "Surface.occupy: cell is an obstacle"
   else
@@ -167,7 +189,7 @@ let clear_via g ~x ~y =
   if Bytes.get g.via p <> '\000' then begin
     Bytes.set g.via p '\000';
     g.n_vias <- g.n_vias - 1;
-    touch_both g ~x ~y
+    touch_both g ~freeing:true ~x ~y
   end
 
 let set_via g ~x ~y =
@@ -179,7 +201,7 @@ let set_via g ~x ~y =
   if Bytes.get g.via p = '\000' then begin
     Bytes.set g.via p '\001';
     g.n_vias <- g.n_vias + 1;
-    touch_both g ~x ~y
+    touch_both g ~freeing:false ~x ~y
   end
 
 let release g n =
@@ -187,7 +209,7 @@ let release g n =
   if v = obstacle then invalid_arg "Surface.release: cell is an obstacle";
   if v > 0 then begin
     g.occ.(n) <- free;
-    touch g n;
+    touch g ~freeing:true n;
     let x = node_x g n and y = node_y g n in
     if has_via g ~x ~y then clear_via g ~x ~y
   end
@@ -198,7 +220,7 @@ let set_obstacle g ~layer ~x ~y =
   if v > 0 then invalid_arg "Surface.set_obstacle: cell owned by a net";
   if v <> obstacle then begin
     g.occ.(n) <- obstacle;
-    dirt_touch g.dirt.(layer) x y
+    dirt_touch g.dirt.(layer) ~freeing:false x y
   end
 
 let set_obstacle_both g ~x ~y =
@@ -240,6 +262,57 @@ let dirtied_in g ~since ~layer (r : Geom.Rect.t) =
         hit := true
     done;
     !hit
+  end
+
+let dirtied_rects g ~since ~layer =
+  let d = g.dirt.(layer) in
+  dirt_flush d;
+  let s = since.(layer) in
+  if d.seq - s > dirt_cap then None (* ring wrapped: history lost *)
+  else begin
+    let acc = ref [] in
+    for i = d.seq - 1 downto s do
+      acc := d.ring.(i mod dirt_cap) :: !acc
+    done;
+    Some !acc
+  end
+
+(* Freeing-only views of the journal.  A write that only turned free
+   cells into owned or obstructed ones (an occupy, a via placement, an
+   obstacle) can remove routes but never create a better one, so
+   consumers whose cached answer is a COST FLOOR or a "cannot improve"
+   verdict stay valid across it; only releases (and via clears) can
+   invalidate them.  The flag is conservative: any rectangle that
+   coalesced at least one release counts as freeing. *)
+let dirtied_in_freeing g ~since ~layer (r : Geom.Rect.t) =
+  let d = g.dirt.(layer) in
+  dirt_flush d;
+  let s = since.(layer) in
+  if d.seq - s > dirt_cap then true (* ring wrapped: be conservative *)
+  else begin
+    let hit = ref false in
+    for i = s to d.seq - 1 do
+      if
+        (not !hit)
+        && Bytes.get d.freed (i mod dirt_cap) <> '\000'
+        && Geom.Rect.overlap d.ring.(i mod dirt_cap) r
+      then hit := true
+    done;
+    !hit
+  end
+
+let dirtied_freeing_rects g ~since ~layer =
+  let d = g.dirt.(layer) in
+  dirt_flush d;
+  let s = since.(layer) in
+  if d.seq - s > dirt_cap then None (* ring wrapped: history lost *)
+  else begin
+    let acc = ref [] in
+    for i = d.seq - 1 downto s do
+      if Bytes.get d.freed (i mod dirt_cap) <> '\000' then
+        acc := d.ring.(i mod dirt_cap) :: !acc
+    done;
+    Some !acc
   end
 
 let via_count g = g.n_vias

@@ -1,0 +1,146 @@
+(* Per-net incremental-search cache (DESIGN.md §11).
+
+   Each net owns one entry with two independently-lived parts:
+
+   - a read-region certificate: the per-layer bounding rectangles of
+     everything the net's last planning searches read, plus the journal
+     mark taken when they finished.  While no grid write lands inside
+     the certificate, a replan is provably byte-identical to the last
+     one, so the whole net visit can be skipped;
+   - a [Lowerbound] distance field, kept admissible across mutations by
+     journal-driven repair, used as the improvement skip oracle.
+
+   The cache is bound to one physical grid value: [matches] compares by
+   physical identity, because marks and journal history are meaningless
+   across re-instantiated grids. *)
+
+type cert = {
+  c0 : Geom.Rect.t option;
+  c1 : Geom.Rect.t option;
+  since : Grid.mark;
+  owned : int;  (* the net's cell count when the verdict was recorded *)
+}
+
+type entry = {
+  mutable cert : cert option;
+  mutable field : Lowerbound.t option;
+}
+
+type t = {
+  grid : Grid.t;
+  entries : entry array;  (* index net - 1 *)
+  mutable hits : int;
+  mutable stale : int;
+  mutable bound_skips : int;
+  mutable field_builds : int;
+  mutable field_repairs : int;
+}
+
+let create g ~nets =
+  {
+    grid = g;
+    entries = Array.init nets (fun _ -> { cert = None; field = None });
+    hits = 0;
+    stale = 0;
+    bound_skips = 0;
+    field_builds = 0;
+    field_repairs = 0;
+  }
+
+let matches t g ~nets = t.grid == g && Array.length t.entries = nets
+
+let entry t ~net = t.entries.(net - 1)
+
+(* The cells a set of searches may have read, from the workspace's
+   per-layer expanded bounding boxes: an expanded node's reads are its
+   four planar neighbours (same layer, one step) and the same (x,y) on
+   the other layer, so layer [l]'s read set is the dilated layer-[l] box
+   joined with the other layer's undilated box. *)
+let read_certs ws =
+  let t0 = Workspace.touched ws ~layer:0 in
+  let t1 = Workspace.touched ws ~layer:1 in
+  let dil = Option.map (fun r -> Geom.Rect.inflate r 1) in
+  let join a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (Geom.Rect.hull a b)
+  in
+  (join (dil t0) t1, join (dil t1) t0)
+
+let region_clean g ~since c0 c1 =
+  (match c0 with
+  | None -> true
+  | Some r -> not (Grid.dirtied_in g ~since ~layer:0 r))
+  && match c1 with
+     | None -> true
+     | Some r -> not (Grid.dirtied_in g ~since ~layer:1 r)
+
+(* A verdict certificate survives blocking writes: occupies and vias in
+   the read region can remove candidate routes but never create a
+   cheaper one, so "replanning cannot improve this net" stays true; only
+   a freeing write (which may open a better corridor, or ripped the
+   net's own wiring — own cells release inside the recorded own-wiring
+   boxes) can flip the verdict.  The [owned] count guards the one
+   mutation freeing rectangles cannot see: a net whose wiring grew with
+   no release at all. *)
+let verdict_clean g ~since c0 c1 =
+  (match c0 with
+  | None -> true
+  | Some r -> not (Grid.dirtied_in_freeing g ~since ~layer:0 r))
+  && match c1 with
+     | None -> true
+     | Some r -> not (Grid.dirtied_in_freeing g ~since ~layer:1 r)
+
+(* Latched certificate lookup: a stale entry is dropped (and counted)
+   exactly once.  [owned] is the net's current cell count. *)
+let cert_status t ~net ~owned =
+  let e = entry t ~net in
+  match e.cert with
+  | None -> `Miss
+  | Some c ->
+      if c.owned = owned && verdict_clean t.grid ~since:c.since c.c0 c.c1
+      then begin
+        t.hits <- t.hits + 1;
+        `Hit
+      end
+      else begin
+        e.cert <- None;
+        t.stale <- t.stale + 1;
+        `Miss
+      end
+
+let record_cert t ~net ~cert0 ~cert1 ~owned =
+  (entry t ~net).cert <-
+    Some { c0 = cert0; c1 = cert1; since = Grid.mark t.grid; owned }
+
+(* The field, built on first demand and journal-repaired on every later
+   access, so its lower-bound invariant always reflects the current
+   grid.  A cached field whose escape radius is smaller than the caller
+   now needs (its verdict threshold grew past what [built_margin] can
+   prove) is rebuilt at the wider margin instead of repaired. *)
+let field t ~net ~cost ~passable ~targets ~around ~margin =
+  let e = entry t ~net in
+  match e.field with
+  | Some f when Lowerbound.built_margin f >= margin ->
+      (match Lowerbound.repair t.grid ~passable f with
+      | Lowerbound.Clean -> ()
+      | Lowerbound.Repaired -> t.field_repairs <- t.field_repairs + 1
+      | Lowerbound.Rebuilt -> t.field_builds <- t.field_builds + 1);
+      f
+  | _ ->
+      let f = Lowerbound.build t.grid ~cost ~passable ~targets ~around ~margin in
+      t.field_builds <- t.field_builds + 1;
+      e.field <- Some f;
+      f
+
+let note_bound_skip t = t.bound_skips <- t.bound_skips + 1
+
+let hits t = t.hits
+
+let stale t = t.stale
+
+let bound_skips t = t.bound_skips
+
+let field_builds t = t.field_builds
+
+let field_repairs t = t.field_repairs

@@ -1,0 +1,99 @@
+(** Per-net incremental-search cache with dirty-rectangle invalidation.
+
+    Persists two things per net across rip-up/improve iterations
+    (DESIGN.md §11):
+
+    - a {e read-region certificate}: the per-layer rectangles everything
+      the net's last improvement verdict read (planning searches, the
+      net's own wiring), with the journal mark taken when it was
+      reached.  While no {e freeing} write lands inside the certificate
+      and the net's cell count is unchanged, revisiting the net provably
+      reproduces the same no-commit verdict — blocking writes can remove
+      candidate routes but never create a cheaper one — so the visit is
+      skipped outright;
+    - a {!Lowerbound} distance field, journal-repaired on access, used
+      as an admissible skip oracle for improvement passes.
+
+    A cache is bound to one physical grid value ({!matches} compares by
+    identity): journal marks do not survive grid re-instantiation. *)
+
+type t
+
+val create : Grid.t -> nets:int -> t
+
+val matches : t -> Grid.t -> nets:int -> bool
+(** [true] when the cache was created for this exact grid value (physical
+    equality) and net count — the precondition for reusing it. *)
+
+val read_certs :
+  Workspace.t -> Geom.Rect.t option * Geom.Rect.t option
+(** Per-layer read-region certificates of everything the workspace's
+    searches expanded since its last [clear_touched]: each layer's
+    touched box dilated by one (planar neighbour reads) hulled with the
+    other layer's undilated box (via reads). *)
+
+val region_clean :
+  Grid.t -> since:Grid.mark -> Geom.Rect.t option -> Geom.Rect.t option -> bool
+(** No journal write at all since [since] intersects either certificate
+    — the {e route-replay} validity test (the engine's speculative
+    cache replays committed paths, which any write can invalidate). *)
+
+val verdict_clean :
+  Grid.t -> since:Grid.mark -> Geom.Rect.t option -> Geom.Rect.t option -> bool
+(** No {e freeing} journal write since [since] intersects either
+    certificate — the {e verdict-replay} validity test ("replanning
+    cannot improve this net" survives blocking writes). *)
+
+val cert_status : t -> net:int -> owned:int -> [ `Hit | `Miss ]
+(** Validate the net's certificate: {!verdict_clean} plus an unchanged
+    cell count [owned] (the guard against wiring that grew without any
+    release, the one mutation freeing rectangles cannot witness).
+    [`Hit] counts a hit; a stale certificate is dropped and counted
+    exactly once, then reported [`Miss]. *)
+
+val record_cert :
+  t ->
+  net:int ->
+  cert0:Geom.Rect.t option ->
+  cert1:Geom.Rect.t option ->
+  owned:int ->
+  unit
+(** Store a certificate with the journal mark taken now (the grid is
+    sealed as a side effect of taking the mark).  [owned] is the net's
+    cell count at verdict time; the certificates must cover everything
+    the verdict read, including the net's own wiring. *)
+
+val field :
+  t ->
+  net:int ->
+  cost:Cost.t ->
+  passable:(int -> int option) ->
+  targets:int list ->
+  around:int list ->
+  margin:int ->
+  Lowerbound.t
+(** The net's lower-bound field, built on first demand and
+    journal-repaired on every later access, so the returned field's
+    admissibility invariant holds against the current grid.  A cached
+    field built with a smaller [margin] than requested is rebuilt at
+    the wider one (the escape bound it can prove grows with the
+    margin). *)
+
+val note_bound_skip : t -> unit
+
+(** {1 Effectiveness counters} *)
+
+val hits : t -> int
+(** Certificate validations that allowed skipping a net visit. *)
+
+val stale : t -> int
+(** Certificates invalidated by an intersecting dirty rectangle. *)
+
+val bound_skips : t -> int
+(** Net visits skipped because the lower bound proved no improvement. *)
+
+val field_builds : t -> int
+(** Distance fields built from scratch (including ring-wrap rebuilds). *)
+
+val field_repairs : t -> int
+(** Incremental dirty-region repairs of existing fields. *)

@@ -46,12 +46,12 @@ let release_nodes g nodes = List.iter (Grid.release g) nodes
    per-connection expansion counts (windowed-probe waste included), or
    [None] as soon as a connection fails or aborts. *)
 let plan_net ?(use_astar = false) ?(kernel = Search.Binary_heap) ?window
-    ?stop g ws ~cost ~passable (net : Netlist.Net.t) =
+    ?stop ?(memo = false) g ws ~cost ~passable (net : Netlist.Net.t) =
   match net.Netlist.Net.pins with
   | [] | [ _ ] -> Some []
   | first :: rest ->
       let search =
-        if use_astar then Search.run_astar ~kernel ?window ?stop
+        if use_astar then Search.run_astar ~kernel ?window ?stop ~memo
         else Search.run ~kernel ?window ?stop
       in
       let tree = ref [ pin_node g first ] in
@@ -83,7 +83,7 @@ let plan_net ?(use_astar = false) ?(kernel = Search.Binary_heap) ?window
    every search targets all still-unconnected pins at once, so Dijkstra
    naturally picks the nearest one. *)
 let route_net ?passable ?(use_astar = false) ?(kernel = Search.Binary_heap)
-    ?window ?stop g ws ~cost (net : Netlist.Net.t) =
+    ?window ?stop ?(memo = false) g ws ~cost (net : Netlist.Net.t) =
   let net_id = net.Netlist.Net.id in
   let passable =
     match passable with Some f -> f | None -> passable_default g ~net:net_id
@@ -92,7 +92,7 @@ let route_net ?passable ?(use_astar = false) ?(kernel = Search.Binary_heap)
   | [] | [ _ ] -> Ok { added = []; wirelength = 0; vias = 0; expanded = 0 }
   | first :: rest ->
       let search =
-        if use_astar then Search.run_astar ~kernel ?window ?stop
+        if use_astar then Search.run_astar ~kernel ?window ?stop ~memo
         else Search.run ~kernel ?window ?stop
       in
       let tree = ref [ pin_node g first ] in

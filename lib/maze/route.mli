@@ -38,6 +38,7 @@ val plan_net :
   ?kernel:Search.kernel ->
   ?window:int ->
   ?stop:(int -> bool) ->
+  ?memo:bool ->
   Grid.t ->
   Workspace.t ->
   cost:Cost.t ->
@@ -61,6 +62,7 @@ val route_net :
   ?kernel:Search.kernel ->
   ?window:int ->
   ?stop:(int -> bool) ->
+  ?memo:bool ->
   Grid.t ->
   Workspace.t ->
   cost:Cost.t ->
@@ -70,6 +72,6 @@ val route_net :
     updated; on failure the grid is restored to its prior state.  Nets with
     fewer than two pins succeed trivially.  [passable] defaults to
     {!passable_default} (it must never price foreign cells if the result is
-    to be committed directly).  [kernel], [window] and [stop] are forwarded
-    to the underlying {!Search} runs; an aborted search counts as a failed
-    connection, and the partial net is released as usual. *)
+    to be committed directly).  [kernel], [window], [stop] and [memo] are
+    forwarded to the underlying {!Search} runs; an aborted search counts as
+    a failed connection, and the partial net is released as usual. *)

@@ -217,43 +217,91 @@ let run ?(kernel = Binary_heap) ?window ?stop g ws ~cost ~passable ~sources
 (* Precompute the A* heuristic — L1 distance to the nearest target, times
    the cheapest planar step — as a flat int array over the window with a
    two-pass distance transform: O(window) total, independent of the target
-   count, replacing the former per-relax fold over the target list. *)
-let build_heuristic g ws ~wire ~targets ~win =
+   count, replacing the former per-relax fold over the target list.
+
+   The transform is a pure function of (planar targets, window, wire): it
+   never reads grid occupancy.  With [memo] the workspace's stored key is
+   checked first and a matching field is reused verbatim, so the repeated
+   searches of an escalation loop (shove-and-retry against the same
+   target set) or a retry sweep skip the O(window) rebuild.  The key is
+   always (re)stamped on compute, so memoized and unmemoized callers can
+   interleave safely. *)
+let build_heuristic ?(memo = false) g ws ~wire ~targets ~win =
   let w = Grid.width g in
   let hf = Workspace.hfield ws in
-  let inf = max_int / 256 in
-  for y = win.y0 to win.y1 do
-    let row = y * w in
-    for x = win.x0 to win.x1 do
-      hf.(row + x) <- inf
-    done
-  done;
-  List.iter (fun t -> hf.(Grid.planar g t) <- 0) targets;
-  for y = win.y0 to win.y1 do
-    let row = y * w in
-    for x = win.x0 to win.x1 do
-      let i = row + x in
-      if x > win.x0 && hf.(i - 1) + 1 < hf.(i) then hf.(i) <- hf.(i - 1) + 1;
-      if y > win.y0 && hf.(i - w) + 1 < hf.(i) then hf.(i) <- hf.(i - w) + 1
-    done
-  done;
-  for y = win.y1 downto win.y0 do
-    let row = y * w in
-    for x = win.x1 downto win.x0 do
-      let i = row + x in
-      if x < win.x1 && hf.(i + 1) + 1 < hf.(i) then hf.(i) <- hf.(i + 1) + 1;
-      if y < win.y1 && hf.(i + w) + 1 < hf.(i) then hf.(i) <- hf.(i + w) + 1
-    done
-  done;
+  let tplanar = List.map (fun t -> Grid.planar g t) targets in
+  let key_win = (win.x0, win.y0, win.x1, win.y1) in
+  if
+    not (memo && Workspace.hfield_memo_hit ws ~wire ~win:key_win ~targets:tplanar)
+  then begin
+    let inf = max_int / 256 in
+    for y = win.y0 to win.y1 do
+      let row = y * w in
+      for x = win.x0 to win.x1 do
+        hf.(row + x) <- inf
+      done
+    done;
+    List.iter (fun p -> hf.(p) <- 0) tplanar;
+    for y = win.y0 to win.y1 do
+      let row = y * w in
+      for x = win.x0 to win.x1 do
+        let i = row + x in
+        if x > win.x0 && hf.(i - 1) + 1 < hf.(i) then hf.(i) <- hf.(i - 1) + 1;
+        if y > win.y0 && hf.(i - w) + 1 < hf.(i) then hf.(i) <- hf.(i - w) + 1
+      done
+    done;
+    for y = win.y1 downto win.y0 do
+      let row = y * w in
+      for x = win.x1 downto win.x0 do
+        let i = row + x in
+        if x < win.x1 && hf.(i + 1) + 1 < hf.(i) then hf.(i) <- hf.(i + 1) + 1;
+        if y < win.y1 && hf.(i + w) + 1 < hf.(i) then hf.(i) <- hf.(i + w) + 1
+      done
+    done;
+    Workspace.hfield_memo_store ws ~wire ~win:key_win ~targets:tplanar
+  end;
   fun n -> wire * hf.(Grid.planar g n)
 
-let run_astar ?(kernel = Binary_heap) ?window ?stop g ws ~cost ~passable
-    ~sources ~targets () =
+let run_astar ?(kernel = Binary_heap) ?window ?stop ?(memo = false) g ws
+    ~cost ~passable ~sources ~targets () =
   let wire = cost.Cost.wire in
   with_window g ~window ~wire ~sources ~targets (fun win ->
-      let heuristic = build_heuristic g ws ~wire ~targets ~win in
+      let heuristic = build_heuristic ~memo g ws ~wire ~targets ~win in
       core g ws ~kernel ~cost ~passable ~sources ~targets ~heuristic ~win
         ~stop ())
+
+(* A* with a precomputed lower-bound field as the heuristic.  The field
+   is admissible for searches restricted to its window (it never
+   over-estimates the in-window cost-to-target), so the search runs
+   window-restricted with no widening: the returned cost is the exact
+   windowed optimum — equal to the global optimum whenever the window
+   covers the whole grid (how the exactness tests drive it).  Nodes the
+   field proves cannot reach a target inside the window are pruned
+   outright.  A repaired (stale-low) field is still admissible, merely
+   less sharp; the core tolerates the resulting inconsistency by
+   re-expansion. *)
+let run_astar_lb ?(kernel = Binary_heap) ?stop g ws ~lb ~cost ~passable
+    ~sources ~targets () =
+  let r = Lowerbound.window lb in
+  let win =
+    { x0 = r.Geom.Rect.x0; y0 = r.Geom.Rect.y0;
+      x1 = r.Geom.Rect.x1; y1 = r.Geom.Rect.y1 }
+  in
+  let heuristic n = Lowerbound.value lb g n in
+  let passable n =
+    if Lowerbound.value lb g n >= Lowerbound.inf_cost then None
+    else passable n
+  in
+  let sources =
+    List.filter (fun s -> Lowerbound.value lb g s < Lowerbound.inf_cost) sources
+  in
+  if sources = [] then None
+  else
+    let found, _, _ =
+      core g ws ~kernel ~cost ~passable ~sources ~targets ~heuristic ~win
+        ~stop ()
+    in
+    found
 
 (* Plain BFS wave expansion; dist doubles as the visited set. *)
 let run_lee g ws ~passable ~sources ~targets () =

@@ -67,6 +67,7 @@ val run_astar :
   ?kernel:kernel ->
   ?window:int ->
   ?stop:(int -> bool) ->
+  ?memo:bool ->
   Grid.t ->
   Workspace.t ->
   cost:Cost.t ->
@@ -79,7 +80,35 @@ val run_astar :
     compact.  The heuristic — L1 distance to the nearest target times the
     wire cost — is admissible and consistent; it is precomputed into a flat
     planar array by a two-pass distance transform (O(window), independent
-    of the target count), so the per-relax cost is one array read. *)
+    of the target count), so the per-relax cost is one array read.
+
+    [memo] (default [false]) reuses the workspace's stored transform when
+    the (targets, window, wire) key is unchanged — the transform never
+    reads grid occupancy, so the reuse is value-exact and results are
+    byte-identical with the flag on or off.  Escalation loops and retry
+    sweeps re-search the same target set repeatedly and profit most. *)
+
+val run_astar_lb :
+  ?kernel:kernel ->
+  ?stop:(int -> bool) ->
+  Grid.t ->
+  Workspace.t ->
+  lb:Lowerbound.t ->
+  cost:Cost.t ->
+  passable:(int -> int option) ->
+  sources:int list ->
+  targets:int list ->
+  unit ->
+  result option
+(** A* steered by a {!Lowerbound} field instead of the L1 transform: the
+    heuristic is the exact (or repaired, i.e. stale-low but still
+    admissible) in-window cost-to-target under the full cost model, so
+    expansion concentrates on the optimal corridor.  The search is
+    restricted to the field's window with no widening — the returned cost
+    is the exact windowed optimum, which equals the global optimum when
+    the field was built with a window covering the grid.  Nodes the field
+    proves unable to reach a target within the window are pruned.
+    [passable] and [cost] must match what the field was built with. *)
 
 val run_lee :
   Grid.t ->

@@ -7,6 +7,14 @@ type t = {
   heap : Util.Pqueue.t;
   buckets : Util.Bucketq.t;
   hfield : int array;  (* planar heuristic field for array-based A* *)
+  (* Memo key of the hfield contents: the field is a pure function of
+     (planar targets, window, wire, grid width) and independent of grid
+     occupancy, so a matching key means the stored transform is exact
+     and the O(window) recompute can be skipped.  wire = -1 encodes "no
+     valid key". *)
+  mutable hkey_wire : int;
+  mutable hkey_win : int * int * int * int;
+  mutable hkey_targets : int list;
   (* Per-layer bounding box of nodes expanded since [clear_touched];
      x0 > x1 encodes empty.  Deliberately NOT reset by [begin_search]:
      the region a whole net attempt read spans several searches
@@ -32,6 +40,9 @@ let create g =
     heap = Util.Pqueue.create ~capacity:(max 1024 (n / 8)) ();
     buckets = Util.Bucketq.create ();
     hfield = Array.make (Grid.planar_cells g) 0;
+    hkey_wire = -1;
+    hkey_win = (0, 0, 0, 0);
+    hkey_targets = [];
     tx0 = Array.make 2 1;
     ty0 = Array.make 2 1;
     tx1 = Array.make 2 0;
@@ -96,3 +107,11 @@ let heap ws = ws.heap
 let buckets ws = ws.buckets
 
 let hfield ws = ws.hfield
+
+let hfield_memo_hit ws ~wire ~win ~targets =
+  ws.hkey_wire = wire && ws.hkey_win = win && ws.hkey_targets = targets
+
+let hfield_memo_store ws ~wire ~win ~targets =
+  ws.hkey_wire <- wire;
+  ws.hkey_win <- win;
+  ws.hkey_targets <- targets

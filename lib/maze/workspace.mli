@@ -51,6 +51,19 @@ val hfield : t -> int array
     A* heuristic field (L1 distance to the nearest target); owned and
     rebuilt by {!Search.run_astar}. *)
 
+val hfield_memo_hit :
+  t -> wire:int -> win:int * int * int * int -> targets:int list -> bool
+(** Whether the stored {!hfield} contents were computed for exactly this
+    (wire, window, planar-target-list) key.  The field is a pure function
+    of that key (it never reads grid occupancy, so no dirty-state check
+    is needed), hence a hit means the transform can be reused verbatim —
+    this is what lets repeated searches against an unchanged target set
+    skip the O(window) recompute. *)
+
+val hfield_memo_store :
+  t -> wire:int -> win:int * int * int * int -> targets:int list -> unit
+(** Record the key the {!hfield} contents were just computed for. *)
+
 (** {1 Touched-region accumulator}
 
     {!Search.core} records the per-layer bounding box of every node it

@@ -32,6 +32,12 @@ type t = {
   mutable faults : int;
   mutable evictions : int;
   mutable max_queue_depth : int;
+  (* Incremental-cache effectiveness across every refine request served:
+     net-visits skipped (certificate or lower-bound), certificates
+     invalidated by writes, and dirty-region field repairs. *)
+  mutable refine_skips : int;
+  mutable refine_stale : int;
+  mutable refine_repairs : int;
 }
 
 let create () =
@@ -44,6 +50,9 @@ let create () =
     faults = 0;
     evictions = 0;
     max_queue_depth = 0;
+    refine_skips = 0;
+    refine_stale = 0;
+    refine_repairs = 0;
   }
 
 let kind_stats t kind =
@@ -75,6 +84,11 @@ let budget_trip t = t.budget_trips <- t.budget_trips + 1
 let fault t = t.faults <- t.faults + 1
 
 let evicted t n = t.evictions <- t.evictions + n
+
+let refine_cache t ~skips ~stale ~repairs =
+  t.refine_skips <- t.refine_skips + skips;
+  t.refine_stale <- t.refine_stale + stale;
+  t.refine_repairs <- t.refine_repairs + repairs
 
 let note_queue_depth t d =
   if d > t.max_queue_depth then t.max_queue_depth <- d
@@ -132,6 +146,13 @@ let snapshot ?(queue_depth = 0) ?(sessions = 0) t =
       ("sessions", J.Int sessions);
       ("queue_depth", J.Int queue_depth);
       ("max_queue_depth", J.Int t.max_queue_depth);
+      ( "refine_cache",
+        J.Obj
+          [
+            ("skips", J.Int t.refine_skips);
+            ("stale", J.Int t.refine_stale);
+            ("repairs", J.Int t.refine_repairs);
+          ] );
       ("by_kind", J.Obj (List.map kind_row (sorted_kinds t)));
     ]
 
@@ -145,6 +166,9 @@ let render ?(queue_depth = 0) ?(sessions = 0) t =
     t.total t.total_errors t.sheds t.budget_trips t.faults t.evictions;
   addf "  sessions %d  queue-depth %d (max %d)\n" sessions queue_depth
     t.max_queue_depth;
+  if t.refine_skips + t.refine_stale + t.refine_repairs > 0 then
+    addf "  refine-cache skips %d  stale %d  repairs %d\n" t.refine_skips
+      t.refine_stale t.refine_repairs;
   List.iter
     (fun (name, ks) ->
       addf "  %-12s count %-6d errors %-4d p50 %.3fms  p95 %.3fms  p99 %.3fms  max %.3fms\n"

@@ -32,6 +32,12 @@ val fault : t -> unit
 val evicted : t -> int -> unit
 (** [n] sessions evicted for idleness. *)
 
+val refine_cache : t -> skips:int -> stale:int -> repairs:int -> unit
+(** Accumulate one refine request's incremental-cache effectiveness:
+    net-visits skipped (certificate hits + lower-bound oracle), stale
+    certificates dropped, and dirty-region lower-bound field repairs.
+    Reported under ["refine_cache"] in {!snapshot}. *)
+
 val note_queue_depth : t -> int -> unit
 (** Sample the scheduler queue depth (tracked as a high-water mark). *)
 

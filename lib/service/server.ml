@@ -127,6 +127,8 @@ let engine_stats_json (s : Router.Engine.stats) =
       ("searches", J.Int s.Router.Engine.searches);
       ("expanded", J.Int s.Router.Engine.expanded);
       ("attempts", J.Int s.Router.Engine.attempts);
+      ("cache_hits", J.Int s.Router.Engine.par.Router.Outcome.cache_hits);
+      ("cache_stale", J.Int s.Router.Engine.par.Router.Outcome.cache_stale);
     ]
 
 let load_problem t ~rid = function
@@ -205,6 +207,10 @@ let exec t (req : Proto.request) =
       match Router.Session.refine ?max_passes (Registry.session entry) with
       | s ->
           Registry.bump entry;
+          Metrics.refine_cache t.metrics
+            ~skips:(s.Router.Improve.skipped_cert + s.Router.Improve.skipped_bound)
+            ~stale:s.Router.Improve.cache_stale
+            ~repairs:s.Router.Improve.field_repairs;
           ok ~gen:(Registry.generation entry)
             (J.Obj
                [
@@ -214,6 +220,12 @@ let exec t (req : Proto.request) =
                  ("wirelength_after", J.Int s.Router.Improve.wirelength_after);
                  ("vias_before", J.Int s.Router.Improve.vias_before);
                  ("vias_after", J.Int s.Router.Improve.vias_after);
+                 ("planned", J.Int s.Router.Improve.planned);
+                 ("skipped_cert", J.Int s.Router.Improve.skipped_cert);
+                 ("skipped_bound", J.Int s.Router.Improve.skipped_bound);
+                 ("cache_stale", J.Int s.Router.Improve.cache_stale);
+                 ("field_builds", J.Int s.Router.Improve.field_builds);
+                 ("field_repairs", J.Int s.Router.Improve.field_repairs);
                ])
       | exception Router.Chaos.Injected_fault msg ->
           Metrics.fault t.metrics;

@@ -360,7 +360,7 @@ let test_dirty_ring_wrap_degrades_safely () =
   let g = Grid.create ~width:32 ~height:32 in
   let m = Grid.mark g in
   (* far-apart alternating writes defeat coalescing and wrap the ring *)
-  for i = 0 to 79 do
+  for i = 0 to (2 * Grid.dirt_capacity) + 15 do
     let x = if i land 1 = 0 then 0 else 31 in
     let y = (7 * i) mod 32 in
     let n = Grid.node g ~layer:0 ~x ~y in

@@ -254,7 +254,10 @@ let prop_buckets_match_heap =
       if (not (Grid.is_free g a)) || not (Grid.is_free g b) then true
       else begin
         let with_kernel kernel astar =
-          let f = if astar then Maze.Search.run_astar else Maze.Search.run in
+          let f =
+            if astar then Maze.Search.run_astar ~memo:false
+            else Maze.Search.run
+          in
           f ~kernel g ws ~cost:Maze.Cost.default ~passable:(free_passable g)
             ~sources:[ a ] ~targets:[ b ] ()
         in
