@@ -1508,12 +1508,146 @@ let service_bench () =
   close_out oc;
   Printf.printf "wrote BENCH_service.json\n"
 
+let recovery_bench () =
+  heading "recovery: restart cost vs journal length"
+    "Claim: crash recovery replays only the WAL tail beyond the newest\n\
+     snapshot, so restart time is bounded by the snapshot interval, not\n\
+     by session lifetime; the recovered layout is byte-identical to the\n\
+     pre-crash one at every interval.  Written to BENCH_recovery.json.";
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | exception Unix.Unix_error _ -> ()
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+        Array.iter
+          (fun f -> rm_rf (Filename.concat path f))
+          (Sys.readdir path);
+        (try Unix.rmdir path with Unix.Unix_error _ -> ())
+    | _ -> ( try Sys.remove path with Sys_error _ -> ())
+  in
+  let mutations = 60 in
+  let problem =
+    Workload.Gen.routable_switchbox (Util.Prng.create 2026) ~width:16
+      ~height:12
+  in
+  let nets = Netlist.Problem.net_count problem in
+  let durability_stat server name =
+    match
+      Util.Json.member name
+        (Service.Registry.durability_json (Service.Server.registry server))
+    with
+    | Some (Util.Json.Int n) -> n
+    | _ -> 0
+  in
+  let rows =
+    (* 1_000_000 = never snapshot: the whole history replays. *)
+    List.map
+      (fun snapshot_every ->
+        let dir =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "router_bench_recovery_%d_%d" (Unix.getpid ())
+               snapshot_every)
+        in
+        rm_rf dir;
+        let sconfig =
+          {
+            Service.Server.default_config with
+            Service.Server.router = bench_router_config;
+            data_dir = Some dir;
+            snapshot_every;
+            fsync = false;
+          }
+        in
+        let s1 = Service.Server.create ~config:sconfig () in
+        let req line = ignore (Service.Server.handle_line s1 line) in
+        req
+          (Printf.sprintf {|{"id":1,"op":"open","session":"w","problem":%s}|}
+             (Util.Json.to_string
+                (Util.Json.String (Netlist.Parse.to_string problem))));
+        req {|{"id":2,"op":"route","session":"w"}|};
+        for i = 1 to mutations do
+          req
+            (Printf.sprintf {|{"id":%d,"op":"rip","session":"w","net":%d}|}
+               (10 + (2 * i))
+               ((i mod nets) + 1));
+          req
+            (Printf.sprintf {|{"id":%d,"op":"route","session":"w"}|}
+               (11 + (2 * i)))
+        done;
+        let before =
+          Viz.Ascii.render
+            (Router.Session.grid
+               (Service.Registry.session
+                  (Option.get
+                     (Service.Registry.find
+                        (Service.Server.registry s1)
+                        "w"))))
+        in
+        let wal_records, _, _ =
+          Service.Wal.load (Filename.concat dir (Service.Wal.file_key "w" ^ ".wal"))
+        in
+        let wal_len = List.length wal_records in
+        (* No finalize: s1 is abandoned mid-flight, like a kill -9. *)
+        let t0 = Unix.gettimeofday () in
+        let s2 = Service.Server.create ~config:sconfig () in
+        let recover_s = Unix.gettimeofday () -. t0 in
+        let after =
+          match
+            Service.Registry.find (Service.Server.registry s2) "w"
+          with
+          | Some e ->
+              Viz.Ascii.render
+                (Router.Session.grid (Service.Registry.session e))
+          | None -> "<missing>"
+        in
+        let identical = String.equal before after in
+        let replayed = durability_stat s2 "records_replayed" in
+        Printf.printf
+          "snapshot-every %-8d wal at crash %3d records  recover %ss  \
+           replayed %3d  identical %b\n"
+          snapshot_every wal_len
+          (time_cell ~decimals:4 recover_s)
+          replayed identical;
+        rm_rf dir;
+        (snapshot_every, wal_len, recover_s, replayed, identical))
+      [ 4; 16; 64; 1_000_000 ]
+  in
+  let oc = open_out "BENCH_recovery.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"recovery\",\n\
+    \  \"config\": \"%s\",\n\
+    \  \"host_cores\": %d,\n\
+    \  \"mutations\": %d,\n\
+    \  \"sweep\": [\n%s\n\
+    \  ]\n\
+     }\n"
+    (Router.Config.describe bench_router_config)
+    (Util.Parallel.default_jobs ())
+    mutations
+    (String.concat ",\n"
+       (List.map
+          (fun (every, wal_len, recover_s, replayed, identical) ->
+            Printf.sprintf
+              "    {\"snapshot_every\": %d, \"wal_records_at_crash\": %d, \
+               \"recover_s\": %.6f, \"records_replayed\": %d, \
+               \"identical\": %b}"
+              every wal_len recover_s replayed identical)
+          rows));
+  close_out oc;
+  if List.exists (fun (_, _, _, _, identical) -> not identical) rows then begin
+    Printf.eprintf "recovery bench: recovered layout diverged\n";
+    exit 1
+  end;
+  Printf.printf "wrote BENCH_recovery.json\n"
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
     ("budget", budget_sweep); ("micro", micro); ("router", router_bench);
     ("incremental", incremental_bench); ("service", service_bench);
+    ("recovery", recovery_bench);
   ]
 
 let () =

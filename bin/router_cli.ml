@@ -477,7 +477,36 @@ let serve_cmd =
             "Evict a session after it has sat idle for $(docv) served \
              requests.")
   in
-  let run config socket queue_cap slo max_sessions idle_ticks =
+  let data_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "data-dir" ] ~docv:"PATH"
+          ~doc:
+            "Make sessions durable: journal every committed mutation to a \
+             per-session write-ahead log under $(docv), snapshot \
+             periodically, and recover every session found there on \
+             startup.  Without it the server is fully in-memory.")
+  in
+  let snapshot_every =
+    Arg.(
+      value & opt int 64
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:
+            "With --data-dir: compact each session's log into a snapshot \
+             every $(docv) committed mutations.")
+  in
+  let no_fsync =
+    Arg.(
+      value & flag
+      & info [ "no-fsync" ]
+          ~doc:
+            "With --data-dir: skip fsync on log appends and snapshots.  \
+             Faster; a crash of the whole machine (not just the server \
+             process) may then lose the last few committed requests.")
+  in
+  let run config socket queue_cap slo max_sessions idle_ticks data_dir
+      snapshot_every no_fsync =
     let sconfig =
       {
         Service.Server.default_config with
@@ -486,9 +515,20 @@ let serve_cmd =
         default_slo_ms = slo;
         max_sessions;
         idle_ticks;
+        data_dir;
+        snapshot_every;
+        fsync = not no_fsync;
       }
     in
     let server = Service.Server.create ~config:sconfig () in
+    (* Graceful shutdown: stop admitting, drain the queue, final
+       snapshots, metrics.  SIGTERM/SIGINT only flip the flag; the
+       serving loop notices and runs its normal end-of-life path. *)
+    let graceful _ = Service.Server.request_shutdown server in
+    (try Sys.set_signal Sys.sigterm (Sys.Signal_handle graceful)
+     with Invalid_argument _ | Sys_error _ -> ());
+    (try Sys.set_signal Sys.sigint (Sys.Signal_handle graceful)
+     with Invalid_argument _ | Sys_error _ -> ());
     (match socket with
     | None -> Service.Server.serve_pipe server stdin stdout
     | Some path -> Service.Server.serve_socket server ~path);
@@ -499,11 +539,13 @@ let serve_cmd =
        ~doc:
          "Run the router as a long-lived service: line-delimited JSON \
           requests (see docs/PROTOCOL.md) over stdin/stdout, or over a \
-          Unix socket with --socket.  Metrics are dumped to stderr on \
-          shutdown.")
+          Unix socket with --socket.  With --data-dir, sessions are \
+          journalled and survive crashes and restarts.  Metrics are \
+          dumped to stderr on shutdown; SIGTERM/SIGINT shut down \
+          gracefully (drain, snapshot, report).")
     Term.(
       const run $ config_term $ socket $ queue_cap $ slo $ max_sessions
-      $ idle_ticks)
+      $ idle_ticks $ data_dir $ snapshot_every $ no_fsync)
 
 (* --- suite --- *)
 

@@ -1,15 +1,34 @@
 exception Injected_fault of string
 
+exception Killed of string
+
+(* Kill-and-restart state: a countdown over the durability layer's kill
+   points (WAL appends, snapshot writes).  [countdown] < 0 means
+   disarmed but still counting opportunities — a counting pass tells the
+   chaos harness how many crash points a trace traverses, so it can then
+   re-run armed at each one. *)
+type kill = { mutable countdown : int; mutable seen : int }
+
 type t = {
   prng : Util.Prng.t option;  (* [None] disables every injection *)
   p_search_fail : float;
   p_trip : float;
   p_crash : float;
   mutable injected : int;
+  kill : kill option;  (* [None] (the shared {!none}) never kills *)
+  mutable paused : bool;
 }
 
 let none =
-  { prng = None; p_search_fail = 0.; p_trip = 0.; p_crash = 0.; injected = 0 }
+  {
+    prng = None;
+    p_search_fail = 0.;
+    p_trip = 0.;
+    p_crash = 0.;
+    injected = 0;
+    kill = None;
+    paused = false;
+  }
 
 let create ?(search_fail = 0.) ?(trip = 0.) ?(crash = 0.) ~seed () =
   {
@@ -18,14 +37,18 @@ let create ?(search_fail = 0.) ?(trip = 0.) ?(crash = 0.) ~seed () =
     p_trip = trip;
     p_crash = crash;
     injected = 0;
+    kill = Some { countdown = -1; seen = 0 };
+    paused = false;
   }
 
 let enabled t = match t.prng with None -> false | Some _ -> true
 
 let roll t p =
-  match t.prng with
-  | None -> false
-  | Some g -> p > 0. && Util.Prng.chance g p
+  if t.paused then false
+  else
+    match t.prng with
+    | None -> false
+    | Some g -> p > 0. && Util.Prng.chance g p
 
 let hit t =
   t.injected <- t.injected + 1;
@@ -49,3 +72,32 @@ let maybe_crash t =
     raise (Injected_fault "chaos: injected crash")
 
 let injected t = t.injected
+
+let arm_kill t ~after =
+  match t.kill with
+  | None -> invalid_arg "Chaos.arm_kill: the shared none injector"
+  | Some k -> k.countdown <- max 0 after
+
+let disarm_kill t = match t.kill with None -> () | Some k -> k.countdown <- -1
+
+let kill_points t = match t.kill with None -> 0 | Some k -> k.seen
+
+let kill_point t name =
+  match t.kill with
+  | None -> ()
+  | Some _ when t.paused -> ()
+  | Some k ->
+      k.seen <- k.seen + 1;
+      if k.countdown = 0 then begin
+        k.countdown <- -1;
+        t.injected <- t.injected + 1;
+        raise (Killed name)
+      end
+      else if k.countdown > 0 then k.countdown <- k.countdown - 1
+
+let with_paused t f =
+  if t.paused then f ()
+  else begin
+    t.paused <- true;
+    Fun.protect ~finally:(fun () -> t.paused <- false) f
+  end

@@ -37,3 +37,38 @@ val maybe_crash : t -> unit
 
 val injected : t -> int
 (** Number of faults injected so far (all kinds). *)
+
+(** {2 Kill-and-restart faults}
+
+    Unlike {!Injected_fault} — which transactional code rolls back and
+    survives — {!Killed} simulates the {e process} dying: it is raised
+    from inside the durability layer's kill points (mid-WAL-append,
+    mid-snapshot-write, …) and must propagate all the way out.  A
+    recovery test catches it at the top, discards every in-memory
+    structure, and "restarts" by re-creating the server over the same
+    data directory. *)
+
+exception Killed of string
+(** Carries the name of the kill point that fired. *)
+
+val kill_point : t -> string -> unit
+(** Traverse one kill point.  Counts the opportunity and raises
+    {!Killed} if {!arm_kill}'s countdown has reached it.  A no-op on
+    {!none} and while {!with_paused} is active. *)
+
+val arm_kill : t -> after:int -> unit
+(** Kill at the [(after+1)]-th kill point traversed from now ([after]
+    points pass unharmed).  Each armed countdown fires at most once.
+    @raise Invalid_argument on {!none}. *)
+
+val disarm_kill : t -> unit
+
+val kill_points : t -> int
+(** Kill points traversed so far (armed or not) — run a trace once
+    disarmed to learn how many crash opportunities it has, then re-run
+    armed at any of them. *)
+
+val with_paused : t -> (unit -> 'a) -> 'a
+(** Run [f] with every injection (probabilistic faults {e and} kill
+    points) suppressed — used while replaying a WAL, where injected
+    faults would corrupt the very recovery they are meant to test. *)

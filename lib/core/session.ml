@@ -69,9 +69,10 @@ let route_cells problem g ~net =
       if List.mem cell pins then None else Some cell)
     (Grid.occupied_nodes g ~net)
 
-(* Rebuild problem + grid around a new net list, carrying over the wiring of
-   every surviving net (matched by name) as pre-wiring. *)
-let rebuild st ?(keep_wiring = fun _ -> true) new_nets =
+(* The problem description rebuilt around [new_nets], carrying over the
+   wiring of every surviving net (matched by name) as pre-wiring.  Pure:
+   reads the session, mutates nothing. *)
+let rebuilt_problem st ?(keep_wiring = fun _ -> true) new_nets =
   let old = st.problem in
   let prewires =
     List.filter_map
@@ -95,12 +96,14 @@ let rebuild st ?(keep_wiring = fun _ -> true) new_nets =
                   })
       new_nets
   in
-  let problem =
-    Netlist.Problem.make ~kind:old.Netlist.Problem.kind
-      ~obstructions:old.Netlist.Problem.obstructions ~prewires
-      ~name:old.Netlist.Problem.name ~width:old.Netlist.Problem.width
-      ~height:old.Netlist.Problem.height new_nets
-  in
+  Netlist.Problem.make ~kind:old.Netlist.Problem.kind
+    ~obstructions:old.Netlist.Problem.obstructions ~prewires
+    ~name:old.Netlist.Problem.name ~width:old.Netlist.Problem.width
+    ~height:old.Netlist.Problem.height new_nets
+
+(* Rebuild problem + grid around a new net list. *)
+let rebuild st ?keep_wiring new_nets =
+  let problem = rebuilt_problem st ?keep_wiring new_nets in
   st.problem <- problem;
   (* Deliberately placed between the two state updates: an injected crash
      here leaves the session visibly inconsistent unless the caller's
@@ -258,3 +261,43 @@ let refine ?max_passes st =
   with exn ->
     restore st saved;
     raise exn
+
+(* --- durable checkpoints ---
+
+   A checkpoint is the session's state as data: the current problem with
+   every net's wiring carried as pre-wiring (the FORMAT.md printer/parser
+   serialises it), plus the exact via positions and the frozen-name set.
+
+   The vias travel separately because [Problem.instantiate]'s via
+   inference is lossy: it only recognises a via when {e one prewire}
+   holds both layers of a position, so a layer change at a pin (the pin
+   cell is not part of the prewire) loses its via flag.  Restoring from
+   (problem, vias) reproduces the grid byte-for-byte — occupancy from
+   pins + prewires, via flags overwritten with the recorded set. *)
+
+let checkpoint st =
+  let problem = rebuilt_problem st (current_nets st) in
+  let vias = ref [] in
+  for y = Grid.height st.grid - 1 downto 0 do
+    for x = Grid.width st.grid - 1 downto 0 do
+      if Grid.has_via st.grid ~x ~y then vias := (x, y) :: !vias
+    done
+  done;
+  let frozen =
+    List.sort String.compare
+      (Hashtbl.fold (fun name () acc -> name :: acc) st.frozen [])
+  in
+  (problem, !vias, frozen)
+
+let of_checkpoint ?(config = Config.default) ?(chaos = Chaos.none) ~vias
+    ~frozen problem =
+  let grid = Netlist.Problem.instantiate problem in
+  for x = 0 to Grid.width grid - 1 do
+    for y = 0 to Grid.height grid - 1 do
+      if Grid.has_via grid ~x ~y then Grid.clear_via grid ~x ~y
+    done
+  done;
+  List.iter (fun (x, y) -> Grid.set_via grid ~x ~y) vias;
+  let st = { config; chaos; problem; grid; frozen = Hashtbl.create 8 } in
+  List.iter (fun name -> Hashtbl.replace st.frozen name ()) frozen;
+  st

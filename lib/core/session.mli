@@ -85,3 +85,28 @@ val verify : t -> Drc.Check.violation list
 val refine : ?max_passes:int -> t -> Improve.stats
 (** Run the post-route refinement pass on the current layout (frozen nets
     untouched). *)
+
+(** {2 Durable checkpoints}
+
+    The bridge to the service durability layer: a checkpoint captures
+    the full session state as plain data — problem with wiring as
+    pre-wiring (serialisable through {!Netlist.Parse}), the exact via
+    positions (pre-wire via inference alone is lossy at pins), and the
+    frozen-name set.  [of_checkpoint (checkpoint st)] reproduces the
+    problem's net table, the grid byte-for-byte ({!Grid.equal}) and the
+    frozen set. *)
+
+val checkpoint : t -> Netlist.Problem.t * (int * int) list * string list
+(** [(problem_with_wiring, via_positions, frozen_names)].  Pure: the
+    session is not mutated, no chaos point fires. *)
+
+val of_checkpoint :
+  ?config:Config.t ->
+  ?chaos:Chaos.t ->
+  vias:(int * int) list ->
+  frozen:string list ->
+  Netlist.Problem.t ->
+  t
+(** Rebuild a session from a checkpoint: instantiate the problem, then
+    overwrite the inferred via flags with [vias] and the frozen set with
+    [frozen] (ignoring what [pre_fixed] would have seeded). *)

@@ -154,6 +154,61 @@ let parse line =
       | req -> Ok req
       | exception Reject (code, msg) -> Error (code, msg))
 
+(* --- op re-encoding: the WAL record format ---
+
+   [op_to_json] emits exactly the request-shaped object [op_of] decodes,
+   so a WAL record replays through the same decoder that handled the
+   live request — one wire grammar, not two.  [Route]'s [slo_ms] is
+   deliberately dropped: an SLO budgets one {e execution}, it is not
+   part of the mutation, and a committed route must replay without a
+   budget (determinism of the engine makes the un-budgeted replay land
+   on the same layout). *)
+
+let target_fields = function
+  | Net_id id -> [ ("net", J.Int id) ]
+  | Net_name name -> [ ("name", J.String name) ]
+
+let op_to_json op =
+  let fields =
+    match op with
+    | Open { problem_text; file } ->
+        (match problem_text with
+        | Some t -> [ ("problem", J.String t) ]
+        | None -> [])
+        @ (match file with Some f -> [ ("file", J.String f) ] | None -> [])
+    | Route _ -> []
+    | Add_net { name; pins } ->
+        [
+          ("name", J.String name);
+          ( "pins",
+            J.List
+              (List.map
+                 (fun (p : Netlist.Net.pin) ->
+                   J.List
+                     [
+                       J.Int p.Netlist.Net.x;
+                       J.Int p.Netlist.Net.y;
+                       J.Int p.Netlist.Net.layer;
+                     ])
+                 pins) );
+        ]
+    | Remove_net t | Rip t | Freeze t | Thaw t -> target_fields t
+    | Refine { max_passes } -> (
+        match max_passes with
+        | Some n -> [ ("max_passes", J.Int n) ]
+        | None -> [])
+    | Verify | Render | Stats | Close | Shutdown -> []
+  in
+  J.Obj (("op", J.String (op_name op)) :: fields)
+
+let op_of_json json =
+  match Option.bind (J.member "op" json) J.to_string_opt with
+  | None -> Error "missing \"op\" field"
+  | Some name -> (
+      match op_of json name with
+      | op -> Ok op
+      | exception Reject (_, msg) -> Error msg)
+
 (* --- reply encoding --- *)
 
 let ok_line ~rid ?gen result =

@@ -66,6 +66,17 @@ val parse : string -> (request, error_code * string) result
 (** Decode one request line.  Errors come back as the code to put in the
     structured reply plus a human-readable message. *)
 
+val op_to_json : op -> Util.Json.t
+(** Re-encode an op as the request-shaped object {!parse} accepts (the
+    [op] field plus its parameters, no [id]/[session]) — the payload of
+    a WAL record.  [Route]'s [slo_ms] is dropped: budgets scope one
+    execution, not the mutation, and committed mutations must replay
+    un-budgeted. *)
+
+val op_of_json : Util.Json.t -> (op, string) result
+(** Decode the object {!op_to_json} produced (same grammar as a request
+    line) — the replay half of the WAL. *)
+
 val ok_line : rid:int -> ?gen:int -> Util.Json.t -> string
 (** Encode a success reply line (no trailing newline).  [gen] is the
     session's generation counter after the request, present on

@@ -1,4 +1,5 @@
-(** Named concurrent routing sessions with lifecycle management.
+(** Named concurrent routing sessions with lifecycle management and
+    optional durability.
 
     The registry owns every live {!Router.Session.t} of the server, keyed
     by client-chosen name.  It enforces a hard cap on concurrent sessions
@@ -8,41 +9,88 @@
     it raced another client on the same session — and evicts sessions
     that have sat idle for more than [idle_ticks] server requests
     (a logical clock: one tick per executed request, which keeps eviction
-    deterministic for replayed traces). *)
+    deterministic for replayed traces).
+
+    {b Durability.}  With a {!data} configuration, every session gets a
+    write-ahead log ({!Wal}) and periodic snapshots ({!Snapshot}) under
+    [data.dir].  {!commit} appends each committed mutation {e after} the
+    transactional session layer has applied it — rolled-back and shed
+    requests never reach the log — and compacts the log into a fresh
+    snapshot every [snapshot_every] records.  {!create} recovers every
+    session found on disk; idle eviction parks sessions to disk instead
+    of dropping them, and {!find} resurrects parked sessions on demand.
+    Each entry also remembers the last applied client request id
+    ({!last_rid}, persisted in both log and snapshot), giving the server
+    exactly-once resubmission: a client that never saw its reply can
+    resend the same [id] and get a duplicate-ack instead of a second
+    application. *)
 
 type t
 
 type entry
+
+type data = {
+  dir : string;  (** directory holding one [.wal] + [.snap] per session *)
+  snapshot_every : int;  (** compact the log every this many records *)
+  fsync : bool;  (** push appends and snapshots to stable storage *)
+}
 
 val create :
   ?config:Router.Config.t ->
   ?chaos:Router.Chaos.t ->
   ?max_sessions:int ->
   ?idle_ticks:int ->
+  ?data:data ->
   unit ->
   t
 (** [config] (default {!Router.Config.default}) and [chaos] (default
     {!Router.Chaos.none}) are handed to every session created.
-    [max_sessions] defaults to 64; [idle_ticks] defaults to 10_000. *)
+    [max_sessions] defaults to 64; [idle_ticks] defaults to 10_000.
+    With [data], the directory is created if missing and every session
+    found on disk is recovered immediately (up to the session cap;
+    failures count in {!durability_json}'s [recover_failures] and leave
+    the files in place). *)
 
 val open_session :
-  t -> name:string -> Netlist.Problem.t ->
+  t -> name:string -> ?rid:int -> Netlist.Problem.t ->
   (entry, [ `Exists | `Cap of int ]) result
 (** Create and register a fresh session over [problem].  [`Cap n] carries
-    the configured maximum. *)
+    the configured maximum.  A durable open first checks the disk: a
+    parked session of the same name resurrects and reports [`Exists]
+    (check {!last_rid} against [rid] to recognise a client resubmitting
+    an un-acked open).  A genuinely fresh open logs the problem's
+    canonical text as the log's first record, so the session is durable
+    from its first instant. *)
 
 val find : t -> string -> entry option
-(** Look up a session and mark it used at the current tick. *)
+(** Look up a session and mark it used at the current tick.  On a
+    durable registry a miss falls back to disk: a parked (evicted)
+    session reattaches transparently, cap permitting. *)
 
 val session : entry -> Router.Session.t
 
 val generation : entry -> int
 
+val last_rid : entry -> int
+(** The request id of the last committed mutation (0 = none recorded). *)
+
+val is_duplicate : entry -> rid:int -> bool
+(** [rid] is non-zero and equals {!last_rid}: this is a resubmission of
+    the most recent committed request and must not re-apply. *)
+
 val bump : entry -> unit
-(** Record one committed mutation: the generation counter increments. *)
+(** Record one committed mutation: the generation counter increments.
+    Durable callers want {!commit}, which also journals the request. *)
+
+val commit : t -> entry -> rid:int -> Proto.op -> unit
+(** The durable {!bump}: increment the generation, remember [rid], and
+    (when durable) append the op to the session's log — compacting into
+    a snapshot when the log reaches [snapshot_every] records.  Call it
+    {e after} the session mutation has committed. *)
 
 val close : t -> string -> bool
-(** [false] when no such session. *)
+(** [false] when no such session.  Durable close deletes the session's
+    log and snapshot — closing is the explicit "forget this" verb. *)
 
 val count : t -> int
 
@@ -51,7 +99,27 @@ val names : t -> string list
 
 val tick : t -> string list
 (** Advance the logical clock by one request and evict every session idle
-    longer than [idle_ticks]; returns the evicted names (alphabetical). *)
+    longer than [idle_ticks]; returns the evicted names (alphabetical).
+    Durable eviction {e parks}: final snapshot, log compacted, files
+    kept — {!find} brings the session back. *)
+
+val flush_all : t -> unit
+(** Snapshot every live session (graceful-shutdown path): after this,
+    recovery needs no log replay. *)
+
+val recover_all : t -> int
+(** Recover every on-disk session not already live (cap permitting);
+    returns how many came back.  {!create} already does this — exposed
+    for tests. *)
+
+val durable : t -> bool
+
+val durability_json : t -> Util.Json.t
+(** Durability counters for the [stats] reply: [durable],
+    [snapshots_written], [sessions_recovered], [records_replayed],
+    [torn_tails], [recover_failures], and [last_error] — the most
+    recent recovery failure, with its [wal:<path>#<record>] or snapshot
+    provenance ([null] if none). *)
 
 val snapshot : t -> Util.Json.t
 (** Registry half of the [stats] reply: per-session name, generation,

@@ -8,6 +8,9 @@ type config = {
   max_sessions : int;
   idle_ticks : int;
   allow_files : bool;
+  data_dir : string option;
+  snapshot_every : int;
+  fsync : bool;
 }
 
 let default_config =
@@ -19,6 +22,9 @@ let default_config =
     max_sessions = 64;
     idle_ticks = 10_000;
     allow_files = true;
+    data_dir = None;
+    snapshot_every = 64;
+    fsync = true;
   }
 
 type item = { client : int; request : Proto.request }
@@ -36,11 +42,22 @@ type t = {
 }
 
 let create ?(config = default_config) () =
+  let data =
+    Option.map
+      (fun dir ->
+        {
+          Registry.dir;
+          snapshot_every = max 1 config.snapshot_every;
+          fsync = config.fsync;
+        })
+      config.data_dir
+  in
   {
     config;
     registry =
       Registry.create ~config:config.router ~chaos:config.chaos
-        ~max_sessions:config.max_sessions ~idle_ticks:config.idle_ticks ();
+        ~max_sessions:config.max_sessions ~idle_ticks:config.idle_ticks
+        ?data ();
     queue = Sched.create ~cap:config.queue_cap ();
     metrics = Metrics.create ();
     shutdown = false;
@@ -91,6 +108,18 @@ let with_session t (req : Proto.request) f =
           error_reply ~rid:req.Proto.rid Proto.Unknown_session
             (Printf.sprintf "no session named %S" name)
       | Some entry -> f name entry)
+
+(* Exactly-once resubmission: a client that never saw its reply (it or
+   the server died in between) resends the same non-zero request id.
+   If that id matches the session's last committed mutation — live or
+   recovered from the journal — the work already happened: ack it with
+   a [duplicate] marker instead of applying it twice.  Requests with
+   id 0 opt out. *)
+let deduped ~rid entry k =
+  if Registry.is_duplicate entry ~rid then
+    Proto.ok_line ~rid ~gen:(Registry.generation entry)
+      (J.Obj [ ("duplicate", J.Bool true) ])
+  else k ()
 
 let resolve_target ~rid entry = function
   | Proto.Net_id id -> id
@@ -154,6 +183,7 @@ let exec t (req : Proto.request) =
   | Proto.Open _ -> assert false (* dispatched to [exec_open] by [execute] *)
   | Proto.Route { slo_ms } ->
       with_session t req @@ fun _ entry ->
+      deduped ~rid entry @@ fun () ->
       let session = Registry.session entry in
       let budget =
         match (slo_ms, t.config.default_slo_ms) with
@@ -163,7 +193,7 @@ let exec t (req : Proto.request) =
       in
       (match Router.Session.try_route ?budget session with
       | Ok stats ->
-          Registry.bump entry;
+          Registry.commit t.registry entry ~rid req.Proto.op;
           ok ~gen:(Registry.generation entry) (engine_stats_json stats)
       | Error reason ->
           let msg = Router.Budget.reason_to_string reason in
@@ -180,14 +210,16 @@ let exec t (req : Proto.request) =
           error_reply ~rid Proto.Fault_injected msg)
   | Proto.Add_net { name; pins } -> (
       with_session t req @@ fun _ entry ->
+      deduped ~rid entry @@ fun () ->
       match Router.Session.add_net (Registry.session entry) ~name pins with
       | Ok id ->
-          Registry.bump entry;
+          Registry.commit t.registry entry ~rid req.Proto.op;
           ok ~gen:(Registry.generation entry) (J.Obj [ ("net", J.Int id) ])
       | Error msg -> mutation_error ~rid t msg)
   | Proto.Remove_net target | Proto.Rip target
   | Proto.Freeze target | Proto.Thaw target -> (
       with_session t req @@ fun _ entry ->
+      deduped ~rid entry @@ fun () ->
       let session = Registry.session entry in
       let net = resolve_target ~rid entry target in
       let call =
@@ -199,14 +231,15 @@ let exec t (req : Proto.request) =
       in
       match call session ~net with
       | Ok () ->
-          Registry.bump entry;
+          Registry.commit t.registry entry ~rid req.Proto.op;
           ok ~gen:(Registry.generation entry) (J.Obj [ ("done", J.Bool true) ])
       | Error msg -> mutation_error ~rid t msg)
   | Proto.Refine { max_passes } -> (
       with_session t req @@ fun _ entry ->
+      deduped ~rid entry @@ fun () ->
       match Router.Session.refine ?max_passes (Registry.session entry) with
       | s ->
-          Registry.bump entry;
+          Registry.commit t.registry entry ~rid req.Proto.op;
           Metrics.refine_cache t.metrics
             ~skips:(s.Router.Improve.skipped_cert + s.Router.Improve.skipped_bound)
             ~stale:s.Router.Improve.cache_stale
@@ -263,6 +296,7 @@ let exec t (req : Proto.request) =
                Metrics.snapshot ~queue_depth:(Sched.length t.queue)
                  ~sessions:(Registry.count t.registry) t.metrics );
              ("registry", Registry.snapshot t.registry);
+             ("durability", Registry.durability_json t.registry);
            ])
   | Proto.Close -> (
       match req.Proto.session with
@@ -286,7 +320,7 @@ let exec_open t (req : Proto.request) op =
   | None -> error_reply ~rid Proto.Bad_request "open needs a \"session\" field"
   | Some name -> (
       let problem = load_problem t ~rid op in
-      match Registry.open_session t.registry ~name problem with
+      match Registry.open_session t.registry ~name ~rid problem with
       | Ok entry ->
           Proto.ok_line ~rid ~gen:(Registry.generation entry)
             (J.Obj
@@ -296,9 +330,17 @@ let exec_open t (req : Proto.request) op =
                  ("width", J.Int problem.Netlist.Problem.width);
                  ("height", J.Int problem.Netlist.Problem.height);
                ])
-      | Error `Exists ->
-          error_reply ~rid Proto.Session_exists
-            (Printf.sprintf "session %S already exists" name)
+      | Error `Exists -> (
+          (* A resubmitted open whose first try committed (journalled)
+             but whose reply was lost: ack it as a duplicate. *)
+          match Registry.find t.registry name with
+          | Some entry when Registry.is_duplicate entry ~rid ->
+              Proto.ok_line ~rid ~gen:(Registry.generation entry)
+                (J.Obj
+                   [ ("session", J.String name); ("duplicate", J.Bool true) ])
+          | _ ->
+              error_reply ~rid Proto.Session_exists
+                (Printf.sprintf "session %S already exists" name))
       | Error (`Cap n) ->
           error_reply ~rid Proto.Session_cap
             (Printf.sprintf "session cap reached (%d); close one first" n))
@@ -313,6 +355,10 @@ let execute t (req : Proto.request) =
     with
     | reply -> (reply, true)
     | exception Reply reply -> (reply, false)
+    | exception (Router.Chaos.Killed _ as e) ->
+        (* A simulated process death must not degrade into an [internal]
+           reply: let it unwind the whole server, like the real thing. *)
+        raise e
     | exception exn ->
         ( Proto.error_line ~rid:req.Proto.rid Proto.Internal
             (Printexc.to_string exn),
@@ -369,6 +415,18 @@ let handle_line t line =
   drain ();
   (match immediate with Some r -> [ r ] | None -> []) @ List.rev !drained
 
+let request_shutdown t = t.shutdown <- true
+
+(* End-of-life housekeeping shared by the transports: park every live
+   session in a final snapshot (so a restart replays nothing), then
+   report.  Runs after the queue has drained. *)
+let finalize t =
+  Registry.flush_all t.registry;
+  prerr_string
+    (Metrics.render ~queue_depth:(Sched.length t.queue)
+       ~sessions:(Registry.count t.registry) t.metrics);
+  flush stderr
+
 let metrics_dump t =
   Metrics.render ~queue_depth:(Sched.length t.queue)
     ~sessions:(Registry.count t.registry) t.metrics
@@ -380,6 +438,11 @@ let serve_pipe t ic oc =
     if not t.shutdown then
       match input_line ic with
       | exception End_of_file -> ()
+      | exception Sys_error _ ->
+          (* A signal (SIGTERM handler flipping [shutdown]) can abort the
+             blocking read; treat it like EOF and fall through to the
+             graceful path. *)
+          ()
       | line ->
           List.iter
             (fun reply ->
@@ -390,8 +453,7 @@ let serve_pipe t ic oc =
           loop ()
   in
   loop ();
-  prerr_string (metrics_dump t);
-  flush stderr
+  finalize t
 
 (* One connected socket client: fd, partial-line input buffer. *)
 type client = { fd : Unix.file_descr; buf : Buffer.t }
@@ -487,6 +549,5 @@ let serve_socket t ~path =
       Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) clients;
       (try Unix.close listen_fd with Unix.Unix_error _ -> ());
       (try Unix.unlink path with Unix.Unix_error _ -> ());
-      prerr_string (metrics_dump t);
-      flush stderr)
+      finalize t)
     loop

@@ -34,11 +34,21 @@ type config = {
   allow_files : bool;
       (** permit [open] by server-side [file] path (on for the CLI;
           turn off when exposing the socket beyond trusted clients) *)
+  data_dir : string option;
+      (** durability root: one write-ahead log + snapshot per session
+          lives here, sessions found here are recovered at {!create}.
+          [None] = fully in-memory (the previous behaviour). *)
+  snapshot_every : int;
+      (** compact each session's log into a snapshot every this many
+          committed mutations *)
+  fsync : bool;  (** fsync log appends and snapshots (slower, safer) *)
 }
 
 val default_config : config
 (** [Router.Config.default], no chaos, queue cap 64, no default SLO,
-    64 sessions, eviction after 10_000 requests, files allowed. *)
+    64 sessions, eviction after 10_000 requests, files allowed, no
+    durability ([data_dir = None]; snapshot every 64, fsync on when a
+    directory is given). *)
 
 type t
 
@@ -51,6 +61,19 @@ val registry : t -> Registry.t
 val queue_depth : t -> int
 
 val shutdown_requested : t -> bool
+
+val request_shutdown : t -> unit
+(** Flip the shutdown flag from outside the request stream — the signal
+    handlers of the CLI call this on SIGTERM/SIGINT.  Admission stops
+    immediately ({!submit} refuses with [shutting_down]); the transports
+    drain what was already queued, then run their normal end-of-life
+    path (final snapshots, metrics dump). *)
+
+val finalize : t -> unit
+(** The transports' end-of-life path: snapshot every durable session
+    (so a restart replays nothing) and dump metrics to [stderr].
+    Exposed for tests and embedders driving {!submit}/{!drain_one}
+    directly. *)
 
 val submit : t -> client:int -> string -> string option
 (** Feed one request line.  [Some reply] is an immediate reply that

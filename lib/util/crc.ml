@@ -1,0 +1,36 @@
+(* Standard reflected CRC-32, polynomial 0xEDB88320. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun i ->
+         let c = ref (Int32.of_int i) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let string s =
+  let t = Lazy.force table in
+  let crc = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      crc := Int32.logxor t.(idx) (Int32.shift_right_logical !crc 8))
+    s;
+  Int32.logxor !crc 0xFFFFFFFFl
+
+let to_hex c = Printf.sprintf "%08lx" (Int32.logand c 0xFFFFFFFFl)
+
+let of_hex s =
+  (* [Int32.of_string] reads hex literals as unsigned 32-bit patterns, so
+     the whole crc range round-trips. *)
+  if String.length s = 8 && String.for_all (function
+       | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+       | _ -> false) s
+  then Int32.of_string_opt ("0x" ^ s)
+  else None

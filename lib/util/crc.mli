@@ -1,0 +1,12 @@
+(** CRC-32 (IEEE 802.3, the zlib polynomial), for detecting torn or
+    corrupted records read back from disk.  Pure OCaml, table-driven;
+    plenty fast for the line-sized records the durability layer checks. *)
+
+val string : string -> int32
+(** CRC-32 of a whole string. *)
+
+val to_hex : int32 -> string
+(** Fixed-width lowercase hex (8 characters). *)
+
+val of_hex : string -> int32 option
+(** Inverse of {!to_hex}; [None] unless exactly 8 hex characters. *)

@@ -64,6 +64,12 @@ let to_string v =
 
 exception Bad of int * string
 
+(* Nesting bound: adversarial input read back from disk (WAL records,
+   snapshots) must not be able to blow the stack — the recursive-descent
+   parser recurses once per nesting level, so a few hundred levels is
+   far more than any legitimate record and far less than any stack. *)
+let max_depth = 256
+
 let parse text =
   let n = String.length text in
   let pos = ref 0 in
@@ -185,7 +191,8 @@ let parse text =
       | Some v -> Int v
       | None -> Float (float_of_string s)
   in
-  let rec parse_value () =
+  let rec parse_value depth =
+    if depth >= max_depth then fail "nesting too deep";
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -200,9 +207,11 @@ let parse text =
           let rec fields acc =
             skip_ws ();
             let k = parse_string () in
+            if List.mem_assoc k acc then
+              fail (Printf.sprintf "duplicate key %S" k);
             skip_ws ();
             expect ':';
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -224,7 +233,7 @@ let parse text =
         end
         else begin
           let rec elems acc =
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -244,7 +253,7 @@ let parse text =
     | Some ('-' | '0' .. '9') -> parse_number ()
     | Some c -> fail (Printf.sprintf "unexpected character %C" c)
   in
-  let v = parse_value () in
+  let v = parse_value 0 in
   skip_ws ();
   if !pos <> n then fail "trailing garbage after value";
   v

@@ -21,12 +21,19 @@ type t =
   | List of t list
   | Obj of (string * t) list  (** insertion order preserved *)
 
+val max_depth : int
+(** Nesting bound enforced by the parser (currently 256): deeper input
+    is rejected with an error instead of recursing until the stack
+    blows.  Hardens the decoder against adversarial bytes read back
+    from disk (WAL records, snapshots). *)
+
 val to_string : t -> string
 (** Compact encoding: no spaces, no newlines, strings escaped. *)
 
 val of_string : string -> (t, string) result
-(** Parse one JSON value; trailing garbage (beyond whitespace) is an
-    error.  The error message includes the 0-based byte offset. *)
+(** Parse one JSON value; trailing garbage (beyond whitespace), nesting
+    deeper than {!max_depth} and duplicate object keys are errors.  The
+    error message includes the 0-based byte offset. *)
 
 val of_string_exn : string -> t
 (** @raise Failure on malformed input. *)

@@ -587,6 +587,55 @@ let prop_json_roundtrip =
       | Ok v' -> v = v'
       | Error _ -> false)
 
+(* Hardening: the decoder now reads adversarial bytes back from disk
+   (WAL records, snapshots), so hostile shape must fail cleanly — an
+   [Error], never a stack overflow or a silently wrong value. *)
+
+let test_json_depth_bound () =
+  let nested n = String.make n '[' ^ String.make n ']' in
+  (match J.of_string (nested J.max_depth) with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "depth %d must parse: %s" J.max_depth msg);
+  (match J.of_string (nested (J.max_depth + 1)) with
+  | Ok _ -> Alcotest.fail "past the depth bound must be rejected"
+  | Error _ -> ());
+  (* Way past the bound: must error out, not blow the stack.  An
+     unbounded recursive-descent parser dies here. *)
+  match J.of_string (String.make 1_000_000 '[') with
+  | Ok _ -> Alcotest.fail "million-deep nesting must be rejected"
+  | Error _ -> ()
+
+let test_json_duplicate_keys () =
+  (match J.of_string {|{"a":1,"a":2}|} with
+  | Ok _ -> Alcotest.fail "duplicate key must be rejected"
+  | Error msg ->
+      Testkit.check_true "error names the key"
+        (Testkit.contains msg "\"a\""));
+  (* Duplicates nested below the top level are caught too. *)
+  (match J.of_string {|{"x":[{"k":null,"k":0}]}|} with
+  | Ok _ -> Alcotest.fail "nested duplicate key must be rejected"
+  | Error _ -> ());
+  match J.of_string {|{"a":1,"b":{"a":2}}|} with
+  | Ok _ -> () (* same key in different objects is fine *)
+  | Error msg -> Alcotest.failf "distinct objects may share keys: %s" msg
+
+(* Fuzz: feed the parser mutated encodings and raw garbage; whatever
+   happens, it must return, not raise. *)
+let prop_json_parse_total =
+  Testkit.qcheck ~count:300 "of_string never raises"
+    QCheck2.Gen.(
+      pair json_gen (pair (int_range 0 1_000_000) (string_size (int_range 0 40))))
+    (fun (v, (cut, garbage)) ->
+      let text = J.to_string v in
+      let mutated =
+        let cut = cut mod (String.length text + 1) in
+        String.sub text 0 cut ^ garbage
+      in
+      List.for_all
+        (fun input ->
+          match J.of_string input with Ok _ | Error _ -> true)
+        [ mutated; garbage; text ^ garbage ])
+
 let () =
   Alcotest.run "util"
     [
@@ -665,6 +714,9 @@ let () =
           Alcotest.test_case "parse" `Quick test_json_parse;
           Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "accessors" `Quick test_json_accessors;
+          Alcotest.test_case "depth bound" `Quick test_json_depth_bound;
+          Alcotest.test_case "duplicate keys" `Quick test_json_duplicate_keys;
           prop_json_roundtrip;
+          prop_json_parse_total;
         ] );
     ]

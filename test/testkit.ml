@@ -33,6 +33,12 @@ let drc_routed problem (result : Router.Engine.t) =
   in
   Drc.Check.check ~nets:routed problem result.Router.Engine.grid
 
+(* Substring test for error-message assertions. *)
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
 let check_int = Alcotest.(check int)
 
 let check_bool = Alcotest.(check bool)
