@@ -1641,13 +1641,120 @@ let recovery_bench () =
   end;
   Printf.printf "wrote BENCH_recovery.json\n"
 
+(* ------------------------------------------------------------------- *)
+(* flow: mini-flow sweep over the committed macro instances             *)
+(* ------------------------------------------------------------------- *)
+
+let flow_bench () =
+  heading "flow (json): place → groute → guide-windowed detailed route"
+    "Claim: global-route guides window most detailed searches (the rest\n\
+     fall back to the full window, certified) without changing the\n\
+     answer: on every committed macro instance the guided layout is\n\
+     byte-identical to the full-window route.  Stage wall-clock split\n\
+     and guide hit rate are written to BENCH_flow.json.";
+  let instances = [ "macro_48x40"; "macro_64x52"; "macro_128x104" ] in
+  (* The flow forces the guide-compatible detailed-route config (bucket
+     kernel, no widen-retry windowing, A* on); the unguided reference must
+     route under the same forced config or the layouts are incomparable. *)
+  let forced =
+    {
+      bench_router_config with
+      Router.Config.kernel = Maze.Search.Buckets;
+      window_margin = None;
+      use_astar = true;
+    }
+  in
+  let table =
+    Util.Table.create
+      ~headers:
+        [ "instance"; "place ms"; "groute ms"; "route ms"; "hit rate";
+          "routed"; "identical"; "drc" ]
+  in
+  let json_rows = ref [] in
+  let all_identical = ref true in
+  List.iter
+    (fun name ->
+      let path = Filename.concat "instances" (name ^ ".problem") in
+      if not (Sys.file_exists path) then
+        Printf.printf "(skipping %s: %s not found — run from the repo root)\n"
+          name path
+      else begin
+        let problem = Netlist.Parse.load_exn path in
+        match Flow.run ~config:bench_router_config problem with
+        | Error msg ->
+            Printf.eprintf "flow bench: %s: %s\n" name msg;
+            exit 1
+        | Ok f ->
+            let full = Router.Engine.route ~config:forced f.Flow.realized in
+            let identical =
+              Grid.equal f.Flow.result.Router.Engine.grid
+                full.Router.Engine.grid
+            in
+            if not identical then all_identical := false;
+            let stats = f.Flow.result.Router.Engine.stats in
+            let g = stats.Router.Engine.guide in
+            let drc_clean =
+              Drc.Check.is_clean f.Flow.realized f.Flow.result.Router.Engine.grid
+            in
+            let ms ns = Int64.to_float ns /. 1e6 in
+            let place_ms = ms f.Flow.stats.Flow.place_ns
+            and groute_ms = ms f.Flow.stats.Flow.groute_ns
+            and route_ms = ms f.Flow.stats.Flow.route_ns in
+            let hit_rate = Flow.guide_hit_rate f in
+            let routed = stats.Router.Engine.routed_nets
+            and failed = List.length stats.Router.Engine.failed_nets in
+            Util.Table.add_row table
+              [
+                name;
+                time_cell place_ms;
+                time_cell groute_ms;
+                time_cell route_ms;
+                Printf.sprintf "%.2f" hit_rate;
+                Printf.sprintf "%d/%d" routed (routed + failed);
+                Util.Table.cell_bool identical;
+                (if drc_clean then "clean" else "VIOLATION");
+              ];
+            json_rows :=
+              Printf.sprintf
+                "    {\"instance\": \"%s\", \"place_ms\": %.3f, \
+                 \"groute_ms\": %.3f, \"route_ms\": %.3f, \"guided\": %d, \
+                 \"hits\": %d, \"fallbacks\": %d, \"hit_rate\": %.4f, \
+                 \"overflow_tiles\": %d, \"routed\": %d, \"failed\": %d, \
+                 \"identical\": %b, \"drc_clean\": %b}"
+                name place_ms groute_ms route_ms g.Router.Outcome.guided
+                g.Router.Outcome.hits g.Router.Outcome.fallbacks hit_rate
+                f.Flow.stats.Flow.groute.Groute.overflow_tiles routed failed
+                identical drc_clean
+              :: !json_rows
+      end)
+    instances;
+  Util.Table.print table;
+  let oc = open_out "BENCH_flow.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"flow\",\n\
+    \  \"config\": \"%s\",\n\
+    \  \"host_cores\": %d,\n\
+    \  \"sweep\": [\n%s\n\
+    \  ]\n\
+     }\n"
+    (Router.Config.describe forced)
+    (Util.Parallel.default_jobs ())
+    (String.concat ",\n" (List.rev !json_rows));
+  close_out oc;
+  if not !all_identical then begin
+    Printf.eprintf "flow bench: guided layout diverged from full-window route\n";
+    exit 1
+  end;
+  Printf.printf "wrote BENCH_flow.json\n"
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
     ("budget", budget_sweep); ("micro", micro); ("router", router_bench);
     ("incremental", incremental_bench); ("service", service_bench);
-    ("recovery", recovery_bench);
+    ("recovery", recovery_bench); ("flow", flow_bench);
   ]
 
 let () =

@@ -366,10 +366,11 @@ let gen_cmd =
                   ("routable", `Routable);
                   ("region", `Region);
                   ("chip", `Chip);
+                  ("macro", `Macro);
                 ]))
           None
       & info [] ~docv:"KIND"
-          ~doc:"channel | switchbox | routable | region | chip")
+          ~doc:"channel | switchbox | routable | region | chip | macro")
   in
   let out =
     Arg.(
@@ -381,7 +382,12 @@ let gen_cmd =
   let width = Arg.(value & opt int 16 & info [ "width" ] ~doc:"Region width / columns.") in
   let height = Arg.(value & opt int 12 & info [ "height" ] ~doc:"Region height.") in
   let nets = Arg.(value & opt int 10 & info [ "nets" ] ~doc:"Net count.") in
-  let run kind out seed width height nets =
+  let macros =
+    Arg.(
+      value & opt int 6
+      & info [ "macros" ] ~doc:"Macro instance count (macro kind only).")
+  in
+  let run kind out seed width height nets macros =
     let prng = Util.Prng.create seed in
     let problem =
       match kind with
@@ -390,6 +396,7 @@ let gen_cmd =
       | `Routable -> Workload.Gen.routable_switchbox prng ~width ~height
       | `Region -> Workload.Gen.region prng ~width ~height ~nets
       | `Chip -> Workload.Gen.routable_chip prng ~width ~height
+      | `Macro -> Workload.Gen.macro ~macros prng ~width ~height ~nets
     in
     Netlist.Parse.save out problem;
     Format.printf "wrote %s: %a@." out Netlist.Problem.pp problem;
@@ -397,7 +404,139 @@ let gen_cmd =
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a random problem file.")
-    Term.(const run $ kind $ out $ seed $ width $ height $ nets)
+    Term.(const run $ kind $ out $ seed $ width $ height $ nets $ macros)
+
+(* --- flow --- *)
+
+let flow_cmd =
+  let tile =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tile" ] ~docv:"N"
+          ~doc:"Global-route tile size in cells (default 8).")
+  in
+  let svg_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "svg" ] ~docv:"OUT" ~doc:"Write an SVG rendering of the result.")
+  in
+  let ascii =
+    Arg.(value & flag & info [ "ascii" ] ~doc:"Print the routed grid as ASCII.")
+  in
+  let report =
+    Arg.(
+      value & flag & info [ "report" ] ~doc:"Print the per-net routing report.")
+  in
+  let save_placed =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-placed" ] ~docv:"FILE"
+          ~doc:"Write the placed (unrealized) problem back out to $(docv).")
+  in
+  let run path config tile svg ascii report save_placed =
+    match load path with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok problem -> (
+        Format.printf "%a@." Netlist.Problem.pp problem;
+        Format.printf "config: %s@." (Router.Config.describe config);
+        let budget =
+          match
+            ( config.Router.Config.deadline,
+              config.Router.Config.max_expanded,
+              config.Router.Config.max_searches )
+          with
+          | None, None, None -> None
+          | deadline, max_expanded, max_searches ->
+              Some
+                (Router.Budget.create ?deadline ?max_expanded ?max_searches ())
+        in
+        match Flow.run ~config ?budget ?tile problem with
+        | Error msg ->
+            prerr_endline msg;
+            1
+        | Ok f ->
+            let ms ns = Int64.to_float ns /. 1e6 in
+            (match f.Flow.stats.Flow.place with
+            | None -> Format.printf "place:  (no placement section)@."
+            | Some p ->
+                Format.printf
+                  "place:  %d inst(s) (%d free), cost %d -> %d, %d/%d moves \
+                   accepted, %d sweep(s)%s  (%.1fms)@."
+                  p.Place.insts p.Place.free_insts p.Place.initial_cost
+                  p.Place.final_cost p.Place.accepted p.Place.moves
+                  p.Place.sweeps
+                  (if p.Place.degraded then "  [degraded]" else "")
+                  (ms f.Flow.stats.Flow.place_ns));
+            let gr = f.Flow.stats.Flow.groute in
+            Format.printf "groute: %a  (%.1fms)@." Groute.pp gr
+              (ms f.Flow.stats.Flow.groute_ns);
+            (match Groute.audit gr with
+            | Ok () -> ()
+            | Error msg -> Format.printf "groute audit: %s@." msg);
+            let result = f.Flow.result in
+            Format.printf "route:  completed %b  (%.1fms)@."
+              result.Router.Engine.completed
+              (ms f.Flow.stats.Flow.route_ns);
+            let g = result.Router.Engine.stats.Router.Engine.guide in
+            Format.printf
+              "guides: %d net(s) guided, %d hit(s), %d fallback(s)  (hit \
+               rate %.2f)@."
+              g.Router.Outcome.guided g.Router.Outcome.hits
+              g.Router.Outcome.fallbacks (Flow.guide_hit_rate f);
+            Format.printf "%a@." Router.Engine.pp_stats
+              result.Router.Engine.stats;
+            (match Drc.Check.check f.Flow.realized result.Router.Engine.grid with
+            | [] -> Format.printf "drc: clean@."
+            | violations when result.Router.Engine.completed ->
+                Format.printf "drc: VIOLATIONS@.%s@."
+                  (Drc.Check.explain violations)
+            | _ -> Format.printf "drc: incomplete routing (expected opens)@.");
+            (match save_placed with
+            | Some out ->
+                Netlist.Parse.save out f.Flow.placed;
+                Format.printf "wrote %s@." out
+            | None -> ());
+            if report then
+              print_endline (Router.Report.render f.Flow.realized result);
+            if ascii then
+              print_endline (Viz.Ascii.render result.Router.Engine.grid);
+            (match svg with
+            | Some out ->
+                Viz.Svg.save out f.Flow.realized result.Router.Engine.grid;
+                Format.printf "wrote %s@." out
+            | None -> ());
+            (match result.Router.Engine.status with
+            | Router.Outcome.Complete -> 0
+            | Router.Outcome.Degraded reason ->
+                Printf.eprintf "degraded: %s; %d net(s) left unrouted\n%!"
+                  (Router.Budget.reason_to_string reason)
+                  (List.length
+                     result.Router.Engine.stats.Router.Engine.failed_nets);
+                2
+            | Router.Outcome.Infeasible ->
+                Printf.eprintf "infeasible: %d net(s) could not be routed\n%!"
+                  (List.length
+                     result.Router.Engine.stats.Router.Engine.failed_nets);
+                2))
+  in
+  let term =
+    Term.(
+      const run $ problem_arg $ config_term $ tile $ svg_out $ ascii $ report
+      $ save_placed)
+  in
+  Cmd.v
+    (Cmd.info "flow"
+       ~doc:
+         "Run the full mini-flow on a problem file: annealing placement, \
+          global-route guides, then guide-windowed detailed routing.  The \
+          final layout is byte-identical to routing the realized problem \
+          without guides.  Exit codes match $(b,route).")
+    term
 
 (* --- channel --- *)
 
@@ -607,6 +746,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            route_cmd; info_cmd; show_cmd; gen_cmd; channel_cmd; suite_cmd;
-            serve_cmd;
+            route_cmd; flow_cmd; info_cmd; show_cmd; gen_cmd; channel_cmd;
+            suite_cmd; serve_cmd;
           ]))

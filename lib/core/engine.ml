@@ -10,6 +10,7 @@ type stats = {
   effort : Outcome.effort;
   attempts : int;
   par : Outcome.par_stats;
+  guide : Outcome.guide_stats;
 }
 
 (* The escalation mode a search serves, for the effort split. *)
@@ -53,6 +54,8 @@ type state = {
          escalation, so speculating it would waste a domain on a search
          that runs to exhaustion inside the wave barrier *)
   cache : cache_entry option array;
+  guides : Geom.Rect.t option array;
+      (* per net index: global-route guide window; empty array = unguided *)
   mutable rips_left : int;
   mutable rips : int;
   mutable shoves : int;
@@ -69,11 +72,13 @@ type state = {
   mutable wasted_expanded : int;
   mutable cache_hits : int;
   mutable cache_stale : int;
+  mutable guide_hits : int;
+  mutable guide_fallbacks : int;
 }
 
 let is_protected st n = Bytes.get st.protected n <> '\000'
 
-let make_state config problem ~budget ~chaos =
+let make_state config problem ~budget ~chaos ~guides =
   let g = Netlist.Problem.instantiate problem in
   let nets = Netlist.Problem.net_count problem in
   let protected = Bytes.make (Grid.node_count g) '\000' in
@@ -127,6 +132,7 @@ let make_state config problem ~budget ~chaos =
            | _ -> Netlist.Analysis.net_bbox ~halo n));
     hard = Array.make nets false;
     cache = Array.make nets None;
+    guides;
     rips_left = config.Config.rip_budget_factor * max 1 nets;
     rips = 0;
     shoves = 0;
@@ -143,6 +149,8 @@ let make_state config problem ~budget ~chaos =
     wasted_expanded = 0;
     cache_hits = 0;
     cache_stale = 0;
+    guide_hits = 0;
+    guide_fallbacks = 0;
   }
 
 let enqueue st id =
@@ -172,7 +180,10 @@ let passable_penalized st ~net n =
    hook's high-water mark, so within one polling interval of exact),
    whereas the engine's own stats keep their historical meaning of
    "expansions of successful searches". *)
-let run_search st ~phase ~net ~passable ~sources ~targets =
+let guide_for st net =
+  if Array.length st.guides = 0 then None else st.guides.(net - 1)
+
+let run_search st ~phase ~net ?guide ~passable ~sources ~targets () =
   if Budget.check st.budget <> None then None
   else if Chaos.fail_search st.chaos then begin
     st.searches <- st.searches + 1;
@@ -194,12 +205,32 @@ let run_search st ~phase ~net ~passable ~sources ~targets =
               f in_flight)
     in
     let search =
-      if st.config.Config.use_astar then
-        (* The heuristic-transform memo is value-exact, so gating it on
-           [incremental] only changes speed, never results. *)
-        Maze.Search.run_astar ~kernel ?window ?stop
-          ~memo:st.config.Config.incremental
-      else Maze.Search.run ~kernel ?window ?stop
+      match guide with
+      | Some rect ->
+          (* Guided standard-phase search: certified probe or unwindowed
+             fallback ([Maze.Route.guided_search]); the tally transfer
+             keeps hit/fallback counters jobs-invariant because the
+             speculative commit path replays the same per-connection
+             tallies. *)
+          fun g ws ~cost ~passable ~sources ~targets () ->
+            let tally = Maze.Route.no_tally () in
+            let r =
+              Maze.Route.guided_search
+                ~use_astar:st.config.Config.use_astar ~kernel ~guide:rect
+                ?stop ~memo:st.config.Config.incremental ~tally g ws ~cost
+                ~passable ~sources ~targets ()
+            in
+            st.guide_hits <- st.guide_hits + tally.Maze.Route.ghits;
+            st.guide_fallbacks <-
+              st.guide_fallbacks + tally.Maze.Route.gfallbacks;
+            r
+      | None ->
+          if st.config.Config.use_astar then
+            (* The heuristic-transform memo is value-exact, so gating it on
+               [incremental] only changes speed, never results. *)
+            Maze.Search.run_astar ~kernel ?window ?stop
+              ~memo:st.config.Config.incremental
+          else Maze.Search.run ~kernel ?window ?stop
     in
     let result =
       search st.g st.ws ~cost:st.config.Config.cost ~passable ~sources
@@ -247,7 +278,7 @@ let weak_pass st ~net ~sources ~targets =
   match
     run_search st ~phase:Weak ~net
       ~passable:(passable_penalized st ~net)
-      ~sources ~targets
+      ~sources ~targets ()
   with
   | None -> false
   | Some plan ->
@@ -275,8 +306,9 @@ let weak_pass st ~net ~sources ~targets =
 let connect st ~net ~sources ~targets =
   let standard () =
     run_search st ~phase:Maze ~net
+      ?guide:(guide_for st net)
       ~passable:(passable_block st ~net)
-      ~sources ~targets
+      ~sources ~targets ()
   in
   match standard () with
   | Some r -> Some (r, [])
@@ -300,7 +332,7 @@ let connect st ~net ~sources ~targets =
             match
               run_search st ~phase:Strong ~net
                 ~passable:(passable_penalized st ~net)
-                ~sources ~targets
+                ~sources ~targets ()
             with
             | None -> None
             | Some r ->
@@ -484,9 +516,12 @@ let attempt_net st id =
 
 (* Commit a validated speculative plan: occupy the recorded paths and
    charge searches/expansions exactly as the sequential standard-mode
-   route of this net would have, so counters match a [jobs = 1] run. *)
-let commit_spec st id segs =
+   route of this net would have, so counters match a [jobs = 1] run.
+   The plan's guide tally is replayed for the same reason. *)
+let commit_spec st id segs tally =
   let i = id - 1 in
+  st.guide_hits <- st.guide_hits + tally.Maze.Route.ghits;
+  st.guide_fallbacks <- st.guide_fallbacks + tally.Maze.Route.gfallbacks;
   let session = ref [] in
   List.iter
     (fun (path, e) ->
@@ -520,11 +555,11 @@ let process_slot st failed ~spec id =
           false
       | `Miss -> (
           match spec with
-          | Some (since, Some segs, c0, c1)
+          | Some (since, Some segs, c0, c1, tally)
             when region_clean st ~since c0 c1 ->
-              commit_spec st id segs;
+              commit_spec st id segs tally;
               true
-          | Some (_, Some segs, _, _) ->
+          | Some (_, Some segs, _, _, _) ->
               (* An earlier commit wrote inside this plan's read set:
                  discard it and re-route against current costs. *)
               st.conflicts <- st.conflicts + 1;
@@ -627,16 +662,18 @@ let speculate st ~stop ws id =
         in_flight > cap
         || match stop with Some f -> f in_flight | None -> false)
   in
+  let tally = Maze.Route.no_tally () in
   let plan =
     Maze.Route.plan_net ~use_astar:st.config.Config.use_astar
       ~kernel:st.config.Config.kernel ?window:st.config.Config.window_margin
-      ?stop ~memo:st.config.Config.incremental st.g ws
+      ?stop ~memo:st.config.Config.incremental
+      ?guide:(guide_for st id) ~tally st.g ws
       ~cost:st.config.Config.cost
       ~passable:(passable_block st ~net:id)
       net
   in
   let c0, c1 = read_certs ws in
-  (id, plan, c0, c1)
+  (id, plan, c0, c1, tally)
 
 let drain_par st pool failed =
   let jobs = Util.Parallel.Pool.jobs pool in
@@ -661,8 +698,8 @@ let drain_par st pool failed =
         in
         let tbl = Hashtbl.create (2 * List.length specs) in
         List.iter
-          (fun (id, plan, c0, c1) ->
-            Hashtbl.replace tbl id (since, plan, c0, c1))
+          (fun (id, plan, c0, c1, tally) ->
+            Hashtbl.replace tbl id (since, plan, c0, c1, tally))
           results;
         (* Commit in queue order, re-checking the latched budget before
            every pop — the exact loop condition of a sequential drain, so
@@ -706,8 +743,8 @@ let rec retry_failed ?pool st failed =
         retry_failed ?pool st still_failed
       else still_failed
 
-let route_once config problem order_ids ~budget ~chaos ~pool =
-  let st = make_state config problem ~budget ~chaos in
+let route_once config problem order_ids ~budget ~chaos ~pool ~guides =
+  let st = make_state config problem ~budget ~chaos ~guides in
   let pool = pool st.g in
   List.iter (enqueue st) order_ids;
   let failed = drain ?pool st in
@@ -756,6 +793,15 @@ let route_once config problem order_ids ~budget ~chaos ~pool =
           cache_hits = st.cache_hits;
           cache_stale = st.cache_stale;
         };
+      guide =
+        {
+          Outcome.guided =
+            Array.fold_left
+              (fun acc g -> if g = None then acc else acc + 1)
+              0 st.guides;
+          hits = st.guide_hits;
+          fallbacks = st.guide_fallbacks;
+        };
     }
   in
   let status =
@@ -791,7 +837,22 @@ let restart_order ~seed ~attempt ~last_failed base_order =
   let others = List.filter (fun id -> not (List.mem id last_failed)) shuffled in
   failed_first @ others
 
-let route ?(config = Config.default) ?budget ?chaos problem =
+let route ?(config = Config.default) ?budget ?chaos ?guides problem =
+  let guides =
+    match guides with
+    | None -> [||]
+    | Some a ->
+        if Array.length a <> Netlist.Problem.net_count problem then
+          invalid_arg "Engine.route: guides array length <> net count";
+        (* The byte-identity certificate of a guided probe relies on
+           bucket-queue pop-order identity and on the guide replacing the
+           window outright; reject configs that break either premise. *)
+        if config.Config.kernel <> Maze.Search.Buckets then
+          invalid_arg "Engine.route: guides require the buckets kernel";
+        if config.Config.window_margin <> None then
+          invalid_arg "Engine.route: guides are exclusive with window_margin";
+        a
+  in
   let budget =
     match budget with
     | Some b -> b
@@ -857,7 +918,7 @@ let route ?(config = Config.default) ?budget ?chaos problem =
         restart_order ~seed:config.Config.seed ~attempt:i
           ~last_failed:best.stats.failed_nets base_order
       in
-      let result = route_once config problem order ~budget ~chaos ~pool in
+      let result = route_once config problem order ~budget ~chaos ~pool ~guides in
       let best = if better result best then result else best in
       if best.completed then with_attempts best (i + 1)
       else attempts (i + 1) best
@@ -869,7 +930,9 @@ let route ?(config = Config.default) ?budget ?chaos problem =
       | Some p -> Util.Parallel.Pool.shutdown p
       | None -> ())
     (fun () ->
-      let first = route_once config problem base_order ~budget ~chaos ~pool in
+      let first =
+        route_once config problem base_order ~budget ~chaos ~pool ~guides
+      in
       finalize
         (if first.completed || max_attempts = 1 then with_attempts first 1
          else attempts 1 first))
@@ -884,4 +947,6 @@ let pp_stats fmt s =
   (* Parallel/cache telemetry appears only when something happened, so
      sequential cache-less runs render exactly as before. *)
   if s.par <> Outcome.no_par then
-    Format.fprintf fmt " %a" Outcome.pp_par s.par
+    Format.fprintf fmt " %a" Outcome.pp_par s.par;
+  if s.guide <> Outcome.no_guide then
+    Format.fprintf fmt " %a" Outcome.pp_guide s.guide

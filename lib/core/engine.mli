@@ -43,6 +43,9 @@ type stats = {
   par : Outcome.par_stats;
       (** speculative-wave and failure-cache telemetry of the winning
           attempt; all-zero for sequential cache-less runs *)
+  guide : Outcome.guide_stats;
+      (** guided-search telemetry of the winning attempt; all-zero for
+          unguided runs *)
 }
 
 type t = {
@@ -57,6 +60,7 @@ type t = {
 
 val route :
   ?config:Config.t -> ?budget:Budget.t -> ?chaos:Chaos.t ->
+  ?guides:Geom.Rect.t option array ->
   Netlist.Problem.t -> t
 (** Route the whole problem on a freshly instantiated grid.  With
     [config.restarts > 1], several net orders are attempted and the best
@@ -80,6 +84,15 @@ val route :
     still honors the budget).  Under fault injection speculation is
     disabled.  The [config.cost_cache] failure-replay cache never changes
     the layout — it only skips provably-replayed failures — and its
-    statistics are jobs-invariant too. *)
+    statistics are jobs-invariant too.
+
+    [guides] (per net index, [None] entries unguided) restricts each
+    guided net's standard-phase searches to its guide rectangle via the
+    certified probe of {!Maze.Search.run_guided}: a certified probe is
+    pop-order identical to the full search, an uncertified one falls back
+    to the full window — so the layout is byte-identical to the same run
+    without guides, guided or not, at every jobs value.  Requires
+    [config.kernel = Buckets] and [config.window_margin = None] (raises
+    [Invalid_argument] otherwise); escalation searches are never guided. *)
 
 val pp_stats : Format.formatter -> stats -> unit

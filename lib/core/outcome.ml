@@ -60,6 +60,14 @@ let pp_par fmt p =
     p.waves p.speculated p.committed p.conflicts p.wasted_expanded p.cache_hits
     (p.cache_hits + p.cache_stale)
 
+type guide_stats = { guided : int; hits : int; fallbacks : int }
+
+let no_guide = { guided = 0; hits = 0; fallbacks = 0 }
+
+let pp_guide fmt g =
+  Format.fprintf fmt "guides: nets=%d hits=%d fallbacks=%d" g.guided g.hits
+    g.fallbacks
+
 let measure_net g ~net =
   let w = Grid.width g and h = Grid.height g in
   let cells = ref 0 and wirelength = ref 0 and vias = ref 0 in

@@ -68,6 +68,21 @@ val no_par : par_stats
 
 val pp_par : Format.formatter -> par_stats -> unit
 
+(** Telemetry of guide-windowed routing (the flow pipeline's global-route
+    guides).  A {e hit} is a standard-phase search whose guided probe was
+    certified pop-order identical to the full search; a {e fallback} paid
+    a wasted probe and re-ran unwindowed.  Counted per search, identically
+    at every jobs value. *)
+type guide_stats = {
+  guided : int;  (** nets that carried a guide rectangle *)
+  hits : int;
+  fallbacks : int;
+}
+
+val no_guide : guide_stats
+
+val pp_guide : Format.formatter -> guide_stats -> unit
+
 val measure_net : Grid.t -> net:int -> net_stats
 
 val measure : Netlist.Problem.t -> Grid.t -> net_stats list

@@ -61,6 +61,54 @@ let summary problem (result : Engine.t) =
           p.Outcome.cache_hits p.Outcome.cache_stale;
       ]
   in
+  (* Guide telemetry appears only on guided runs (flow pipeline), so
+     plain routes render byte-identically. *)
+  let guide_line =
+    let g = s.Engine.guide in
+    if g = Outcome.no_guide then []
+    else
+      [
+        Printf.sprintf "guide hits:           %d / %d (%d nets guided)"
+          g.Outcome.hits
+          (g.Outcome.hits + g.Outcome.fallbacks)
+          g.Outcome.guided;
+      ]
+  in
+  (* Per-class quality split, only when some net is not plain signal. *)
+  let class_lines =
+    let nets = Array.to_list problem.Netlist.Problem.nets in
+    if List.for_all (fun (n : Netlist.Net.t) -> n.Netlist.Net.cls = Netlist.Net.Signal) nets
+    then []
+    else
+      let measures = Outcome.measure problem result.Engine.grid in
+      List.filter_map
+        (fun cls ->
+          let of_cls =
+            List.filter (fun (n : Netlist.Net.t) -> n.Netlist.Net.cls = cls) nets
+          in
+          if of_cls = [] then None
+          else
+            let ids = List.map (fun (n : Netlist.Net.t) -> n.Netlist.Net.id) of_cls in
+            let routed =
+              List.length
+                (List.filter
+                   (fun id -> not (List.mem id s.Engine.failed_nets))
+                   ids)
+            in
+            let wl, vias =
+              List.fold_left
+                (fun (wl, v) (m : Outcome.net_stats) ->
+                  if List.mem m.Outcome.net_id ids then
+                    (wl + m.Outcome.wirelength, v + m.Outcome.vias)
+                  else (wl, v))
+                (0, 0) measures
+            in
+            Some
+              (Printf.sprintf "class %-7s       %d/%d routed, wl %d, vias %d"
+                 (Netlist.Net.cls_to_string cls ^ ":")
+                 routed (List.length ids) wl vias))
+        [ Netlist.Net.Signal; Netlist.Net.Clock; Netlist.Net.Power ]
+  in
   String.concat "\n"
     (Printf.sprintf "completed:            %b" result.Engine.completed
      :: status_line
@@ -80,7 +128,7 @@ let summary problem (result : Engine.t) =
         s.Engine.effort.Outcome.strong_expanded;
       Printf.sprintf "restart attempts:     %d" s.Engine.attempts;
       ]
-    @ cache_line)
+    @ cache_line @ guide_line @ class_lines)
 
 let render problem result =
   Util.Table.render (per_net_table problem result) ^ "\n" ^ summary problem result

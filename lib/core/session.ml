@@ -98,8 +98,9 @@ let rebuilt_problem st ?(keep_wiring = fun _ -> true) new_nets =
   in
   Netlist.Problem.make ~kind:old.Netlist.Problem.kind
     ~obstructions:old.Netlist.Problem.obstructions ~prewires
-    ~name:old.Netlist.Problem.name ~width:old.Netlist.Problem.width
-    ~height:old.Netlist.Problem.height new_nets
+    ~insts:old.Netlist.Problem.insts ~name:old.Netlist.Problem.name
+    ~width:old.Netlist.Problem.width ~height:old.Netlist.Problem.height
+    new_nets
 
 (* Rebuild problem + grid around a new net list. *)
 let rebuild st ?keep_wiring new_nets =
@@ -161,6 +162,8 @@ let route_core st ?budget ~commit_degraded () =
     restore st saved;
     raise exn
 
+let config st = st.config
+
 let route ?budget st =
   match route_core st ?budget ~commit_degraded:true () with
   | Ok stats -> stats
@@ -170,7 +173,10 @@ let try_route ?budget st = route_core st ?budget ~commit_degraded:false ()
 
 let add_net st ~name pins =
   transactionally st @@ fun () ->
-  if Netlist.Problem.find_net st.problem name <> None then
+  if Netlist.Problem.has_insts st.problem then
+    Error "problem has an unrealized placement section; place it first \
+           (netlist surgery would dangle instance-pin references)"
+  else if Netlist.Problem.find_net st.problem name <> None then
     Error (Printf.sprintf "net %S already exists" name)
   else begin
     let free (p : Netlist.Net.pin) =
@@ -196,12 +202,17 @@ let add_net st ~name pins =
 let renumber nets =
   List.mapi
     (fun i (n : Netlist.Net.t) ->
-      Netlist.Net.make ~id:(i + 1) ~name:n.Netlist.Net.name n.Netlist.Net.pins)
+      Netlist.Net.make ~cls:n.Netlist.Net.cls ~id:(i + 1)
+        ~name:n.Netlist.Net.name n.Netlist.Net.pins)
     nets
 
 let remove_net st ~net =
   transactionally st @@ fun () ->
-  if net < 1 || net > Netlist.Problem.net_count st.problem then
+  if Netlist.Problem.has_insts st.problem then
+    Error "problem has an unrealized placement section; place it first \
+           (net removal renumbers ids and would dangle instance-pin \
+           references)"
+  else if net < 1 || net > Netlist.Problem.net_count st.problem then
     Error (Printf.sprintf "unknown net %d" net)
   else if is_frozen st ~net then Error "net is frozen; thaw it first"
   else begin
@@ -251,6 +262,23 @@ let verify st =
       (List.init (Netlist.Problem.net_count st.problem) (fun i -> i + 1))
   in
   Drc.Check.check ~nets:routed st.problem st.grid
+
+(* Wholesale replacement of the session's problem and grid — the commit
+   step of pipeline stages (placement, full flow) that compute a new
+   problem outside the session and hand the result back.  The caller
+   owns nothing afterwards: the session adopts [grid] directly. *)
+let install st ~problem ~grid =
+  transactionally st @@ fun () ->
+  if
+    Grid.width grid <> problem.Netlist.Problem.width
+    || Grid.height grid <> problem.Netlist.Problem.height
+  then Error "install: grid does not match the problem dimensions"
+  else begin
+    st.problem <- problem;
+    Chaos.maybe_crash st.chaos;
+    st.grid <- grid;
+    Ok ()
+  end
 
 let refine ?max_passes st =
   let saved = snapshot st in

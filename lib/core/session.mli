@@ -31,6 +31,9 @@ val create : ?config:Config.t -> ?chaos:Chaos.t -> Netlist.Problem.t -> t
 val problem : t -> Netlist.Problem.t
 (** The current problem description (changes as nets are added/removed). *)
 
+val config : t -> Config.t
+(** The configuration the session was created with. *)
+
 val grid : t -> Grid.t
 (** The live layout.  Owned by the session: treat as read-only. *)
 
@@ -62,7 +65,10 @@ val try_route : ?budget:Budget.t -> t -> (Engine.stats, Budget.reason) result
 val add_net : t -> name:string -> Netlist.Net.pin list -> (int, string) Stdlib.result
 (** Add a net (unrouted).  Its pins must be in bounds, off obstructions and
     on currently free cells.  Returns the new net's id.  Existing wiring is
-    preserved. *)
+    preserved.  Rejected while the problem carries an unrealized
+    placement section: net-list surgery renumbers ids and would dangle
+    instance-pin references — place and realize first (see
+    {!install}). *)
 
 val remove_net : t -> net:int -> (unit, string) Stdlib.result
 (** Delete a net entirely: its wiring and pins disappear and the remaining
@@ -85,6 +91,16 @@ val verify : t -> Drc.Check.violation list
 val refine : ?max_passes:int -> t -> Improve.stats
 (** Run the post-route refinement pass on the current layout (frozen nets
     untouched). *)
+
+val install :
+  t -> problem:Netlist.Problem.t -> grid:Grid.t -> (unit, string) Stdlib.result
+(** Transactionally replace the session's problem and grid wholesale —
+    the commit step for pipeline stages (placement, full flow) computed
+    outside the session.  The grid must match the problem's dimensions;
+    the session takes ownership of it.  Note for problems carrying a
+    placement section: {!add_net}/{!remove_net} renumber nets, which
+    would dangle instance-pin net references — realize the placement
+    (via the flow pipeline) before netlist surgery. *)
 
 (** {2 Durable checkpoints}
 

@@ -1,0 +1,73 @@
+type stats = {
+  place : Place.stats option;
+  groute : Groute.t;
+  route : Router.Engine.stats;
+  place_ns : int64;
+  groute_ns : int64;
+  route_ns : int64;
+}
+
+type t = {
+  placed : Netlist.Problem.t;
+  realized : Netlist.Problem.t;
+  result : Router.Engine.t;
+  stats : stats;
+}
+
+let timed f =
+  let t0 = Monotonic_clock.now () in
+  let r = f () in
+  (r, Int64.sub (Monotonic_clock.now ()) t0)
+
+let run ?(config = Router.Config.default) ?budget ?seed ?tile problem =
+  let seed = match seed with Some s -> s | None -> config.Router.Config.seed in
+  let placed_r, place_ns =
+    timed @@ fun () ->
+    if Netlist.Problem.has_insts problem then
+      match Place.place ~seed ?budget problem with
+      | Ok (p, st) -> Ok (p, Some st)
+      | Error e -> Error e
+    else Ok (problem, None)
+  in
+  match placed_r with
+  | Error e -> Error e
+  | Ok (placed, place_stats) ->
+      let realized = Netlist.Problem.realize placed in
+      let gr, groute_ns = timed @@ fun () -> Groute.run ?tile realized in
+      (* Guides require the bucket kernel and no widen-retry windowing,
+         and certify through the A* lower bound (with h = 0 an escape is
+         almost never provably worse, so guides would never hit);
+         everything else of the caller's config applies unchanged. *)
+      let config =
+        {
+          config with
+          Router.Config.kernel = Maze.Search.Buckets;
+          window_margin = None;
+          use_astar = true;
+        }
+      in
+      let result, route_ns =
+        timed @@ fun () ->
+        Router.Engine.route ~config ?budget ~guides:gr.Groute.guides realized
+      in
+      Ok
+        {
+          placed;
+          realized;
+          result;
+          stats =
+            {
+              place = place_stats;
+              groute = gr;
+              route = result.Router.Engine.stats;
+              place_ns;
+              groute_ns;
+              route_ns;
+            };
+        }
+
+let guide_hit_rate t =
+  let g = t.stats.route.Router.Engine.guide in
+  let total = g.Router.Outcome.hits + g.Router.Outcome.fallbacks in
+  if total = 0 then 1.0
+  else float_of_int g.Router.Outcome.hits /. float_of_int total

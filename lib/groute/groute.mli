@@ -1,0 +1,59 @@
+(** Coarse global routing: per-net region guides over a reduced grid.
+
+    The region is tiled into square tiles and every net is routed
+    Prim-style on the tile graph, paying congestion-aware costs as tile
+    usage approaches capacity.  A tile's capacity is derived from its
+    unblocked cell count, so obstruction-dense areas (macro footprints)
+    price themselves out.  Each routed net yields a {e guide}: the cell
+    rectangle spanned by its tile tree, inflated by a per-class margin —
+    exactly the shape {!Router.Engine.route} accepts as a per-net search
+    window (with certified fall-back to the full window, so guides can
+    never change the layout).
+
+    Net classes steer the router: each {!Netlist.Net.cls} carries a
+    {!class_rule} fixing routing priority (clock first), capacity demand
+    per tile (power wiring is wide), congestion cost multiplier, the
+    share of a tile's capacity the class may consume, and the guide
+    margin.  Everything is deterministic — same problem, same result. *)
+
+type class_rule = {
+  priority : int;  (** routing order; lower routes first *)
+  demand : int;  (** capacity units consumed per tile of the net's tree *)
+  cost_mult : int;  (** multiplier on the congestion cost term *)
+  share_pct : int;  (** max share of a tile's capacity for the class *)
+  margin : int;  (** guide inflation in cells *)
+}
+
+val rule : Netlist.Net.cls -> class_rule
+(** The built-in rules: clock [{priority 0; demand 1; cost_mult 4;
+    share_pct 50; margin 4}], power [{1; 2; 2; 50; 3}], signal
+    [{2; 1; 1; 100; 2}]. *)
+
+type t = {
+  tile : int;  (** tile edge length in cells *)
+  tiles_x : int;
+  tiles_y : int;
+  capacity : int array;  (** per tile, row-major *)
+  usage : int array;  (** total units consumed per tile *)
+  class_usage : int array array;  (** per class (signal, clock, power) *)
+  guides : Geom.Rect.t option array;
+      (** per net index ([net id - 1]); [None] for trivial nets *)
+  overflow_tiles : int;  (** tiles with [usage > capacity] *)
+}
+
+val cls_index : Netlist.Net.cls -> int
+(** Row of {!t.class_usage}: signal 0, clock 1, power 2. *)
+
+val run : ?tile:int -> Netlist.Problem.t -> t
+(** Globally route every non-trivial net of a (realized) problem.
+    [tile] defaults to 8 and is clamped to the region, so small problems
+    degenerate to a single tile (guides then equal the full region and
+    the detailed router certifies them trivially). *)
+
+val audit : t -> (unit, string) Stdlib.result
+(** Check the capacity model the classes promise: every tile's total
+    usage within capacity and every class within its share.  [Error]
+    names the first offending tile. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: tiles, used tiles, overflow count, peak use. *)

@@ -36,6 +36,44 @@ let occupy_path g ~net path =
 
 let release_nodes g nodes = List.iter (Grid.release g) nodes
 
+type guide_tally = { mutable ghits : int; mutable gfallbacks : int }
+
+let no_tally () = { ghits = 0; gfallbacks = 0 }
+
+(* One guided standard-phase connection: a certified probe stands in for
+   the full search (pop-order identical, so path and expansion count are
+   the full run's); an uncertified probe is discarded and the search
+   re-runs unwindowed, with the probe's expansions folded into the
+   result as waste — exactly the accounting of a failed windowed probe.
+   A certified {e failure} (the in-window frontier exhausted without one
+   rejected escape) proves the full search fails identically, so it
+   returns [None] without a re-run.  [tally] counts hits/fallbacks so
+   the speculative engine can replay the sequential counters. *)
+let guided_search ~use_astar ~kernel ~guide ?stop ~memo ~tally g ws ~cost
+    ~passable ~sources ~targets () =
+  let gd =
+    Search.run_guided ~kernel ~astar:use_astar ?stop ~memo ~guide g ws ~cost
+      ~passable ~sources ~targets ()
+  in
+  if gd.Search.g_aborted then None
+  else if gd.Search.g_certified then begin
+    tally.ghits <- tally.ghits + 1;
+    gd.Search.g_result
+  end
+  else begin
+    tally.gfallbacks <- tally.gfallbacks + 1;
+    let full =
+      if use_astar then
+        Search.run_astar ~kernel ?stop ~memo g ws ~cost ~passable ~sources
+          ~targets ()
+      else Search.run ~kernel ?stop g ws ~cost ~passable ~sources ~targets ()
+    in
+    match full with
+    | Some r ->
+        Some { r with Search.expanded = r.Search.expanded + gd.Search.g_expanded }
+    | None -> None
+  end
+
 (* Plan a net without touching the grid: the same Prim-style connection
    sequence as a mutating route, but found paths are only recorded.  The
    searches are exact replicas of the mutating run's: the only cells a
@@ -44,15 +82,25 @@ let release_nodes g nodes = List.iter (Grid.release g) nodes
    free both cost [Some 0], so every subsequent search sees identical
    passability either way.  Returns the connection paths in order with
    per-connection expansion counts (windowed-probe waste included), or
-   [None] as soon as a connection fails or aborts. *)
+   [None] as soon as a connection fails or aborts.  With [guide], each
+   connection runs the guided probe/fallback protocol of
+   {!guided_search}, tallying hits and fallbacks into [tally]. *)
 let plan_net ?(use_astar = false) ?(kernel = Search.Binary_heap) ?window
-    ?stop ?(memo = false) g ws ~cost ~passable (net : Netlist.Net.t) =
+    ?stop ?(memo = false) ?guide ?tally g ws ~cost ~passable
+    (net : Netlist.Net.t) =
   match net.Netlist.Net.pins with
   | [] | [ _ ] -> Some []
   | first :: rest ->
       let search =
-        if use_astar then Search.run_astar ~kernel ?window ?stop ~memo
-        else Search.run ~kernel ?window ?stop
+        match guide with
+        | Some rect ->
+            let tally =
+              match tally with Some t -> t | None -> no_tally ()
+            in
+            guided_search ~use_astar ~kernel ~guide:rect ?stop ~memo ~tally
+        | None ->
+            if use_astar then Search.run_astar ~kernel ?window ?stop ~memo
+            else Search.run ~kernel ?window ?stop
       in
       let tree = ref [ pin_node g first ] in
       let remaining = ref (List.map (fun p -> pin_node g p) rest) in

@@ -33,12 +33,45 @@ val release_nodes : Grid.t -> int list -> unit
 
 val pin_node : Grid.t -> Netlist.Net.pin -> int
 
+(** Hit/fallback counters of guided connections, accumulated by
+    {!plan_net} (and the engine's sequential twin) so speculative commits
+    can replay exactly the counters a sequential run would produce. *)
+type guide_tally = { mutable ghits : int; mutable gfallbacks : int }
+
+val no_tally : unit -> guide_tally
+
+val guided_search :
+  use_astar:bool ->
+  kernel:Search.kernel ->
+  guide:Geom.Rect.t ->
+  ?stop:(int -> bool) ->
+  memo:bool ->
+  tally:guide_tally ->
+  Grid.t ->
+  Workspace.t ->
+  cost:Cost.t ->
+  passable:(int -> int option) ->
+  sources:int list ->
+  targets:int list ->
+  unit ->
+  Search.result option
+(** One standard-phase connection search under a guide rectangle: a
+    certified probe ({!Search.run_guided}) stands in for the full search
+    — pop-order identical, byte-identical path — and counts a hit; an
+    uncertified probe re-runs unwindowed with the probe's expansions
+    folded in as waste and counts a fallback.  A certified in-window
+    exhaustion (no rejected escape) returns [None] without a re-run: the
+    full search provably fails identically.  The byte-identity contract
+    requires the {!Search.Buckets} kernel. *)
+
 val plan_net :
   ?use_astar:bool ->
   ?kernel:Search.kernel ->
   ?window:int ->
   ?stop:(int -> bool) ->
   ?memo:bool ->
+  ?guide:Geom.Rect.t ->
+  ?tally:guide_tally ->
   Grid.t ->
   Workspace.t ->
   cost:Cost.t ->
@@ -54,7 +87,9 @@ val plan_net :
     the searches — and thus the paths — are exactly those a mutating run
     from the same grid state would produce.  The speculative parallel
     engine runs this on worker domains and commits the recorded paths
-    later. *)
+    later.  [guide] switches every connection to the guided
+    probe/fallback protocol of {!guided_search} (ignoring [window]),
+    accumulating into [tally]. *)
 
 val route_net :
   ?passable:(int -> int option) ->

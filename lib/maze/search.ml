@@ -303,6 +303,210 @@ let run_astar_lb ?(kernel = Binary_heap) ?stop g ws ~lb ~cost ~passable
     in
     found
 
+(* --- guided search ---------------------------------------------------
+
+   A guide is a rectangle a global router believes the net's route stays
+   inside.  [run_guided] searches only the guide window (hulled with the
+   endpoints, which must be coverable) and certifies whether the result
+   is {e pop-order identical} to what the unwindowed search would have
+   produced — not merely equal in cost, byte-identical in path.
+
+   The certificate: every relaxation the window rejects is a frontier
+   entry the full search would have considered; its key would have been
+   [g + step + penalty + h].  We track the minimum such would-be key,
+   [f_min_out].  If the target pops at cost [c*] with [f_min_out > c*]
+   (strictly), then in the full search every out-of-window entry sits in
+   a priority bucket strictly above [c*]: the full run pops the exact
+   same node sequence and terminates at the same target pop, with the
+   same parents — the same path, the same expansion count.  The strict
+   inequality matters because the Dial bucket queue ({!Buckets}) is LIFO
+   within one bucket: an out-of-window entry sharing bucket [c*] could
+   pop first.  The argument relies on bucket content identity and
+   therefore holds for the [Buckets] kernel only — a binary heap's
+   tie-breaking depends on the shape of the whole heap, which the extra
+   out-of-window entries perturb.  Callers wanting the byte-identity
+   contract must route with [Buckets] (the flow pipeline forces it).
+
+   The in-window heuristic is the same exact-L1 transform the full
+   search uses (a two-pass chamfer over any rectangle containing all
+   targets is exact, so the values are window-independent); rejected
+   nodes fall outside the transform's window and get their L1 computed
+   directly against the planar target list. *)
+
+type guided = {
+  g_result : result option;
+  g_expanded : int;
+  g_aborted : bool;
+  g_certified : bool;
+}
+
+(* [core] with the window test moved inside the relaxation so rejected
+   escapes can be priced.  [h_out] prices the heuristic of nodes outside
+   the window (where the hfield was never written). *)
+let core_escape g ws ~kernel ~cost ~passable ~sources ~targets ~heuristic
+    ~h_out ~win ~stop () =
+  Workspace.begin_search ws;
+  let push, pop, has_more =
+    match kernel with
+    | Binary_heap ->
+        let q = Workspace.heap ws in
+        ( (fun p n -> Util.Pqueue.push q p n),
+          (fun () -> Util.Pqueue.pop q),
+          fun () -> not (Util.Pqueue.is_empty q) )
+    | Buckets ->
+        let q = Workspace.buckets ws in
+        ( (fun p n -> Util.Bucketq.push q p n),
+          (fun () -> Util.Bucketq.pop q),
+          fun () -> not (Util.Bucketq.is_empty q) )
+  in
+  let w = Grid.width g and h = Grid.height g in
+  List.iter (fun t -> Workspace.mark ws t) targets;
+  List.iter
+    (fun s ->
+      if Workspace.dist ws s > 0 then begin
+        Workspace.set_dist ws s 0;
+        Workspace.set_parent ws s (-1);
+        push (heuristic s) s
+      end)
+    sources;
+  let expanded = ref 0 in
+  let found = ref None in
+  let aborted = ref false in
+  let f_min_out = ref max_int in
+  let t0x0 = ref max_int and t0y0 = ref max_int in
+  let t0x1 = ref min_int and t0y1 = ref min_int in
+  let t1x0 = ref max_int and t1y0 = ref max_int in
+  let t1x1 = ref min_int and t1y1 = ref min_int in
+  let should_stop =
+    match stop with
+    | None -> fun _ -> false
+    | Some f -> fun n -> n land (stop_interval - 1) = 0 && f n
+  in
+  let relax from gscore n extra =
+    match passable n with
+    | None -> ()
+    | Some penalty ->
+        let x = Grid.node_x g n and y = Grid.node_y g n in
+        if x < win.x0 || x > win.x1 || y < win.y0 || y > win.y1 then begin
+          let key = gscore + extra + penalty + h_out n in
+          if key < !f_min_out then f_min_out := key
+        end
+        else begin
+          let nd = gscore + extra + penalty in
+          if nd < Workspace.dist ws n then begin
+            Workspace.set_dist ws n nd;
+            Workspace.set_parent ws n from;
+            push (nd + heuristic n) n
+          end
+        end
+  in
+  while !found = None && (not !aborted) && has_more () do
+    let prio, n = pop () in
+    let gscore = Workspace.dist ws n in
+    if prio - heuristic n <= gscore then begin
+      incr expanded;
+      let layer = Grid.node_layer g n in
+      let x = Grid.node_x g n and y = Grid.node_y g n in
+      if layer = 0 then begin
+        if x < !t0x0 then t0x0 := x;
+        if x > !t0x1 then t0x1 := x;
+        if y < !t0y0 then t0y0 := y;
+        if y > !t0y1 then t0y1 := y
+      end
+      else begin
+        if x < !t1x0 then t1x0 := x;
+        if x > !t1x1 then t1x1 := x;
+        if y < !t1y0 then t1y0 := y;
+        if y > !t1y1 then t1y1 := y
+      end;
+      if should_stop !expanded then aborted := true
+      else if Workspace.marked ws n then
+        found :=
+          Some { path = backtrace ws n; total_cost = gscore; expanded = !expanded }
+      else begin
+        let horizontal_cost = Cost.step_cost cost ~layer ~horizontal:true in
+        let vertical_cost = Cost.step_cost cost ~layer ~horizontal:false in
+        if x + 1 < w then relax n gscore (n + 1) horizontal_cost;
+        if x > 0 then relax n gscore (n - 1) horizontal_cost;
+        if y + 1 < h then relax n gscore (n + w) vertical_cost;
+        if y > 0 then relax n gscore (n - w) vertical_cost;
+        relax n gscore (Grid.other_layer_node g n) cost.Cost.via
+      end
+    end
+  done;
+  if !t0x1 >= !t0x0 then
+    Workspace.note_touched ws ~layer:0 ~x0:!t0x0 ~y0:!t0y0 ~x1:!t0x1
+      ~y1:!t0y1;
+  if !t1x1 >= !t1x0 then
+    Workspace.note_touched ws ~layer:1 ~x0:!t1x0 ~y0:!t1y0 ~x1:!t1x1
+      ~y1:!t1y1;
+  (!found, !expanded, !aborted, !f_min_out)
+
+let run_guided ?(kernel = Binary_heap) ?(astar = false) ?stop ?(memo = false)
+    ~guide g ws ~cost ~passable ~sources ~targets () =
+  let wire = cost.Cost.wire in
+  let full = full_win g in
+  let run_full ~certified =
+    let heuristic =
+      if astar then build_heuristic ~memo g ws ~wire ~targets ~win:full
+      else fun _ -> 0
+    in
+    let found, expanded, aborted =
+      core g ws ~kernel ~cost ~passable ~sources ~targets ~heuristic
+        ~win:full ~stop ()
+    in
+    { g_result = found; g_expanded = expanded; g_aborted = aborted;
+      g_certified = certified }
+  in
+  if sources = [] || targets = [] then run_full ~certified:true
+  else begin
+    let bx0, by0, bx1, by1 = bbox g (List.rev_append sources targets) in
+    let win =
+      {
+        x0 = max 0 (min bx0 guide.Geom.Rect.x0);
+        y0 = max 0 (min by0 guide.Geom.Rect.y0);
+        x1 = min full.x1 (max bx1 guide.Geom.Rect.x1);
+        y1 = min full.y1 (max by1 guide.Geom.Rect.y1);
+      }
+    in
+    if win = full then run_full ~certified:true
+    else begin
+      let heuristic =
+        if astar then build_heuristic ~memo g ws ~wire ~targets ~win
+        else fun _ -> 0
+      in
+      let h_out =
+        if not astar then fun _ -> 0
+        else begin
+          let tplanar =
+            List.map (fun t -> (Grid.node_x g t, Grid.node_y g t)) targets
+          in
+          fun n ->
+            let x = Grid.node_x g n and y = Grid.node_y g n in
+            wire
+            * List.fold_left
+                (fun acc (tx, ty) -> min acc (abs (x - tx) + abs (y - ty)))
+                max_int tplanar
+        end
+      in
+      let found, expanded, aborted, f_min_out =
+        core_escape g ws ~kernel ~cost ~passable ~sources ~targets ~heuristic
+          ~h_out ~win ~stop ()
+      in
+      let certified =
+        match found with
+        | Some r -> f_min_out > r.total_cost
+        | None ->
+            (* Exhausted the window without one rejected escape: every
+               reachable passable node lies in-window, so the full search
+               explores the same set and fails identically. *)
+            (not aborted) && f_min_out = max_int
+      in
+      { g_result = found; g_expanded = expanded; g_aborted = aborted;
+        g_certified = certified }
+    end
+  end
+
 (* Plain BFS wave expansion; dist doubles as the visited set. *)
 let run_lee g ws ~passable ~sources ~targets () =
   Workspace.begin_search ws;

@@ -110,6 +110,54 @@ val run_astar_lb :
     proves unable to reach a target within the window are pruned.
     [passable] and [cost] must match what the field was built with. *)
 
+(** {2 Guided search}
+
+    A guide is a planar rectangle a global router predicts the connection
+    stays inside.  {!run_guided} probes only the guide window (hulled
+    with the endpoints and clipped to the grid) and certifies whether the
+    probe is {e pop-order identical} to the unwindowed search — same
+    path, same expansion count, not merely the same cost.  It tracks the
+    minimum would-be frontier key over every relaxation the window
+    rejected; the probe is certified when the target popped strictly
+    below that minimum, because every out-of-window entry would then sit
+    in a strictly later priority bucket of the full run.  The argument
+    relies on bucket content identity, so the byte-identity contract
+    holds for the {!Buckets} kernel only — binary-heap tie-breaking is
+    perturbed by the extra entries.  Uncertified probes (missed, or found
+    but not provably first) must be discarded and re-run unwindowed by
+    the caller, charging the probe's expansions as waste. *)
+
+type guided = {
+  g_result : result option;  (** the probe's find; only meaningful when
+                                 [g_certified] (or the window was full) *)
+  g_expanded : int;  (** probe expansions, also on failure *)
+  g_aborted : bool;  (** the [stop] hook tripped — do not retry *)
+  g_certified : bool;
+      (** pop-order identical to the unwindowed search (always true when
+          the hulled window already covers the grid) *)
+}
+
+val run_guided :
+  ?kernel:kernel ->
+  ?astar:bool ->
+  ?stop:(int -> bool) ->
+  ?memo:bool ->
+  guide:Geom.Rect.t ->
+  Grid.t ->
+  Workspace.t ->
+  cost:Cost.t ->
+  passable:(int -> int option) ->
+  sources:int list ->
+  targets:int list ->
+  unit ->
+  guided
+(** One guided probe; never widens.  [astar] selects the exact-L1
+    heuristic of {!run_astar} (the transform over any window containing
+    the targets is window-independent, so in-window priorities match the
+    full run's); rejected out-of-window nodes get their L1 computed
+    directly.  Degenerate endpoint sets or a window covering the whole
+    grid fall through to the ordinary full search, trivially certified. *)
+
 val run_lee :
   Grid.t ->
   Workspace.t ->

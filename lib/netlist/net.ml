@@ -1,16 +1,29 @@
 type pin = { x : int; y : int; layer : int }
 
-type t = { id : int; name : string; pins : pin list }
+type cls = Signal | Clock | Power
+
+type t = { id : int; name : string; cls : cls; pins : pin list }
 
 let pin ?(layer = 0) x y = { x; y; layer }
 
-let make ~id ~name pins =
+let cls_to_string = function
+  | Signal -> "signal"
+  | Clock -> "clock"
+  | Power -> "power"
+
+let cls_of_string = function
+  | "signal" -> Some Signal
+  | "clock" -> Some Clock
+  | "power" -> Some Power
+  | _ -> None
+
+let make ?(cls = Signal) ~id ~name pins =
   if id <= 0 then invalid_arg "Net.make: ids are positive";
   let positions = List.map (fun p -> (p.x, p.y, p.layer)) pins in
   let sorted = List.sort_uniq compare positions in
   if List.length sorted <> List.length positions then
     invalid_arg (Printf.sprintf "Net.make: duplicate pins in net %s" name);
-  { id; name; pins }
+  { id; name; cls; pins }
 
 let pin_count n = List.length n.pins
 

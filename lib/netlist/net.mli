@@ -7,18 +7,29 @@
 
 type pin = { x : int; y : int; layer : int }
 
+type cls =
+  | Signal  (** ordinary nets — the default *)
+  | Clock  (** timing-critical: routed first, pays extra for detours *)
+  | Power  (** supply rails: reserved capacity share in global routing *)
+
 type t = {
   id : int;  (** positive; doubles as the grid occupancy value *)
   name : string;
+  cls : cls;  (** routing class; [Signal] unless declared otherwise *)
   pins : pin list;
 }
 
 val pin : ?layer:int -> int -> int -> pin
 (** [pin x y] with [layer] defaulting to 0. *)
 
-val make : id:int -> name:string -> pin list -> t
+val cls_to_string : cls -> string
+(** ["signal"] / ["clock"] / ["power"] — the FORMAT.md spelling. *)
+
+val cls_of_string : string -> cls option
+
+val make : ?cls:cls -> id:int -> name:string -> pin list -> t
 (** @raise Invalid_argument on a non-positive id or duplicate pin
-    positions within the net. *)
+    positions within the net.  [cls] defaults to {!Signal}. *)
 
 val pin_count : t -> int
 

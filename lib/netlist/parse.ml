@@ -22,12 +22,25 @@ type header = {
   hheight : int;
 }
 
+(* An instance under construction; pins are (net name, dx, dy, layer),
+   reversed like every other accumulating list here. *)
+type pinst = {
+  pi_name : string;
+  pi_w : int;
+  pi_h : int;
+  pi_fixed : bool;
+  pi_loc : (int * int) option;
+  pi_pins : (string * int * int * int) list;
+}
+
 type state = {
   mutable header : header option;
   mutable obstructions : Problem.obstruction list;
   mutable nets : (string * Net.pin list) list; (* reversed; pins reversed *)
+  mutable classes : (string * Net.cls) list;
   mutable prewires : (string * bool * (int * int * int) list) list;
-  mutable context : [ `Top | `Net | `Prewire ];
+  mutable insts : pinst list;
+  mutable context : [ `Top | `Net | `Prewire | `Inst ];
 }
 
 (* A token and the 1-based column it starts at. *)
@@ -111,7 +124,7 @@ let handle st lineno line_text =
       match (st.context, st.nets) with
       | `Net, (name, pins) :: rest_nets ->
           st.nets <- (name, pin :: pins) :: rest_nets
-      | (`Top | `Prewire), _ | `Net, [] ->
+      | (`Top | `Prewire | `Inst), _ | `Net, [] ->
           fail lineno col "pin outside of a net block"
     end
   | [ { text = "prewire"; _ }; net_name; fixity ] ->
@@ -128,8 +141,57 @@ let handle st lineno line_text =
       match (st.context, st.prewires) with
       | `Prewire, (name, fixed, cells) :: rest ->
           st.prewires <- (name, fixed, cell :: cells) :: rest
-      | (`Top | `Net), _ | `Prewire, [] ->
+      | (`Top | `Net | `Inst), _ | `Prewire, [] ->
           fail lineno col "cell outside of a prewire block"
+    end
+  | [ { text = "class"; _ }; name; cls ] -> begin
+      match Net.cls_of_string cls.text with
+      | None -> fail lineno cls.col "expected signal|clock|power, got %S" cls.text
+      | Some c ->
+          if List.mem_assoc name.text st.classes then
+            fail lineno name.col "duplicate class for net %S" name.text;
+          st.classes <- (name.text, c) :: st.classes
+    end
+  | { text = "inst"; col } :: name :: w :: h :: fixity :: rest ->
+      let fixed =
+        match fixity.text with
+        | "fixed" -> true
+        | "free" -> false
+        | s -> fail lineno fixity.col "expected fixed|free, got %S" s
+      in
+      let loc =
+        match rest with
+        | [] -> None
+        | [ x; y ] -> Some (int_of lineno x, int_of lineno y)
+        | _ -> fail lineno col "inst expects: inst <name> <w> <h> <fixed|free> [<x> <y>]"
+      in
+      if List.exists (fun i -> i.pi_name = name.text) st.insts then
+        fail lineno name.col "duplicate instance %S" name.text;
+      st.insts <-
+        {
+          pi_name = name.text;
+          pi_w = int_of lineno w;
+          pi_h = int_of lineno h;
+          pi_fixed = fixed;
+          pi_loc = loc;
+          pi_pins = [];
+        }
+        :: st.insts;
+      st.context <- `Inst
+  | { text = "ipin"; col } :: rest -> begin
+      let pin =
+        match rest with
+        | [ net; dx; dy ] ->
+            (net.text, int_of lineno dx, int_of lineno dy, 0)
+        | [ net; dx; dy; layer ] ->
+            (net.text, int_of lineno dx, int_of lineno dy, int_of lineno layer)
+        | _ -> fail lineno col "ipin expects: ipin <net> <dx> <dy> [layer]"
+      in
+      match (st.context, st.insts) with
+      | `Inst, i :: rest_insts ->
+          st.insts <- { i with pi_pins = pin :: i.pi_pins } :: rest_insts
+      | (`Top | `Net | `Prewire), _ | `Inst, [] ->
+          fail lineno col "ipin outside of an inst block"
     end
   | word :: _ -> fail lineno word.col "unknown directive %S" word.text
 
@@ -139,7 +201,9 @@ let of_string ?(src = "<string>") text =
       header = None;
       obstructions = [];
       nets = [];
+      classes = [];
       prewires = [];
+      insts = [];
       context = `Top;
     }
   in
@@ -152,14 +216,24 @@ let of_string ?(src = "<string>") text =
         Result.Error { src; line = 0; col = 0; msg = "missing problem line" }
     | Some h ->
         let named_nets = List.rev st.nets in
+        List.iter
+          (fun (name, _) ->
+            if not (List.mem_assoc name named_nets) then
+              fail 0 0 "class references unknown net %S" name)
+          st.classes;
         let nets =
           List.mapi
-            (fun i (name, pins) -> Net.make ~id:(i + 1) ~name (List.rev pins))
+            (fun i (name, pins) ->
+              let cls =
+                Option.value ~default:Net.Signal
+                  (List.assoc_opt name st.classes)
+              in
+              Net.make ~cls ~id:(i + 1) ~name (List.rev pins))
             named_nets
         in
-        let id_of_name name =
+        let id_of_name ~what name =
           let rec loop i = function
-            | [] -> fail 0 0 "prewire references unknown net %S" name
+            | [] -> fail 0 0 "%s references unknown net %S" what name
             | (n, _) :: rest -> if n = name then i else loop (i + 1) rest
           in
           loop 1 named_nets
@@ -168,16 +242,39 @@ let of_string ?(src = "<string>") text =
           List.rev_map
             (fun (name, fixed, cells) ->
               {
-                Problem.pre_net = id_of_name name;
+                Problem.pre_net = id_of_name ~what:"prewire" name;
                 pre_cells = List.rev cells;
                 pre_fixed = fixed;
               })
             st.prewires
         in
+        let insts =
+          List.rev_map
+            (fun pi ->
+              {
+                Problem.inst_name = pi.pi_name;
+                inst_w = pi.pi_w;
+                inst_h = pi.pi_h;
+                inst_fixed = pi.pi_fixed;
+                inst_loc = pi.pi_loc;
+                inst_pins =
+                  List.rev_map
+                    (fun (net, dx, dy, layer) ->
+                      {
+                        Problem.ip_net = id_of_name ~what:"ipin" net;
+                        ip_dx = dx;
+                        ip_dy = dy;
+                        ip_layer = layer;
+                      })
+                    pi.pi_pins;
+              })
+            st.insts
+        in
         Ok
           (Problem.make ~kind:h.hkind
              ~obstructions:(List.rev st.obstructions)
-             ~prewires ~name:h.hname ~width:h.hwidth ~height:h.hheight nets)
+             ~prewires ~insts ~name:h.hname ~width:h.hwidth ~height:h.hheight
+             nets)
   with
   | Fail e -> Result.Error { e with src }
   (* Semantic validation (Net.make / Problem.make) has no line to point
@@ -210,6 +307,13 @@ let to_string (p : Problem.t) =
           addf "pin %d %d %d\n" pin.Net.x pin.Net.y pin.Net.layer)
         n.Net.pins)
     p.Problem.nets;
+  (* Class lines follow the net blocks; [Signal] is the default and is
+     not emitted, keeping pre-existing problem files byte-identical. *)
+  Array.iter
+    (fun (n : Net.t) ->
+      if n.Net.cls <> Net.Signal then
+        addf "class %s %s\n" n.Net.name (Net.cls_to_string n.Net.cls))
+    p.Problem.nets;
   List.iter
     (fun (pw : Problem.prewire) ->
       let net_name = (Problem.net p pw.Problem.pre_net).Net.name in
@@ -219,6 +323,21 @@ let to_string (p : Problem.t) =
         (fun (layer, x, y) -> addf "cell %d %d %d\n" layer x y)
         pw.Problem.pre_cells)
     p.Problem.prewires;
+  List.iter
+    (fun (inst : Problem.inst) ->
+      addf "inst %s %d %d %s%s\n" inst.Problem.inst_name inst.Problem.inst_w
+        inst.Problem.inst_h
+        (if inst.Problem.inst_fixed then "fixed" else "free")
+        (match inst.Problem.inst_loc with
+        | None -> ""
+        | Some (x, y) -> Printf.sprintf " %d %d" x y);
+      List.iter
+        (fun (ip : Problem.ipin) ->
+          addf "ipin %s %d %d %d\n"
+            (Problem.net p ip.Problem.ip_net).Net.name
+            ip.Problem.ip_dx ip.Problem.ip_dy ip.Problem.ip_layer)
+        inst.Problem.inst_pins)
+    p.Problem.insts;
   Buffer.contents buf
 
 let load path =

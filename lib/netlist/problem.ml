@@ -8,6 +8,17 @@ type prewire = {
   pre_fixed : bool;
 }
 
+type ipin = { ip_net : int; ip_dx : int; ip_dy : int; ip_layer : int }
+
+type inst = {
+  inst_name : string;
+  inst_w : int;
+  inst_h : int;
+  inst_fixed : bool;
+  inst_loc : (int * int) option;
+  inst_pins : ipin list;
+}
+
 type t = {
   name : string;
   width : int;
@@ -16,6 +27,7 @@ type t = {
   nets : Net.t array;
   obstructions : obstruction list;
   prewires : prewire list;
+  insts : inst list;
 }
 
 let fail fmt = Printf.ksprintf invalid_arg fmt
@@ -62,10 +74,62 @@ let validate p =
       List.iter
         (fun (layer, x, y) -> claim ~what:"prewire" pw.pre_net layer x y)
         pw.pre_cells)
-    p.prewires
+    p.prewires;
+  (* Placement section.  Placed footprints and pins must be in bounds;
+     everything finer-grained (footprint overlap, pin collisions) is
+     validated when [realize] rebuilds a plain routable problem, because
+     an unplaced instance has no absolute geometry to check yet. *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun inst ->
+      if inst.inst_name = "" then fail "Problem %s: unnamed instance" p.name;
+      if Hashtbl.mem seen inst.inst_name then
+        fail "Problem %s: duplicate instance %s" p.name inst.inst_name;
+      Hashtbl.add seen inst.inst_name ();
+      if inst.inst_w <= 0 || inst.inst_h <= 0 then
+        fail "Problem %s: instance %s has an empty footprint" p.name
+          inst.inst_name;
+      if inst.inst_fixed && inst.inst_loc = None then
+        fail "Problem %s: fixed instance %s has no location" p.name
+          inst.inst_name;
+      List.iter
+        (fun ip ->
+          if ip.ip_net <= 0 || ip.ip_net > Array.length p.nets then
+            fail "Problem %s: instance %s pin references unknown net %d"
+              p.name inst.inst_name ip.ip_net;
+          if ip.ip_layer < 0 || ip.ip_layer >= Grid.layers then
+            fail "Problem %s: instance %s pin on bad layer %d" p.name
+              inst.inst_name ip.ip_layer;
+          if
+            ip.ip_dx >= 0 && ip.ip_dx < inst.inst_w && ip.ip_dy >= 0
+            && ip.ip_dy < inst.inst_h
+          then
+            fail
+              "Problem %s: instance %s pin offset (%d,%d) inside the \
+               footprint"
+              p.name inst.inst_name ip.ip_dx ip.ip_dy)
+        inst.inst_pins;
+      match inst.inst_loc with
+      | None -> ()
+      | Some (x, y) ->
+          if
+            x < 0 || y < 0 || x + inst.inst_w > p.width
+            || y + inst.inst_h > p.height
+          then
+            fail "Problem %s: instance %s footprint out of bounds at (%d,%d)"
+              p.name inst.inst_name x y;
+          List.iter
+            (fun ip ->
+              let px = x + ip.ip_dx and py = y + ip.ip_dy in
+              if px < 0 || px >= p.width || py < 0 || py >= p.height then
+                fail
+                  "Problem %s: instance %s pin out of bounds at (%d,%d)"
+                  p.name inst.inst_name px py)
+            inst.inst_pins)
+    p.insts
 
-let make ?(kind = Region) ?(obstructions = []) ?(prewires = []) ~name ~width
-    ~height nets =
+let make ?(kind = Region) ?(obstructions = []) ?(prewires = []) ?(insts = [])
+    ~name ~width ~height nets =
   if width <= 0 || height <= 0 then fail "Problem %s: empty region" name;
   let p =
     {
@@ -76,6 +140,7 @@ let make ?(kind = Region) ?(obstructions = []) ?(prewires = []) ~name ~width
       nets = Array.of_list nets;
       obstructions;
       prewires;
+      insts;
     }
   in
   validate p;
@@ -103,6 +168,80 @@ let pin_cells p =
 
 let total_pins p =
   Array.fold_left (fun acc n -> acc + Net.pin_count n) 0 p.nets
+
+let has_insts p = p.insts <> []
+
+let placed p =
+  List.for_all (fun inst -> inst.inst_loc <> None) p.insts
+
+let find_inst p name =
+  List.find_opt (fun inst -> inst.inst_name = name) p.insts
+
+let inst_rect inst =
+  match inst.inst_loc with
+  | None -> None
+  | Some (x, y) ->
+      Some (Geom.Rect.make x y (x + inst.inst_w - 1) (y + inst.inst_h - 1))
+
+let with_placement p locs =
+  let insts =
+    List.map
+      (fun inst ->
+        match List.assoc_opt inst.inst_name locs with
+        | None -> inst
+        | Some loc ->
+            if inst.inst_fixed then
+              fail "Problem %s: cannot move fixed instance %s" p.name
+                inst.inst_name;
+            { inst with inst_loc = Some loc })
+      p.insts
+  in
+  make ~kind:p.kind ~obstructions:p.obstructions ~prewires:p.prewires ~insts
+    ~name:p.name ~width:p.width ~height:p.height
+    (Array.to_list p.nets)
+
+let realize p =
+  if p.insts = [] then p
+  else begin
+    List.iter
+      (fun inst ->
+        if inst.inst_loc = None then
+          fail "Problem %s: cannot realize unplaced instance %s" p.name
+            inst.inst_name)
+      p.insts;
+    let extra_obs =
+      List.map
+        (fun inst ->
+          { obs_layer = None; obs_rect = Option.get (inst_rect inst) })
+        p.insts
+    in
+    (* Instance pins become absolute net pins, appended in instance
+       declaration order so realization is deterministic. *)
+    let extra_pins = Array.make (Array.length p.nets) [] in
+    List.iter
+      (fun inst ->
+        let x, y = Option.get inst.inst_loc in
+        List.iter
+          (fun ip ->
+            let pin =
+              Net.pin ~layer:ip.ip_layer (x + ip.ip_dx) (y + ip.ip_dy)
+            in
+            extra_pins.(ip.ip_net - 1) <-
+              pin :: extra_pins.(ip.ip_net - 1))
+          inst.inst_pins)
+      p.insts;
+    let nets =
+      Array.to_list
+        (Array.mapi
+           (fun i (n : Net.t) ->
+             Net.make ~cls:n.Net.cls ~id:n.Net.id ~name:n.Net.name
+               (n.Net.pins @ List.rev extra_pins.(i)))
+           p.nets)
+    in
+    make ~kind:p.kind
+      ~obstructions:(p.obstructions @ extra_obs)
+      ~prewires:p.prewires ~name:p.name ~width:p.width ~height:p.height nets
+  end
 
 let instantiate p =
   let g = Grid.create ~width:p.width ~height:p.height in
@@ -143,4 +282,7 @@ let pp fmt p =
     | Switchbox -> "switchbox"
     | Channel -> "channel"
     | Region -> "region")
-    (net_count p) (total_pins p)
+    (net_count p) (total_pins p);
+  if p.insts <> [] then
+    Format.fprintf fmt ", %d insts (%d unplaced)" (List.length p.insts)
+      (List.length (List.filter (fun i -> i.inst_loc = None) p.insts))

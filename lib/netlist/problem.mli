@@ -21,6 +21,22 @@ type prewire = {
   pre_fixed : bool;  (** fixed wiring may never be ripped up *)
 }
 
+type ipin = {
+  ip_net : int;  (** net id the pin belongs to *)
+  ip_dx : int;  (** offset from the instance origin; outside the footprint *)
+  ip_dy : int;
+  ip_layer : int;
+}
+
+type inst = {
+  inst_name : string;
+  inst_w : int;  (** footprint size; blocks both layers when realized *)
+  inst_h : int;
+  inst_fixed : bool;  (** the placer may never move a fixed instance *)
+  inst_loc : (int * int) option;  (** lower-left origin; [None] = unplaced *)
+  inst_pins : ipin list;
+}
+
 type t = private {
   name : string;
   width : int;
@@ -29,12 +45,14 @@ type t = private {
   nets : Net.t array;  (** [nets.(i)] has id [i + 1] *)
   obstructions : obstruction list;
   prewires : prewire list;
+  insts : inst list;  (** placement section; empty for plain problems *)
 }
 
 val make :
   ?kind:kind ->
   ?obstructions:obstruction list ->
   ?prewires:prewire list ->
+  ?insts:inst list ->
   name:string ->
   width:int ->
   height:int ->
@@ -42,8 +60,11 @@ val make :
   t
 (** Validates and freezes a problem description.
     @raise Invalid_argument when net ids are not consecutive from 1, pins
-    fall out of bounds or on obstructions, two nets share a pin cell, or
-    pre-existing wiring conflicts with pins/obstructions. *)
+    fall out of bounds or on obstructions, two nets share a pin cell,
+    pre-existing wiring conflicts with pins/obstructions, or the placement
+    section is malformed (duplicate/empty instances, pin offsets inside a
+    footprint, fixed instances without a location, placed footprints out
+    of bounds). *)
 
 val net_count : t -> int
 
@@ -65,6 +86,32 @@ val instantiate : t -> Grid.t
     layers of a position). *)
 
 val total_pins : t -> int
+
+val has_insts : t -> bool
+(** The problem carries a placement section. *)
+
+val placed : t -> bool
+(** Every instance has a location (vacuously true without instances). *)
+
+val find_inst : t -> string -> inst option
+
+val inst_rect : inst -> Geom.Rect.t option
+(** Footprint rectangle of a placed instance; [None] when unplaced. *)
+
+val with_placement : t -> (string * (int * int)) list -> t
+(** Re-validated copy with the named free instances moved to the given
+    lower-left origins; instances not named keep their location.
+    @raise Invalid_argument when a named instance is fixed or the new
+    placement fails validation. *)
+
+val realize : t -> t
+(** Collapse the placement section into a plain routable problem: each
+    footprint becomes a both-layer obstruction and each instance pin an
+    absolute net pin (appended in instance declaration order).  The
+    result has no instances, so [realize] is idempotent.  Returns [p]
+    unchanged when there are no instances.
+    @raise Invalid_argument when an instance is unplaced or the realized
+    geometry fails validation (overlapping pins, pins on footprints). *)
 
 val pp : Format.formatter -> t -> unit
 (** One-line summary (name, size, net/pin counts). *)

@@ -38,6 +38,10 @@ type t = {
   mutable refine_skips : int;
   mutable refine_stale : int;
   mutable refine_repairs : int;
+  (* Guided-search effectiveness across every flow request served. *)
+  mutable flow_guided : int;
+  mutable flow_hits : int;
+  mutable flow_fallbacks : int;
 }
 
 let create () =
@@ -53,6 +57,9 @@ let create () =
     refine_skips = 0;
     refine_stale = 0;
     refine_repairs = 0;
+    flow_guided = 0;
+    flow_hits = 0;
+    flow_fallbacks = 0;
   }
 
 let kind_stats t kind =
@@ -89,6 +96,11 @@ let refine_cache t ~skips ~stale ~repairs =
   t.refine_skips <- t.refine_skips + skips;
   t.refine_stale <- t.refine_stale + stale;
   t.refine_repairs <- t.refine_repairs + repairs
+
+let flow_guides t ~guided ~hits ~fallbacks =
+  t.flow_guided <- t.flow_guided + guided;
+  t.flow_hits <- t.flow_hits + hits;
+  t.flow_fallbacks <- t.flow_fallbacks + fallbacks
 
 let note_queue_depth t d =
   if d > t.max_queue_depth then t.max_queue_depth <- d
@@ -153,6 +165,13 @@ let snapshot ?(queue_depth = 0) ?(sessions = 0) t =
             ("stale", J.Int t.refine_stale);
             ("repairs", J.Int t.refine_repairs);
           ] );
+      ( "flow_guides",
+        J.Obj
+          [
+            ("guided", J.Int t.flow_guided);
+            ("hits", J.Int t.flow_hits);
+            ("fallbacks", J.Int t.flow_fallbacks);
+          ] );
       ("by_kind", J.Obj (List.map kind_row (sorted_kinds t)));
     ]
 
@@ -169,6 +188,9 @@ let render ?(queue_depth = 0) ?(sessions = 0) t =
   if t.refine_skips + t.refine_stale + t.refine_repairs > 0 then
     addf "  refine-cache skips %d  stale %d  repairs %d\n" t.refine_skips
       t.refine_stale t.refine_repairs;
+  if t.flow_guided + t.flow_hits + t.flow_fallbacks > 0 then
+    addf "  flow-guides guided %d  hits %d  fallbacks %d\n" t.flow_guided
+      t.flow_hits t.flow_fallbacks;
   List.iter
     (fun (name, ks) ->
       addf "  %-12s count %-6d errors %-4d p50 %.3fms  p95 %.3fms  p99 %.3fms  max %.3fms\n"

@@ -38,6 +38,11 @@ val refine_cache : t -> skips:int -> stale:int -> repairs:int -> unit
     certificates dropped, and dirty-region lower-bound field repairs.
     Reported under ["refine_cache"] in {!snapshot}. *)
 
+val flow_guides : t -> guided:int -> hits:int -> fallbacks:int -> unit
+(** Accumulate one flow request's guided-search telemetry: nets guided,
+    certified window hits, full-window fallbacks.  Reported under
+    ["flow_guides"] in {!snapshot}, next to ["refine_cache"]. *)
+
 val note_queue_depth : t -> int -> unit
 (** Sample the scheduler queue depth (tracked as a high-water mark). *)
 

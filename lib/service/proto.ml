@@ -13,6 +13,9 @@ type op =
   | Freeze of target
   | Thaw of target
   | Refine of { max_passes : int option }
+  | Place of { seed : int option }
+  | Groute of { tile : int option }
+  | Flow_run of { seed : int option; tile : int option; slo_ms : int option }
   | Verify
   | Render
   | Stats
@@ -30,6 +33,9 @@ let op_name = function
   | Freeze _ -> "freeze"
   | Thaw _ -> "thaw"
   | Refine _ -> "refine"
+  | Place _ -> "place"
+  | Groute _ -> "groute"
+  | Flow_run _ -> "flow"
   | Verify -> "verify"
   | Render -> "render"
   | Stats -> "stats"
@@ -134,6 +140,15 @@ let op_of json = function
   | "freeze" -> Freeze (target_of json)
   | "thaw" -> Thaw (target_of json)
   | "refine" -> Refine { max_passes = opt_int json "max_passes" }
+  | "place" -> Place { seed = opt_int json "seed" }
+  | "groute" -> Groute { tile = opt_int json "tile" }
+  | "flow" ->
+      Flow_run
+        {
+          seed = opt_int json "seed";
+          tile = opt_int json "tile";
+          slo_ms = opt_int json "slo_ms";
+        }
   | "verify" -> Verify
   | "render" -> Render
   | "stats" -> Stats
@@ -197,6 +212,14 @@ let op_to_json op =
         match max_passes with
         | Some n -> [ ("max_passes", J.Int n) ]
         | None -> [])
+    | Place { seed } -> (
+        match seed with Some s -> [ ("seed", J.Int s) ] | None -> [])
+    | Groute { tile } -> (
+        match tile with Some n -> [ ("tile", J.Int n) ] | None -> [])
+    | Flow_run { seed; tile; slo_ms = _ } ->
+        (* [slo_ms] is dropped for the same reason as [Route]'s. *)
+        (match seed with Some s -> [ ("seed", J.Int s) ] | None -> [])
+        @ (match tile with Some n -> [ ("tile", J.Int n) ] | None -> [])
     | Verify | Render | Stats | Close | Shutdown -> []
   in
   J.Obj (("op", J.String (op_name op)) :: fields)

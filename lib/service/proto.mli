@@ -32,6 +32,16 @@ type op =
   | Freeze of target
   | Thaw of target
   | Refine of { max_passes : int option }
+  | Place of { seed : int option }
+      (** anneal the session's placement section, realize it, and
+          install the realized problem on a fresh grid; the server
+          journals the {e resolved} seed so replay is exact *)
+  | Groute of { tile : int option }
+      (** read-only: global-route the (realized) problem and report the
+          tile-capacity picture — never journalled *)
+  | Flow_run of { seed : int option; tile : int option; slo_ms : int option }
+      (** the full mini-flow: place (if needed) → realize → global route
+          → guide-windowed detailed route, installed atomically *)
   | Verify
   | Render  (** ASCII rendering of the session's current layout *)
   | Stats  (** server-wide metrics + registry snapshot; no session *)

@@ -106,8 +106,40 @@ let apply_op session (op : Proto.op) =
         Router.Session.refine ?max_passes session
       in
       Ok ()
-  | Proto.Open _ | Proto.Verify | Proto.Render | Proto.Stats | Proto.Close
-  | Proto.Shutdown ->
+  | Proto.Place { seed } -> (
+      let problem = Router.Session.problem session in
+      if not (Netlist.Problem.has_insts problem) then
+        Error "place: the problem has no placement section"
+      else
+        let seed =
+          match seed with
+          | Some s -> s
+          | None -> (Router.Session.config session).Router.Config.seed
+        in
+        match Place.place ~seed problem with
+        | Error e -> Error e
+        | Ok (placed, _) -> (
+            match Netlist.Problem.realize placed with
+            | exception Invalid_argument msg -> Error msg
+            | realized ->
+                Router.Session.install session ~problem:realized
+                  ~grid:(Netlist.Problem.instantiate realized)))
+  | Proto.Flow_run { seed; tile; slo_ms = _ } -> (
+      (* Committed flows replay un-budgeted, like [Route]: the live
+         request only commits non-degraded results, and the pipeline is
+         deterministic given (problem, config, seed). *)
+      let config = Router.Session.config session in
+      let seed =
+        match seed with Some s -> s | None -> config.Router.Config.seed
+      in
+      match Flow.run ~config ~seed ?tile (Router.Session.problem session) with
+      | Error e -> Error e
+      | exception Invalid_argument msg -> Error msg
+      | Ok f ->
+          Router.Session.install session ~problem:f.Flow.realized
+            ~grid:f.Flow.result.Router.Engine.grid)
+  | Proto.Open _ | Proto.Groute _ | Proto.Verify | Proto.Render | Proto.Stats
+  | Proto.Close | Proto.Shutdown ->
       Error (Printf.sprintf "op %S cannot appear mid-log" (Proto.op_name op))
 
 let provenance wal idx = Printf.sprintf "wal:%s#%d" (Wal.path wal) idx

@@ -160,6 +160,60 @@ let engine_stats_json (s : Router.Engine.stats) =
       ("cache_stale", J.Int s.Router.Engine.par.Router.Outcome.cache_stale);
     ]
 
+let place_stats_json (s : Place.stats) =
+  J.Obj
+    [
+      ("insts", J.Int s.Place.insts);
+      ("free_insts", J.Int s.Place.free_insts);
+      ("moves", J.Int s.Place.moves);
+      ("accepted", J.Int s.Place.accepted);
+      ("sweeps", J.Int s.Place.sweeps);
+      ("initial_cost", J.Int s.Place.initial_cost);
+      ("final_cost", J.Int s.Place.final_cost);
+      ("degraded", J.Bool s.Place.degraded);
+    ]
+
+let groute_json (g : Groute.t) =
+  let class_total cls =
+    Array.fold_left ( + ) 0 g.Groute.class_usage.(Groute.cls_index cls)
+  in
+  J.Obj
+    [
+      ("tiles_x", J.Int g.Groute.tiles_x);
+      ("tiles_y", J.Int g.Groute.tiles_y);
+      ("tile", J.Int g.Groute.tile);
+      ("overflow_tiles", J.Int g.Groute.overflow_tiles);
+      ( "audit",
+        match Groute.audit g with
+        | Ok () -> J.Bool true
+        | Error _ -> J.Bool false );
+      ( "class_usage",
+        J.Obj
+          [
+            ("signal", J.Int (class_total Netlist.Net.Signal));
+            ("clock", J.Int (class_total Netlist.Net.Clock));
+            ("power", J.Int (class_total Netlist.Net.Power));
+          ] );
+      ( "guides",
+        J.Int
+          (Array.fold_left
+             (fun a g -> if g <> None then a + 1 else a)
+             0 g.Groute.guides) );
+    ]
+
+let guide_json (g : Router.Outcome.guide_stats) =
+  let total = g.Router.Outcome.hits + g.Router.Outcome.fallbacks in
+  J.Obj
+    [
+      ("guided", J.Int g.Router.Outcome.guided);
+      ("hits", J.Int g.Router.Outcome.hits);
+      ("fallbacks", J.Int g.Router.Outcome.fallbacks);
+      ( "hit_rate",
+        J.Float
+          (if total = 0 then 1.0
+           else float_of_int g.Router.Outcome.hits /. float_of_int total) );
+    ]
+
 let load_problem t ~rid = function
   | Proto.Open { problem_text = Some text; _ } -> (
       match Netlist.Parse.of_string ~src:"<request>" text with
@@ -263,6 +317,134 @@ let exec t (req : Proto.request) =
       | exception Router.Chaos.Injected_fault msg ->
           Metrics.fault t.metrics;
           error_reply ~rid Proto.Fault_injected msg)
+  | Proto.Place { seed } -> (
+      with_session t req @@ fun _ entry ->
+      deduped ~rid entry @@ fun () ->
+      let session = Registry.session entry in
+      let problem = Router.Session.problem session in
+      if not (Netlist.Problem.has_insts problem) then
+        error_reply ~rid Proto.Net_error
+          "the session's problem has no placement section"
+      else begin
+        (* Resolve the seed now and journal the resolved value, so a WAL
+           replay reruns the exact same annealing schedule. *)
+        let seed =
+          match seed with
+          | Some s -> s
+          | None -> t.config.router.Router.Config.seed
+        in
+        match Place.place ~seed problem with
+        | Error msg -> mutation_error ~rid t msg
+        | exception Router.Chaos.Injected_fault msg ->
+            Metrics.fault t.metrics;
+            error_reply ~rid Proto.Fault_injected msg
+        | Ok (placed, pstats) -> (
+            match Netlist.Problem.realize placed with
+            | exception Invalid_argument msg -> mutation_error ~rid t msg
+            | realized -> (
+                match
+                  Router.Session.install session ~problem:realized
+                    ~grid:(Netlist.Problem.instantiate realized)
+                with
+                | Error msg -> mutation_error ~rid t msg
+                | exception Router.Chaos.Injected_fault msg ->
+                    Metrics.fault t.metrics;
+                    error_reply ~rid Proto.Fault_injected msg
+                | Ok () ->
+                    Registry.commit t.registry entry ~rid
+                      (Proto.Place { seed = Some seed });
+                    ok ~gen:(Registry.generation entry)
+                      (place_stats_json pstats)))
+      end)
+  | Proto.Groute { tile } -> (
+      with_session t req @@ fun _ entry ->
+      let session = Registry.session entry in
+      let problem = Router.Session.problem session in
+      if Netlist.Problem.has_insts problem
+         && not (Netlist.Problem.placed problem)
+      then
+        error_reply ~rid Proto.Net_error
+          "the placement section has unplaced instances; place first"
+      else
+        match Netlist.Problem.realize problem with
+        | exception Invalid_argument msg -> mutation_error ~rid t msg
+        | realized ->
+            ok ~gen:(Registry.generation entry)
+              (groute_json (Groute.run ?tile realized)))
+  | Proto.Flow_run { seed; tile; slo_ms } -> (
+      with_session t req @@ fun _ entry ->
+      deduped ~rid entry @@ fun () ->
+      let session = Registry.session entry in
+      let config = Router.Session.config session in
+      let seed =
+        match seed with Some s -> s | None -> config.Router.Config.seed
+      in
+      let budget =
+        match (slo_ms, t.config.default_slo_ms) with
+        | Some ms, _ | None, Some ms ->
+            Some (Router.Budget.create ~deadline:(float_of_int ms /. 1000.0) ())
+        | None, None -> None
+      in
+      match
+        Flow.run ~config ?budget ~seed ?tile (Router.Session.problem session)
+      with
+      | Error msg -> mutation_error ~rid t msg
+      | exception Invalid_argument msg -> mutation_error ~rid t msg
+      | exception Router.Chaos.Injected_fault msg ->
+          Metrics.fault t.metrics;
+          error_reply ~rid Proto.Fault_injected msg
+      | Ok f ->
+          let place_degraded =
+            match f.Flow.stats.Flow.place with
+            | Some ps -> ps.Place.degraded
+            | None -> false
+          in
+          let route_degraded =
+            match f.Flow.result.Router.Engine.status with
+            | Router.Outcome.Degraded _ -> true
+            | _ -> false
+          in
+          if place_degraded || route_degraded then begin
+            (* SLO blown: like [route], leave the session untouched. *)
+            Metrics.budget_trip t.metrics;
+            error_reply ~rid Proto.Budget_tripped
+              "flow budget tripped; session unchanged"
+          end
+          else
+            match
+              Router.Session.install session ~problem:f.Flow.realized
+                ~grid:f.Flow.result.Router.Engine.grid
+            with
+            | Error msg -> mutation_error ~rid t msg
+            | exception Router.Chaos.Injected_fault msg ->
+                Metrics.fault t.metrics;
+                error_reply ~rid Proto.Fault_injected msg
+            | Ok () ->
+                let g = f.Flow.result.Router.Engine.stats.Router.Engine.guide in
+                Metrics.flow_guides t.metrics
+                  ~guided:g.Router.Outcome.guided ~hits:g.Router.Outcome.hits
+                  ~fallbacks:g.Router.Outcome.fallbacks;
+                Registry.commit t.registry entry ~rid
+                  (Proto.Flow_run
+                     { seed = Some seed; tile; slo_ms = None });
+                ok ~gen:(Registry.generation entry)
+                  (J.Obj
+                     [
+                       ( "place",
+                         match f.Flow.stats.Flow.place with
+                         | Some ps -> place_stats_json ps
+                         | None -> J.Null );
+                       ("groute", groute_json f.Flow.stats.Flow.groute);
+                       ("route", engine_stats_json f.Flow.result.Router.Engine.stats);
+                       ("guide", guide_json g);
+                       ( "wall_ns",
+                         J.Obj
+                           [
+                             ("place", J.Int (Int64.to_int f.Flow.stats.Flow.place_ns));
+                             ("groute", J.Int (Int64.to_int f.Flow.stats.Flow.groute_ns));
+                             ("route", J.Int (Int64.to_int f.Flow.stats.Flow.route_ns));
+                           ] );
+                     ]))
   | Proto.Verify ->
       with_session t req @@ fun _ entry ->
       let violations = Router.Session.verify (Registry.session entry) in

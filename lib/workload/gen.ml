@@ -362,3 +362,94 @@ let region ?(name = "rand-region") ?(obstacle_rects = 3) ?(min_pins = 2)
   done;
   Netlist.Build.of_pins ~name ~kind:Netlist.Problem.Region
     ~obstructions:!obstructions ~width ~height !pairs
+
+(* --- macro-instance problems (placement flow) ----------------------- *)
+
+let macro ?(name = "rand-macro") ?(macros = 6) ?(fixed_first = true) prng
+    ~width ~height ~nets =
+  if width < 24 || height < 24 then
+    invalid_arg "Gen.macro: region too small for macro instances";
+  let base = max 3 (min width height / 10) in
+  (* Perimeter pin slots of a w×h footprint, anchor-relative. *)
+  let perimeter w h =
+    List.concat
+      [
+        List.init h (fun dy -> (-1, dy));
+        List.init h (fun dy -> (w, dy));
+        List.init w (fun dx -> (dx, -1));
+        List.init w (fun dx -> (dx, h));
+      ]
+  in
+  let inst_dims = Array.init macros (fun _ ->
+      (Util.Prng.int_in prng base (2 * base),
+       Util.Prng.int_in prng base (2 * base)))
+  in
+  let inst_slots =
+    Array.map (fun (w, h) -> ref (perimeter w h)) inst_dims
+  in
+  (* Boundary slots for fixed chip pins; step 2 keeps neighbours free. *)
+  let boundary = ref [] in
+  let half_w = (width - 1) / 2 and half_h = (height - 1) / 2 in
+  for i = 1 to half_w do
+    boundary := (2 * i, 0) :: (2 * i, height - 1) :: !boundary
+  done;
+  for i = 1 to half_h do
+    boundary := (0, 2 * i) :: (width - 1, 2 * i) :: !boundary
+  done;
+  let bpool = ref !boundary in
+  (* Net plan: net 1 is the clock (a pin on every instance), net 2 the
+     power rail (likewise); the rest are 2–3-instance signal nets, some
+     with an extra chip-boundary pin. *)
+  let ipins = Array.make macros [] in
+  let fixed_pins = Array.make nets [] in
+  let add_ipin net i =
+    match !(inst_slots.(i)) with
+    | [] -> ()
+    | _ ->
+        let dx, dy = take_slots prng inst_slots.(i) 1 |> List.hd in
+        ipins.(i) <-
+          { Netlist.Problem.ip_net = net; ip_dx = dx; ip_dy = dy;
+            ip_layer = 0 }
+          :: ipins.(i)
+  in
+  let nets = max nets 3 in
+  for n = 1 to nets do
+    if n <= 2 then
+      for i = 0 to macros - 1 do add_ipin n i done
+    else begin
+      let k = Util.Prng.int_in prng 2 (min 3 macros) in
+      let picked = Array.init macros (fun i -> i) in
+      Util.Prng.shuffle prng picked;
+      for j = 0 to k - 1 do add_ipin n picked.(j) done;
+      if Util.Prng.chance prng 0.3 && !bpool <> [] then begin
+        let x, y = take_slots prng bpool 1 |> List.hd in
+        fixed_pins.(n - 1) <-
+          Netlist.Net.pin ~layer:0 x y :: fixed_pins.(n - 1)
+      end
+    end
+  done;
+  let net_list =
+    List.init nets (fun i ->
+        let id = i + 1 in
+        let name, cls =
+          if id = 1 then ("clk", Netlist.Net.Clock)
+          else if id = 2 then ("vdd", Netlist.Net.Power)
+          else (Printf.sprintf "n%d" id, Netlist.Net.Signal)
+        in
+        Netlist.Net.make ~cls ~id ~name fixed_pins.(i))
+  in
+  let insts =
+    List.init macros (fun i ->
+        let w, h = inst_dims.(i) in
+        let fixed = fixed_first && i = 0 in
+        {
+          Netlist.Problem.inst_name = Printf.sprintf "m%d" (i + 1);
+          inst_w = w;
+          inst_h = h;
+          inst_fixed = fixed;
+          inst_loc = (if fixed then Some (2, 2) else None);
+          inst_pins = List.rev ipins.(i);
+        })
+  in
+  Netlist.Problem.make ~kind:Netlist.Problem.Region ~insts ~name ~width
+    ~height net_list

@@ -96,3 +96,20 @@ val region :
 (** Irregular instance: random rectangular both-layer obstructions plus
     interior pins on random layers, never on obstructions and never
     double-booked. *)
+
+val macro :
+  ?name:string ->
+  ?macros:int ->
+  ?fixed_first:bool ->
+  Util.Prng.t ->
+  width:int ->
+  height:int ->
+  nets:int ->
+  Netlist.Problem.t
+(** Macro-placement flow instance: [macros] free instances with random
+    footprints and perimeter pins, unplaced (except the first, fixed at
+    the lower-left corner when [fixed_first], default true).  Net 1 is a
+    clock and net 2 a power rail, each pinning every instance; the rest
+    are 2–3-instance signal nets, some with an extra chip-boundary pin.
+    Feed the result to {!Place.place} or [Flow.run]; [nets] is clamped
+    to at least 3. *)

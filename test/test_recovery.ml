@@ -356,6 +356,27 @@ let test_graceful_finalize_compacts () =
   in
   Testkit.check_true "snapshot recovery replays nothing" (replayed = Some 0)
 
+(* place and flow are journalled mutations: a restart that replays the
+   log alone must reconstruct the annealed placement and the guided
+   layout byte-for-byte (the ops journal their resolved seeds, so replay
+   reruns the exact same schedule). *)
+let test_flow_replay () =
+  with_dirs 1 @@ fun dirs ->
+  let dir = List.hd dirs in
+  let problem =
+    Workload.Gen.macro ~macros:4 (prng 5) ~width:48 ~height:40 ~nets:9
+  in
+  let s1 = durable_server ~dir ~snapshot_every:100 () in
+  Testkit.check_true "open"
+    (ok_of_reply (one_reply s1 (open_line ~session:"f" problem)));
+  Testkit.check_true "flow"
+    (ok_of_reply (one_reply s1 {|{"id":2,"op":"flow","session":"f"}|}));
+  let before = fingerprint s1 "f" in
+  (* No finalize: the restart replays the WAL alone. *)
+  let s2 = durable_server ~dir () in
+  Testkit.check_true "flow state survives replay"
+    (String.equal before (fingerprint s2 "f"))
+
 let test_duplicate_resubmission () =
   with_dirs 1 @@ fun dirs ->
   let dir = List.hd dirs in
@@ -554,6 +575,7 @@ let () =
             test_graceful_finalize_compacts;
           Alcotest.test_case "duplicate resubmission" `Quick
             test_duplicate_resubmission;
+          Alcotest.test_case "flow replay" `Quick test_flow_replay;
         ] );
       ( "lifecycle",
         [

@@ -523,6 +523,59 @@ let test_generation_counts_commits () =
   let r4 = one_reply s {|{"op":"verify","session":"g"}|} in
   Testkit.check_true "gen unchanged by failure/read" (gen_of r4 = Some 2)
 
+(* The mini-flow protocol ops: place mutates the placement section,
+   groute is a read-only stats query, flow installs the routed layout —
+   and the installed grid equals a direct Flow.run on the same problem. *)
+let test_flow_ops () =
+  let problem = load_instance "macro_48x40" in
+  let s = server () in
+  ignore (one_reply s (open_line ~session:"f" problem));
+  (* groute before placement must refuse, not crash. *)
+  let r = one_reply s {|{"op":"groute","session":"f"}|} in
+  Testkit.check_true "groute before place refused"
+    (error_code_of_reply r = Some "net_error");
+  let r = one_reply s {|{"op":"place","session":"f","seed":7}|} in
+  Testkit.check_true "place ok" (ok_of_reply r);
+  Testkit.check_true "place reports free insts"
+    (Option.bind (result_of_reply r "free_insts") J.to_int_opt = Some 3);
+  (* place realized the section: a second place has nothing to do. *)
+  let r = one_reply s {|{"op":"place","session":"f"}|} in
+  Testkit.check_true "re-place refused (no placement section left)"
+    (not (ok_of_reply r));
+  let r = one_reply s {|{"op":"groute","session":"f"}|} in
+  Testkit.check_true "groute ok after place" (ok_of_reply r);
+  (* Audit verdict depends on the placement; here only the reply shape is
+     pinned (cleanliness on the default seed is pinned in test_flow.ml). *)
+  Testkit.check_true "groute reports an audit verdict"
+    (Option.bind (result_of_reply r "audit") J.to_bool_opt <> None);
+  Testkit.check_true "groute reports tile counts"
+    (match Option.bind (result_of_reply r "overflow_tiles") J.to_int_opt with
+    | Some n -> n >= 0
+    | None -> false);
+  (* flow on a fresh session: one request, routed layout installed. *)
+  ignore (one_reply s (open_line ~session:"g" problem));
+  let r = one_reply s {|{"op":"flow","session":"g","seed":7}|} in
+  Testkit.check_true "flow ok" (ok_of_reply r);
+  let hit_rate =
+    Option.bind (result_of_reply r "guide") (fun g ->
+        Option.bind (J.member "hit_rate" g) J.to_float_opt)
+  in
+  Testkit.check_true "flow reports a guide hit rate"
+    (match hit_rate with Some h -> h >= 0.0 && h <= 1.0 | None -> false);
+  let verify = one_reply s {|{"op":"verify","session":"g"}|} in
+  Testkit.check_true "flow layout verifies clean"
+    (Option.bind (result_of_reply verify "clean") J.to_bool_opt = Some true);
+  (* The service flow equals the library flow, byte for byte. *)
+  let direct =
+    match Flow.run ~config:fast_config ~seed:7 problem with
+    | Ok f -> f
+    | Error msg -> Alcotest.failf "direct flow failed: %s" msg
+  in
+  Testkit.check_true "service flow grid = library flow grid"
+    (Grid.equal
+       direct.Flow.result.Router.Engine.grid
+       (Router.Session.grid (session_of s "g")))
+
 let () =
   Alcotest.run "service"
     [
@@ -579,4 +632,5 @@ let () =
           Alcotest.test_case "generation counts commits" `Quick
             test_generation_counts_commits;
         ] );
+      ("flow", [ Alcotest.test_case "place/groute/flow ops" `Quick test_flow_ops ]);
     ]
