@@ -1158,6 +1158,7 @@ let router_bench () =
       \  \"bench\": \"router_jobs_sweep\",\n\
       \  \"config\": \"%s\",\n\
       \  \"host_cores\": %d,\n\
+      \  \"cpu_bound\": %b,\n\
       \  \"runs_per_point\": %d,\n\
       \  \"all_identical_to_jobs1\": %b,\n\
       \  \"results\": [\n\
@@ -1166,6 +1167,7 @@ let router_bench () =
        }\n"
       (Router.Config.describe bench_router_config)
       (Util.Parallel.default_jobs ())
+      (Util.Parallel.default_jobs () = 1)
       reps !all_identical
       (String.concat ",\n" (List.rev !json_rows));
     close_out oc;
@@ -1364,29 +1366,40 @@ let incremental_bench () =
 (* Replays a generated multi-client trace against an in-process server
    through the same submit/drain engine the transports use, so the
    numbers measure the service layers (protocol, admission, scheduler,
-   sessions) without pipe noise.  The queue cap is set below one round's
-   burst size on purpose: a fixed slice of every burst is shed, which
-   exercises (and measures) admission control.  Shed requests are
-   retried once after the burst drains, mimicking a client honoring
-   retry_after_ms. *)
+   sessions) without pipe noise — once per shard count in {1, 2, 4, 8}.
+   The queue cap is set below one round's burst size on purpose: a slice
+   of every burst is shed, which exercises (and measures) admission
+   control.  A shed line is retried (after letting the queue drain)
+   until admitted, mimicking a client honoring retry_after_ms; because
+   no session's next request is submitted before its previous one was
+   admitted, per-session execution order — and therefore every final
+   layout — is identical at every shard count, which the bench asserts
+   byte for byte. *)
+
+type service_point = {
+  sp_shards : int;
+  sp_submitted : int;
+  sp_attempts : int;
+  sp_executed : int;
+  sp_shed : int;
+  sp_wall_s : float;
+  sp_throughput : float;
+  sp_route_p50 : float;
+  sp_route_p95 : float;
+  sp_route_p99 : float;
+  sp_metrics : Util.Json.t;
+  sp_layouts : (string * string) list;
+}
 
 let service_bench () =
   heading "service (json): N-client request trace against the daemon"
     "Claim: the service layer adds microseconds to millisecond-scale\n\
      routing requests; under a burst that overflows the queue, admission\n\
-     control sheds deterministically instead of hanging.  Written to\n\
-     BENCH_service.json.";
+     control sheds deterministically instead of hanging; sharding the\n\
+     sessions over persistent worker domains changes throughput, never\n\
+     results.  Written to BENCH_service.json.";
   let clients = 8 and rounds = 6 and queue_cap = 16 in
-  let sconfig =
-    {
-      Service.Server.default_config with
-      Service.Server.router = bench_router_config;
-      queue_cap;
-    }
-  in
-  let server = Service.Server.create ~config:sconfig () in
   let session c = Printf.sprintf "client%d" c in
-  let submitted = ref 0 in
   let is_shed line =
     match Util.Json.of_string line with
     | Ok json ->
@@ -1394,26 +1407,6 @@ let service_bench () =
         = Some (Util.Json.String "queue_full")
     | Error _ -> false
   in
-  (* Submit a burst; returns the lines shed by admission control. *)
-  let submit_burst lines =
-    List.filter
-      (fun line ->
-        incr submitted;
-        match Service.Server.submit server ~client:0 line with
-        | Some reply when is_shed reply -> true
-        | Some _ | None -> false)
-      lines
-  in
-  let drain () =
-    let rec go () =
-      match Service.Server.drain_one server with
-      | Some _ -> go ()
-      | None -> ()
-    in
-    go ()
-  in
-  let t0 = Unix.gettimeofday () in
-  (* Round 0: every client opens a session on its own routable problem. *)
   let opens =
     List.init clients (fun c ->
         let prng = Util.Prng.create (100 + c) in
@@ -1426,66 +1419,181 @@ let service_bench () =
           (Util.Json.to_string
              (Util.Json.String (Netlist.Parse.to_string problem))))
   in
-  let shed0 = submit_burst opens in
-  drain ();
-  ignore (submit_burst shed0);
-  drain ();
-  (* Each following round: every client rips a net, reroutes, verifies —
-     a 3×clients burst against a cap of 16, so sheds are guaranteed. *)
-  for round = 1 to rounds do
-    let burst =
-      List.concat_map
-        (fun c ->
-          let s = session c in
-          [
-            Printf.sprintf
-              {|{"id":%d,"op":"rip","session":"%s","net":%d}|}
-              (1000 + round) s ((round mod 5) + 1);
-            Printf.sprintf {|{"id":%d,"op":"route","session":"%s"}|}
-              (2000 + round) s;
-            Printf.sprintf {|{"id":%d,"op":"verify","session":"%s"}|}
-              (3000 + round) s;
-          ])
-        (List.init clients (fun c -> c))
-    in
-    let shed = submit_burst burst in
-    drain ();
-    let shed_again = submit_burst shed in
-    drain ();
-    ignore (submit_burst shed_again);
-    drain ()
-  done;
-  let wall_s = Unix.gettimeofday () -. t0 in
-  let m = Service.Server.metrics server in
-  let executed = Service.Metrics.requests m in
-  let sheds = Service.Metrics.shed_count m in
-  let snapshot = Service.Metrics.snapshot m in
-  let route_q name =
-    match
-      Option.bind (Util.Json.member "by_kind" snapshot) (fun k ->
-          Option.bind (Util.Json.member "route" k) (fun r ->
-              Option.bind (Util.Json.member name r) Util.Json.to_float_opt))
-    with
-    | Some v -> v
-    | None -> 0.0
+  let round_burst round =
+    List.concat_map
+      (fun c ->
+        let s = session c in
+        [
+          Printf.sprintf
+            {|{"id":%d,"op":"rip","session":"%s","net":%d}|}
+            (1000 + round) s ((round mod 5) + 1);
+          Printf.sprintf {|{"id":%d,"op":"route","session":"%s"}|}
+            (2000 + round) s;
+          Printf.sprintf {|{"id":%d,"op":"verify","session":"%s"}|}
+            (3000 + round) s;
+        ])
+      (List.init clients (fun c -> c))
   in
-  let throughput = float_of_int executed /. wall_s in
-  let shed_rate = float_of_int sheds /. float_of_int !submitted in
-  Printf.printf
-    "clients %d  rounds %d  queue-cap %d\n\
-     submitted %d  executed %d  shed %d (%.1f%%)\n\
-     wall %ss  throughput %s req/s\n\
-     route p50 %.3fms  p95 %.3fms  p99 %.3fms\n"
-    clients rounds queue_cap !submitted executed sheds (100.0 *. shed_rate)
-    (time_cell ~decimals:3 wall_s)
-    (time_cell ~decimals:1 throughput)
-    (route_q "p50_ms") (route_q "p95_ms") (route_q "p99_ms");
+  let run_point shards =
+    let sconfig =
+      {
+        Service.Server.default_config with
+        Service.Server.router = bench_router_config;
+        queue_cap;
+        shards;
+      }
+    in
+    let server = Service.Server.create ~config:sconfig () in
+    let parallel = shards > 1 in
+    let workers =
+      if parallel then
+        Some (Service.Server.start_workers server ~emit:(fun _ _ -> ()))
+      else None
+    in
+    let submitted = ref 0 and attempts = ref 0 in
+    (* Shed-never-hang, measured: on a shed, let the backlog drain a
+       little and retry the same line until admitted. *)
+    let give_way () =
+      if parallel then Unix.sleepf 0.0005
+      else ignore (Service.Server.drain_one server)
+    in
+    let submit_line line =
+      incr submitted;
+      let rec go () =
+        incr attempts;
+        match Service.Server.submit server ~client:0 line with
+        | None -> ()
+        | Some reply when is_shed reply ->
+            give_way ();
+            go ()
+        | Some reply -> failwith ("unexpected immediate reply: " ^ reply)
+      in
+      go ()
+    in
+    let settle () =
+      if parallel then Service.Server.quiesce server
+      else
+        let rec go () =
+          match Service.Server.drain_one server with
+          | Some _ -> go ()
+          | None -> ()
+        in
+        go ()
+    in
+    let t0 = Unix.gettimeofday () in
+    List.iter submit_line opens;
+    settle ();
+    for round = 1 to rounds do
+      List.iter submit_line (round_burst round);
+      settle ()
+    done;
+    (match workers with
+    | Some w -> Service.Server.stop_workers server w
+    | None -> ());
+    let wall_s = Unix.gettimeofday () -. t0 in
+    (* Read the counters before the (untimed) render probes below. *)
+    let m = Service.Server.metrics server in
+    let snapshot = Service.Metrics.snapshot m in
+    let executed = Service.Metrics.requests m in
+    let shed = Service.Metrics.shed_count m in
+    (* Workers joined: the synchronous API is safe again; the layouts
+       must be byte-identical at every sweep point. *)
+    let layouts =
+      List.init clients (fun c ->
+          let line =
+            Printf.sprintf {|{"op":"render","session":"%s"}|} (session c)
+          in
+          match Service.Server.handle_line server line with
+          | [ reply ] -> (
+              match
+                Option.bind (Util.Json.of_string reply |> Result.to_option)
+                  (fun j ->
+                    Option.bind (Util.Json.member "result" j) (fun r ->
+                        Option.bind (Util.Json.member "ascii" r)
+                          Util.Json.to_string_opt))
+              with
+              | Some ascii -> (session c, ascii)
+              | None -> failwith "render reply carries no ascii")
+          | _ -> failwith "render produced an unexpected reply count")
+    in
+    let route_q name =
+      match
+        Option.bind (Util.Json.member "by_kind" snapshot) (fun k ->
+            Option.bind (Util.Json.member "route" k) (fun r ->
+                Option.bind (Util.Json.member name r) Util.Json.to_float_opt))
+      with
+      | Some v -> v
+      | None -> 0.0
+    in
+    {
+      sp_shards = shards;
+      sp_submitted = !submitted;
+      sp_attempts = !attempts;
+      sp_executed = executed;
+      sp_shed = shed;
+      sp_wall_s = wall_s;
+      sp_throughput = float_of_int executed /. wall_s;
+      sp_route_p50 = route_q "p50_ms";
+      sp_route_p95 = route_q "p95_ms";
+      sp_route_p99 = route_q "p99_ms";
+      sp_metrics = snapshot;
+      sp_layouts = layouts;
+    }
+  in
+  let host_cores = Util.Parallel.default_jobs () in
+  let points = List.map run_point [ 1; 2; 4; 8 ] in
+  let base = List.hd points in
+  (* The sweep's correctness claim: sharding changes which domain runs a
+     session, never what the session computes. *)
+  List.iter
+    (fun p ->
+      List.iter2
+        (fun (name, a) (_, b) ->
+          if not (String.equal a b) then begin
+            Printf.eprintf
+              "FAIL: session %s layout at %d shards differs from 1 shard\n"
+              name p.sp_shards;
+            exit 1
+          end)
+        p.sp_layouts base.sp_layouts)
+    points;
+  Printf.printf "clients %d  rounds %d  queue-cap %d  host-cores %d\n"
+    clients rounds queue_cap host_cores;
+  List.iter
+    (fun p ->
+      Printf.printf
+        "shards %d  submitted %d (+%d retries)  executed %d  shed %d\n\
+        \  wall %ss  throughput %s req/s  route p50 %.3fms  p95 %.3fms  \
+         p99 %.3fms\n"
+        p.sp_shards p.sp_submitted
+        (p.sp_attempts - p.sp_submitted)
+        p.sp_executed p.sp_shed
+        (time_cell ~decimals:3 p.sp_wall_s)
+        (time_cell ~decimals:1 p.sp_throughput)
+        p.sp_route_p50 p.sp_route_p95 p.sp_route_p99)
+    points;
+  Printf.printf "layouts byte-identical across every shard count\n";
+  if host_cores = 1 then
+    Printf.printf
+      "note: host has 1 core (cpu_bound) — sharding cannot speed this up \
+       here\n";
+  let point_json p =
+    Printf.sprintf
+      "{ \"shards\": %d, \"submitted\": %d, \"attempts\": %d, \
+       \"executed\": %d, \"shed\": %d, \"shed_rate\": %.4f, \"wall_s\": \
+       %.3f, \"throughput_rps\": %.1f, \"route_p50_ms\": %.3f, \
+       \"route_p95_ms\": %.3f, \"route_p99_ms\": %.3f }"
+      p.sp_shards p.sp_submitted p.sp_attempts p.sp_executed p.sp_shed
+      (float_of_int p.sp_shed /. float_of_int p.sp_attempts)
+      p.sp_wall_s p.sp_throughput p.sp_route_p50 p.sp_route_p95 p.sp_route_p99
+  in
   let oc = open_out "BENCH_service.json" in
   Printf.fprintf oc
     "{\n\
     \  \"bench\": \"service_trace\",\n\
     \  \"config\": \"%s\",\n\
     \  \"host_cores\": %d,\n\
+    \  \"cpu_bound\": %b,\n\
     \  \"clients\": %d,\n\
     \  \"rounds\": %d,\n\
     \  \"queue_cap\": %d,\n\
@@ -1498,13 +1606,20 @@ let service_bench () =
     \  \"route_p50_ms\": %.3f,\n\
     \  \"route_p95_ms\": %.3f,\n\
     \  \"route_p99_ms\": %.3f,\n\
+    \  \"layouts_identical_across_shards\": true,\n\
+    \  \"shard_sweep\": [\n\
+    \    %s\n\
+    \  ],\n\
     \  \"metrics\": %s\n\
      }\n"
     (Router.Config.describe bench_router_config)
-    (Util.Parallel.default_jobs ())
-    clients rounds queue_cap !submitted executed sheds shed_rate wall_s
-    throughput (route_q "p50_ms") (route_q "p95_ms") (route_q "p99_ms")
-    (Util.Json.to_string snapshot);
+    host_cores (host_cores = 1) clients rounds queue_cap base.sp_submitted
+    base.sp_executed base.sp_shed
+    (float_of_int base.sp_shed /. float_of_int base.sp_attempts)
+    base.sp_wall_s base.sp_throughput base.sp_route_p50 base.sp_route_p95
+    base.sp_route_p99
+    (String.concat ",\n    " (List.map point_json points))
+    (Util.Json.to_string base.sp_metrics);
   close_out oc;
   Printf.printf "wrote BENCH_service.json\n"
 

@@ -644,8 +644,22 @@ let serve_cmd =
              Faster; a crash of the whole machine (not just the server \
              process) may then lose the last few committed requests.")
   in
+  let shards =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Shard sessions over $(docv) persistent worker domains (0 = \
+             one per core).  Each session is pinned to one shard by a \
+             stable hash of its name, so per-session determinism and \
+             reply order are unchanged; different sessions execute in \
+             parallel.  1 = the fully synchronous engine.")
+  in
   let run config socket queue_cap slo max_sessions idle_ticks data_dir
-      snapshot_every no_fsync =
+      snapshot_every no_fsync shards =
+    let shards =
+      if shards > 0 then shards else Domain.recommended_domain_count ()
+    in
     let sconfig =
       {
         Service.Server.default_config with
@@ -657,6 +671,7 @@ let serve_cmd =
         data_dir;
         snapshot_every;
         fsync = not no_fsync;
+        shards;
       }
     in
     let server = Service.Server.create ~config:sconfig () in
@@ -678,13 +693,14 @@ let serve_cmd =
        ~doc:
          "Run the router as a long-lived service: line-delimited JSON \
           requests (see docs/PROTOCOL.md) over stdin/stdout, or over a \
-          Unix socket with --socket.  With --data-dir, sessions are \
+          Unix socket with --socket.  Sessions are sharded over \
+          persistent worker domains (--shards); with --data-dir they are \
           journalled and survive crashes and restarts.  Metrics are \
           dumped to stderr on shutdown; SIGTERM/SIGINT shut down \
           gracefully (drain, snapshot, report).")
     Term.(
       const run $ config_term $ socket $ queue_cap $ slo $ max_sessions
-      $ idle_ticks $ data_dir $ snapshot_every $ no_fsync)
+      $ idle_ticks $ data_dir $ snapshot_every $ no_fsync $ shards)
 
 (* --- suite --- *)
 

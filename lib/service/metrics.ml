@@ -44,9 +44,15 @@ type t = {
   mutable flow_fallbacks : int;
 }
 
-let create () =
+let blank_kind () =
+  { count = 0; errors = 0; sum_s = 0.0; max_s = 0.0;
+    hist = Array.make buckets 0 }
+
+let create ?(kinds = []) () =
+  let table = Hashtbl.create 16 in
+  List.iter (fun kind -> Hashtbl.replace table kind (blank_kind ())) kinds;
   {
-    kinds = Hashtbl.create 16;
+    kinds = table;
     total = 0;
     total_errors = 0;
     sheds = 0;
@@ -66,10 +72,7 @@ let kind_stats t kind =
   match Hashtbl.find_opt t.kinds kind with
   | Some ks -> ks
   | None ->
-      let ks =
-        { count = 0; errors = 0; sum_s = 0.0; max_s = 0.0;
-          hist = Array.make buckets 0 }
-      in
+      let ks = blank_kind () in
       Hashtbl.replace t.kinds kind ks;
       ks
 
@@ -129,10 +132,54 @@ let quantile_ms ks q =
     !result
   end
 
+(* Pre-seeded kinds that never saw a request are invisible in snapshots
+   and renders, so seeding the table (for lock-free sharing) does not
+   change any output. *)
 let sorted_kinds t =
   List.sort
     (fun (a, _) (b, _) -> String.compare a b)
-    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.kinds [])
+    (Hashtbl.fold
+       (fun k v acc -> if v.count > 0 then (k, v) :: acc else acc)
+       t.kinds [])
+
+(* Fold the per-domain stores of a sharded server into one fresh store.
+   Reads are plain field loads with no locking: every counter is written
+   by exactly one domain (see the .mli ownership contract), so a merge
+   racing live execution sees each field at some recent value — fine for
+   telemetry, and exact once the writers have quiesced (shutdown). *)
+let merge parts =
+  let m = create () in
+  List.iter
+    (fun p ->
+      m.total <- m.total + p.total;
+      m.total_errors <- m.total_errors + p.total_errors;
+      m.sheds <- m.sheds + p.sheds;
+      m.budget_trips <- m.budget_trips + p.budget_trips;
+      m.faults <- m.faults + p.faults;
+      m.evictions <- m.evictions + p.evictions;
+      if p.max_queue_depth > m.max_queue_depth then
+        m.max_queue_depth <- p.max_queue_depth;
+      m.refine_skips <- m.refine_skips + p.refine_skips;
+      m.refine_stale <- m.refine_stale + p.refine_stale;
+      m.refine_repairs <- m.refine_repairs + p.refine_repairs;
+      m.flow_guided <- m.flow_guided + p.flow_guided;
+      m.flow_hits <- m.flow_hits + p.flow_hits;
+      m.flow_fallbacks <- m.flow_fallbacks + p.flow_fallbacks;
+      Hashtbl.iter
+        (fun kind ks ->
+          if ks.count > 0 then begin
+            let acc = kind_stats m kind in
+            acc.count <- acc.count + ks.count;
+            acc.errors <- acc.errors + ks.errors;
+            acc.sum_s <- acc.sum_s +. ks.sum_s;
+            if ks.max_s > acc.max_s then acc.max_s <- ks.max_s;
+            Array.iteri
+              (fun i n -> acc.hist.(i) <- acc.hist.(i) + n)
+              ks.hist
+          end)
+        p.kinds)
+    parts;
+  m
 
 let snapshot ?(queue_depth = 0) ?(sessions = 0) t =
   let kind_row (name, ks) =

@@ -9,12 +9,33 @@
     bucket — cheap, monotone, and accurate to a factor of two, which is
     all a service dashboard needs).
 
-    Everything here is plain mutation on one domain: the scheduler
-    serialises request execution, so no locking is required. *)
+    Everything here is plain mutation with {b per-field single-writer
+    ownership} — no locks, no atomics.  On the sharded server each shard
+    owns one store; its worker domain is the only writer of the
+    execution-side fields ([record], [budget_trip], [fault], [evicted],
+    [refine_cache], [flow_guides]) while the acceptor domain is the only
+    writer of the admission-side fields ([shed], [note_queue_depth]).
+    The two sides never write the same field, so there are no lost
+    updates; cross-domain {e reads} ({!merge}, {!snapshot} of a foreign
+    shard) may observe slightly stale values, which is acceptable for
+    telemetry and exact once the writers have quiesced.  For that
+    discipline to be safe the per-kind table must not grow while foreign
+    domains read it — pass every kind the store will ever record to
+    {!create} ([Proto.op_names] for a server shard). *)
 
 type t
 
-val create : unit -> t
+val create : ?kinds:string list -> unit -> t
+(** [kinds] pre-creates one (empty) histogram per name so the table is
+    structurally immutable afterwards.  Pre-seeded kinds with zero
+    requests never appear in {!snapshot} or {!render}. *)
+
+val merge : t list -> t
+(** Fold several per-domain stores into one fresh store: counters and
+    histogram buckets sum, maxima take the max.  Lock-free — safe to
+    call while the owners are still writing (the result is then a
+    near-point-in-time view), exact when they are quiet.  The inputs are
+    not modified. *)
 
 val record : t -> kind:string -> ok:bool -> latency_s:float -> unit
 (** Account one executed request of wire kind [kind] (e.g. ["route"]).

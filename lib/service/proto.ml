@@ -42,6 +42,18 @@ let op_name = function
   | Close -> "close"
   | Shutdown -> "shutdown"
 
+(* Every value [op_name] can produce, plus the pseudo-kind the server
+   records for unparseable lines.  The sharded metrics stores pre-create
+   one histogram per name so their tables never mutate structurally
+   after creation — that is what makes lock-free cross-domain reads at
+   [stats] time safe. *)
+let op_names =
+  [
+    "open"; "route"; "add_net"; "remove_net"; "rip"; "freeze"; "thaw";
+    "refine"; "place"; "groute"; "flow"; "verify"; "render"; "stats";
+    "close"; "shutdown"; "invalid";
+  ]
+
 type error_code =
   | Parse_error
   | Bad_request

@@ -53,6 +53,12 @@ type request = { rid : int; session : string option; op : op }
 val op_name : op -> string
 (** The wire name of the operation — also the metrics key. *)
 
+val op_names : string list
+(** Every possible {!op_name} plus ["invalid"] (the pseudo-kind recorded
+    for unparseable request lines).  The server seeds each shard's
+    {!Metrics} store with these so the per-kind tables are structurally
+    immutable after creation and safe to read from other domains. *)
+
 type error_code =
   | Parse_error  (** request line is not valid JSON *)
   | Bad_request  (** JSON is fine, fields are not *)

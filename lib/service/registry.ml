@@ -26,6 +26,10 @@ type t = {
   max_sessions : int;
   idle_ticks : int;
   data : data option;
+  (* Shard-affinity filter: on a sharded server each shard's registry
+     recovers only the on-disk sessions it owns, so two shards never
+     open the same WAL.  [fun _ -> true] on unsharded registries. *)
+  owns : string -> bool;
   sessions : (string, entry) Hashtbl.t;
   counters : counters;
   mutable clock : int;
@@ -243,8 +247,11 @@ let maybe_recover t name =
   match t.data with
   | None -> None
   | Some data ->
-      if (not (has_disk_state data name)) || count t >= t.max_sessions then
-        None
+      if
+        (not (t.owns name))
+        || (not (has_disk_state data name))
+        || count t >= t.max_sessions
+      then None
       else (
         match recover_session t data name with
         | Ok e -> Some e
@@ -272,8 +279,8 @@ let recover_all t =
           (Hashtbl.fold
              (fun key () acc ->
                match Wal.key_name key with
-               | Some name -> name :: acc
-               | None -> acc)
+               | Some name when t.owns name -> name :: acc
+               | Some _ | None -> acc)
              keys [])
       in
       List.fold_left
@@ -293,7 +300,8 @@ let rec mkdir_p dir =
   end
 
 let create ?(config = Router.Config.default) ?(chaos = Router.Chaos.none)
-    ?(max_sessions = 64) ?(idle_ticks = 10_000) ?data () =
+    ?(max_sessions = 64) ?(idle_ticks = 10_000) ?(owns = fun _ -> true)
+    ?data () =
   (match data with Some d -> mkdir_p d.dir | None -> ());
   let t =
     {
@@ -302,6 +310,7 @@ let create ?(config = Router.Config.default) ?(chaos = Router.Chaos.none)
       max_sessions = max 1 max_sessions;
       idle_ticks = max 1 idle_ticks;
       data;
+      owns;
       sessions = Hashtbl.create 16;
       counters =
         {

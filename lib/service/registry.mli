@@ -40,6 +40,7 @@ val create :
   ?chaos:Router.Chaos.t ->
   ?max_sessions:int ->
   ?idle_ticks:int ->
+  ?owns:(string -> bool) ->
   ?data:data ->
   unit ->
   t
@@ -47,9 +48,13 @@ val create :
     {!Router.Chaos.none}) are handed to every session created.
     [max_sessions] defaults to 64; [idle_ticks] defaults to 10_000.
     With [data], the directory is created if missing and every session
-    found on disk is recovered immediately (up to the session cap;
-    failures count in {!durability_json}'s [recover_failures] and leave
-    the files in place). *)
+    found on disk {e that satisfies [owns]} (default: all) is recovered
+    immediately (up to the session cap; failures count in
+    {!durability_json}'s [recover_failures] and leave the files in
+    place).  On a sharded server, [owns] is the shard-affinity
+    predicate: each shard's registry recovers and resurrects only the
+    sessions hashed to it, so several registries can share one data
+    directory without double-opening a WAL. *)
 
 val open_session :
   t -> name:string -> ?rid:int -> Netlist.Problem.t ->

@@ -11,6 +11,7 @@ type config = {
   data_dir : string option;
   snapshot_every : int;
   fsync : bool;
+  shards : int;
 }
 
 let default_config =
@@ -25,23 +26,74 @@ let default_config =
     data_dir = None;
     snapshot_every = 64;
     fsync = true;
+    shards = 1;
   }
 
 type item = { client : int; request : Proto.request }
 
-type t = {
-  config : config;
+(* One shard: a registry partition, a bounded queue and a metrics store,
+   owned by one executor at a time.  In parallel mode the executor is a
+   persistent worker domain; in synchronous mode ([drain_one]) it is the
+   calling domain.  [qmutex]/[qcond] guard the queue (acceptor submits,
+   executor pops); [lock] serialises execution against the cross-shard
+   reads of a [stats] request.  The [exec_*] means feed shed hints and
+   are written by the executor only; [inflight] flips under [qmutex]. *)
+type shard = {
+  index : int;
   registry : Registry.t;
   queue : item Sched.t;
+  qmutex : Mutex.t;
+  qcond : Condition.t;
+  lock : Mutex.t;
   metrics : Metrics.t;
-  mutable shutdown : bool;
-  (* Running mean of request execution time, feeding the retry_after_ms
-     hint of shed replies. *)
   mutable exec_count : int;
   mutable exec_sum_s : float;
+  mutable inflight : bool;
 }
 
+type t = {
+  config : config;
+  shards : shard array;
+  (* Acceptor-domain store: parse errors and the global queue-depth
+     high-water mark.  Sheds count on the target shard's store. *)
+  acceptor : Metrics.t;
+  (* Requests admitted but not yet popped, across every shard — the
+     global admission cap. *)
+  queued : int Atomic.t;
+  shutdown : bool Atomic.t;
+  (* Parallel mode: tells the worker domains to exit once their queue is
+     empty (graceful drain). *)
+  draining : bool Atomic.t;
+  (* Synchronous mode: [drain_one]'s rotation over shards. *)
+  mutable cursor : int;
+}
+
+(* Stable session→shard affinity: FNV-1a over the session name.  Not
+   OCaml's [Hashtbl.hash] on purpose — the mapping reaches the on-disk
+   recovery partition ([Registry]'s [owns]), so it must stay fixed under
+   compiler upgrades. *)
+let shard_of_name ~shards name =
+  if shards <= 1 || name = "" then 0
+  else begin
+    let h = ref 2166136261 in
+    String.iter
+      (fun c -> h := (!h lxor Char.code c) * 16777619 land max_int)
+      name;
+    !h mod shards
+  end
+
+(* [stats] reads every shard and is the only request that takes foreign
+   shard locks; pinning it to shard 0 means lock acquisition is always
+   ordered (holder of lock 0 takes 1..n-1) and can never deadlock. *)
+let shard_for t (req : Proto.request) =
+  match req.Proto.op with
+  | Proto.Stats -> t.shards.(0)
+  | _ ->
+      let name = Option.value ~default:"" req.Proto.session in
+      t.shards.(shard_of_name ~shards:(Array.length t.shards) name)
+
 let create ?(config = default_config) () =
+  let shards = max 1 config.shards in
   let data =
     Option.map
       (fun dir ->
@@ -52,40 +104,73 @@ let create ?(config = default_config) () =
         })
       config.data_dir
   in
+  (* Per-shard queue slice of the global cap: a session flooding its own
+     shard sheds early instead of filling the whole server's budget. *)
+  let per_shard_cap = max 1 ((config.queue_cap + shards - 1) / shards) in
+  let mk_shard index =
+    {
+      index;
+      registry =
+        Registry.create ~config:config.router ~chaos:config.chaos
+          ~max_sessions:config.max_sessions ~idle_ticks:config.idle_ticks
+          ~owns:(fun name -> shard_of_name ~shards name = index)
+          ?data ();
+      queue = Sched.create ~cap:per_shard_cap ();
+      qmutex = Mutex.create ();
+      qcond = Condition.create ();
+      lock = Mutex.create ();
+      metrics = Metrics.create ~kinds:Proto.op_names ();
+      exec_count = 0;
+      exec_sum_s = 0.0;
+      inflight = false;
+    }
+  in
   {
     config;
-    registry =
-      Registry.create ~config:config.router ~chaos:config.chaos
-        ~max_sessions:config.max_sessions ~idle_ticks:config.idle_ticks
-        ?data ();
-    queue = Sched.create ~cap:config.queue_cap ();
-    metrics = Metrics.create ();
-    shutdown = false;
-    exec_count = 0;
-    exec_sum_s = 0.0;
+    shards = Array.init shards mk_shard;
+    acceptor = Metrics.create ~kinds:Proto.op_names ();
+    queued = Atomic.make 0;
+    shutdown = Atomic.make false;
+    draining = Atomic.make false;
+    cursor = 0;
   }
 
-let metrics t = t.metrics
+let shard_count t = Array.length t.shards
 
-let registry t = t.registry
+let shard_of t name = shard_of_name ~shards:(Array.length t.shards) name
 
-let queue_depth t = Sched.length t.queue
+let metrics t =
+  Metrics.merge
+    (t.acceptor :: Array.to_list (Array.map (fun s -> s.metrics) t.shards))
 
-let shutdown_requested t = t.shutdown
+let registry t = t.shards.(0).registry
+
+let registry_for t name = t.shards.(shard_of t name).registry
+
+let queue_depth t = Atomic.get t.queued
+
+let pending t =
+  Atomic.get t.queued
+  + Array.fold_left (fun a s -> if s.inflight then a + 1 else a) 0 t.shards
+
+let shutdown_requested t = Atomic.get t.shutdown
 
 (* How long a shed client should wait before retrying: the time the
-   current backlog will plausibly take to drain, from the observed mean
-   request latency (falling back to the SLO, then to a token 50ms before
-   any request has executed). *)
-let retry_after_ms t =
+   target shard's backlog will plausibly take to drain, from that
+   shard's observed mean request latency (falling back to the SLO, then
+   to a token 50ms before any request has executed).  Load-aware per
+   shard: a client bounced off a deep queue gets a proportionally later
+   retry slot than one bounced off a briefly-full shard. *)
+let retry_after_ms t shard =
   let mean_ms =
-    if t.exec_count > 0 then 1000.0 *. t.exec_sum_s /. float_of_int t.exec_count
+    if shard.exec_count > 0 then
+      1000.0 *. shard.exec_sum_s /. float_of_int shard.exec_count
     else
       match t.config.default_slo_ms with
       | Some ms -> float_of_int ms
       | None -> 50.0
   in
-  max 1 (int_of_float (mean_ms *. float_of_int (Sched.length t.queue + 1)))
+  max 1 (int_of_float (mean_ms *. float_of_int (Sched.length shard.queue + 1)))
 
 (* --- request execution --- *)
 
@@ -97,13 +182,13 @@ let error_reply ~rid ?retry_after_ms code msg =
 let chaos_message msg =
   String.length msg >= 6 && String.sub msg 0 6 = "chaos:"
 
-let with_session t (req : Proto.request) f =
+let with_session shard (req : Proto.request) f =
   match req.Proto.session with
   | None ->
       error_reply ~rid:req.Proto.rid Proto.Bad_request
         "this op needs a \"session\" field"
   | Some name -> (
-      match Registry.find t.registry name with
+      match Registry.find shard.registry name with
       | None ->
           error_reply ~rid:req.Proto.rid Proto.Unknown_session
             (Printf.sprintf "no session named %S" name)
@@ -134,9 +219,9 @@ let resolve_target ~rid entry = function
    recognisable prefix; give them their own error code so clients (and
    the chaos tests) can tell a fault-aborted request from a rejected
    one.  Either way the session has already rolled back. *)
-let mutation_error ~rid t msg =
+let mutation_error ~rid shard msg =
   if chaos_message msg then begin
-    Metrics.fault t.metrics;
+    Metrics.fault shard.metrics;
     error_reply ~rid Proto.Fault_injected msg
   end
   else error_reply ~rid Proto.Net_error msg
@@ -230,13 +315,106 @@ let load_problem t ~rid = function
           error_reply ~rid Proto.Bad_request (Netlist.Parse.error_to_string e))
   | _ -> error_reply ~rid Proto.Bad_request "open needs \"problem\" or \"file\""
 
-let exec t (req : Proto.request) =
+(* The [stats] reply: metrics merged lock-free across every per-domain
+   store; registry tables (session maps, durability counters) read under
+   each foreign shard's execution lock.  [self] is the shard executing
+   the request — its lock is already held by our executor. *)
+let stats_json t ~(self : shard) =
+  let with_shard_lock s f =
+    if s == self then f ()
+    else begin
+      Mutex.lock s.lock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
+    end
+  in
+  let per_shard =
+    Array.map
+      (fun s ->
+        let sessions, reg_rows, durability =
+          with_shard_lock s (fun () ->
+              ( Registry.count s.registry,
+                Registry.snapshot s.registry,
+                Registry.durability_json s.registry ))
+        in
+        (s, sessions, reg_rows, durability))
+      t.shards
+  in
+  let total_sessions =
+    Array.fold_left (fun a (_, n, _, _) -> a + n) 0 per_shard
+  in
+  let registry_rows =
+    Array.to_list per_shard
+    |> List.concat_map (fun (_, _, rows, _) ->
+           match rows with J.Obj fields -> fields | _ -> [])
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let durabilities =
+    Array.to_list (Array.map (fun (_, _, _, d) -> d) per_shard)
+  in
+  let sum_int name =
+    J.Int
+      (List.fold_left
+         (fun a d ->
+           match J.member name d with Some (J.Int n) -> a + n | _ -> a)
+         0 durabilities)
+  in
+  let durability =
+    J.Obj
+      [
+        ( "durable",
+          J.Bool
+            (List.exists
+               (fun d -> J.member "durable" d = Some (J.Bool true))
+               durabilities) );
+        ("snapshots_written", sum_int "snapshots_written");
+        ("sessions_recovered", sum_int "sessions_recovered");
+        ("records_replayed", sum_int "records_replayed");
+        ("torn_tails", sum_int "torn_tails");
+        ("recover_failures", sum_int "recover_failures");
+        ( "last_error",
+          match
+            List.find_opt
+              (fun d ->
+                match J.member "last_error" d with
+                | Some (J.String _) -> true
+                | _ -> false)
+              durabilities
+          with
+          | Some d -> Option.get (J.member "last_error" d)
+          | None -> J.Null );
+      ]
+  in
+  let shard_rows =
+    Array.to_list per_shard
+    |> List.map (fun ((s : shard), sessions, _, _) ->
+           J.Obj
+             [
+               ("shard", J.Int s.index);
+               ("sessions", J.Int sessions);
+               ("queue_depth", J.Int (Sched.length s.queue));
+               ("queue_cap", J.Int (Sched.cap s.queue));
+               ("shed", J.Int (Metrics.shed_count s.metrics));
+               ("requests", J.Int (Metrics.requests s.metrics));
+             ])
+  in
+  J.Obj
+    [
+      ("protocol", J.Int Proto.version);
+      ( "metrics",
+        Metrics.snapshot ~queue_depth:(Atomic.get t.queued)
+          ~sessions:total_sessions (metrics t) );
+      ("shards", J.List shard_rows);
+      ("registry", J.Obj registry_rows);
+      ("durability", durability);
+    ]
+
+let exec t shard (req : Proto.request) =
   let rid = req.Proto.rid in
   let ok ?gen result = Proto.ok_line ~rid ?gen result in
   match req.Proto.op with
   | Proto.Open _ -> assert false (* dispatched to [exec_open] by [execute] *)
   | Proto.Route { slo_ms } ->
-      with_session t req @@ fun _ entry ->
+      with_session shard req @@ fun _ entry ->
       deduped ~rid entry @@ fun () ->
       let session = Registry.session entry in
       let budget =
@@ -247,32 +425,32 @@ let exec t (req : Proto.request) =
       in
       (match Router.Session.try_route ?budget session with
       | Ok stats ->
-          Registry.commit t.registry entry ~rid req.Proto.op;
+          Registry.commit shard.registry entry ~rid req.Proto.op;
           ok ~gen:(Registry.generation entry) (engine_stats_json stats)
       | Error reason ->
           let msg = Router.Budget.reason_to_string reason in
           if chaos_message msg then begin
-            Metrics.fault t.metrics;
+            Metrics.fault shard.metrics;
             error_reply ~rid Proto.Fault_injected msg
           end
           else begin
-            Metrics.budget_trip t.metrics;
+            Metrics.budget_trip shard.metrics;
             error_reply ~rid Proto.Budget_tripped msg
           end
       | exception Router.Chaos.Injected_fault msg ->
-          Metrics.fault t.metrics;
+          Metrics.fault shard.metrics;
           error_reply ~rid Proto.Fault_injected msg)
   | Proto.Add_net { name; pins } -> (
-      with_session t req @@ fun _ entry ->
+      with_session shard req @@ fun _ entry ->
       deduped ~rid entry @@ fun () ->
       match Router.Session.add_net (Registry.session entry) ~name pins with
       | Ok id ->
-          Registry.commit t.registry entry ~rid req.Proto.op;
+          Registry.commit shard.registry entry ~rid req.Proto.op;
           ok ~gen:(Registry.generation entry) (J.Obj [ ("net", J.Int id) ])
-      | Error msg -> mutation_error ~rid t msg)
+      | Error msg -> mutation_error ~rid shard msg)
   | Proto.Remove_net target | Proto.Rip target
   | Proto.Freeze target | Proto.Thaw target -> (
-      with_session t req @@ fun _ entry ->
+      with_session shard req @@ fun _ entry ->
       deduped ~rid entry @@ fun () ->
       let session = Registry.session entry in
       let net = resolve_target ~rid entry target in
@@ -285,16 +463,16 @@ let exec t (req : Proto.request) =
       in
       match call session ~net with
       | Ok () ->
-          Registry.commit t.registry entry ~rid req.Proto.op;
+          Registry.commit shard.registry entry ~rid req.Proto.op;
           ok ~gen:(Registry.generation entry) (J.Obj [ ("done", J.Bool true) ])
-      | Error msg -> mutation_error ~rid t msg)
+      | Error msg -> mutation_error ~rid shard msg)
   | Proto.Refine { max_passes } -> (
-      with_session t req @@ fun _ entry ->
+      with_session shard req @@ fun _ entry ->
       deduped ~rid entry @@ fun () ->
       match Router.Session.refine ?max_passes (Registry.session entry) with
       | s ->
-          Registry.commit t.registry entry ~rid req.Proto.op;
-          Metrics.refine_cache t.metrics
+          Registry.commit shard.registry entry ~rid req.Proto.op;
+          Metrics.refine_cache shard.metrics
             ~skips:(s.Router.Improve.skipped_cert + s.Router.Improve.skipped_bound)
             ~stale:s.Router.Improve.cache_stale
             ~repairs:s.Router.Improve.field_repairs;
@@ -315,10 +493,10 @@ let exec t (req : Proto.request) =
                  ("field_repairs", J.Int s.Router.Improve.field_repairs);
                ])
       | exception Router.Chaos.Injected_fault msg ->
-          Metrics.fault t.metrics;
+          Metrics.fault shard.metrics;
           error_reply ~rid Proto.Fault_injected msg)
   | Proto.Place { seed } -> (
-      with_session t req @@ fun _ entry ->
+      with_session shard req @@ fun _ entry ->
       deduped ~rid entry @@ fun () ->
       let session = Registry.session entry in
       let problem = Router.Session.problem session in
@@ -334,30 +512,30 @@ let exec t (req : Proto.request) =
           | None -> t.config.router.Router.Config.seed
         in
         match Place.place ~seed problem with
-        | Error msg -> mutation_error ~rid t msg
+        | Error msg -> mutation_error ~rid shard msg
         | exception Router.Chaos.Injected_fault msg ->
-            Metrics.fault t.metrics;
+            Metrics.fault shard.metrics;
             error_reply ~rid Proto.Fault_injected msg
         | Ok (placed, pstats) -> (
             match Netlist.Problem.realize placed with
-            | exception Invalid_argument msg -> mutation_error ~rid t msg
+            | exception Invalid_argument msg -> mutation_error ~rid shard msg
             | realized -> (
                 match
                   Router.Session.install session ~problem:realized
                     ~grid:(Netlist.Problem.instantiate realized)
                 with
-                | Error msg -> mutation_error ~rid t msg
+                | Error msg -> mutation_error ~rid shard msg
                 | exception Router.Chaos.Injected_fault msg ->
-                    Metrics.fault t.metrics;
+                    Metrics.fault shard.metrics;
                     error_reply ~rid Proto.Fault_injected msg
                 | Ok () ->
-                    Registry.commit t.registry entry ~rid
+                    Registry.commit shard.registry entry ~rid
                       (Proto.Place { seed = Some seed });
                     ok ~gen:(Registry.generation entry)
                       (place_stats_json pstats)))
       end)
   | Proto.Groute { tile } -> (
-      with_session t req @@ fun _ entry ->
+      with_session shard req @@ fun _ entry ->
       let session = Registry.session entry in
       let problem = Router.Session.problem session in
       if Netlist.Problem.has_insts problem
@@ -367,12 +545,12 @@ let exec t (req : Proto.request) =
           "the placement section has unplaced instances; place first"
       else
         match Netlist.Problem.realize problem with
-        | exception Invalid_argument msg -> mutation_error ~rid t msg
+        | exception Invalid_argument msg -> mutation_error ~rid shard msg
         | realized ->
             ok ~gen:(Registry.generation entry)
               (groute_json (Groute.run ?tile realized)))
   | Proto.Flow_run { seed; tile; slo_ms } -> (
-      with_session t req @@ fun _ entry ->
+      with_session shard req @@ fun _ entry ->
       deduped ~rid entry @@ fun () ->
       let session = Registry.session entry in
       let config = Router.Session.config session in
@@ -388,10 +566,10 @@ let exec t (req : Proto.request) =
       match
         Flow.run ~config ?budget ~seed ?tile (Router.Session.problem session)
       with
-      | Error msg -> mutation_error ~rid t msg
-      | exception Invalid_argument msg -> mutation_error ~rid t msg
+      | Error msg -> mutation_error ~rid shard msg
+      | exception Invalid_argument msg -> mutation_error ~rid shard msg
       | exception Router.Chaos.Injected_fault msg ->
-          Metrics.fault t.metrics;
+          Metrics.fault shard.metrics;
           error_reply ~rid Proto.Fault_injected msg
       | Ok f ->
           let place_degraded =
@@ -406,7 +584,7 @@ let exec t (req : Proto.request) =
           in
           if place_degraded || route_degraded then begin
             (* SLO blown: like [route], leave the session untouched. *)
-            Metrics.budget_trip t.metrics;
+            Metrics.budget_trip shard.metrics;
             error_reply ~rid Proto.Budget_tripped
               "flow budget tripped; session unchanged"
           end
@@ -415,16 +593,16 @@ let exec t (req : Proto.request) =
               Router.Session.install session ~problem:f.Flow.realized
                 ~grid:f.Flow.result.Router.Engine.grid
             with
-            | Error msg -> mutation_error ~rid t msg
+            | Error msg -> mutation_error ~rid shard msg
             | exception Router.Chaos.Injected_fault msg ->
-                Metrics.fault t.metrics;
+                Metrics.fault shard.metrics;
                 error_reply ~rid Proto.Fault_injected msg
             | Ok () ->
                 let g = f.Flow.result.Router.Engine.stats.Router.Engine.guide in
-                Metrics.flow_guides t.metrics
+                Metrics.flow_guides shard.metrics
                   ~guided:g.Router.Outcome.guided ~hits:g.Router.Outcome.hits
                   ~fallbacks:g.Router.Outcome.fallbacks;
-                Registry.commit t.registry entry ~rid
+                Registry.commit shard.registry entry ~rid
                   (Proto.Flow_run
                      { seed = Some seed; tile; slo_ms = None });
                 ok ~gen:(Registry.generation entry)
@@ -446,7 +624,7 @@ let exec t (req : Proto.request) =
                            ] );
                      ]))
   | Proto.Verify ->
-      with_session t req @@ fun _ entry ->
+      with_session shard req @@ fun _ entry ->
       let violations = Router.Session.verify (Registry.session entry) in
       ok ~gen:(Registry.generation entry)
         (J.Obj
@@ -461,7 +639,7 @@ let exec t (req : Proto.request) =
                     violations) );
            ])
   | Proto.Render ->
-      with_session t req @@ fun _ entry ->
+      with_session shard req @@ fun _ entry ->
       ok ~gen:(Registry.generation entry)
         (J.Obj
            [
@@ -469,40 +647,30 @@ let exec t (req : Proto.request) =
                J.String (Viz.Ascii.render (Router.Session.grid (Registry.session entry)))
              );
            ])
-  | Proto.Stats ->
-      ok
-        (J.Obj
-           [
-             ("protocol", J.Int Proto.version);
-             ( "metrics",
-               Metrics.snapshot ~queue_depth:(Sched.length t.queue)
-                 ~sessions:(Registry.count t.registry) t.metrics );
-             ("registry", Registry.snapshot t.registry);
-             ("durability", Registry.durability_json t.registry);
-           ])
+  | Proto.Stats -> ok (stats_json t ~self:shard)
   | Proto.Close -> (
       match req.Proto.session with
       | None ->
           error_reply ~rid Proto.Bad_request "close needs a \"session\" field"
       | Some name ->
-          if Registry.close t.registry name then
+          if Registry.close shard.registry name then
             ok (J.Obj [ ("closed", J.String name) ])
           else
             error_reply ~rid Proto.Unknown_session
               (Printf.sprintf "no session named %S" name))
   | Proto.Shutdown ->
-      t.shutdown <- true;
+      Atomic.set t.shutdown true;
       ok (J.Obj [ ("stopping", J.Bool true) ])
 
 (* [open] is special-cased before [exec]'s session lookup: it is the one
    session-scoped op whose session must not exist yet. *)
-let exec_open t (req : Proto.request) op =
+let exec_open t shard (req : Proto.request) op =
   let rid = req.Proto.rid in
   match req.Proto.session with
   | None -> error_reply ~rid Proto.Bad_request "open needs a \"session\" field"
   | Some name -> (
       let problem = load_problem t ~rid op in
-      match Registry.open_session t.registry ~name ~rid problem with
+      match Registry.open_session shard.registry ~name ~rid problem with
       | Ok entry ->
           Proto.ok_line ~rid ~gen:(Registry.generation entry)
             (J.Obj
@@ -515,7 +683,7 @@ let exec_open t (req : Proto.request) op =
       | Error `Exists -> (
           (* A resubmitted open whose first try committed (journalled)
              but whose reply was lost: ack it as a duplicate. *)
-          match Registry.find t.registry name with
+          match Registry.find shard.registry name with
           | Some entry when Registry.is_duplicate entry ~rid ->
               Proto.ok_line ~rid ~gen:(Registry.generation entry)
                 (J.Obj
@@ -527,13 +695,14 @@ let exec_open t (req : Proto.request) op =
           error_reply ~rid Proto.Session_cap
             (Printf.sprintf "session cap reached (%d); close one first" n))
 
-let execute t (req : Proto.request) =
+(* Execute one request on its shard.  The caller holds [shard.lock]. *)
+let execute t shard (req : Proto.request) =
   let t0 = Unix.gettimeofday () in
   let reply, ok_flag =
     match
       match req.Proto.op with
-      | Proto.Open _ as op -> exec_open t req op
-      | _ -> exec t req
+      | Proto.Open _ as op -> exec_open t shard req op
+      | _ -> exec t shard req
     with
     | reply -> (reply, true)
     | exception Reply reply -> (reply, false)
@@ -547,42 +716,81 @@ let execute t (req : Proto.request) =
           false )
   in
   let dt = Unix.gettimeofday () -. t0 in
-  t.exec_count <- t.exec_count + 1;
-  t.exec_sum_s <- t.exec_sum_s +. dt;
-  Metrics.record t.metrics ~kind:(Proto.op_name req.Proto.op) ~ok:ok_flag
+  shard.exec_count <- shard.exec_count + 1;
+  shard.exec_sum_s <- shard.exec_sum_s +. dt;
+  Metrics.record shard.metrics ~kind:(Proto.op_name req.Proto.op) ~ok:ok_flag
     ~latency_s:dt;
-  Metrics.evicted t.metrics (List.length (Registry.tick t.registry));
+  Metrics.evicted shard.metrics
+    (List.length (Registry.tick shard.registry));
   reply
+
+let locked_execute t shard req =
+  Mutex.lock shard.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock shard.lock)
+    (fun () -> execute t shard req)
 
 (* --- admission --- *)
 
 let submit t ~client line =
-  if t.shutdown then
+  if Atomic.get t.shutdown then
     Some
       (Proto.error_line ~rid:0 Proto.Shutting_down "server is shutting down")
   else
     match Proto.parse line with
     | Error (code, msg) ->
-        Metrics.record t.metrics ~kind:"invalid" ~ok:false ~latency_s:0.0;
+        Metrics.record t.acceptor ~kind:"invalid" ~ok:false ~latency_s:0.0;
         Some (Proto.error_line ~rid:0 code msg)
     | Ok request ->
+        let shard = shard_for t request in
         let key = Option.value ~default:"" request.Proto.session in
-        if Sched.submit t.queue ~key { client; request } then begin
-          Metrics.note_queue_depth t.metrics (Sched.length t.queue);
+        Mutex.lock shard.qmutex;
+        let admitted =
+          Atomic.get t.queued < t.config.queue_cap
+          && Sched.submit shard.queue ~key { client; request }
+        in
+        if admitted then begin
+          Atomic.incr t.queued;
+          let depth = Sched.length shard.queue in
+          Condition.signal shard.qcond;
+          Mutex.unlock shard.qmutex;
+          Metrics.note_queue_depth t.acceptor (Atomic.get t.queued);
+          Metrics.note_queue_depth shard.metrics depth;
           None
         end
         else begin
-          Metrics.shed t.metrics;
+          let retry = retry_after_ms t shard in
+          Mutex.unlock shard.qmutex;
+          Metrics.shed shard.metrics;
           Some
-            (Proto.error_line ~rid:request.Proto.rid
-               ~retry_after_ms:(retry_after_ms t) Proto.Queue_full
-               (Printf.sprintf "queue full (%d queued)" (Sched.length t.queue)))
+            (Proto.error_line ~rid:request.Proto.rid ~retry_after_ms:retry
+               Proto.Queue_full
+               (Printf.sprintf "queue full (%d queued)" (Atomic.get t.queued)))
         end
 
+(* Synchronous drain: pop-and-execute on the calling domain, rotating
+   over shards (and, inside each shard, round-robin over sessions).
+   This is the deterministic single-domain path tests and [handle_line]
+   use; the transports run the same shards on persistent worker domains
+   instead ([start_workers]). *)
 let drain_one t =
-  match Sched.pop t.queue with
-  | None -> None
-  | Some (_key, { client; request }) -> Some (client, execute t request)
+  let n = Array.length t.shards in
+  let rec scan k =
+    if k >= n then None
+    else begin
+      let shard = t.shards.((t.cursor + k) mod n) in
+      Mutex.lock shard.qmutex;
+      let popped = Sched.pop shard.queue in
+      Mutex.unlock shard.qmutex;
+      match popped with
+      | Some (_key, { client; request }) ->
+          Atomic.decr t.queued;
+          t.cursor <- (t.cursor + k + 1) mod n;
+          Some (client, locked_execute t shard request)
+      | None -> scan (k + 1)
+    end
+  in
+  scan 0
 
 let handle_line t line =
   let immediate = submit t ~client:0 line in
@@ -597,45 +805,145 @@ let handle_line t line =
   drain ();
   (match immediate with Some r -> [ r ] | None -> []) @ List.rev !drained
 
-let request_shutdown t = t.shutdown <- true
+let request_shutdown t = Atomic.set t.shutdown true
+
+(* --- the worker pool (parallel mode) --- *)
+
+type workers = { group : Util.Parallel.Shards.t }
+
+(* One persistent domain per shard: block on the shard's queue, execute,
+   hand the reply to [emit] (which must be thread-safe), repeat; exit
+   once [draining] is set and the queue is empty — so a drain completes
+   every admitted request.  [inflight] is the worker's "between pop and
+   reply" marker, letting [pending] distinguish idle from mid-request. *)
+let worker_loop t ~emit i =
+  let shard = t.shards.(i) in
+  let rec loop () =
+    Mutex.lock shard.qmutex;
+    let rec next () =
+      match Sched.pop shard.queue with
+      | Some _ as popped -> popped
+      | None ->
+          if Atomic.get t.draining then None
+          else begin
+            Condition.wait shard.qcond shard.qmutex;
+            next ()
+          end
+    in
+    match next () with
+    | None -> Mutex.unlock shard.qmutex
+    | Some (_key, { client; request }) ->
+        shard.inflight <- true;
+        Mutex.unlock shard.qmutex;
+        Atomic.decr t.queued;
+        let reply = locked_execute t shard request in
+        emit client reply;
+        Mutex.lock shard.qmutex;
+        shard.inflight <- false;
+        Mutex.unlock shard.qmutex;
+        loop ()
+  in
+  loop ()
+
+let start_workers t ~emit =
+  Atomic.set t.draining false;
+  {
+    group =
+      Util.Parallel.Shards.create ~n:(Array.length t.shards)
+        ~run:(worker_loop t ~emit);
+  }
+
+let quiesce t =
+  while pending t > 0 do
+    Unix.sleepf 0.0002
+  done
+
+let stop_workers t w =
+  Atomic.set t.draining true;
+  Array.iter
+    (fun s ->
+      Mutex.lock s.qmutex;
+      Condition.broadcast s.qcond;
+      Mutex.unlock s.qmutex)
+    t.shards;
+  Util.Parallel.Shards.join w.group;
+  Atomic.set t.draining false
 
 (* End-of-life housekeeping shared by the transports: park every live
    session in a final snapshot (so a restart replays nothing), then
-   report.  Runs after the queue has drained. *)
+   report.  Runs after the queues have drained and the workers (if any)
+   have been joined. *)
 let finalize t =
-  Registry.flush_all t.registry;
+  Array.iter (fun s -> Registry.flush_all s.registry) t.shards;
+  let sessions =
+    Array.fold_left (fun a s -> a + Registry.count s.registry) 0 t.shards
+  in
   prerr_string
-    (Metrics.render ~queue_depth:(Sched.length t.queue)
-       ~sessions:(Registry.count t.registry) t.metrics);
+    (Metrics.render ~queue_depth:(Atomic.get t.queued) ~sessions (metrics t));
   flush stderr
 
 let metrics_dump t =
-  Metrics.render ~queue_depth:(Sched.length t.queue)
-    ~sessions:(Registry.count t.registry) t.metrics
+  let sessions =
+    Array.fold_left (fun a s -> a + Registry.count s.registry) 0 t.shards
+  in
+  Metrics.render ~queue_depth:(Atomic.get t.queued) ~sessions (metrics t)
 
 (* --- transports --- *)
 
 let serve_pipe t ic oc =
-  let rec loop () =
-    if not t.shutdown then
-      match input_line ic with
-      | exception End_of_file -> ()
-      | exception Sys_error _ ->
-          (* A signal (SIGTERM handler flipping [shutdown]) can abort the
-             blocking read; treat it like EOF and fall through to the
-             graceful path. *)
-          ()
-      | line ->
-          List.iter
-            (fun reply ->
-              output_string oc reply;
-              output_char oc '\n')
-            (handle_line t line);
-          flush oc;
-          loop ()
-  in
-  loop ();
-  finalize t
+  if Array.length t.shards = 1 then begin
+    (* One shard: keep the fully synchronous engine — no domains, no
+       output interleaving, replies strictly in admission order. *)
+    let rec loop () =
+      if not (Atomic.get t.shutdown) then
+        match input_line ic with
+        | exception End_of_file -> ()
+        | exception Sys_error _ ->
+            (* A signal (SIGTERM handler flipping [shutdown]) can abort
+               the blocking read; treat it like EOF and fall through to
+               the graceful path. *)
+            ()
+        | line ->
+            List.iter
+              (fun reply ->
+                output_string oc reply;
+                output_char oc '\n')
+              (handle_line t line);
+            flush oc;
+            loop ()
+    in
+    loop ();
+    finalize t
+  end
+  else begin
+    (* Sharded: the acceptor (this domain) only parses, routes and
+       writes; the worker domains execute.  Replies from different
+       sessions may interleave across the admission order — each
+       session's replies stay in its own request order. *)
+    let out_mutex = Mutex.create () in
+    let emit _client reply =
+      Mutex.lock out_mutex;
+      output_string oc reply;
+      output_char oc '\n';
+      flush oc;
+      Mutex.unlock out_mutex
+    in
+    let w = start_workers t ~emit in
+    let rec loop () =
+      if not (Atomic.get t.shutdown) then
+        match input_line ic with
+        | exception End_of_file -> ()
+        | exception Sys_error _ -> ()
+        | line ->
+            (match submit t ~client:0 line with
+            | Some reply -> emit 0 reply
+            | None -> ());
+            loop ()
+    in
+    loop ();
+    stop_workers t w;
+    finalize t
+  end
 
 (* One connected socket client: fd, partial-line input buffer. *)
 type client = { fd : Unix.file_descr; buf : Buffer.t }
@@ -667,6 +975,32 @@ let serve_socket t ~path =
         in
         try write 0 with Unix.Unix_error _ -> close_client id)
   in
+  (* Workers push replies here; the acceptor flushes them to the right
+     client after each select round.  The wake pipe breaks the select
+     wait as soon as a reply lands, so reply latency is not bounded by
+     the select timeout. *)
+  let replies : (int * string) Queue.t = Queue.create () in
+  let rmutex = Mutex.create () in
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_w;
+  let wake_buf = Bytes.create 64 in
+  let emit client line =
+    Mutex.lock rmutex;
+    Queue.push (client, line) replies;
+    Mutex.unlock rmutex;
+    try ignore (Unix.write wake_w (Bytes.make 1 'w') 0 1)
+    with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  in
+  let flush_replies () =
+    let drained = ref [] in
+    Mutex.lock rmutex;
+    while not (Queue.is_empty replies) do
+      drained := Queue.pop replies :: !drained
+    done;
+    Mutex.unlock rmutex;
+    List.iter (fun (id, line) -> send id line) (List.rev !drained)
+  in
+  let w = start_workers t ~emit in
   let read_chunk = Bytes.create 4096 in
   let feed id c =
     match Unix.read c.fd read_chunk 0 (Bytes.length read_chunk) with
@@ -691,7 +1025,8 @@ let serve_socket t ~path =
   in
   let rec loop () =
     let fds =
-      listen_fd :: Hashtbl.fold (fun _ c acc -> c.fd :: acc) clients []
+      listen_fd :: wake_r
+      :: Hashtbl.fold (fun _ c acc -> c.fd :: acc) clients []
     in
     (match Unix.select fds [] [] 0.2 with
     | ready, _, _ ->
@@ -703,6 +1038,8 @@ let serve_socket t ~path =
               Hashtbl.replace clients !next_id
                 { fd = cfd; buf = Buffer.create 256 }
             end
+            else if fd = wake_r then
+              ignore (Unix.read wake_r wake_buf 0 (Bytes.length wake_buf))
             else
               let found =
                 Hashtbl.fold
@@ -714,22 +1051,17 @@ let serve_socket t ~path =
               | None -> ())
           ready
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-    (* Drain everything admitted before going back to select: requests
-       are compute-bound and execution is serialised by design. *)
-    let rec drain () =
-      match drain_one t with
-      | Some (client, reply) ->
-          send client reply;
-          drain ()
-      | None -> ()
-    in
-    drain ();
-    if (not t.shutdown) || Sched.length t.queue > 0 then loop ()
+    flush_replies ();
+    if (not (Atomic.get t.shutdown)) || pending t > 0 then loop ()
   in
   Fun.protect
     ~finally:(fun () ->
+      stop_workers t w;
+      flush_replies ();
       Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) clients;
       (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      (try Unix.close wake_r with Unix.Unix_error _ -> ());
+      (try Unix.close wake_w with Unix.Unix_error _ -> ());
       (try Unix.unlink path with Unix.Unix_error _ -> ());
       finalize t)
     loop

@@ -1,9 +1,20 @@
 (** The routing service: a long-lived daemon around {!Router.Session}.
 
-    One server owns a {!Registry} of named sessions, a bounded {!Sched}
-    request queue and a {!Metrics} core.  Requests arrive as protocol
-    lines ({!Proto}), pass admission control, and execute one at a time
-    in the scheduler's fair order; every reply is one line.
+    One server owns an array of {b shards} — each a {!Registry}
+    partition, a bounded {!Sched} queue slice and a contention-free
+    {!Metrics} store.  Requests arrive as protocol lines ({!Proto}),
+    pass admission control on the acceptor, and are routed to their
+    session's shard by a stable FNV-1a hash of the session name;
+    every reply is one line.
+
+    {b Affinity and parallelism.}  A session lives on exactly one shard
+    for its whole life (including its on-disk WAL/snapshot state), so
+    each session's requests execute single-threaded in FIFO order —
+    per-session determinism is untouched — while different sessions'
+    requests execute in parallel once one worker domain per shard is
+    running ({!start_workers}, used by the transports).  With
+    [shards = 1] (the default) the engine is exactly the previous
+    fully-synchronous server.
 
     {b Transactionality.}  Every mutating request rides the transactional
     session layer: a request that trips its per-request budget (the SLO)
@@ -14,22 +25,29 @@
 
     {b Determinism.}  With no budget and no chaos, a request trace
     produces layouts byte-identical to running the equivalent batch
-    calls directly — the service adds scheduling, not behaviour.
+    calls directly — the service adds scheduling, not behaviour — and
+    byte-identical across any shard count, because sharding only changes
+    {e which domain} runs a session, never the order within it.
 
     Two transports share this engine: {!serve_pipe} (stdin/stdout, one
     client) and {!serve_socket} (Unix domain socket, many clients
-    multiplexed onto the one scheduler).  Tests and benches can also
-    drive the engine directly with {!submit}/{!drain_one}. *)
+    multiplexed onto one acceptor).  Tests and benches can also drive
+    the engine directly with {!submit}/{!drain_one} (synchronous, no
+    domains) or {!submit} + {!start_workers} (parallel). *)
 
 type config = {
   router : Router.Config.t;  (** engine configuration of every session *)
   chaos : Router.Chaos.t;  (** fault injector handed to every session *)
-  queue_cap : int;  (** admission-control bound on queued requests *)
+  queue_cap : int;
+      (** admission-control bound on queued requests, across all shards;
+          each shard's queue slice is [queue_cap / shards] (rounded up,
+          at least 1), so one flooding session sheds early instead of
+          consuming the whole server's budget *)
   default_slo_ms : int option;
       (** default per-request wall-clock budget for [route] requests;
           a request's [slo_ms] field overrides it.  [None] = no deadline
           unless the client asks for one. *)
-  max_sessions : int;  (** registry hard cap *)
+  max_sessions : int;  (** registry hard cap, per shard *)
   idle_ticks : int;  (** idle-session eviction horizon, in requests *)
   allow_files : bool;
       (** permit [open] by server-side [file] path (on for the CLI;
@@ -37,28 +55,55 @@ type config = {
   data_dir : string option;
       (** durability root: one write-ahead log + snapshot per session
           lives here, sessions found here are recovered at {!create}.
-          [None] = fully in-memory (the previous behaviour). *)
+          Shards share the directory; each recovers only the sessions
+          hashed to it.  [None] = fully in-memory. *)
   snapshot_every : int;
       (** compact each session's log into a snapshot every this many
           committed mutations *)
   fsync : bool;  (** fsync log appends and snapshots (slower, safer) *)
+  shards : int;
+      (** number of shards (clamped to at least 1).  1 = the synchronous
+          single-domain engine; [n] = sessions spread over [n] persistent
+          worker domains when the transports start them. *)
 }
 
 val default_config : config
 (** [Router.Config.default], no chaos, queue cap 64, no default SLO,
     64 sessions, eviction after 10_000 requests, files allowed, no
     durability ([data_dir = None]; snapshot every 64, fsync on when a
-    directory is given). *)
+    directory is given), 1 shard. *)
 
 type t
 
 val create : ?config:config -> unit -> t
 
+val shard_count : t -> int
+
+val shard_of : t -> string -> int
+(** The shard index session [name] is (and will always be) assigned to:
+    FNV-1a of the name mod {!shard_count}.  Stable across runs and
+    processes — the on-disk recovery partition depends on it. *)
+
 val metrics : t -> Metrics.t
+(** A fresh {!Metrics.merge} of the acceptor store and every shard
+    store.  Exact when the server is quiet (tests, post-drain); a
+    near-point-in-time view while workers are executing. *)
 
 val registry : t -> Registry.t
+(** Shard 0's registry.  On a single-shard server (the default, and
+    every test that uses this) that is {e the} registry; on a sharded
+    server use {!registry_for} with the session's name. *)
+
+val registry_for : t -> string -> Registry.t
+(** The registry of the shard owning session [name]. *)
 
 val queue_depth : t -> int
+(** Requests admitted and not yet popped, across all shards. *)
+
+val pending : t -> int
+(** {!queue_depth} plus requests currently executing on a worker —
+    0 means the server is fully idle.  Only meaningful while workers
+    are running. *)
 
 val shutdown_requested : t -> bool
 
@@ -71,38 +116,69 @@ val request_shutdown : t -> unit
 
 val finalize : t -> unit
 (** The transports' end-of-life path: snapshot every durable session
-    (so a restart replays nothing) and dump metrics to [stderr].
+    (so a restart replays nothing) and dump merged metrics to [stderr].
     Exposed for tests and embedders driving {!submit}/{!drain_one}
-    directly. *)
+    directly.  With workers running, call {!stop_workers} first. *)
 
 val submit : t -> client:int -> string -> string option
 (** Feed one request line.  [Some reply] is an immediate reply that
-    bypassed the queue — a parse error, a shed ([queue_full] with
-    [retry_after_ms]), or a [shutting_down] refusal.  [None] means the
-    request was admitted; its reply will come out of {!drain_one} tagged
-    with [client]. *)
+    bypassed the queue — a parse error, a shed ([queue_full] with a
+    load-aware [retry_after_ms] scaled by the {e target shard's} queue
+    depth and observed mean latency), or a [shutting_down] refusal.
+    [None] means the request was admitted to its session's shard; its
+    reply will come out of {!drain_one} (or a worker's [emit]) tagged
+    with [client].  Thread-safe against running workers. *)
 
 val drain_one : t -> (int * string) option
-(** Execute the next queued request (fair round-robin over sessions) and
-    return its client tag and reply line.  [None] when the queue is
-    empty. *)
+(** Execute the next queued request on the calling domain and return its
+    client tag and reply line; [None] when every shard's queue is empty.
+    Rotates over shards, and within a shard drains in the scheduler's
+    fair round-robin order over sessions.  This is the synchronous
+    engine — do not mix with running workers. *)
 
 val handle_line : t -> string -> string list
 (** Synchronous convenience for single-client transports and tests:
     {!submit} as client 0, then drain until empty; returns every reply
     produced, in order. *)
 
+type workers
+(** A running pool of one persistent worker domain per shard. *)
+
+val start_workers : t -> emit:(int -> string -> unit) -> workers
+(** Spawn one domain per shard.  Each worker blocks on its shard's
+    queue, executes requests (FIFO per session, fair across a shard's
+    sessions) and hands every reply to [emit client reply].  [emit] is
+    called concurrently from different domains and must be thread-safe;
+    all of one session's replies come from one domain, in order. *)
+
+val quiesce : t -> unit
+(** Block until {!pending} is 0 — every admitted request has replied.
+    Call only while workers are running (or nothing is queued). *)
+
+val stop_workers : t -> workers -> unit
+(** Graceful drain: workers finish everything already admitted, then
+    exit; joins every domain.  After this the synchronous API
+    ({!drain_one}, {!finalize}) is safe again. *)
+
 val metrics_dump : t -> string
-(** Human-readable metrics + registry summary (printed to stderr on
-    shutdown by the transports). *)
+(** Human-readable merged metrics + registry summary (printed to stderr
+    on shutdown by the transports). *)
 
 val serve_pipe : t -> in_channel -> out_channel -> unit
 (** Serve line-delimited requests until EOF or a [shutdown] request;
-    replies go to [oc], flushed per line.  Returns after dumping metrics
-    to [stderr]. *)
+    replies go to [oc], flushed per line.  With one shard this is the
+    fully synchronous engine (replies strictly in admission order);
+    with more, the calling domain only parses, routes and writes while
+    the workers execute — replies of {e different} sessions may
+    interleave, each session's replies stay in its own request order.
+    Returns after draining, joining the workers and dumping metrics to
+    [stderr]. *)
 
 val serve_socket : t -> path:string -> unit
 (** Bind a Unix domain socket at [path] (replacing any stale file),
     accept any number of clients, and multiplex their requests onto the
-    scheduler.  Runs until a [shutdown] request, then closes every
-    client, unlinks [path] and dumps metrics to [stderr]. *)
+    shard pool (workers run at any shard count; a self-pipe wakes the
+    acceptor's [select] the moment a reply is ready).  Runs until a
+    [shutdown] request once every pending request has replied, then
+    closes every client, unlinks [path] and dumps merged metrics to
+    [stderr]. *)

@@ -171,3 +171,16 @@ module Pool = struct
       t.domains <- [||]
     end
 end
+
+module Shards = struct
+  type t = { mutable domains : unit Domain.t array }
+
+  let create ~n ~run =
+    { domains = Array.init (max 0 n) (fun i -> Domain.spawn (fun () -> run i)) }
+
+  let count t = Array.length t.domains
+
+  let join t =
+    Array.iter Domain.join t.domains;
+    t.domains <- [||]
+end

@@ -57,3 +57,28 @@ module Pool : sig
   (** Park, join and release the helper domains.  Idempotent; the pool
       must not be used afterwards. *)
 end
+
+(** Long-lived {e shard} domains: one domain per shard, each running its
+    own loop to completion — no barrier, no work stealing.
+
+    Where {!Pool} fans a shared task list over slots and joins per call,
+    a [Shards] group hands each domain a fixed identity ([run i]) and
+    lets it live for the whole life of a service: the routing daemon
+    parks one request-executing loop on each shard this way, with the
+    shard index selecting the queue/registry partition the domain owns.
+    Termination is the loop's own business (a drain flag checked by
+    [run]); {!join} only waits for the loops to return. *)
+module Shards : sig
+  type t
+
+  val create : n:int -> run:(int -> unit) -> t
+  (** Spawn [n] domains; domain [i] runs [run i] to completion.
+      [n <= 0] spawns none. *)
+
+  val count : t -> int
+
+  val join : t -> unit
+  (** Wait for every loop to return.  Idempotent.  The caller must make
+      the loops exit (e.g. flip a drain flag and signal their queues)
+      before joining, or this blocks forever. *)
+end

@@ -220,7 +220,7 @@ let fast_config =
   }
 
 let server ?(config = fast_config) ?(chaos = Router.Chaos.none)
-    ?(queue_cap = 64) ?default_slo_ms () =
+    ?(queue_cap = 64) ?default_slo_ms ?(shards = 1) () =
   Service.Server.create
     ~config:
       {
@@ -229,6 +229,7 @@ let server ?(config = fast_config) ?(chaos = Router.Chaos.none)
         chaos;
         queue_cap;
         default_slo_ms;
+        shards;
       }
     ()
 
@@ -462,6 +463,213 @@ let prop_committed_replay =
           && Router.Session.verify sa = [])
         sessions)
 
+(* --- sharding: merge exactness, shard-count invariance, real domains --- *)
+
+(* Per-domain metrics stores merged with {!Service.Metrics.merge} must be
+   indistinguishable from one global store fed the same samples: every
+   counter, histogram count and quantile — pinned by comparing the full
+   snapshot JSON byte for byte. *)
+let prop_metrics_merge =
+  Testkit.qcheck ~count:(count 50)
+    "merged per-domain histograms == one global store"
+    QCheck2.Gen.(
+      pair (int_range 1 8)
+        (list_size (int_range 0 200)
+           (triple (int_range 0 4) bool (int_range 0 400_000))))
+    (fun (parts, samples) ->
+      let kinds = [ "route"; "add_net"; "rip"; "stats"; "refine" ] in
+      let global = Service.Metrics.create ~kinds () in
+      let stores = Array.init parts (fun _ -> Service.Metrics.create ~kinds ()) in
+      List.iteri
+        (fun i (k, ok, us) ->
+          let part = stores.(i mod parts) in
+          let kind = List.nth kinds k in
+          let latency_s = float_of_int us /. 1e6 in
+          Service.Metrics.record global ~kind ~ok ~latency_s;
+          Service.Metrics.record part ~kind ~ok ~latency_s;
+          if us mod 7 = 0 then begin
+            Service.Metrics.shed global;
+            Service.Metrics.shed part
+          end;
+          Service.Metrics.note_queue_depth global (us mod 13);
+          Service.Metrics.note_queue_depth part (us mod 13))
+        samples;
+      let merged = Service.Metrics.merge (Array.to_list stores) in
+      String.equal
+        (J.to_string (Service.Metrics.snapshot global))
+        (J.to_string (Service.Metrics.snapshot merged)))
+
+(* A trace touching several sessions, submitted as a burst and drained in
+   whatever order the shard rotation produces.  Each line is tagged with
+   a unique id, so sorting the reply lines recovers a canonical transcript
+   regardless of cross-session interleaving. *)
+let shard_trace_sessions = [ "alpha"; "bravo"; "charlie"; "delta" ]
+
+let shard_trace () =
+  List.concat
+    (List.mapi
+       (fun i name ->
+         let problem =
+           Workload.Gen.switchbox (prng (100 + i)) ~width:10 ~height:8 ~nets:4
+         in
+         [
+           J.to_string
+             (J.Obj
+                [
+                  ("id", J.Int (1 + (10 * i)));
+                  ("op", J.String "open");
+                  ("session", J.String name);
+                  ("problem", J.String (Netlist.Parse.to_string problem));
+                ]);
+           Printf.sprintf
+             {|{"id":%d,"op":"add_net","session":"%s","name":"x","pins":[[1,2],[7,5]]}|}
+             (2 + (10 * i)) name;
+           Printf.sprintf {|{"id":%d,"op":"route","session":"%s"}|}
+             (3 + (10 * i)) name;
+           Printf.sprintf {|{"id":%d,"op":"refine","session":"%s"}|}
+             (4 + (10 * i)) name;
+         ])
+       shard_trace_sessions)
+
+(* Run the burst on the synchronous engine: submit everything, drain
+   everything, then render each session.  Returns the sorted reply
+   transcript and the per-session layouts. *)
+let run_sync_trace ~shards =
+  let s = server ~queue_cap:128 ~shards () in
+  let replies = ref [] in
+  List.iter
+    (fun line ->
+      match Service.Server.submit s ~client:0 line with
+      | None -> ()
+      | Some r -> Alcotest.failf "unexpected immediate reply %s" r)
+    (shard_trace ());
+  let rec drain () =
+    match Service.Server.drain_one s with
+    | Some (_, r) ->
+        replies := r :: !replies;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  let layouts =
+    List.map
+      (fun name ->
+        let r =
+          one_reply s
+            (Printf.sprintf {|{"op":"render","session":"%s"}|} name)
+        in
+        match Option.bind (result_of_reply r "ascii") J.to_string_opt with
+        | Some a -> (name, a)
+        | None -> Alcotest.failf "no ascii for %s" name)
+      shard_trace_sessions
+  in
+  (List.sort String.compare !replies, layouts)
+
+let test_shard_count_invariance () =
+  let base_replies, base_layouts = run_sync_trace ~shards:1 in
+  List.iter
+    (fun shards ->
+      let replies, layouts = run_sync_trace ~shards in
+      Testkit.check_true
+        (Printf.sprintf "identical transcript at %d shards" shards)
+        (replies = base_replies);
+      List.iter2
+        (fun (name, a) (_, b) ->
+          Testkit.check_true
+            (Printf.sprintf "%s layout byte-identical at %d shards" name
+               shards)
+            (String.equal a b))
+        layouts base_layouts)
+    [ 2; 4; 8 ]
+
+(* The same burst through real persistent worker domains: every reply
+   and every layout must match the single-shard synchronous run. *)
+let test_parallel_workers_equivalence () =
+  let base_replies, base_layouts = run_sync_trace ~shards:1 in
+  let s = server ~queue_cap:128 ~shards:4 () in
+  let replies = ref [] in
+  let m = Mutex.create () in
+  let emit _client reply =
+    Mutex.lock m;
+    replies := reply :: !replies;
+    Mutex.unlock m
+  in
+  let w = Service.Server.start_workers s ~emit in
+  List.iter
+    (fun line ->
+      match Service.Server.submit s ~client:0 line with
+      | None -> ()
+      | Some r -> Alcotest.failf "unexpected immediate reply %s" r)
+    (shard_trace ());
+  Service.Server.quiesce s;
+  Service.Server.stop_workers s w;
+  Testkit.check_true "all replies emitted"
+    (List.length !replies = List.length base_replies);
+  Testkit.check_true "identical transcript under worker domains"
+    (List.sort String.compare !replies = base_replies);
+  List.iter
+    (fun (name, expected) ->
+      let r =
+        one_reply s (Printf.sprintf {|{"op":"render","session":"%s"}|} name)
+      in
+      let got = Option.bind (result_of_reply r "ascii") J.to_string_opt in
+      Testkit.check_true
+        (Printf.sprintf "%s layout byte-identical under worker domains" name)
+        (got = Some expected))
+    base_layouts
+
+(* The per-shard rows of the stats reply (satellite): every shard
+   reports its queue gauge and shed counter, and a session's requests
+   land on the shard {!Service.Server.shard_of} names. *)
+let test_per_shard_stats_fields () =
+  let s = server ~shards:4 () in
+  List.iter
+    (fun line -> ignore (one_reply s line))
+    (shard_trace ());
+  let stats = one_reply s {|{"op":"stats"}|} in
+  let rows =
+    match result_of_reply stats "shards" with
+    | Some (J.List rows) -> rows
+    | _ -> Alcotest.fail "stats reply carries no shards array"
+  in
+  Testkit.check_int "one row per shard" 4 (List.length rows);
+  let int_field row name =
+    match Option.bind (J.member name row) J.to_int_opt with
+    | Some n -> n
+    | None -> Alcotest.failf "shard row misses %s" name
+  in
+  List.iteri
+    (fun i row ->
+      Testkit.check_int "indexed in order" i (int_field row "shard");
+      Testkit.check_int "drained queue" 0 (int_field row "queue_depth");
+      Testkit.check_true "cap is the per-shard slice"
+        (int_field row "queue_cap" = 16))
+    rows;
+  let sessions_by_shard =
+    List.map (fun row -> int_field row "sessions") rows
+  in
+  List.iter
+    (fun name ->
+      let shard = Service.Server.shard_of s name in
+      Testkit.check_true
+        (Printf.sprintf "%s counted on shard %d" name shard)
+        (List.nth sessions_by_shard shard > 0);
+      Testkit.check_true "registry_for finds the session"
+        (Service.Registry.find (Service.Server.registry_for s name) name
+        <> None))
+    shard_trace_sessions;
+  let total_requests =
+    List.fold_left (fun a row -> a + int_field row "requests") 0 rows
+  in
+  (* Compare against the merged metrics of the same reply — both were
+     computed inside the one stats execution. *)
+  let merged_requests =
+    Option.bind (result_of_reply stats "metrics") (fun m ->
+        Option.bind (J.member "requests" m) J.to_int_opt)
+  in
+  Testkit.check_true "per-shard requests sum to the merged total"
+    (Some total_requests = merged_requests)
+
 (* --- misc server behaviour --- *)
 
 let test_unknown_session_and_close () =
@@ -621,6 +829,16 @@ let () =
           Alcotest.test_case "chaos fault rolls back" `Quick
             test_chaos_fault_rolls_back;
           prop_committed_replay;
+        ] );
+      ( "sharding",
+        [
+          prop_metrics_merge;
+          Alcotest.test_case "shard-count invariance" `Quick
+            test_shard_count_invariance;
+          Alcotest.test_case "worker-domain equivalence" `Quick
+            test_parallel_workers_equivalence;
+          Alcotest.test_case "per-shard stats fields" `Quick
+            test_per_shard_stats_fields;
         ] );
       ( "server",
         [
