@@ -335,6 +335,81 @@ let info_cmd =
     (Cmd.info "info" ~doc:"Print congestion analysis of a problem file.")
     Term.(const run $ problem_arg)
 
+(* --- analyze --- *)
+
+let analyze_cmd =
+  let tile =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tile" ] ~docv:"N"
+          ~doc:"Congestion-tile size in cells (default 8).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the verdict as one JSON line (the same shape the \
+             service's analyze op returns).")
+  in
+  let threshold =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "fail-below" ] ~docv:"SCORE"
+          ~doc:
+            "Exit with code 2 when the routability score falls below \
+             $(docv) — the triage-gate form for scripts.")
+  in
+  let run path tile json threshold =
+    match load path with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok problem when
+        Netlist.Problem.has_insts problem
+        && not (Netlist.Problem.placed problem) ->
+        prerr_endline
+          "the placement section has unplaced instances; run flow or place \
+           first";
+        1
+    | Ok problem -> (
+        match Netlist.Problem.realize problem with
+        | exception Invalid_argument msg ->
+            prerr_endline msg;
+            1
+        | realized ->
+            let a = Analyze.run ?tile realized in
+            if json then
+              print_endline (Util.Json.to_string (Analyze.to_json a))
+            else begin
+              Format.printf "%a@." Netlist.Problem.pp realized;
+              Format.printf "analyze: %a@." Analyze.pp a;
+              List.iter
+                (fun (hr : Analyze.hot_rect) ->
+                  Format.printf
+                    "hot: (%d,%d)-(%d,%d)  demand %.1f  supply %d@."
+                    hr.Analyze.rect.Geom.Rect.x0 hr.Analyze.rect.Geom.Rect.y0
+                    hr.Analyze.rect.Geom.Rect.x1 hr.Analyze.rect.Geom.Rect.y1
+                    hr.Analyze.demand hr.Analyze.supply)
+                a.Analyze.verdict.Analyze.hot_rects
+            end;
+            (match threshold with
+            | Some s when a.Analyze.verdict.Analyze.score < s ->
+                Printf.eprintf "routability score %.3f below %.3f\n%!"
+                  a.Analyze.verdict.Analyze.score s;
+                2
+            | _ -> 0))
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Pre-route routability prediction: supply/demand over the \
+          global-route tile graph, wrong-way and via pressure, and a \
+          calibrated verdict — without routing anything.")
+    Term.(const run $ problem_arg $ tile $ json $ threshold)
+
 (* --- show --- *)
 
 let show_cmd =
@@ -366,11 +441,14 @@ let gen_cmd =
                   ("routable", `Routable);
                   ("region", `Region);
                   ("chip", `Chip);
+                  ("chipscale", `Chipscale);
                   ("macro", `Macro);
                 ]))
           None
       & info [] ~docv:"KIND"
-          ~doc:"channel | switchbox | routable | region | chip | macro")
+          ~doc:
+            "channel | switchbox | routable | region | chip | chipscale | \
+             macro")
   in
   let out =
     Arg.(
@@ -387,7 +465,35 @@ let gen_cmd =
       value & opt int 6
       & info [ "macros" ] ~doc:"Macro instance count (macro kind only).")
   in
-  let run kind out seed width height nets macros =
+  let layers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "layers" ] ~docv:"N"
+          ~doc:
+            "Routing layers for the chip kind (default 2, alternating \
+             H/V preference starting horizontal).")
+  in
+  let macro_cols =
+    Arg.(
+      value & opt int 3
+      & info [ "macro-cols" ] ~doc:"Macro array columns (chip kind only).")
+  in
+  let macro_rows =
+    Arg.(
+      value & opt int 2
+      & info [ "macro-rows" ] ~doc:"Macro array rows (chip kind only).")
+  in
+  let slot_prob =
+    Arg.(
+      value & opt float 0.35
+      & info [ "slot-prob" ] ~docv:"P"
+          ~doc:
+            "Chance a candidate cell becomes a pin slot (chip kind \
+             only); raise it for chip-scale net counts.")
+  in
+  let run kind out seed width height nets macros layers macro_cols macro_rows
+      slot_prob =
     let prng = Util.Prng.create seed in
     let problem =
       match kind with
@@ -395,7 +501,12 @@ let gen_cmd =
       | `Switchbox -> Workload.Gen.switchbox prng ~width ~height ~nets
       | `Routable -> Workload.Gen.routable_switchbox prng ~width ~height
       | `Region -> Workload.Gen.region prng ~width ~height ~nets
-      | `Chip -> Workload.Gen.routable_chip prng ~width ~height
+      | `Chip ->
+          Workload.Gen.routable_chip ?layers ~macro_cols ~macro_rows
+            ~slot_prob prng ~width ~height
+      | `Chipscale ->
+          Workload.Gen.chip_scale ?layers ~macro_cols ~macro_rows ~slot_prob
+            prng ~width ~height
       | `Macro -> Workload.Gen.macro ~macros prng ~width ~height ~nets
     in
     Netlist.Parse.save out problem;
@@ -404,7 +515,9 @@ let gen_cmd =
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a random problem file.")
-    Term.(const run $ kind $ out $ seed $ width $ height $ nets $ macros)
+    Term.(
+      const run $ kind $ out $ seed $ width $ height $ nets $ macros $ layers
+      $ macro_cols $ macro_rows $ slot_prob)
 
 (* --- flow --- *)
 
@@ -436,7 +549,15 @@ let flow_cmd =
       & info [ "save-placed" ] ~docv:"FILE"
           ~doc:"Write the placed (unrealized) problem back out to $(docv).")
   in
-  let run path config tile svg ascii report save_placed =
+  let triage =
+    Arg.(
+      value & flag
+      & info [ "triage" ]
+          ~doc:
+            "Run the pre-route routability predictor on the realized \
+             problem and report predicted-vs-actual overflow.")
+  in
+  let run path config tile triage svg ascii report save_placed =
     match load path with
     | Error msg ->
         prerr_endline msg;
@@ -455,12 +576,20 @@ let flow_cmd =
               Some
                 (Router.Budget.create ?deadline ?max_expanded ?max_searches ())
         in
-        match Flow.run ~config ?budget ?tile problem with
+        match Flow.run ~config ?budget ?tile ~triage problem with
         | Error msg ->
             prerr_endline msg;
             1
         | Ok f ->
             let ms ns = Int64.to_float ns /. 1e6 in
+            (match Flow.triage_report f with
+            | None -> ()
+            | Some r ->
+                Format.printf
+                  "triage: score %.3f, predicted overflow %.3f, actual \
+                   %.3f  (%s)@."
+                  r.Flow.score r.Flow.predicted_overflow r.Flow.actual_overflow
+                  (if r.Flow.agree then "agree" else "DISAGREE"));
             (match f.Flow.stats.Flow.place with
             | None -> Format.printf "place:  (no placement section)@."
             | Some p ->
@@ -526,8 +655,8 @@ let flow_cmd =
   in
   let term =
     Term.(
-      const run $ problem_arg $ config_term $ tile $ svg_out $ ascii $ report
-      $ save_placed)
+      const run $ problem_arg $ config_term $ tile $ triage $ svg_out $ ascii
+      $ report $ save_placed)
   in
   Cmd.v
     (Cmd.info "flow"
@@ -756,12 +885,12 @@ let suite_cmd =
     Term.(const run $ jobs)
 
 let () =
-  let doc = "A rip-up-and-reroute detailed router for two-layer grids." in
+  let doc = "A rip-up-and-reroute detailed router for N-layer grids." in
   let info = Cmd.info "router_cli" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
        (Cmd.group info
           [
-            route_cmd; flow_cmd; info_cmd; show_cmd; gen_cmd; channel_cmd;
-            suite_cmd; serve_cmd;
+            route_cmd; flow_cmd; analyze_cmd; info_cmd; show_cmd; gen_cmd;
+            channel_cmd; suite_cmd; serve_cmd;
           ]))

@@ -1,0 +1,253 @@
+module J = Util.Json
+
+type hot_rect = { rect : Geom.Rect.t; demand : float; supply : int }
+
+type verdict = {
+  score : float;
+  predicted_overflow : float;
+  hot_rects : hot_rect list;
+}
+
+type t = {
+  verdict : verdict;
+  tile : int;
+  tiles_x : int;
+  tiles_y : int;
+  supply : int array;
+  demand : float array;
+  overflow_tiles : int;
+  wrong_way : float;
+  via_pressure : float;
+  nets : int;
+  cost : int;
+  cells_scanned : int;
+}
+
+(* Pin bounding box in cell space; [None] for pinless nets. *)
+let bbox (net : Netlist.Net.t) =
+  match net.Netlist.Net.pins with
+  | [] -> None
+  | p :: rest ->
+      let x0 = ref p.Netlist.Net.x and x1 = ref p.Netlist.Net.x in
+      let y0 = ref p.Netlist.Net.y and y1 = ref p.Netlist.Net.y in
+      List.iter
+        (fun (q : Netlist.Net.pin) ->
+          if q.Netlist.Net.x < !x0 then x0 := q.Netlist.Net.x;
+          if q.Netlist.Net.x > !x1 then x1 := q.Netlist.Net.x;
+          if q.Netlist.Net.y < !y0 then y0 := q.Netlist.Net.y;
+          if q.Netlist.Net.y > !y1 then y1 := q.Netlist.Net.y)
+        rest;
+      Some (Geom.Rect.make !x0 !y0 !x1 !y1)
+
+let layer_span (net : Netlist.Net.t) =
+  match net.Netlist.Net.pins with
+  | [] -> 0
+  | p :: rest ->
+      let lo = ref p.Netlist.Net.layer and hi = ref p.Netlist.Net.layer in
+      List.iter
+        (fun (q : Netlist.Net.pin) ->
+          if q.Netlist.Net.layer < !lo then lo := q.Netlist.Net.layer;
+          if q.Netlist.Net.layer > !hi then hi := q.Netlist.Net.layer)
+        rest;
+      !hi - !lo
+
+let run ?(tile = 8) ?(hot_limit = 8) problem =
+  let w = problem.Netlist.Problem.width
+  and h = problem.Netlist.Problem.height in
+  let nlayers = problem.Netlist.Problem.layers in
+  let dirs = problem.Netlist.Problem.layer_dirs in
+  let tile = max 1 (min tile (max w h)) in
+  let tiles_x = (w + tile - 1) / tile
+  and tiles_y = (h + tile - 1) / tile in
+  let supply = Groute.capacities problem ~tile ~tiles_x ~tiles_y in
+  (* [cost] counts tile visits — the expansion-equivalent unit of work
+     (each visit updates one priority-weighted quantity, like a frontier
+     pop).  The supply scan is a single linear memory sweep over cells
+     ([cells_scanned]), far cheaper per step than an expansion; it is
+     reported separately rather than conflated into the unit count. *)
+  let cost = ref (2 * tiles_x * tiles_y) (* supply + overflow passes *) in
+  let cells_scanned = w * h * nlayers in
+  let demand = Array.make (tiles_x * tiles_y) 0.0 in
+  (* Direction supply of the layer stack: the share of layers that
+     prefer each direction.  A balanced HV stack gives 1/2 each; a
+     3-layer HVH stack serves horizontal spans with 2/3 of its tracks. *)
+  let h_layers = Array.fold_left (fun a d -> if d then a + 1 else a) 0 dirs in
+  let h_share = float_of_int h_layers /. float_of_int nlayers in
+  let v_share = 1.0 -. h_share in
+  let nets = ref 0 in
+  let wrong_acc = ref 0.0 and wrong_weight = ref 0.0 in
+  let est_vias = ref 0.0 in
+  Array.iter
+    (fun (net : Netlist.Net.t) ->
+      match bbox net with
+      | None -> ()
+      | Some b when List.length net.Netlist.Net.pins < 2 -> ignore b
+      | Some b ->
+          incr nets;
+          let r = Groute.rule net.Netlist.Net.cls in
+          let tx0 = b.Geom.Rect.x0 / tile and tx1 = b.Geom.Rect.x1 / tile in
+          let ty0 = b.Geom.Rect.y0 / tile and ty1 = b.Geom.Rect.y1 / tile in
+          let tbw = tx1 - tx0 + 1 and tbh = ty1 - ty0 + 1 in
+          (* A Prim/Steiner tree over the box touches ~ tbw + tbh - 1 of
+             its tbw·tbh tiles.  Spread that expectation over the tiles
+             the tree can actually use: a tile with zero supply (a macro
+             footprint) carries no wiring — the detailed router detours
+             around it — so dumping demand there would predict overflow
+             that routing never realizes.  A tile's expected usage is
+             capped at the net's full class demand (touch probability is
+             at most 1). *)
+          let usable = ref 0 in
+          for ty = ty0 to ty1 do
+            for tx = tx0 to tx1 do
+              if supply.((ty * tiles_x) + tx) > 0 then incr usable;
+              incr cost
+            done
+          done;
+          let spread = if !usable > 0 then !usable else tbw * tbh in
+          let per_tile =
+            float_of_int r.Groute.demand
+            *. Float.min 1.0
+                 (float_of_int (tbw + tbh - 1) /. float_of_int spread)
+          in
+          for ty = ty0 to ty1 do
+            for tx = tx0 to tx1 do
+              let i = (ty * tiles_x) + tx in
+              if !usable = 0 || supply.(i) > 0 then
+                demand.(i) <- demand.(i) +. per_tile;
+              incr cost
+            done
+          done;
+          (* Wrong-way pressure: how much of the span the stack's
+             preferred directions cannot serve proportionally. *)
+          let dx = float_of_int (b.Geom.Rect.x1 - b.Geom.Rect.x0)
+          and dy = float_of_int (b.Geom.Rect.y1 - b.Geom.Rect.y0) in
+          let span = dx +. dy in
+          if span > 0.0 then begin
+            let frac_h = dx /. span in
+            let wrong =
+              Float.max 0.0 (frac_h -. h_share)
+              +. Float.max 0.0 ((1.0 -. frac_h) -. v_share)
+            in
+            wrong_acc := !wrong_acc +. (wrong *. span);
+            wrong_weight := !wrong_weight +. span
+          end;
+          (* Via estimate: pin layer span, plus two pairs per extra pin
+             when the net bends (direction changes force layer hops on a
+             directional stack). *)
+          let bends =
+            if dx > 0.0 && dy > 0.0 then
+              2 * (List.length net.Netlist.Net.pins - 1)
+            else 0
+          in
+          est_vias := !est_vias +. float_of_int (layer_span net + bends))
+    problem.Netlist.Problem.nets;
+  let total_supply = Array.fold_left ( + ) 0 supply in
+  let over_units = ref 0.0 and overflow_tiles = ref 0 in
+  Array.iteri
+    (fun i d ->
+      let s = float_of_int supply.(i) in
+      if d > s then begin
+        incr overflow_tiles;
+        over_units := !over_units +. (d -. s)
+      end)
+    demand;
+  let predicted_overflow =
+    if total_supply = 0 then if !over_units > 0.0 then 1.0 else 0.0
+    else Float.min 1.0 (!over_units /. float_of_int total_supply)
+  in
+  let wrong_way =
+    if !wrong_weight = 0.0 then 0.0 else !wrong_acc /. !wrong_weight
+  in
+  let via_sites = w * h * (nlayers - 1) in
+  let via_pressure =
+    if via_sites = 0 then 0.0 else !est_vias /. float_of_int via_sites
+  in
+  (* Calibrated verdict: a monotone squash of the pressure terms.
+     Overflow dominates; wrong-way and via pressure are tie-breakers.
+     Only the ordering is calibrated (rank-correlates with actual
+     routed overflow); absolute values are advisory. *)
+  let raw =
+    predicted_overflow +. (0.25 *. wrong_way) +. (0.1 *. via_pressure)
+  in
+  let score = 1.0 /. (1.0 +. (4.0 *. raw)) in
+  let hot =
+    let idx = Array.init (Array.length demand) Fun.id in
+    Array.sort
+      (fun a b ->
+        compare
+          (demand.(b) -. float_of_int supply.(b))
+          (demand.(a) -. float_of_int supply.(a)))
+      idx;
+    let rec take i acc =
+      if i >= Array.length idx || List.length acc >= hot_limit then
+        List.rev acc
+      else
+        let t = idx.(i) in
+        if demand.(t) <= float_of_int supply.(t) then List.rev acc
+        else
+          let tx = t mod tiles_x and ty = t / tiles_x in
+          let rect =
+            Geom.Rect.make (tx * tile) (ty * tile)
+              (min (w - 1) (((tx + 1) * tile) - 1))
+              (min (h - 1) (((ty + 1) * tile) - 1))
+          in
+          take (i + 1)
+            ({ rect; demand = demand.(t); supply = supply.(t) } :: acc)
+    in
+    take 0 []
+  in
+  {
+    verdict = { score; predicted_overflow; hot_rects = hot };
+    tile;
+    tiles_x;
+    tiles_y;
+    supply;
+    demand;
+    overflow_tiles = !overflow_tiles;
+    wrong_way;
+    via_pressure;
+    nets = !nets;
+    cost = !cost;
+    cells_scanned;
+  }
+
+let to_json t =
+  let rect (r : Geom.Rect.t) =
+    J.List
+      [
+        J.Int r.Geom.Rect.x0; J.Int r.Geom.Rect.y0; J.Int r.Geom.Rect.x1;
+        J.Int r.Geom.Rect.y1;
+      ]
+  in
+  J.Obj
+    [
+      ("score", J.Float t.verdict.score);
+      ("predicted_overflow", J.Float t.verdict.predicted_overflow);
+      ( "hot_rects",
+        J.List
+          (List.map
+             (fun hr ->
+               J.Obj
+                 [
+                   ("rect", rect hr.rect);
+                   ("demand", J.Float hr.demand);
+                   ("supply", J.Int hr.supply);
+                 ])
+             t.verdict.hot_rects) );
+      ("tile", J.Int t.tile);
+      ("tiles_x", J.Int t.tiles_x);
+      ("tiles_y", J.Int t.tiles_y);
+      ("overflow_tiles", J.Int t.overflow_tiles);
+      ("wrong_way", J.Float t.wrong_way);
+      ("via_pressure", J.Float t.via_pressure);
+      ("nets", J.Int t.nets);
+      ("cost", J.Int t.cost);
+      ("cells_scanned", J.Int t.cells_scanned);
+    ]
+
+let pp fmt t =
+  Format.fprintf fmt
+    "score %.3f, predicted overflow %.3f, %d/%d tile(s) hot, wrong-way \
+     %.3f, via pressure %.4f, %d net(s), cost %d"
+    t.verdict.score t.verdict.predicted_overflow t.overflow_tiles
+    (t.tiles_x * t.tiles_y) t.wrong_way t.via_pressure t.nets t.cost

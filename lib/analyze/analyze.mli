@@ -1,0 +1,78 @@
+(** Pre-route routability prediction: a closed-form supply/demand model
+    over the global router's tile graph, answered without running any
+    maze search.
+
+    The predictor prices each net's expected track demand against the
+    same per-tile capacities {!Groute.run} routes against:
+
+    - {e supply} — {!Groute.capacities}: unblocked cells (all layers)
+      per cell-row of each tile, so macro footprints and blockages
+      price themselves out exactly as they do during global routing;
+    - {e demand} — the classical probabilistic (flute-style) usage
+      model at tile granularity: a Prim/Steiner tree over a net's tile
+      bounding box touches about [tbw + tbh - 1] of its [tbw·tbh]
+      tiles; that expectation is spread over the {e usable} (nonzero
+      supply) tiles of the box, since wiring detours around macro
+      footprints rather than through them, with per-tile usage capped
+      at the net's full class demand ({!Groute.rule});
+    - {e wrong-way pressure} — per net, how much of its span runs in
+      directions the layer stack under-serves: a net that is 90%%
+      horizontal on a stack with one horizontal layer out of three
+      must route wrong-way or via-ladder;
+    - {e via pressure} — estimated via pairs per net (pin layer span
+      plus two per direction change) against the region's via sites.
+
+    Everything is deterministic and cheap: total work is one
+    cell-supply scan plus one tile visit per (net × bbox tile), orders
+    of magnitude below a detailed route's node expansions ([cost]
+    counts it for comparison).  The verdict's [score] is a calibrated
+    monotone map of the pressure terms: higher = more routable, and
+    score {e ordering} tracks actual routed overflow ordering across
+    instances (see test/test_analyze.ml). *)
+
+type hot_rect = {
+  rect : Geom.Rect.t;  (** cell-space tile rectangle *)
+  demand : float;  (** estimated track demand of the tile *)
+  supply : int;  (** tile capacity ({!Groute.capacities} units) *)
+}
+
+type verdict = {
+  score : float;  (** routability in (0, 1]; higher = easier *)
+  predicted_overflow : float;
+      (** estimated overflow units as a fraction of total supply *)
+  hot_rects : hot_rect list;
+      (** overflowed tiles, most oversubscribed first (capped) *)
+}
+
+type t = {
+  verdict : verdict;
+  tile : int;  (** tile edge length in cells *)
+  tiles_x : int;
+  tiles_y : int;
+  supply : int array;  (** per tile, row-major *)
+  demand : float array;  (** per tile, row-major *)
+  overflow_tiles : int;  (** tiles with [demand > supply] *)
+  wrong_way : float;  (** span-weighted wrong-way fraction, [0, 1] *)
+  via_pressure : float;  (** estimated via pairs per available via site *)
+  nets : int;  (** non-trivial nets considered *)
+  cost : int;
+      (** tile visits spent — the expansion-equivalent unit of work,
+          directly comparable to (and orders of magnitude below) a
+          detailed route's node-expansion count *)
+  cells_scanned : int;
+      (** cells touched by the linear supply sweep ([w·h·layers]);
+          reported separately because a memory sweep step is far cheaper
+          than a frontier expansion *)
+}
+
+val run : ?tile:int -> ?hot_limit:int -> Netlist.Problem.t -> t
+(** Analyze a (realized) problem.  [tile] defaults to 8, clamped like
+    {!Groute.run}; [hot_limit] (default 8) caps [verdict.hot_rects].
+    Never routes, never mutates the problem. *)
+
+val to_json : t -> Util.Json.t
+(** The wire shape served by the [analyze] service op and printed by
+    [router_cli analyze --json]; see docs/PROTOCOL.md. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: score, predicted overflow, hot tiles, cost. *)

@@ -8,13 +8,12 @@ let check_grid problem grid =
       let v = Grid.occ grid n in
       if v <> Grid.obstacle && (v < Grid.free || v > nets) then
         add "node %d: occupancy %d is not a net id of the problem" n v);
-  Grid.iter_planar grid (fun ~x ~y ->
-      if Grid.has_via grid ~x ~y then begin
-        let a = Grid.occ_at grid ~layer:0 ~x ~y
-        and b = Grid.occ_at grid ~layer:1 ~x ~y in
-        if a <= 0 || a <> b then
-          add "orphaned via at (%d,%d): layer owners %d/%d" x y a b
-      end);
+  Grid.iter_via_pairs grid (fun ~layer ~x ~y ->
+      let a = Grid.occ_at grid ~layer ~x ~y
+      and b = Grid.occ_at grid ~layer:(layer + 1) ~x ~y in
+      if a <= 0 || a <> b then
+        add "orphaned via at (%d,%d) pair %d: layer owners %d/%d" x y layer a
+          b);
   List.iter
     (fun (id, (p : Netlist.Net.pin)) ->
       let v = Grid.occ_at grid ~layer:p.layer ~x:p.x ~y:p.y in
@@ -26,7 +25,9 @@ let check_grid problem grid =
       Geom.Rect.iter o.obs_rect (fun x y ->
           if Grid.in_bounds grid ~x ~y then
             let layers =
-              match o.obs_layer with Some l -> [ l ] | None -> [ 0; 1 ]
+              match o.obs_layer with
+              | Some l -> [ l ]
+              | None -> List.init (Grid.layers grid) Fun.id
             in
             List.iter
               (fun layer ->
@@ -60,7 +61,8 @@ let check_net_connected problem grid id =
         if x > 0 then visit (n - 1);
         if y + 1 < h then visit (n + w);
         if y > 0 then visit (n - w);
-        if Grid.has_via_node grid n then visit (Grid.other_layer_node grid n)
+        if Grid.via_above grid n then visit (Grid.node_above grid n);
+        if Grid.via_below grid n then visit (Grid.node_below grid n)
       done;
       let findings = ref [] in
       List.iter

@@ -29,8 +29,7 @@ type t = {
    (checked against the grid's dirty journal from [since]), re-running the
    attempt would replay the same failure — so it is skipped. *)
 type cache_entry = {
-  cert0 : Geom.Rect.t option;
-  cert1 : Geom.Rect.t option;
+  certs : Geom.Rect.t option array;  (* one rectangle per layer *)
   since : Grid.mark;
 }
 
@@ -361,9 +360,10 @@ let prune_orphans st id =
           if Grid.in_bounds g ~x ~y:(y + 1)
              && Grid.occ_at g ~layer ~x ~y:(y + 1) = id
           then Util.Union_find.union uf n (n + Grid.width g);
-          if Grid.has_via g ~x ~y
-             && Grid.occ g (Grid.other_layer_node g n) = id
-          then Util.Union_find.union uf n (Grid.other_layer_node g n))
+          if Grid.via_above g n && Grid.occ g (Grid.node_above g n) = id
+          then Util.Union_find.union uf n (Grid.node_above g n);
+          if Grid.via_below g n && Grid.occ g (Grid.node_below g n) = id
+          then Util.Union_find.union uf n (Grid.node_below g n))
         cells;
       let net = Netlist.Problem.net st.problem id in
       let anchor =
@@ -468,10 +468,10 @@ let audit_net st ~where =
    refinement pass shares the exact same read-region semantics. *)
 let read_certs = Maze.Cache.read_certs
 
-let region_clean st ~since c0 c1 =
-  Maze.Cache.region_clean st.g ~since c0 c1
+let region_clean st ~since certs =
+  Maze.Cache.region_clean st.g ~since certs
 
-let cache_valid st e = region_clean st ~since:e.since e.cert0 e.cert1
+let cache_valid st e = region_clean st ~since:e.since e.certs
 
 (* Latched lookup at a routing slot: a stale entry is dropped (and
    counted) exactly once, so cache statistics evolve identically at every
@@ -509,8 +509,8 @@ let attempt_net st id =
        the journal before [since], or they would self-invalidate the
        entry. *)
     Grid.seal st.g;
-    let c0, c1 = read_certs st.ws in
-    st.cache.(id - 1) <- Some { cert0 = c0; cert1 = c1; since = Grid.mark st.g }
+    let certs = read_certs st.ws in
+    st.cache.(id - 1) <- Some { certs; since = Grid.mark st.g }
   end;
   ok
 
@@ -555,11 +555,11 @@ let process_slot st failed ~spec id =
           false
       | `Miss -> (
           match spec with
-          | Some (since, Some segs, c0, c1, tally)
-            when region_clean st ~since c0 c1 ->
+          | Some (since, Some segs, certs, tally)
+            when region_clean st ~since certs ->
               commit_spec st id segs tally;
               true
-          | Some (_, Some segs, _, _, _) ->
+          | Some (_, Some segs, _, _) ->
               (* An earlier commit wrote inside this plan's read set:
                  discard it and re-route against current costs. *)
               st.conflicts <- st.conflicts + 1;
@@ -672,8 +672,8 @@ let speculate st ~stop ws id =
       ~passable:(passable_block st ~net:id)
       net
   in
-  let c0, c1 = read_certs ws in
-  (id, plan, c0, c1, tally)
+  let certs = read_certs ws in
+  (id, plan, certs, tally)
 
 let drain_par st pool failed =
   let jobs = Util.Parallel.Pool.jobs pool in
@@ -698,8 +698,8 @@ let drain_par st pool failed =
         in
         let tbl = Hashtbl.create (2 * List.length specs) in
         List.iter
-          (fun (id, plan, c0, c1, tally) ->
-            Hashtbl.replace tbl id (since, plan, c0, c1, tally))
+          (fun (id, plan, certs, tally) ->
+            Hashtbl.replace tbl id (since, plan, certs, tally))
           results;
         (* Commit in queue order, re-checking the latched budget before
            every pop — the exact loop condition of a sequential drain, so

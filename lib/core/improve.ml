@@ -86,9 +86,9 @@ let refine ?(max_passes = 3) ?(cost = Maze.Cost.default) ?(incremental = true)
     if v > 0 && v <= nets_total then cells.(v) <- n :: cells.(v)
   done;
   (* [Outcome.measure_net]'s objective over the hoisted list: same-layer
-     +x/+y adjacencies within the cell set, plus the via charge (a via's
-     two cells share one owner, so counting layer-0 via cells counts each
-     via once). *)
+     +x/+y adjacencies within the cell set, plus the via charge (a via
+     pair's two cells share one owner, so counting each pair at its lower
+     cell counts each via once). *)
   let net_cost net =
     let nodes = cells.(net) in
     let tbl = Hashtbl.create 64 in
@@ -99,7 +99,7 @@ let refine ?(max_passes = 3) ?(cost = Maze.Cost.default) ?(incremental = true)
         let x = Grid.node_x g n and y = Grid.node_y g n in
         if x + 1 < gw && Hashtbl.mem tbl (n + 1) then incr wl;
         if y + 1 < gh && Hashtbl.mem tbl (n + gw) then incr wl;
-        if Grid.node_layer g n = 0 && Grid.has_via_node g n then incr vias)
+        if Grid.via_above g n then incr vias)
       nodes;
     !wl + (cost.Maze.Cost.via * !vias)
   in
@@ -133,7 +133,8 @@ let refine ?(max_passes = 3) ?(cost = Maze.Cost.default) ?(incremental = true)
               if x > 0 then push (n - 1);
               if y + 1 < gh then push (n + gw);
               if y > 0 then push (n - gw);
-              if Grid.has_via_node g n then push (Grid.other_layer_node g n)
+              if Grid.via_above g n then push (Grid.node_above g n);
+              if Grid.via_below g n then push (Grid.node_below g n)
         done;
         !count = List.length nodes
   in
@@ -168,17 +169,20 @@ let refine ?(max_passes = 3) ?(cost = Maze.Cost.default) ?(incremental = true)
       (fun (path, _) ->
         let rec steps = function
           | a :: (b :: _ as rest) ->
-              if Grid.node_layer g a <> Grid.node_layer g b then
-                Hashtbl.replace vias (Grid.planar g a) ();
+              let la = Grid.node_layer g a and lb = Grid.node_layer g b in
+              if la <> lb then
+                Hashtbl.replace vias (Grid.planar g a, min la lb) ();
               steps rest
           | [] | [ _ ] -> ()
         in
         steps path)
       segs;
+    (* Surviving current vias: a pair whose both cells are pins (counted
+       once, from its lower cell). *)
     List.iter
       (fun n ->
-        if Grid.has_via_node g n && List.mem (Grid.other_layer_node g n) pins
-        then Hashtbl.replace vias (Grid.planar g n) ())
+        if Grid.via_above g n && List.mem (Grid.node_above g n) pins then
+          Hashtbl.replace vias (Grid.planar g n, Grid.node_layer g n) ())
       pins;
     !wl + (cost.Maze.Cost.via * Hashtbl.length vias)
   in
@@ -205,16 +209,18 @@ let refine ?(max_passes = 3) ?(cost = Maze.Cost.default) ?(incremental = true)
      connectivity check), wherever they lie — possibly outside the
      planning searches' windows — so certificates must cover them too:
      an external rip of this net must always invalidate its cert. *)
+  let nlayers = Grid.layers g in
   let own_boxes net =
-    let b0 = ref None and b1 = ref None in
+    let b = Array.make nlayers None in
     List.iter
       (fun n ->
         let x = Grid.node_x g n and y = Grid.node_y g n in
+        let l = Grid.node_layer g n in
         let r = Geom.Rect.make x y x y in
-        let b = if Grid.node_layer g n = 0 then b0 else b1 in
-        b := Some (match !b with None -> r | Some b -> Geom.Rect.hull b r))
+        b.(l) <-
+          Some (match b.(l) with None -> r | Some b -> Geom.Rect.hull b r))
       cells.(net);
-    (!b0, !b1)
+    b
   in
   let join a b =
     match (a, b) with
@@ -225,10 +231,10 @@ let refine ?(max_passes = 3) ?(cost = Maze.Cost.default) ?(incremental = true)
     let record_cert () =
       match cache with
       | Some c ->
-          let r0, r1 = Maze.Cache.read_certs ws in
-          let o0, o1 = own_boxes net in
-          Maze.Cache.record_cert c ~net ~cert0:(join r0 o0)
-            ~cert1:(join r1 o1)
+          let rc = Maze.Cache.read_certs ws in
+          let own = own_boxes net in
+          Maze.Cache.record_cert c ~net
+            ~certs:(Array.init nlayers (fun l -> join rc.(l) own.(l)))
             ~owned:(List.length cells.(net))
       | None -> ()
     in
@@ -272,9 +278,9 @@ let refine ?(max_passes = 3) ?(cost = Maze.Cost.default) ?(incremental = true)
                read the field's window.  Certify exactly that. *)
             let skip window =
               Maze.Cache.note_bound_skip c;
-              let o0, o1 = own_boxes net in
-              Maze.Cache.record_cert c ~net ~cert0:(join window o0)
-                ~cert1:(join window o1)
+              let own = own_boxes net in
+              Maze.Cache.record_cert c ~net
+                ~certs:(Array.init nlayers (fun l -> join window own.(l)))
                 ~owned:(List.length cells.(net));
               true
             in
@@ -282,25 +288,26 @@ let refine ?(max_passes = 3) ?(cost = Maze.Cost.default) ?(incremental = true)
                connected set containing all pins crosses every planar
                column and row boundary of the pin bounding box (at least
                half-perimeter wire edges) and joins the layers with at
-               least one via when the pins span both.  A net already at
-               that cost is at its global optimum. *)
-            let x0, y0, x1, y1, l0, l1 =
+               least one via per layer gap the pins span.  A net already
+               at that cost is at its global optimum. *)
+            let x0, y0, x1, y1, lmin, lmax =
               List.fold_left
-                (fun (x0, y0, x1, y1, l0, l1) p ->
+                (fun (x0, y0, x1, y1, lmin, lmax) p ->
                   let x = Grid.node_x g p and y = Grid.node_y g p in
+                  let l = Grid.node_layer g p in
                   ( min x0 x,
                     min y0 y,
                     max x1 x,
                     max y1 y,
-                    l0 || Grid.node_layer g p = 0,
-                    l1 || Grid.node_layer g p = 1 ))
-                (max_int, max_int, min_int, min_int, false, false)
+                    min lmin l,
+                    max lmax l ))
+                (max_int, max_int, min_int, min_int, max_int, min_int)
                 pins
             in
             let hp = x1 - x0 + (y1 - y0) in
             let floor_cost =
               (cost.Maze.Cost.wire * hp)
-              + (if l0 && l1 then cost.Maze.Cost.via else 0)
+              + (cost.Maze.Cost.via * (lmax - lmin))
             in
             if floor_cost >= old_cost then skip None
             else begin

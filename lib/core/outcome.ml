@@ -71,7 +71,7 @@ let pp_guide fmt g =
 let measure_net g ~net =
   let w = Grid.width g and h = Grid.height g in
   let cells = ref 0 and wirelength = ref 0 and vias = ref 0 in
-  for layer = 0 to Grid.layers - 1 do
+  for layer = 0 to Grid.layers g - 1 do
     for y = 0 to h - 1 do
       for x = 0 to w - 1 do
         if Grid.occ_at g ~layer ~x ~y = net then begin
@@ -84,12 +84,8 @@ let measure_net g ~net =
       done
     done
   done;
-  for y = 0 to h - 1 do
-    for x = 0 to w - 1 do
-      if Grid.has_via g ~x ~y && Grid.occ_at g ~layer:0 ~x ~y = net then
-        incr vias
-    done
-  done;
+  Grid.iter_via_pairs g (fun ~layer ~x ~y ->
+      if Grid.occ_at g ~layer ~x ~y = net then incr vias);
   { net_id = net; cells = !cells; wirelength = !wirelength; vias = !vias }
 
 let measure problem g =

@@ -97,6 +97,8 @@ let rebuilt_problem st ?(keep_wiring = fun _ -> true) new_nets =
       new_nets
   in
   Netlist.Problem.make ~kind:old.Netlist.Problem.kind
+    ~layers:old.Netlist.Problem.layers
+    ~layer_dirs:old.Netlist.Problem.layer_dirs
     ~obstructions:old.Netlist.Problem.obstructions ~prewires
     ~insts:old.Netlist.Problem.insts ~name:old.Netlist.Problem.name
     ~width:old.Netlist.Problem.width ~height:old.Netlist.Problem.height
@@ -272,6 +274,7 @@ let install st ~problem ~grid =
   if
     Grid.width grid <> problem.Netlist.Problem.width
     || Grid.height grid <> problem.Netlist.Problem.height
+    || Grid.layers grid <> problem.Netlist.Problem.layers
   then Error "install: grid does not match the problem dimensions"
   else begin
     st.problem <- problem;
@@ -298,34 +301,28 @@ let refine ?max_passes st =
 
    The vias travel separately because [Problem.instantiate]'s via
    inference is lossy: it only recognises a via when {e one prewire}
-   holds both layers of a position, so a layer change at a pin (the pin
-   cell is not part of the prewire) loses its via flag.  Restoring from
-   (problem, vias) reproduces the grid byte-for-byte — occupancy from
-   pins + prewires, via flags overwritten with the recorded set. *)
+   holds both cells of a pair position, so a layer change at a pin (the
+   pin cell is not part of the prewire) loses its via flag.  Restoring
+   from (problem, vias) reproduces the grid byte-for-byte — occupancy
+   from pins + prewires, via pair flags overwritten with the recorded
+   set of (pair layer, x, y) triples. *)
 
 let checkpoint st =
   let problem = rebuilt_problem st (current_nets st) in
   let vias = ref [] in
-  for y = Grid.height st.grid - 1 downto 0 do
-    for x = Grid.width st.grid - 1 downto 0 do
-      if Grid.has_via st.grid ~x ~y then vias := (x, y) :: !vias
-    done
-  done;
+  Grid.iter_via_pairs st.grid (fun ~layer ~x ~y ->
+      vias := (layer, x, y) :: !vias);
   let frozen =
     List.sort String.compare
       (Hashtbl.fold (fun name () acc -> name :: acc) st.frozen [])
   in
-  (problem, !vias, frozen)
+  (problem, List.rev !vias, frozen)
 
 let of_checkpoint ?(config = Config.default) ?(chaos = Chaos.none) ~vias
     ~frozen problem =
   let grid = Netlist.Problem.instantiate problem in
-  for x = 0 to Grid.width grid - 1 do
-    for y = 0 to Grid.height grid - 1 do
-      if Grid.has_via grid ~x ~y then Grid.clear_via grid ~x ~y
-    done
-  done;
-  List.iter (fun (x, y) -> Grid.set_via grid ~x ~y) vias;
+  Grid.iter_via_pairs grid (fun ~layer ~x ~y -> Grid.clear_via ~layer grid ~x ~y);
+  List.iter (fun (layer, x, y) -> Grid.set_via ~layer grid ~x ~y) vias;
   let st = { config; chaos; problem; grid; frozen = Hashtbl.create 8 } in
   List.iter (fun name -> Hashtbl.replace st.frozen name ()) frozen;
   st

@@ -112,14 +112,17 @@ val install :
     problem's net table, the grid byte-for-byte ({!Grid.equal}) and the
     frozen set. *)
 
-val checkpoint : t -> Netlist.Problem.t * (int * int) list * string list
-(** [(problem_with_wiring, via_positions, frozen_names)].  Pure: the
-    session is not mutated, no chaos point fires. *)
+val checkpoint :
+  t -> Netlist.Problem.t * (int * int * int) list * string list
+(** [(problem_with_wiring, via_pairs, frozen_names)] where each via is a
+    [(pair_layer, x, y)] triple ([pair_layer] joins that layer with the
+    one above).  Pure: the session is not mutated, no chaos point
+    fires. *)
 
 val of_checkpoint :
   ?config:Config.t ->
   ?chaos:Chaos.t ->
-  vias:(int * int) list ->
+  vias:(int * int * int) list ->
   frozen:string list ->
   Netlist.Problem.t ->
   t

@@ -7,7 +7,7 @@ type violation =
 let connected_components g ~net =
   let uf = Util.Union_find.create (Grid.node_count g) in
   let w = Grid.width g and h = Grid.height g in
-  for layer = 0 to Grid.layers - 1 do
+  for layer = 0 to Grid.layers g - 1 do
     for y = 0 to h - 1 do
       for x = 0 to w - 1 do
         if Grid.occ_at g ~layer ~x ~y = net then begin
@@ -20,17 +20,14 @@ let connected_components g ~net =
       done
     done
   done;
-  for y = 0 to h - 1 do
-    for x = 0 to w - 1 do
-      if Grid.has_via g ~x ~y
-         && Grid.occ_at g ~layer:0 ~x ~y = net
-         && Grid.occ_at g ~layer:1 ~x ~y = net
+  Grid.iter_via_pairs g (fun ~layer ~x ~y ->
+      if
+        Grid.occ_at g ~layer ~x ~y = net
+        && Grid.occ_at g ~layer:(layer + 1) ~x ~y = net
       then
         Util.Union_find.union uf
-          (Grid.node g ~layer:0 ~x ~y)
-          (Grid.node g ~layer:1 ~x ~y)
-    done
-  done;
+          (Grid.node g ~layer ~x ~y)
+          (Grid.node g ~layer:(layer + 1) ~x ~y));
   Util.Union_find.count_components uf (fun n -> Grid.occ g n = net)
 
 let check ?nets problem g =
@@ -52,7 +49,7 @@ let check ?nets problem g =
           if Grid.in_bounds g ~x ~y then
             let layers =
               match o.Netlist.Problem.obs_layer with
-              | None -> [ 0; 1 ]
+              | None -> List.init (Grid.layers g) Fun.id
               | Some l -> [ l ]
             in
             List.iter
@@ -61,13 +58,11 @@ let check ?nets problem g =
                 if v > 0 then add (Wire_on_obstruction { net = v; layer; x; y }))
               layers))
     problem.Netlist.Problem.obstructions;
-  (* Via legality. *)
-  Grid.iter_planar g (fun ~x ~y ->
-      if Grid.has_via g ~x ~y then begin
-        let a = Grid.occ_at g ~layer:0 ~x ~y
-        and b = Grid.occ_at g ~layer:1 ~x ~y in
-        if a <= 0 || a <> b then add (Via_mismatch { x; y })
-      end);
+  (* Via legality: each pair must join two cells of one positive owner. *)
+  Grid.iter_via_pairs g (fun ~layer ~x ~y ->
+      let a = Grid.occ_at g ~layer ~x ~y
+      and b = Grid.occ_at g ~layer:(layer + 1) ~x ~y in
+      if a <= 0 || a <> b then add (Via_mismatch { x; y }));
   (* Connectivity. *)
   let net_ids =
     match nets with

@@ -2,6 +2,7 @@ type stats = {
   place : Place.stats option;
   groute : Groute.t;
   route : Router.Engine.stats;
+  triage : Analyze.t option;
   place_ns : int64;
   groute_ns : int64;
   route_ns : int64;
@@ -19,7 +20,8 @@ let timed f =
   let r = f () in
   (r, Int64.sub (Monotonic_clock.now ()) t0)
 
-let run ?(config = Router.Config.default) ?budget ?seed ?tile problem =
+let run ?(config = Router.Config.default) ?budget ?seed ?tile
+    ?(triage = false) problem =
   let seed = match seed with Some s -> s | None -> config.Router.Config.seed in
   let placed_r, place_ns =
     timed @@ fun () ->
@@ -33,6 +35,9 @@ let run ?(config = Router.Config.default) ?budget ?seed ?tile problem =
   | Error e -> Error e
   | Ok (placed, place_stats) ->
       let realized = Netlist.Problem.realize placed in
+      (* The triage gate is read-only and runs before any routing: it
+         cannot affect the layout, only the report. *)
+      let pre = if triage then Some (Analyze.run ?tile realized) else None in
       let gr, groute_ns = timed @@ fun () -> Groute.run ?tile realized in
       (* Guides require the bucket kernel and no widen-retry windowing,
          and certify through the A* lower bound (with h = 0 an escape is
@@ -60,11 +65,46 @@ let run ?(config = Router.Config.default) ?budget ?seed ?tile problem =
               place = place_stats;
               groute = gr;
               route = result.Router.Engine.stats;
+              triage = pre;
               place_ns;
               groute_ns;
               route_ns;
             };
         }
+
+type triage_report = {
+  score : float;
+  predicted_overflow : float;
+  actual_overflow : float;
+  agree : bool;
+}
+
+let actual_overflow (g : Groute.t) =
+  let total = Array.fold_left ( + ) 0 g.Groute.capacity in
+  let over = ref 0 in
+  Array.iteri
+    (fun i u ->
+      if u > g.Groute.capacity.(i) then
+        over := !over + (u - g.Groute.capacity.(i)))
+    g.Groute.usage;
+  if total = 0 then if !over > 0 then 1.0 else 0.0
+  else Float.min 1.0 (float_of_int !over /. float_of_int total)
+
+let triage_report t =
+  Option.map
+    (fun (a : Analyze.t) ->
+      let actual = actual_overflow t.stats.groute in
+      let predicted = a.Analyze.verdict.Analyze.predicted_overflow in
+      {
+        score = a.Analyze.verdict.Analyze.score;
+        predicted_overflow = predicted;
+        actual_overflow = actual;
+        (* "Congested" means meaningfully over supply on either side —
+           a 0.3% predicted overflow against a 0.0% realized one is an
+           agreement on routability, not a miss. *)
+        agree = predicted > 0.01 = (actual > 0.01);
+      })
+    t.stats.triage
 
 let guide_hit_rate t =
   let g = t.stats.route.Router.Engine.guide in

@@ -22,6 +22,10 @@ type stats = {
   place : Place.stats option;  (** [None] when nothing needed placing *)
   groute : Groute.t;
   route : Router.Engine.stats;
+  triage : Analyze.t option;
+      (** the pre-route routability verdict, when [run ~triage:true];
+          computed on the realized problem before any routing, so it can
+          never affect the layout *)
   place_ns : int64;  (** wall-clock split of the three stages *)
   groute_ns : int64;
   route_ns : int64;
@@ -40,12 +44,30 @@ val run :
   ?budget:Router.Budget.t ->
   ?seed:int ->
   ?tile:int ->
+  ?triage:bool ->
   Netlist.Problem.t ->
   (t, string) Stdlib.result
 (** [seed] (default [config.seed]) drives the placer; [tile] is the
-    global-route tile size.  Errors when the placer cannot find a legal
-    placement; detailed-route failures are reported in
+    global-route tile size.  [triage] (default false) additionally runs
+    the pre-route predictor on the realized problem and records its
+    verdict in [stats.triage].  Errors when the placer cannot find a
+    legal placement; detailed-route failures are reported in
     [result.stats.failed_nets], not as [Error]. *)
+
+type triage_report = {
+  score : float;  (** predictor's routability score *)
+  predicted_overflow : float;  (** before routing, from {!Analyze.run} *)
+  actual_overflow : float;
+      (** after global routing: overflow units over total capacity *)
+  agree : bool;
+      (** both sides agree on whether the instance meaningfully
+          overflows (either fraction above 1%) *)
+}
+
+val triage_report : t -> triage_report option
+(** Predicted-vs-actual congestion for a [~triage:true] run: the
+    predictor's verdict against the global router's realized overflow.
+    [None] when the flow ran without triage. *)
 
 val guide_hit_rate : t -> float
 (** Certified-guide fraction of guided searches, in [0, 1]; [1.0] when

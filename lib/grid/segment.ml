@@ -42,7 +42,7 @@ let of_net g ~net =
   let w = Surface.width g and h = Surface.height g in
   let owns ~layer ~x ~y = Surface.occ_at g ~layer ~x ~y = net in
   let segs = ref [] in
-  for layer = 0 to Surface.layers - 1 do
+  for layer = 0 to Surface.layers g - 1 do
     for y = 0 to h - 1 do
       segs :=
         runs_on_line (fun x -> owns ~layer ~x ~y) w ~layer ~axis:H ~fixed:y !segs
@@ -57,7 +57,7 @@ let of_net g ~net =
   List.iter
     (fun s -> List.iter (fun c -> Hashtbl.replace covered c ()) (cells s))
     !segs;
-  for layer = 0 to Surface.layers - 1 do
+  for layer = 0 to Surface.layers g - 1 do
     for y = 0 to h - 1 do
       for x = 0 to w - 1 do
         if owns ~layer ~x ~y && not (Hashtbl.mem covered (layer, x, y)) then

@@ -22,18 +22,20 @@ type mark = int array (* per-layer ring sequence numbers *)
 type t = {
   w : int;
   h : int;
-  occ : int array; (* 2*w*h cells: 0 free, -1 obstacle, net id > 0 *)
-  via : Bytes.t; (* w*h flags *)
+  nlayers : int;
+  hpref : Bytes.t; (* per layer: '\001' = horizontal preferred *)
+  occ : int array; (* nlayers*w*h cells: 0 free, -1 obstacle, net id > 0 *)
+  via : Bytes.t; (* (nlayers-1)*w*h pair flags; pair l joins layers l,l+1 *)
   mutable n_vias : int;
   dirt : dirt array; (* one journal per layer *)
 }
 
-let layers = 2
+let default_layers = 2
 
 (* Sized so that a handful of rip-up/reroute cycles between refinement
    passes does not wrap the ring: a wrap forgets history and forces every
    consumer (cost cache, refine certificates, lower-bound fields) into
-   conservative full invalidation.  512 rects × 2 layers is still tiny,
+   conservative full invalidation.  512 rects × layers is still tiny,
    and validation scans only the entries written since the queried mark. *)
 let dirt_cap = 512
 
@@ -98,13 +100,25 @@ let obstacle = -1
 
 let free = 0
 
-let create ~width ~height =
+(* The default stack alternates horizontal/vertical starting at layer 0
+   horizontal — exactly the frozen two-layer convention, extended. *)
+let default_dirs n = Array.init n (fun l -> l land 1 = 0)
+
+let create ?(layers = default_layers) ?dirs ~width ~height () =
   if width <= 0 || height <= 0 then invalid_arg "Surface.create: empty grid";
+  if layers < 2 then invalid_arg "Surface.create: at least two layers";
+  let dirs = match dirs with Some d -> d | None -> default_dirs layers in
+  if Array.length dirs <> layers then
+    invalid_arg "Surface.create: one direction per layer";
+  let hpref = Bytes.make layers '\000' in
+  Array.iteri (fun l h -> if h then Bytes.set hpref l '\001') dirs;
   {
     w = width;
     h = height;
+    nlayers = layers;
+    hpref;
     occ = Array.make (layers * width * height) free;
-    via = Bytes.make (width * height) '\000';
+    via = Bytes.make ((layers - 1) * width * height) '\000';
     n_vias = 0;
     dirt = Array.init layers (fun _ -> make_dirt ());
   }
@@ -123,15 +137,23 @@ let copy g =
 (* n_vias is derived from the via bytes, so comparing occupancy and via
    flags is a complete state comparison. *)
 let equal a b =
-  a.w = b.w && a.h = b.h && a.occ = b.occ && Bytes.equal a.via b.via
+  a.w = b.w && a.h = b.h && a.nlayers = b.nlayers
+  && Bytes.equal a.hpref b.hpref
+  && a.occ = b.occ && Bytes.equal a.via b.via
 
 let width g = g.w
 
 let height g = g.h
 
+let layers g = g.nlayers
+
+let prefers_horizontal g ~layer = Bytes.get g.hpref layer <> '\000'
+
+let layer_dirs g = Array.init g.nlayers (fun l -> prefers_horizontal g ~layer:l)
+
 let planar_cells g = g.w * g.h
 
-let node_count g = layers * g.w * g.h
+let node_count g = g.nlayers * g.w * g.h
 
 let node g ~layer ~x ~y = (layer * g.w * g.h) + (y * g.w) + x
 
@@ -143,9 +165,9 @@ let node_y g n = n mod (g.w * g.h) / g.w
 
 let planar g n = n mod (g.w * g.h)
 
-let other_layer_node g n =
-  let cells = g.w * g.h in
-  if n < cells then n + cells else n - cells
+let node_above g n = n + (g.w * g.h)
+
+let node_below g n = n - (g.w * g.h)
 
 let in_bounds g ~x ~y = x >= 0 && x < g.w && y >= 0 && y < g.h
 
@@ -164,9 +186,9 @@ let owner g n =
 let touch g ~freeing n =
   dirt_touch g.dirt.(n / (g.w * g.h)) ~freeing (node_x g n) (node_y g n)
 
-let touch_both g ~freeing ~x ~y =
-  dirt_touch g.dirt.(0) ~freeing x y;
-  dirt_touch g.dirt.(1) ~freeing x y
+let touch_pair g ~freeing ~layer ~x ~y =
+  dirt_touch g.dirt.(layer) ~freeing x y;
+  dirt_touch g.dirt.(layer + 1) ~freeing x y
 
 let occupy g ~net n =
   if net <= 0 then invalid_arg "Surface.occupy: net ids are positive";
@@ -180,28 +202,54 @@ let occupy g ~net n =
     invalid_arg
       (Printf.sprintf "Surface.occupy: cell owned by net %d, wanted %d" v net)
 
-let has_via g ~x ~y = Bytes.get g.via ((y * g.w) + x) <> '\000'
+(* Pair via accessors.  Pair [layer] joins layers [layer] and [layer+1];
+   its flag lives in plane [layer] of the via bytes.  At two layers there
+   is a single plane, bit-identical to the historical planar flag. *)
+let pair_index g ~layer ~x ~y = (layer * g.w * g.h) + (y * g.w) + x
 
-let has_via_node g n = Bytes.get g.via (planar g n) <> '\000'
+let has_via_pair g ~layer ~x ~y =
+  Bytes.get g.via (pair_index g ~layer ~x ~y) <> '\000'
 
-let clear_via g ~x ~y =
-  let p = (y * g.w) + x in
+(* Any pair at (x,y) — the historical planar query, still what renderers
+   and planar legality checks want. *)
+let has_via g ~x ~y =
+  let rec scan l =
+    l < g.nlayers - 1 && (has_via_pair g ~layer:l ~x ~y || scan (l + 1))
+  in
+  scan 0
+
+let has_via_node g n =
+  let x = node_x g n and y = node_y g n in
+  has_via g ~x ~y
+
+(* Vias adjacent to a node: the pair just above it and just below it. *)
+let via_above g n =
+  let l = node_layer g n in
+  l + 1 < g.nlayers && has_via_pair g ~layer:l ~x:(node_x g n) ~y:(node_y g n)
+
+let via_below g n =
+  let l = node_layer g n in
+  l > 0 && has_via_pair g ~layer:(l - 1) ~x:(node_x g n) ~y:(node_y g n)
+
+let clear_via ?(layer = 0) g ~x ~y =
+  let p = pair_index g ~layer ~x ~y in
   if Bytes.get g.via p <> '\000' then begin
     Bytes.set g.via p '\000';
     g.n_vias <- g.n_vias - 1;
-    touch_both g ~freeing:true ~x ~y
+    touch_pair g ~freeing:true ~layer ~x ~y
   end
 
-let set_via g ~x ~y =
-  let cells = g.w * g.h in
-  let p = (y * g.w) + x in
-  let a = g.occ.(p) and b = g.occ.(p + cells) in
+let set_via ?(layer = 0) g ~x ~y =
+  if layer < 0 || layer >= g.nlayers - 1 then
+    invalid_arg "Surface.set_via: pair layer out of range";
+  let a = occ_at g ~layer ~x ~y and b = occ_at g ~layer:(layer + 1) ~x ~y in
   if a <= 0 || a <> b then
     invalid_arg "Surface.set_via: both layers must be owned by the same net";
+  let p = pair_index g ~layer ~x ~y in
   if Bytes.get g.via p = '\000' then begin
     Bytes.set g.via p '\001';
     g.n_vias <- g.n_vias + 1;
-    touch_both g ~freeing:false ~x ~y
+    touch_pair g ~freeing:false ~layer ~x ~y
   end
 
 let release g n =
@@ -210,8 +258,12 @@ let release g n =
   if v > 0 then begin
     g.occ.(n) <- free;
     touch g ~freeing:true n;
-    let x = node_x g n and y = node_y g n in
-    if has_via g ~x ~y then clear_via g ~x ~y
+    let x = node_x g n and y = node_y g n and l = node_layer g n in
+    (* A freed cell can no longer anchor either adjacent via pair. *)
+    if l + 1 < g.nlayers && has_via_pair g ~layer:l ~x ~y then
+      clear_via ~layer:l g ~x ~y;
+    if l > 0 && has_via_pair g ~layer:(l - 1) ~x ~y then
+      clear_via ~layer:(l - 1) g ~x ~y
   end
 
 let set_obstacle g ~layer ~x ~y =
@@ -223,17 +275,18 @@ let set_obstacle g ~layer ~x ~y =
     dirt_touch g.dirt.(layer) ~freeing:false x y
   end
 
-let set_obstacle_both g ~x ~y =
-  set_obstacle g ~layer:0 ~x ~y;
-  set_obstacle g ~layer:1 ~x ~y
+let set_obstacle_all g ~x ~y =
+  for layer = 0 to g.nlayers - 1 do
+    set_obstacle g ~layer ~x ~y
+  done
 
 let block_outside g (r : Geom.Rect.t) =
   for y = 0 to g.h - 1 do
     for x = 0 to g.w - 1 do
-      if not (Geom.Rect.mem r x y) then begin
-        if occ_at g ~layer:0 ~x ~y = free then set_obstacle g ~layer:0 ~x ~y;
-        if occ_at g ~layer:1 ~x ~y = free then set_obstacle g ~layer:1 ~x ~y
-      end
+      if not (Geom.Rect.mem r x y) then
+        for layer = 0 to g.nlayers - 1 do
+          if occ_at g ~layer ~x ~y = free then set_obstacle g ~layer ~x ~y
+        done
     done
   done
 
@@ -242,7 +295,7 @@ let block_rect g ?layer (r : Geom.Rect.t) =
       if in_bounds g ~x ~y then
         match layer with
         | Some l -> set_obstacle g ~layer:l ~x ~y
-        | None -> set_obstacle_both g ~x ~y)
+        | None -> set_obstacle_all g ~x ~y)
 
 let seal g = Array.iter dirt_flush g.dirt
 
@@ -326,6 +379,15 @@ let iter_planar g f =
   for y = 0 to g.h - 1 do
     for x = 0 to g.w - 1 do
       f ~x ~y
+    done
+  done
+
+let iter_via_pairs g f =
+  for layer = 0 to g.nlayers - 2 do
+    for y = 0 to g.h - 1 do
+      for x = 0 to g.w - 1 do
+        if has_via_pair g ~layer ~x ~y then f ~layer ~x ~y
+      done
     done
   done
 

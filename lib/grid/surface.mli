@@ -1,24 +1,27 @@
-(** The mutable two-layer routing grid.
+(** The mutable N-layer routing grid.
 
     The grid is the routing surface shared by the maze search, the
     modification operators and the verifier.  It is a dense [width × height ×
-    2] array of cells; each cell is either free, an obstacle, or owned by a
-    net (a positive net id).  Vias join the two layers at a planar position
-    and are only legal between two cells owned by the same net.
+    layers] array of cells; each cell is either free, an obstacle, or owned
+    by a net (a positive net id).  Vias join two {e adjacent} layers at a
+    planar position and are only legal between two cells owned by the same
+    net; a via pair [l] joins layers [l] and [l+1].
 
     Cells are addressed either by [(layer, x, y)] triples or by packed
     integer {e nodes} ([node = layer·w·h + y·w + x]), the representation used
     throughout the search hot path.
 
-    By convention layer 0 is the horizontal-preferred layer and layer 1 the
-    vertical-preferred layer; preference is enforced by search costs, not by
-    the grid itself (the router may wire any direction on any layer, as the
-    original system does). *)
+    Every layer carries a preferred routing direction.  The default stack is
+    two layers, layer 0 horizontal-preferred and layer 1 vertical-preferred
+    (the historical convention); taller stacks default to alternating H/V.
+    Preference is enforced by search costs, not by the grid itself (the
+    router may wire any direction on any layer, as the original system
+    does). *)
 
 type t
 
-val layers : int
-(** Always 2. *)
+val default_layers : int
+(** [2] — the layer count of every problem that does not say otherwise. *)
 
 val obstacle : int
 (** The occupancy value of an obstacle cell ([-1]). *)
@@ -26,25 +29,44 @@ val obstacle : int
 val free : int
 (** The occupancy value of a free cell ([0]). *)
 
-val create : width:int -> height:int -> t
-(** A fully free grid. *)
+val default_dirs : int -> bool array
+(** Per-layer horizontal preference of the default stack: alternating,
+    layer 0 horizontal. *)
+
+val create :
+  ?layers:int -> ?dirs:bool array -> width:int -> height:int -> unit -> t
+(** A fully free grid.  [layers] defaults to {!default_layers}; [dirs]
+    gives each layer's horizontal preference ([true] = horizontal) and
+    defaults to {!default_dirs}.
+    @raise Invalid_argument on empty grids, fewer than two layers, or a
+    direction array of the wrong length. *)
 
 val copy : t -> t
 (** Deep copy; mutations of the copy do not affect the original. *)
 
 val equal : t -> t -> bool
-(** Same dimensions, occupancy, and vias — used by the transactional
-    session tests to prove rollbacks are exact. *)
+(** Same dimensions, layer stack, occupancy, and vias — used by the
+    transactional session tests to prove rollbacks are exact. *)
 
 val width : t -> int
 
 val height : t -> int
 
+val layers : t -> int
+(** Number of routing layers of this grid (≥ 2). *)
+
+val prefers_horizontal : t -> layer:int -> bool
+(** The layer's preferred routing direction. *)
+
+val layer_dirs : t -> bool array
+(** Per-layer horizontal preference, freshly allocated. *)
+
 val planar_cells : t -> int
 (** [width × height]. *)
 
 val node_count : t -> int
-(** [2 × width × height]: exclusive upper bound of packed node values. *)
+(** [layers × width × height]: exclusive upper bound of packed node
+    values. *)
 
 (** {1 Node packing} *)
 
@@ -60,8 +82,13 @@ val planar : t -> int -> int
 (** Planar index [y·w + x] of a node, identifying its (x,y) regardless of
     layer. *)
 
-val other_layer_node : t -> int -> int
-(** The node at the same (x,y) on the opposite layer. *)
+val node_above : t -> int -> int
+(** The node at the same (x,y) one layer up.  Only meaningful when
+    [node_layer g n + 1 < layers g]. *)
+
+val node_below : t -> int -> int
+(** The node at the same (x,y) one layer down.  Only meaningful when
+    [node_layer g n > 0]. *)
 
 val in_bounds : t -> x:int -> y:int -> bool
 
@@ -86,37 +113,56 @@ val occupy : t -> net:int -> int -> unit
     router bugs). *)
 
 val release : t -> int -> unit
-(** Free a node (clears a via at that position if one exists and the node's
-    companion cell no longer shares an owner).  Releasing a free cell is a
-    no-op; releasing an obstacle raises [Invalid_argument]. *)
+(** Free a node (clears the via pairs adjacent to it, since a freed cell
+    can no longer anchor one).  Releasing a free cell is a no-op; releasing
+    an obstacle raises [Invalid_argument]. *)
 
 val set_obstacle : t -> layer:int -> x:int -> y:int -> unit
 (** Mark a cell as an obstacle.  @raise Invalid_argument if the cell is
     currently owned by a net. *)
 
-val set_obstacle_both : t -> x:int -> y:int -> unit
-(** Obstacle on both layers at (x,y). *)
+val set_obstacle_all : t -> x:int -> y:int -> unit
+(** Obstacle on every layer at (x,y). *)
 
 val block_outside : t -> Geom.Rect.t -> unit
 (** Turn every free cell outside the rectangle into an obstacle — used to
     carve rectangular routing regions out of the allocated array. *)
 
 val block_rect : t -> ?layer:int -> Geom.Rect.t -> unit
-(** Obstruct every cell of the rectangle (both layers unless [layer] is
+(** Obstruct every cell of the rectangle (all layers unless [layer] is
     given).  Cells already owned by nets raise [Invalid_argument]. *)
 
-(** {1 Vias} *)
+(** {1 Vias}
+
+    A via pair [l] ([0 ≤ l < layers−1]) joins layers [l] and [l+1] at a
+    planar position.  On the default two-layer stack there is exactly one
+    pair, so the pairless queries below coincide with it. *)
+
+val has_via_pair : t -> layer:int -> x:int -> y:int -> bool
+(** Is pair [layer] (joining [layer] and [layer+1]) present at (x,y)? *)
 
 val has_via : t -> x:int -> y:int -> bool
+(** Any via pair at (x,y) — the planar query renderers and planar
+    legality checks want. *)
 
 val has_via_node : t -> int -> bool
-(** Via presence at the node's planar position. *)
+(** {!has_via} at the node's planar position (any pair, any layer). *)
 
-val set_via : t -> x:int -> y:int -> unit
-(** Place a via.  @raise Invalid_argument unless both layer cells at (x,y)
-    are owned by the same net. *)
+val via_above : t -> int -> bool
+(** Does the pair joining this node's layer to the one above exist at the
+    node's position?  [false] on the top layer. *)
 
-val clear_via : t -> x:int -> y:int -> unit
+val via_below : t -> int -> bool
+(** Does the pair joining this node's layer to the one below exist at the
+    node's position?  [false] on layer 0. *)
+
+val set_via : ?layer:int -> t -> x:int -> y:int -> unit
+(** Place via pair [layer] (default 0, the only pair of a two-layer
+    grid).  @raise Invalid_argument unless layers [layer] and [layer+1] at
+    (x,y) are owned by the same net. *)
+
+val clear_via : ?layer:int -> t -> x:int -> y:int -> unit
+(** Remove via pair [layer] (default 0) if present. *)
 
 val via_count : t -> int
 
@@ -181,6 +227,10 @@ val seal : t -> unit
 val iter_nodes : t -> (int -> unit) -> unit
 
 val iter_planar : t -> (x:int -> y:int -> unit) -> unit
+
+val iter_via_pairs : t -> (layer:int -> x:int -> y:int -> unit) -> unit
+(** Visit every placed via pair, lowest pair plane first, row-major within
+    a plane. *)
 
 val count_owned : t -> net:int -> int
 (** Number of cells owned by the net. *)

@@ -36,12 +36,13 @@ type t = {
 let capacities problem ~tile ~tiles_x ~tiles_y =
   let w = problem.Netlist.Problem.width
   and h = problem.Netlist.Problem.height in
-  let blocked = Array.make (2 * w * h) false in
+  let nlayers = problem.Netlist.Problem.layers in
+  let blocked = Array.make (nlayers * w * h) false in
   List.iter
     (fun (o : Netlist.Problem.obstruction) ->
       let layers =
         match o.Netlist.Problem.obs_layer with
-        | None -> [ 0; 1 ]
+        | None -> List.init nlayers Fun.id
         | Some l -> [ l ]
       in
       Geom.Rect.iter o.Netlist.Problem.obs_rect (fun x y ->
@@ -56,8 +57,9 @@ let capacities problem ~tile ~tiles_x ~tiles_y =
       let free = ref 0 in
       for y = ty * tile to min (h - 1) (((ty + 1) * tile) - 1) do
         for x = tx * tile to min (w - 1) (((tx + 1) * tile) - 1) do
-          if not blocked.((y * w) + x) then incr free;
-          if not blocked.((w * h) + (y * w) + x) then incr free
+          for l = 0 to nlayers - 1 do
+            if not blocked.((l * w * h) + (y * w) + x) then incr free
+          done
         done
       done;
       cap.((ty * tiles_x) + tx) <- !free / tile

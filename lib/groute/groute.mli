@@ -44,6 +44,13 @@ type t = {
 val cls_index : Netlist.Net.cls -> int
 (** Row of {!t.class_usage}: signal 0, clock 1, power 2. *)
 
+val capacities :
+  Netlist.Problem.t -> tile:int -> tiles_x:int -> tiles_y:int -> int array
+(** Per-tile capacity in units: unblocked cells (all layers) per cell-row
+    of the tile — the supply side of the congestion model.  Exposed so
+    the pre-route predictor ({!Analyze}) prices demand against exactly
+    the capacities the global router will route against. *)
+
 val run : ?tile:int -> Netlist.Problem.t -> t
 (** Globally route every non-trivial net of a (realized) problem.
     [tile] defaults to 8 and is clamped to the region, so small problems

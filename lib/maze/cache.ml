@@ -15,8 +15,7 @@
    across re-instantiated grids. *)
 
 type cert = {
-  c0 : Geom.Rect.t option;
-  c1 : Geom.Rect.t option;
+  certs : Geom.Rect.t option array;  (* one read region per layer *)
   since : Grid.mark;
   owned : int;  (* the net's cell count when the verdict was recorded *)
 }
@@ -54,26 +53,37 @@ let entry t ~net = t.entries.(net - 1)
 (* The cells a set of searches may have read, from the workspace's
    per-layer expanded bounding boxes: an expanded node's reads are its
    four planar neighbours (same layer, one step) and the same (x,y) on
-   the other layer, so layer [l]'s read set is the dilated layer-[l] box
-   joined with the other layer's undilated box. *)
+   the adjacent layers (via relaxations), so layer [l]'s read set is the
+   dilated layer-[l] box joined with the adjacent layers' undilated
+   boxes. *)
 let read_certs ws =
-  let t0 = Workspace.touched ws ~layer:0 in
-  let t1 = Workspace.touched ws ~layer:1 in
+  let nl = Workspace.layers ws in
   let dil = Option.map (fun r -> Geom.Rect.inflate r 1) in
   let join a b =
     match (a, b) with
     | None, x | x, None -> x
     | Some a, Some b -> Some (Geom.Rect.hull a b)
   in
-  (join (dil t0) t1, join (dil t1) t0)
+  Array.init nl (fun l ->
+      let own = dil (Workspace.touched ws ~layer:l) in
+      let above =
+        if l + 1 < nl then Workspace.touched ws ~layer:(l + 1) else None
+      in
+      let below = if l > 0 then Workspace.touched ws ~layer:(l - 1) else None in
+      join (join own above) below)
 
-let region_clean g ~since c0 c1 =
-  (match c0 with
-  | None -> true
-  | Some r -> not (Grid.dirtied_in g ~since ~layer:0 r))
-  && match c1 with
-     | None -> true
-     | Some r -> not (Grid.dirtied_in g ~since ~layer:1 r)
+let all_layers_clean ~dirty certs =
+  let nl = Array.length certs in
+  let rec loop l =
+    l >= nl
+    || (match certs.(l) with None -> true | Some r -> not (dirty ~layer:l r))
+       && loop (l + 1)
+  in
+  loop 0
+
+let region_clean g ~since certs =
+  all_layers_clean ~dirty:(fun ~layer r -> Grid.dirtied_in g ~since ~layer r)
+    certs
 
 (* A verdict certificate survives blocking writes: occupies and vias in
    the read region can remove candidate routes but never create a
@@ -83,13 +93,10 @@ let region_clean g ~since c0 c1 =
    boxes) can flip the verdict.  The [owned] count guards the one
    mutation freeing rectangles cannot see: a net whose wiring grew with
    no release at all. *)
-let verdict_clean g ~since c0 c1 =
-  (match c0 with
-  | None -> true
-  | Some r -> not (Grid.dirtied_in_freeing g ~since ~layer:0 r))
-  && match c1 with
-     | None -> true
-     | Some r -> not (Grid.dirtied_in_freeing g ~since ~layer:1 r)
+let verdict_clean g ~since certs =
+  all_layers_clean
+    ~dirty:(fun ~layer r -> Grid.dirtied_in_freeing g ~since ~layer r)
+    certs
 
 (* Latched certificate lookup: a stale entry is dropped (and counted)
    exactly once.  [owned] is the net's current cell count. *)
@@ -98,7 +105,7 @@ let cert_status t ~net ~owned =
   match e.cert with
   | None -> `Miss
   | Some c ->
-      if c.owned = owned && verdict_clean t.grid ~since:c.since c.c0 c.c1
+      if c.owned = owned && verdict_clean t.grid ~since:c.since c.certs
       then begin
         t.hits <- t.hits + 1;
         `Hit
@@ -109,9 +116,8 @@ let cert_status t ~net ~owned =
         `Miss
       end
 
-let record_cert t ~net ~cert0 ~cert1 ~owned =
-  (entry t ~net).cert <-
-    Some { c0 = cert0; c1 = cert1; since = Grid.mark t.grid; owned }
+let record_cert t ~net ~certs ~owned =
+  (entry t ~net).cert <- Some { certs; since = Grid.mark t.grid; owned }
 
 (* The field, built on first demand and journal-repaired on every later
    access, so its lower-bound invariant always reflects the current

@@ -25,22 +25,22 @@ val matches : t -> Grid.t -> nets:int -> bool
 (** [true] when the cache was created for this exact grid value (physical
     equality) and net count — the precondition for reusing it. *)
 
-val read_certs :
-  Workspace.t -> Geom.Rect.t option * Geom.Rect.t option
+val read_certs : Workspace.t -> Geom.Rect.t option array
 (** Per-layer read-region certificates of everything the workspace's
     searches expanded since its last [clear_touched]: each layer's
     touched box dilated by one (planar neighbour reads) hulled with the
-    other layer's undilated box (via reads). *)
+    adjacent layers' undilated boxes (via reads). *)
 
 val region_clean :
-  Grid.t -> since:Grid.mark -> Geom.Rect.t option -> Geom.Rect.t option -> bool
-(** No journal write at all since [since] intersects either certificate
-    — the {e route-replay} validity test (the engine's speculative
-    cache replays committed paths, which any write can invalidate). *)
+  Grid.t -> since:Grid.mark -> Geom.Rect.t option array -> bool
+(** No journal write at all since [since] intersects any layer's
+    certificate — the {e route-replay} validity test (the engine's
+    speculative cache replays committed paths, which any write can
+    invalidate). *)
 
 val verdict_clean :
-  Grid.t -> since:Grid.mark -> Geom.Rect.t option -> Geom.Rect.t option -> bool
-(** No {e freeing} journal write since [since] intersects either
+  Grid.t -> since:Grid.mark -> Geom.Rect.t option array -> bool
+(** No {e freeing} journal write since [since] intersects any layer's
     certificate — the {e verdict-replay} validity test ("replanning
     cannot improve this net" survives blocking writes). *)
 
@@ -52,12 +52,7 @@ val cert_status : t -> net:int -> owned:int -> [ `Hit | `Miss ]
     exactly once, then reported [`Miss]. *)
 
 val record_cert :
-  t ->
-  net:int ->
-  cert0:Geom.Rect.t option ->
-  cert1:Geom.Rect.t option ->
-  owned:int ->
-  unit
+  t -> net:int -> certs:Geom.Rect.t option array -> owned:int -> unit
 (** Store a certificate with the journal mark taken now (the grid is
     sealed as a side effect of taking the mark).  [owned] is the net's
     cell count at verdict time; the certificates must cover everything

@@ -4,9 +4,8 @@ let default = { wire = 1; via = 4; wrong_way = 2 }
 
 let uniform = { wire = 1; via = 1; wrong_way = 0 }
 
-let step_cost c ~layer ~horizontal =
-  let preferred = if layer = 0 then horizontal else not horizontal in
-  if preferred then c.wire else c.wire + c.wrong_way
+let step_cost c ~prefers_h ~horizontal =
+  if prefers_h = horizontal then c.wire else c.wire + c.wrong_way
 
 let pp fmt c =
   Format.fprintf fmt "{wire=%d; via=%d; wrong_way=%d}" c.wire c.via c.wrong_way

@@ -10,7 +10,8 @@ type t = {
   via : int;  (** every layer change *)
   wrong_way : int;
       (** surcharge for a planar step against the layer's preferred
-          direction (layer 0 prefers horizontal, layer 1 vertical) *)
+          direction (see {!Grid.prefers_horizontal}; the default stack
+          prefers horizontal on layer 0, vertical on layer 1) *)
 }
 
 val default : t
@@ -22,7 +23,8 @@ val uniform : t
 (** [{ wire = 1; via = 1; wrong_way = 0 }] — pure Lee-style shortest path;
     used by tests as the geometric reference. *)
 
-val step_cost : t -> layer:int -> horizontal:bool -> int
-(** Cost of one planar step on [layer] in the given orientation. *)
+val step_cost : t -> prefers_h:bool -> horizontal:bool -> int
+(** Cost of one planar step in the given orientation on a layer whose
+    preferred direction is [prefers_h]. *)
 
 val pp : Format.formatter -> t -> unit

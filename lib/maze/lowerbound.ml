@@ -27,8 +27,9 @@ type t = {
   win : Geom.Rect.t;
   margin : int;  (* inflation the window was built with, for the escape bound *)
   cost : Cost.t;
+  nl : int;  (* layer count of the grid the field was built over *)
   tgt_xy : (int * int) list;  (* target planar coords, for the escape L1 *)
-  dist : int array;  (* 2 × window area, layer-major *)
+  dist : int array;  (* layers × window area, layer-major *)
   is_target : Bytes.t;
   q : Util.Pqueue.t;
   mutable since : Grid.mark;
@@ -60,7 +61,7 @@ let value t g n =
 (* Relax all in-window nodes [m] that can step INTO the popped node [n]:
    B(m) <- min(B(m), step(m->n) + penalty(n) + B(n)).  Backward edges
    mirror the forward search exactly: four planar steps on [n]'s layer
-   plus the via step from the other layer; the entry penalty of the
+   plus the via steps from the adjacent layers; the entry penalty of the
    stepped-into node is charged, matching [Search.core]'s relax. *)
 let relax_into t g ~passable ~layer ~x ~y d =
   match passable (Grid.node g ~layer ~x ~y) with
@@ -76,13 +77,15 @@ let relax_into t g ~passable ~layer ~x ~y d =
           end
         end
       in
-      let hc = Cost.step_cost t.cost ~layer ~horizontal:true in
-      let vc = Cost.step_cost t.cost ~layer ~horizontal:false in
+      let ph = Grid.prefers_horizontal g ~layer in
+      let hc = Cost.step_cost t.cost ~prefers_h:ph ~horizontal:true in
+      let vc = Cost.step_cost t.cost ~prefers_h:ph ~horizontal:false in
       update ~layer ~x:(x - 1) ~y hc;
       update ~layer ~x:(x + 1) ~y hc;
       update ~layer ~x ~y:(y - 1) vc;
       update ~layer ~x ~y:(y + 1) vc;
-      update ~layer:(1 - layer) ~x ~y t.cost.Cost.via
+      if layer + 1 < t.nl then update ~layer:(layer + 1) ~x ~y t.cost.Cost.via;
+      if layer > 0 then update ~layer:(layer - 1) ~x ~y t.cost.Cost.via
 
 let unpack t i =
   let a = area t in
@@ -149,16 +152,18 @@ let build g ~cost ~passable ~targets ~around ~margin =
       (min (Grid.height g - 1) (by1 + margin))
   in
   let area = Geom.Rect.area win in
+  let nl = Grid.layers g in
   let t =
     {
       win;
       margin;
       cost;
+      nl;
       tgt_xy =
         List.sort_uniq compare
           (List.map (fun n -> (Grid.node_x g n, Grid.node_y g n)) targets);
-      dist = Array.make (2 * area) inf_cost;
-      is_target = Bytes.make (2 * area) '\000';
+      dist = Array.make (nl * area) inf_cost;
+      is_target = Bytes.make (nl * area) '\000';
       q = Util.Pqueue.create ~capacity:(max 64 (area / 4)) ();
       since = Grid.mark g;
     }
@@ -231,13 +236,16 @@ let reseed_rect t g ~passable ~layer (r : Geom.Rect.t) =
                       let c = step + pen + kv in
                       if c < !best then best := c
             in
-            let hc = Cost.step_cost t.cost ~layer ~horizontal:true in
-            let vc = Cost.step_cost t.cost ~layer ~horizontal:false in
+            let ph = Grid.prefers_horizontal g ~layer in
+            let hc = Cost.step_cost t.cost ~prefers_h:ph ~horizontal:true in
+            let vc = Cost.step_cost t.cost ~prefers_h:ph ~horizontal:false in
             consider ~layer ~x:(x - 1) ~y hc;
             consider ~layer ~x:(x + 1) ~y hc;
             consider ~layer ~x ~y:(y - 1) vc;
             consider ~layer ~x ~y:(y + 1) vc;
-            consider ~layer:(1 - layer) ~x ~y t.cost.Cost.via;
+            if layer + 1 < t.nl then
+              consider ~layer:(layer + 1) ~x ~y t.cost.Cost.via;
+            if layer > 0 then consider ~layer:(layer - 1) ~x ~y t.cost.Cost.via;
             if !best < t.dist.(i) then begin
               t.dist.(i) <- !best;
               Util.Pqueue.push t.q !best i
@@ -249,33 +257,45 @@ let reseed_rect t g ~passable ~layer (r : Geom.Rect.t) =
    the field admissible — and since the reseed is decrease-only, a
    block-only rectangle could not have changed a single value anyway. *)
 let repair g ~passable t =
-  match
-    ( Grid.dirtied_freeing_rects g ~since:t.since ~layer:0,
-      Grid.dirtied_freeing_rects g ~since:t.since ~layer:1 )
-  with
-  | None, _ | _, None ->
+  let rects =
+    (* One freeing-rect list per layer; any wrapped ring loses history for
+       the whole field. *)
+    let rec gather l acc =
+      if l < 0 then Some acc
+      else
+        match Grid.dirtied_freeing_rects g ~since:t.since ~layer:l with
+        | None -> None
+        | Some rs -> gather (l - 1) (rs :: acc)
+    in
+    gather (t.nl - 1) []
+  in
+  match rects with
+  | None ->
       rebuild_in_place t g ~passable;
       Rebuilt
-  | Some r0, Some r1 ->
+  | Some per_layer ->
       let touches =
         List.exists (fun r -> Geom.Rect.overlap (Geom.Rect.inflate r 1) t.win)
       in
-      if not (touches r0 || touches r1) then begin
+      if not (List.exists touches per_layer) then begin
         t.since <- Grid.mark g;
         Clean
       end
       else begin
         Util.Pqueue.clear t.q;
-        List.iter
-          (fun r ->
-            reseed_rect t g ~passable ~layer:0 (Geom.Rect.inflate r 1);
-            reseed_rect t g ~passable ~layer:1 r)
-          r0;
-        List.iter
-          (fun r ->
-            reseed_rect t g ~passable ~layer:1 (Geom.Rect.inflate r 1);
-            reseed_rect t g ~passable ~layer:0 r)
-          r1;
+        (* A write on layer [l] changes edges into its cells: same-layer
+           neighbours (rects dilated by one) and the via edges from the
+           adjacent layers (undilated). *)
+        List.iteri
+          (fun l rs ->
+            List.iter
+              (fun r ->
+                reseed_rect t g ~passable ~layer:l (Geom.Rect.inflate r 1);
+                if l + 1 < t.nl then
+                  reseed_rect t g ~passable ~layer:(l + 1) r;
+                if l > 0 then reseed_rect t g ~passable ~layer:(l - 1) r)
+              rs)
+          per_layer;
         drain t g ~passable;
         t.since <- Grid.mark g;
         Repaired

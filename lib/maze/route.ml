@@ -23,11 +23,14 @@ let occupy_path g ~net path =
         added := n :: !added
       end)
     path;
-  (* Vias at layer-change steps. *)
+  (* Via pairs at layer-change steps: the pair is addressed by the lower
+     of the two layers it joins. *)
   let rec vias = function
     | a :: (b :: _ as rest) ->
-        if Grid.node_layer g a <> Grid.node_layer g b then
-          Grid.set_via g ~x:(Grid.node_x g a) ~y:(Grid.node_y g a);
+        let la = Grid.node_layer g a and lb = Grid.node_layer g b in
+        if la <> lb then
+          Grid.set_via ~layer:(min la lb) g ~x:(Grid.node_x g a)
+            ~y:(Grid.node_y g a);
         vias rest
     | [] | [ _ ] -> ()
   in

@@ -50,6 +50,20 @@ let core g ws ~kernel ~cost ~passable ~sources ~targets ~heuristic ~win ~stop
           fun () -> not (Util.Bucketq.is_empty q) )
   in
   let w = Grid.width g and h = Grid.height g in
+  let nl = Grid.layers g in
+  let pc = Grid.planar_cells g in
+  (* Per-layer step prices, hoisted out of the expansion loop. *)
+  let hcost =
+    Array.init nl (fun l ->
+        Cost.step_cost cost
+          ~prefers_h:(Grid.prefers_horizontal g ~layer:l)
+          ~horizontal:true)
+  and vcost =
+    Array.init nl (fun l ->
+        Cost.step_cost cost
+          ~prefers_h:(Grid.prefers_horizontal g ~layer:l)
+          ~horizontal:false)
+  in
   let windowed = win.x0 > 0 || win.y0 > 0 || win.x1 < w - 1 || win.y1 < h - 1 in
   let passable =
     if not windowed then passable
@@ -72,11 +86,10 @@ let core g ws ~kernel ~cost ~passable ~sources ~targets ~heuristic ~win ~stop
   let aborted = ref false in
   (* Per-layer bbox of expanded nodes, merged into the workspace's
      touched accumulator at loop exit (so failed and aborted searches are
-     covered too).  Local refs keep the hot loop allocation-free. *)
-  let t0x0 = ref max_int and t0y0 = ref max_int in
-  let t0x1 = ref min_int and t0y1 = ref min_int in
-  let t1x0 = ref max_int and t1y0 = ref max_int in
-  let t1x1 = ref min_int and t1y1 = ref min_int in
+     covered too).  Small per-layer arrays keep the hot loop
+     allocation-free. *)
+  let tx0 = Array.make nl max_int and ty0 = Array.make nl max_int in
+  let tx1 = Array.make nl min_int and ty1 = Array.make nl min_int in
   let should_stop =
     match stop with
     | None -> fun _ -> false
@@ -101,38 +114,33 @@ let core g ws ~kernel ~cost ~passable ~sources ~targets ~heuristic ~win ~stop
       incr expanded;
       let layer = Grid.node_layer g n in
       let x = Grid.node_x g n and y = Grid.node_y g n in
-      if layer = 0 then begin
-        if x < !t0x0 then t0x0 := x;
-        if x > !t0x1 then t0x1 := x;
-        if y < !t0y0 then t0y0 := y;
-        if y > !t0y1 then t0y1 := y
-      end
-      else begin
-        if x < !t1x0 then t1x0 := x;
-        if x > !t1x1 then t1x1 := x;
-        if y < !t1y0 then t1y0 := y;
-        if y > !t1y1 then t1y1 := y
-      end;
+      if x < tx0.(layer) then tx0.(layer) <- x;
+      if x > tx1.(layer) then tx1.(layer) <- x;
+      if y < ty0.(layer) then ty0.(layer) <- y;
+      if y > ty1.(layer) then ty1.(layer) <- y;
       if should_stop !expanded then aborted := true
       else if Workspace.marked ws n then
         found := Some { path = backtrace ws n; total_cost = gscore; expanded = !expanded }
       else begin
-        let horizontal_cost = Cost.step_cost cost ~layer ~horizontal:true in
-        let vertical_cost = Cost.step_cost cost ~layer ~horizontal:false in
+        let horizontal_cost = hcost.(layer) in
+        let vertical_cost = vcost.(layer) in
         if x + 1 < w then relax n gscore (n + 1) horizontal_cost;
         if x > 0 then relax n gscore (n - 1) horizontal_cost;
         if y + 1 < h then relax n gscore (n + w) vertical_cost;
         if y > 0 then relax n gscore (n - w) vertical_cost;
-        relax n gscore (Grid.other_layer_node g n) cost.Cost.via
+        (* Layer changes: one relaxation per adjacent layer — exactly one
+           on a two-layer stack, preserving the historical frontier
+           evolution (and with it Buckets pop-order byte-identity). *)
+        if layer + 1 < nl then relax n gscore (n + pc) cost.Cost.via;
+        if layer > 0 then relax n gscore (n - pc) cost.Cost.via
       end
     end
   done;
-  if !t0x1 >= !t0x0 then
-    Workspace.note_touched ws ~layer:0 ~x0:!t0x0 ~y0:!t0y0 ~x1:!t0x1
-      ~y1:!t0y1;
-  if !t1x1 >= !t1x0 then
-    Workspace.note_touched ws ~layer:1 ~x0:!t1x0 ~y0:!t1y0 ~x1:!t1x1
-      ~y1:!t1y1;
+  for l = 0 to nl - 1 do
+    if tx1.(l) >= tx0.(l) then
+      Workspace.note_touched ws ~layer:l ~x0:tx0.(l) ~y0:ty0.(l) ~x1:tx1.(l)
+        ~y1:ty1.(l)
+  done;
   (!found, !expanded, !aborted)
 
 (* Bounding box of the endpoint sets, in planar coordinates. *)
@@ -360,6 +368,19 @@ let core_escape g ws ~kernel ~cost ~passable ~sources ~targets ~heuristic
           fun () -> not (Util.Bucketq.is_empty q) )
   in
   let w = Grid.width g and h = Grid.height g in
+  let nl = Grid.layers g in
+  let pc = Grid.planar_cells g in
+  let hcost =
+    Array.init nl (fun l ->
+        Cost.step_cost cost
+          ~prefers_h:(Grid.prefers_horizontal g ~layer:l)
+          ~horizontal:true)
+  and vcost =
+    Array.init nl (fun l ->
+        Cost.step_cost cost
+          ~prefers_h:(Grid.prefers_horizontal g ~layer:l)
+          ~horizontal:false)
+  in
   List.iter (fun t -> Workspace.mark ws t) targets;
   List.iter
     (fun s ->
@@ -373,10 +394,8 @@ let core_escape g ws ~kernel ~cost ~passable ~sources ~targets ~heuristic
   let found = ref None in
   let aborted = ref false in
   let f_min_out = ref max_int in
-  let t0x0 = ref max_int and t0y0 = ref max_int in
-  let t0x1 = ref min_int and t0y1 = ref min_int in
-  let t1x0 = ref max_int and t1y0 = ref max_int in
-  let t1x1 = ref min_int and t1y1 = ref min_int in
+  let tx0 = Array.make nl max_int and ty0 = Array.make nl max_int in
+  let tx1 = Array.make nl min_int and ty1 = Array.make nl min_int in
   let should_stop =
     match stop with
     | None -> fun _ -> false
@@ -407,39 +426,31 @@ let core_escape g ws ~kernel ~cost ~passable ~sources ~targets ~heuristic
       incr expanded;
       let layer = Grid.node_layer g n in
       let x = Grid.node_x g n and y = Grid.node_y g n in
-      if layer = 0 then begin
-        if x < !t0x0 then t0x0 := x;
-        if x > !t0x1 then t0x1 := x;
-        if y < !t0y0 then t0y0 := y;
-        if y > !t0y1 then t0y1 := y
-      end
-      else begin
-        if x < !t1x0 then t1x0 := x;
-        if x > !t1x1 then t1x1 := x;
-        if y < !t1y0 then t1y0 := y;
-        if y > !t1y1 then t1y1 := y
-      end;
+      if x < tx0.(layer) then tx0.(layer) <- x;
+      if x > tx1.(layer) then tx1.(layer) <- x;
+      if y < ty0.(layer) then ty0.(layer) <- y;
+      if y > ty1.(layer) then ty1.(layer) <- y;
       if should_stop !expanded then aborted := true
       else if Workspace.marked ws n then
         found :=
           Some { path = backtrace ws n; total_cost = gscore; expanded = !expanded }
       else begin
-        let horizontal_cost = Cost.step_cost cost ~layer ~horizontal:true in
-        let vertical_cost = Cost.step_cost cost ~layer ~horizontal:false in
+        let horizontal_cost = hcost.(layer) in
+        let vertical_cost = vcost.(layer) in
         if x + 1 < w then relax n gscore (n + 1) horizontal_cost;
         if x > 0 then relax n gscore (n - 1) horizontal_cost;
         if y + 1 < h then relax n gscore (n + w) vertical_cost;
         if y > 0 then relax n gscore (n - w) vertical_cost;
-        relax n gscore (Grid.other_layer_node g n) cost.Cost.via
+        if layer + 1 < nl then relax n gscore (n + pc) cost.Cost.via;
+        if layer > 0 then relax n gscore (n - pc) cost.Cost.via
       end
     end
   done;
-  if !t0x1 >= !t0x0 then
-    Workspace.note_touched ws ~layer:0 ~x0:!t0x0 ~y0:!t0y0 ~x1:!t0x1
-      ~y1:!t0y1;
-  if !t1x1 >= !t1x0 then
-    Workspace.note_touched ws ~layer:1 ~x0:!t1x0 ~y0:!t1y0 ~x1:!t1x1
-      ~y1:!t1y1;
+  for l = 0 to nl - 1 do
+    if tx1.(l) >= tx0.(l) then
+      Workspace.note_touched ws ~layer:l ~x0:tx0.(l) ~y0:ty0.(l) ~x1:tx1.(l)
+        ~y1:ty1.(l)
+  done;
   (!found, !expanded, !aborted, !f_min_out)
 
 let run_guided ?(kernel = Binary_heap) ?(astar = false) ?stop ?(memo = false)
@@ -544,11 +555,13 @@ let run_lee g ws ~passable ~sources ~targets () =
         end
       in
       let x = Grid.node_x g n and y = Grid.node_y g n in
+      let layer = Grid.node_layer g n in
       if x + 1 < w then visit (n + 1);
       if x > 0 then visit (n - 1);
       if y + 1 < h then visit (n + w);
       if y > 0 then visit (n - w);
-      visit (Grid.other_layer_node g n)
+      if layer + 1 < Grid.layers g then visit (Grid.node_above g n);
+      if layer > 0 then visit (Grid.node_below g n)
     end
   done;
   !found

@@ -24,10 +24,12 @@ type t = {
   ty0 : int array;
   tx1 : int array;
   ty1 : int array;
+  nlayers : int;
 }
 
 let create g =
   let n = Grid.node_count g in
+  let nl = Grid.layers g in
   {
     dist = Array.make n max_int;
     parent = Array.make n (-1);
@@ -43,14 +45,17 @@ let create g =
     hkey_wire = -1;
     hkey_win = (0, 0, 0, 0);
     hkey_targets = [];
-    tx0 = Array.make 2 1;
-    ty0 = Array.make 2 1;
-    tx1 = Array.make 2 0;
-    ty1 = Array.make 2 0;
+    tx0 = Array.make nl 1;
+    ty0 = Array.make nl 1;
+    tx1 = Array.make nl 0;
+    ty1 = Array.make nl 0;
+    nlayers = nl;
   }
 
+let layers ws = ws.nlayers
+
 let clear_touched ws =
-  for l = 0 to 1 do
+  for l = 0 to ws.nlayers - 1 do
     ws.tx0.(l) <- 1;
     ws.tx1.(l) <- 0
   done

@@ -1,6 +1,6 @@
 (** Reusable search scratch space.
 
-    A search over a [w × h × 2] grid needs distance, parent and membership
+    A search over a [w × h × layers] grid needs distance, parent and membership
     arrays of that size.  The workspace allocates them once and invalidates
     them in O(1) between searches with generation stamps, so the router can
     run thousands of searches without per-search allocation. *)
@@ -10,9 +10,12 @@ type t
 val create : Grid.t -> t
 (** Workspace sized for the given grid (frontier queues sized to
     [node_count / 8], minimum 1024).  It may be reused for any grid of the
-    same dimensions. *)
+    same dimensions and layer stack. *)
 
 val node_capacity : t -> int
+
+val layers : t -> int
+(** Layer count of the grid this workspace was sized for. *)
 
 val begin_search : t -> unit
 (** Invalidate all distances, parents and marks from previous searches. *)

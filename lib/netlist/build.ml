@@ -26,9 +26,10 @@ let group_pins pairs =
   nets
 
 let of_pins ?(name = "problem") ?(kind = Problem.Region) ?(obstructions = [])
-    ~width ~height pairs =
+    ?layers ?layer_dirs ~width ~height pairs =
   let nets = group_pins (List.filter (fun (id, _) -> id <> 0) pairs) in
-  Problem.make ~kind ~obstructions ~name ~width ~height nets
+  Problem.make ~kind ~obstructions ~name ?layers ?layer_dirs ~width ~height
+    nets
 
 let channel ?(name = "channel") ~tracks ~top ~bottom () =
   let columns = Array.length top in

@@ -51,8 +51,12 @@ val of_pins :
   ?name:string ->
   ?kind:Problem.kind ->
   ?obstructions:Problem.obstruction list ->
+  ?layers:int ->
+  ?layer_dirs:bool array ->
   width:int ->
   height:int ->
   (int * Net.pin) list ->
   Problem.t
-(** Generic builder from [(net id, pin)] pairs, compacting ids to [1..k]. *)
+(** Generic builder from [(net id, pin)] pairs, compacting ids to [1..k].
+    [layers]/[layer_dirs] select the layer stack (default: 2-layer HV),
+    as in {!Problem.make}. *)

@@ -35,6 +35,7 @@ type pinst = {
 
 type state = {
   mutable header : header option;
+  mutable stack : (int * bool array) option;  (* layers, per-layer h-pref *)
   mutable obstructions : Problem.obstruction list;
   mutable nets : (string * Net.pin list) list; (* reversed; pins reversed *)
   mutable classes : (string * Net.cls) list;
@@ -95,6 +96,26 @@ let handle st lineno line_text =
             hwidth = int_of lineno w;
             hheight = int_of lineno h;
           }
+  | { text = "layers"; col } :: count :: dirs ->
+      if st.stack <> None then fail lineno col "duplicate layers line";
+      let n = int_of lineno count in
+      if n < 2 then fail lineno count.col "layers must be >= 2, got %d" n;
+      let prefs =
+        match dirs with
+        | [] -> Grid.default_dirs n
+        | _ ->
+            if List.length dirs <> n then
+              fail lineno col "layers %d expects %d direction tokens (h|v)" n n;
+            Array.of_list
+              (List.map
+                 (fun (t : tok) ->
+                   match t.text with
+                   | "h" -> true
+                   | "v" -> false
+                   | s -> fail lineno t.col "expected h|v, got %S" s)
+                 dirs)
+      in
+      st.stack <- Some (n, prefs)
   | [ { text = "obstruct"; _ }; layer; x0; y0; x1; y1 ] ->
       let obs_layer =
         if layer.text = "*" then None else Some (int_of lineno layer)
@@ -199,6 +220,7 @@ let of_string ?(src = "<string>") text =
   let st =
     {
       header = None;
+      stack = None;
       obstructions = [];
       nets = [];
       classes = [];
@@ -270,8 +292,13 @@ let of_string ?(src = "<string>") text =
               })
             st.insts
         in
+        let layers, layer_dirs =
+          match st.stack with
+          | None -> (Grid.default_layers, None)
+          | Some (n, prefs) -> (n, Some prefs)
+        in
         Ok
-          (Problem.make ~kind:h.hkind
+          (Problem.make ~kind:h.hkind ~layers ?layer_dirs
              ~obstructions:(List.rev st.obstructions)
              ~prewires ~insts ~name:h.hname ~width:h.hwidth ~height:h.hheight
              nets)
@@ -292,6 +319,13 @@ let to_string (p : Problem.t) =
   addf "problem %s %s %d %d\n" p.Problem.name
     (string_of_kind p.Problem.kind)
     p.Problem.width p.Problem.height;
+  (* The default 2-layer h/v stack is not emitted, keeping pre-existing
+     problem files byte-identical (same convention as class lines). *)
+  if not (Problem.default_stack p) then begin
+    addf "layers %d" p.Problem.layers;
+    Array.iter (fun h -> addf " %s" (if h then "h" else "v")) p.Problem.layer_dirs;
+    addf "\n"
+  end;
   List.iter
     (fun (o : Problem.obstruction) ->
       let r = o.Problem.obs_rect in

@@ -23,6 +23,8 @@ type t = {
   name : string;
   width : int;
   height : int;
+  layers : int;
+  layer_dirs : bool array;
   kind : kind;
   nets : Net.t array;
   obstructions : obstruction list;
@@ -49,7 +51,7 @@ let validate p =
   let cell_owner = Hashtbl.create 64 in
   let claim ~what net_id layer x y =
     if x < 0 || x >= p.width || y < 0 || y >= p.height || layer < 0
-       || layer >= Grid.layers
+       || layer >= p.layers
     then fail "Problem %s: %s of net %d out of bounds (%d,%d)L%d" p.name what net_id x y layer;
     if obstructs p.obstructions ~layer ~x ~y then
       fail "Problem %s: %s of net %d sits on an obstruction at (%d,%d)L%d"
@@ -97,7 +99,7 @@ let validate p =
           if ip.ip_net <= 0 || ip.ip_net > Array.length p.nets then
             fail "Problem %s: instance %s pin references unknown net %d"
               p.name inst.inst_name ip.ip_net;
-          if ip.ip_layer < 0 || ip.ip_layer >= Grid.layers then
+          if ip.ip_layer < 0 || ip.ip_layer >= p.layers then
             fail "Problem %s: instance %s pin on bad layer %d" p.name
               inst.inst_name ip.ip_layer;
           if
@@ -129,13 +131,21 @@ let validate p =
     p.insts
 
 let make ?(kind = Region) ?(obstructions = []) ?(prewires = []) ?(insts = [])
-    ~name ~width ~height nets =
+    ?(layers = Grid.default_layers) ?layer_dirs ~name ~width ~height nets =
   if width <= 0 || height <= 0 then fail "Problem %s: empty region" name;
+  if layers < 2 then fail "Problem %s: at least two layers" name;
+  let layer_dirs =
+    match layer_dirs with Some d -> d | None -> Grid.default_dirs layers
+  in
+  if Array.length layer_dirs <> layers then
+    fail "Problem %s: one direction per layer" name;
   let p =
     {
       name;
       width;
       height;
+      layers;
+      layer_dirs;
       kind;
       nets = Array.of_list nets;
       obstructions;
@@ -145,6 +155,12 @@ let make ?(kind = Region) ?(obstructions = []) ?(prewires = []) ?(insts = [])
   in
   validate p;
   p
+
+(* The default stack — the one every problem that does not say otherwise
+   gets, and the one the printer elides. *)
+let default_stack p =
+  p.layers = Grid.default_layers
+  && p.layer_dirs = Grid.default_dirs p.layers
 
 let net_count p = Array.length p.nets
 
@@ -197,7 +213,8 @@ let with_placement p locs =
       p.insts
   in
   make ~kind:p.kind ~obstructions:p.obstructions ~prewires:p.prewires ~insts
-    ~name:p.name ~width:p.width ~height:p.height
+    ~layers:p.layers ~layer_dirs:p.layer_dirs ~name:p.name ~width:p.width
+    ~height:p.height
     (Array.to_list p.nets)
 
 let realize p =
@@ -240,11 +257,15 @@ let realize p =
     in
     make ~kind:p.kind
       ~obstructions:(p.obstructions @ extra_obs)
-      ~prewires:p.prewires ~name:p.name ~width:p.width ~height:p.height nets
+      ~prewires:p.prewires ~layers:p.layers ~layer_dirs:p.layer_dirs
+      ~name:p.name ~width:p.width ~height:p.height nets
   end
 
 let instantiate p =
-  let g = Grid.create ~width:p.width ~height:p.height in
+  let g =
+    Grid.create ~layers:p.layers ~dirs:p.layer_dirs ~width:p.width
+      ~height:p.height ()
+  in
   List.iter
     (fun o ->
       match o.obs_layer with
@@ -265,13 +286,15 @@ let instantiate p =
         (fun (layer, x, y) ->
           Grid.occupy g ~net:pw.pre_net (Grid.node g ~layer ~x ~y))
         pw.pre_cells;
-      (* A prewire occupying both layers of a position implies a via. *)
+      (* A prewire occupying two adjacent layers of a position implies a
+         via pair between them. *)
       List.iter
         (fun (layer, x, y) ->
-          if layer = 0
-             && List.exists (fun (l, x', y') -> l = 1 && x' = x && y' = y)
+          if layer + 1 < p.layers
+             && List.exists
+                  (fun (l, x', y') -> l = layer + 1 && x' = x && y' = y)
                   pw.pre_cells
-          then Grid.set_via g ~x ~y)
+          then Grid.set_via ~layer g ~x ~y)
         pw.pre_cells)
     p.prewires;
   g

@@ -11,7 +11,7 @@ type kind =
   | Region  (** free-form: obstacles, interior pins *)
 
 type obstruction = {
-  obs_layer : int option;  (** [None] blocks both layers *)
+  obs_layer : int option;  (** [None] blocks every layer *)
   obs_rect : Geom.Rect.t;
 }
 
@@ -41,6 +41,9 @@ type t = private {
   name : string;
   width : int;
   height : int;
+  layers : int;  (** routing layers; 2 unless the problem says otherwise *)
+  layer_dirs : bool array;
+      (** per-layer horizontal preference; alternating H/V by default *)
   kind : kind;
   nets : Net.t array;  (** [nets.(i)] has id [i + 1] *)
   obstructions : obstruction list;
@@ -53,6 +56,8 @@ val make :
   ?obstructions:obstruction list ->
   ?prewires:prewire list ->
   ?insts:inst list ->
+  ?layers:int ->
+  ?layer_dirs:bool array ->
   name:string ->
   width:int ->
   height:int ->
@@ -65,6 +70,11 @@ val make :
     section is malformed (duplicate/empty instances, pin offsets inside a
     footprint, fixed instances without a location, placed footprints out
     of bounds). *)
+
+val default_stack : t -> bool
+(** The problem uses the default layer stack (2 layers, H then V) — the
+    one the printer elides, keeping historical problem files
+    byte-identical. *)
 
 val net_count : t -> int
 
@@ -82,8 +92,8 @@ val pin_cells : t -> (int * Net.pin) list
 
 val instantiate : t -> Grid.t
 (** Fresh grid: obstructions marked, every pin cell occupied by its net, and
-    pre-existing wiring laid down (with vias where a prewire occupies both
-    layers of a position). *)
+    pre-existing wiring laid down (with via pairs where a prewire occupies
+    two adjacent layers of a position). *)
 
 val total_pins : t -> int
 

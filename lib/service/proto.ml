@@ -16,6 +16,7 @@ type op =
   | Place of { seed : int option }
   | Groute of { tile : int option }
   | Flow_run of { seed : int option; tile : int option; slo_ms : int option }
+  | Analyze of { tile : int option }
   | Verify
   | Render
   | Stats
@@ -36,6 +37,7 @@ let op_name = function
   | Place _ -> "place"
   | Groute _ -> "groute"
   | Flow_run _ -> "flow"
+  | Analyze _ -> "analyze"
   | Verify -> "verify"
   | Render -> "render"
   | Stats -> "stats"
@@ -50,9 +52,18 @@ let op_name = function
 let op_names =
   [
     "open"; "route"; "add_net"; "remove_net"; "rip"; "freeze"; "thaw";
-    "refine"; "place"; "groute"; "flow"; "verify"; "render"; "stats";
-    "close"; "shutdown"; "invalid";
+    "refine"; "place"; "groute"; "flow"; "analyze"; "verify"; "render";
+    "stats"; "close"; "shutdown"; "invalid";
   ]
+
+(* Read-only ops never touch a session's state, are never journalled,
+   and are deliberately cheap; admission control lets them through a
+   full queue so a saturated shard still answers triage requests. *)
+let read_only = function
+  | Groute _ | Analyze _ | Verify | Render | Stats -> true
+  | Open _ | Route _ | Add_net _ | Remove_net _ | Rip _ | Freeze _ | Thaw _
+  | Refine _ | Place _ | Flow_run _ | Close | Shutdown ->
+      false
 
 type error_code =
   | Parse_error
@@ -161,6 +172,7 @@ let op_of json = function
           tile = opt_int json "tile";
           slo_ms = opt_int json "slo_ms";
         }
+  | "analyze" -> Analyze { tile = opt_int json "tile" }
   | "verify" -> Verify
   | "render" -> Render
   | "stats" -> Stats
@@ -226,7 +238,7 @@ let op_to_json op =
         | None -> [])
     | Place { seed } -> (
         match seed with Some s -> [ ("seed", J.Int s) ] | None -> [])
-    | Groute { tile } -> (
+    | Groute { tile } | Analyze { tile } -> (
         match tile with Some n -> [ ("tile", J.Int n) ] | None -> [])
     | Flow_run { seed; tile; slo_ms = _ } ->
         (* [slo_ms] is dropped for the same reason as [Route]'s. *)

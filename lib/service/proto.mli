@@ -42,6 +42,10 @@ type op =
   | Flow_run of { seed : int option; tile : int option; slo_ms : int option }
       (** the full mini-flow: place (if needed) → realize → global route
           → guide-windowed detailed route, installed atomically *)
+  | Analyze of { tile : int option }
+      (** read-only: the pre-route routability predictor ({!Analyze.run})
+          on the session's (realized) problem — never journalled, never
+          shed by admission control *)
   | Verify
   | Render  (** ASCII rendering of the session's current layout *)
   | Stats  (** server-wide metrics + registry snapshot; no session *)
@@ -58,6 +62,12 @@ val op_names : string list
     for unparseable request lines).  The server seeds each shard's
     {!Metrics} store with these so the per-kind tables are structurally
     immutable after creation and safe to read from other domains. *)
+
+val read_only : op -> bool
+(** Ops that never mutate session state and are never journalled
+    ([groute], [analyze], [verify], [render], [stats]).  Admission
+    control force-admits them past the queue cap, so a saturated shard
+    still answers triage requests. *)
 
 type error_code =
   | Parse_error  (** request line is not valid JSON *)

@@ -142,8 +142,8 @@ let apply_op session (op : Proto.op) =
       | Ok f ->
           Router.Session.install session ~problem:f.Flow.realized
             ~grid:f.Flow.result.Router.Engine.grid)
-  | Proto.Open _ | Proto.Groute _ | Proto.Verify | Proto.Render | Proto.Stats
-  | Proto.Close | Proto.Shutdown ->
+  | Proto.Open _ | Proto.Groute _ | Proto.Analyze _ | Proto.Verify
+  | Proto.Render | Proto.Stats | Proto.Close | Proto.Shutdown ->
       Error (Printf.sprintf "op %S cannot appear mid-log" (Proto.op_name op))
 
 let provenance wal idx = Printf.sprintf "wal:%s#%d" (Wal.path wal) idx

@@ -13,8 +13,11 @@ let cap t = t.cap
 
 let length t = t.length
 
-let submit t ~key item =
-  if t.length >= t.cap then false
+(* [force] bypasses the cap: read-only requests are admitted even into
+   a saturated queue (they are cheap and never journalled, so a shard
+   drowning in mutations still answers triage probes). *)
+let submit ?(force = false) t ~key item =
+  if (not force) && t.length >= t.cap then false
   else begin
     (match Hashtbl.find_opt t.per_key key with
     | Some q -> Queue.push item q

@@ -25,9 +25,11 @@ val cap : 'a t -> int
 val length : 'a t -> int
 (** Requests currently queued. *)
 
-val submit : 'a t -> key:string -> 'a -> bool
+val submit : ?force:bool -> 'a t -> key:string -> 'a -> bool
 (** Enqueue under the session key; [false] when the queue is full (the
-    request was shed — nothing was enqueued). *)
+    request was shed — nothing was enqueued).  [force] (default false)
+    admits past the cap: read-only requests are never shed, so a shard
+    saturated with mutations still answers triage probes. *)
 
 val pop : 'a t -> (string * 'a) option
 (** Next request in fair rotation, with its key. *)

@@ -549,6 +549,24 @@ let exec t shard (req : Proto.request) =
         | realized ->
             ok ~gen:(Registry.generation entry)
               (groute_json (Groute.run ?tile realized)))
+  | Proto.Analyze { tile } -> (
+      (* Read-only like [groute]: nothing to commit, nothing journalled.
+         Admission force-admits it, so this must stay cheap — it is
+         (closed-form supply/demand over the tile graph, no routing). *)
+      with_session shard req @@ fun _ entry ->
+      let session = Registry.session entry in
+      let problem = Router.Session.problem session in
+      if Netlist.Problem.has_insts problem
+         && not (Netlist.Problem.placed problem)
+      then
+        error_reply ~rid Proto.Net_error
+          "the placement section has unplaced instances; place first"
+      else
+        match Netlist.Problem.realize problem with
+        | exception Invalid_argument msg -> mutation_error ~rid shard msg
+        | realized ->
+            ok ~gen:(Registry.generation entry)
+              (Analyze.to_json (Analyze.run ?tile realized)))
   | Proto.Flow_run { seed; tile; slo_ms } -> (
       with_session shard req @@ fun _ entry ->
       deduped ~rid entry @@ fun () ->
@@ -745,9 +763,16 @@ let submit t ~client line =
         let shard = shard_for t request in
         let key = Option.value ~default:"" request.Proto.session in
         Mutex.lock shard.qmutex;
+        (* Read-only requests bypass the queue-cap accounting entirely:
+           they are force-admitted past both the global cap and the
+           shard's slice, so a shard saturated with mutations still
+           answers [analyze]/[stats]/[verify] probes.  They still count
+           in [queued] while in flight (the drain path decrements
+           uniformly), which only makes mutation admission stricter. *)
+        let force = Proto.read_only request.Proto.op in
         let admitted =
-          Atomic.get t.queued < t.config.queue_cap
-          && Sched.submit shard.queue ~key { client; request }
+          (force || Atomic.get t.queued < t.config.queue_cap)
+          && Sched.submit ~force shard.queue ~key { client; request }
         in
         if admitted then begin
           Atomic.incr t.queued;

@@ -3,11 +3,14 @@ module J = Util.Json
 type info = {
   gen : int;
   last_rid : int;
-  vias : (int * int) list;
+  vias : (int * int * int) list;  (* (pair layer, x, y) *)
   frozen : string list;
   problem : Netlist.Problem.t;
 }
 
+(* A pair-0 via encodes as the historical [x, y] pair so 2-layer
+   snapshots stay byte-identical; higher pairs carry the layer as a
+   third element. *)
 let encode_body ~vias ~frozen problem =
   let meta =
     J.to_string
@@ -15,8 +18,12 @@ let encode_body ~vias ~frozen problem =
          [
            ("frozen", J.List (List.map (fun s -> J.String s) frozen));
            ( "vias",
-             J.List (List.map (fun (x, y) -> J.List [ J.Int x; J.Int y ]) vias)
-           );
+             J.List
+               (List.map
+                  (fun (l, x, y) ->
+                    if l = 0 then J.List [ J.Int x; J.Int y ]
+                    else J.List [ J.Int x; J.Int y; J.Int l ])
+                  vias) );
          ])
   in
   meta ^ "\n" ^ Netlist.Parse.to_string problem
@@ -64,7 +71,11 @@ let meta_of_json json =
               match v with
               | J.List [ x; y ] -> (
                   match (J.to_int_opt x, J.to_int_opt y) with
-                  | Some x, Some y -> Some (x, y)
+                  | Some x, Some y -> Some (0, x, y)
+                  | _ -> None)
+              | J.List [ x; y; l ] -> (
+                  match (J.to_int_opt x, J.to_int_opt y, J.to_int_opt l) with
+                  | Some x, Some y, Some l -> Some (l, x, y)
                   | _ -> None)
               | _ -> None))
   in

@@ -6,9 +6,14 @@
 
     {v
     walsnap 1 <gen> <last_rid> <len> <crc32 hex>
-    {"frozen":[...],"vias":[[x,y],...]}
+    {"frozen":[...],"vias":[[x,y],[x,y,l],...]}
     <problem text, FORMAT.md syntax, wiring as pre-wires>
     v}
+
+    A via element [[x,y]] is a pair-0 via (joining layers 0 and 1 —
+    the only kind a 2-layer session can hold, so 2-layer snapshots are
+    byte-identical to the historical format); [[x,y,l]] records a via
+    pair at layer [l] (joining layers [l] and [l+1]).
 
     The header's [len]/[crc] cover the body (meta line + problem text),
     so a torn or bit-flipped snapshot is detected on read and reported
@@ -21,7 +26,7 @@
 type info = {
   gen : int;  (** session generation at capture time *)
   last_rid : int;  (** last applied client request id (0 = none) *)
-  vias : (int * int) list;
+  vias : (int * int * int) list;  (** (pair layer, x, y) *)
   frozen : string list;
   problem : Netlist.Problem.t;
 }
@@ -31,7 +36,7 @@ val write :
   fsync:bool ->
   gen:int ->
   last_rid:int ->
-  vias:(int * int) list ->
+  vias:(int * int * int) list ->
   frozen:string list ->
   Netlist.Problem.t ->
   string ->

@@ -54,16 +54,19 @@ let side_by_side ~titles maps =
   Buffer.contents buf
 
 let render g =
-  let layer0 = render_layer g ~layer:0 and layer1 = render_layer g ~layer:1 in
-  if Grid.via_count g = 0 then
-    side_by_side ~titles:[ "layer0 (H)"; "layer1 (V)" ] [ layer0; layer1 ]
+  let nlayers = Grid.layers g in
+  let maps = List.init nlayers (fun layer -> render_layer g ~layer) in
+  let titles =
+    List.init nlayers (fun layer ->
+        Printf.sprintf "layer%d (%s)" layer
+          (if Grid.prefers_horizontal g ~layer then "H" else "V"))
+  in
+  if Grid.via_count g = 0 then side_by_side ~titles maps
   else begin
     let vias =
       map_of g (fun ~x ~y -> if Grid.has_via g ~x ~y then 'x' else '.')
     in
-    side_by_side
-      ~titles:[ "layer0 (H)"; "layer1 (V)"; "vias" ]
-      [ layer0; layer1; vias ]
+    side_by_side ~titles:(titles @ [ "vias" ]) (maps @ [ vias ])
   end
 
 let render_problem problem = render (Netlist.Problem.instantiate problem)
@@ -90,14 +93,14 @@ let render_heatmap problem =
   Buffer.contents buf
 
 let render_usage g =
+  let nlayers = Grid.layers g in
   map_of g (fun ~x ~y ->
-      let count layer =
-        if Grid.occ_at g ~layer ~x ~y > 0 then 1 else 0
-      in
-      let obstructed layer = Grid.occ_at g ~layer ~x ~y = Grid.obstacle in
-      if obstructed 0 && obstructed 1 then '#'
-      else
-        match count 0 + count 1 with
-        | 0 -> '.'
-        | 1 -> '1'
-        | _ -> '2')
+      let wired = ref 0 and obstructed = ref 0 in
+      for layer = 0 to nlayers - 1 do
+        let v = Grid.occ_at g ~layer ~x ~y in
+        if v > 0 then incr wired
+        else if v = Grid.obstacle then incr obstructed
+      done;
+      if !obstructed = nlayers then '#'
+      else if !wired = 0 then '.'
+      else Char.chr (Char.code '0' + min 9 !wired))

@@ -1,4 +1,9 @@
-let layer_color = function 0 -> "#2c6fbb" | _ -> "#c0392b"
+let layer_color = function
+  | 0 -> "#2c6fbb"
+  | 1 -> "#c0392b"
+  | 2 -> "#27a05a"
+  | 3 -> "#8e44ad"
+  | _ -> "#c98a1b"
 
 (* Net names are client-chosen free text; anything landing in markup must
    be escaped or a net named "a<b" produces invalid XML. *)
@@ -27,15 +32,18 @@ let render ?(cell = 14) problem g =
      viewBox=\"0 0 %d %d\">\n"
     (w * cell) (h * cell) (w * cell) (h * cell);
   addf "<rect width=\"100%%\" height=\"100%%\" fill=\"#fdfdf8\"/>\n";
-  (* Obstacles (drawn once; both-layer obstacles dominate). *)
+  (* Obstacles (drawn once; all-layer obstacles dominate). *)
+  let nlayers = Grid.layers g in
   for y = 0 to h - 1 do
     for x = 0 to w - 1 do
-      let l0 = Grid.occ_at g ~layer:0 ~x ~y
-      and l1 = Grid.occ_at g ~layer:1 ~x ~y in
-      if l0 = Grid.obstacle && l1 = Grid.obstacle then
+      let blocked = ref 0 in
+      for layer = 0 to nlayers - 1 do
+        if Grid.occ_at g ~layer ~x ~y = Grid.obstacle then incr blocked
+      done;
+      if !blocked = nlayers then
         addf "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"#b5b5ad\"/>\n"
           (px x) (py y) cell cell
-      else if l0 = Grid.obstacle || l1 = Grid.obstacle then
+      else if !blocked > 0 then
         addf
           "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"#dcdcd2\"/>\n"
           (px x) (py y) cell cell
@@ -44,7 +52,7 @@ let render ?(cell = 14) problem g =
   (* Wiring: draw each same-net adjacency as a line segment per layer. *)
   let half = cell / 2 in
   let cx x = px x + half and cy y = py y + half in
-  for layer = 0 to Grid.layers - 1 do
+  for layer = 0 to nlayers - 1 do
     let color = layer_color layer in
     for y = 0 to h - 1 do
       for x = 0 to w - 1 do

@@ -127,7 +127,7 @@ let dense_switchbox ?(name = "dense-switchbox") ?(fill = 0.85) prng ~width
    what makes the instances hard for one-shot routing. *)
 let routable_switchbox ?(name = "routable-switchbox") ?(fill = 0.9)
     ?(multi_pin_prob = 0.2) prng ~width ~height =
-  let g = Grid.create ~width ~height in
+  let g = Grid.create ~width ~height () in
   let ws = Maze.Workspace.create g in
   let slots = Array.of_list (all_switchbox_slots ~width ~height) in
   Util.Prng.shuffle prng slots;
@@ -211,9 +211,10 @@ let chip_macros ~width ~height ~macro_cols ~macro_rows =
   List.rev !rects
 
 let routable_chip ?(name = "routable-chip") ?(macro_cols = 3) ?(macro_rows = 2)
-    ?(fill = 0.45) ?(multi_pin_prob = 0.25) prng ~width ~height =
+    ?(fill = 0.45) ?(multi_pin_prob = 0.25) ?layers ?layer_dirs
+    ?(slot_prob = 0.35) prng ~width ~height =
   let macros = chip_macros ~width ~height ~macro_cols ~macro_rows in
-  let g = Grid.create ~width ~height in
+  let g = Grid.create ?layers ?dirs:layer_dirs ~width ~height () in
   List.iter (fun r -> Grid.block_rect g r) macros;
   let ws = Maze.Workspace.create g in
   (* Pin slots: free cells hugging a macro edge or on the chip boundary. *)
@@ -230,7 +231,7 @@ let routable_chip ?(name = "routable-chip") ?(macro_cols = 3) ?(macro_rows = 2)
     for x = 0 to width - 1 do
       if (near_macro x y || on_boundary x y)
          && Grid.occ_at g ~layer:0 ~x ~y = Grid.free
-         && Util.Prng.chance prng 0.35
+         && Util.Prng.chance prng slot_prob
       then slots := (x, y) :: !slots
     done
   done;
@@ -241,7 +242,7 @@ let routable_chip ?(name = "routable-chip") ?(macro_cols = 3) ?(macro_rows = 2)
   let slot_layer =
     Array.map
       (fun (x, y) ->
-        let layer = Util.Prng.int prng Grid.layers in
+        let layer = Util.Prng.int prng (Grid.layers g) in
         Grid.occupy g ~net:reserved (Grid.node g ~layer ~x ~y);
         layer)
       slots
@@ -318,8 +319,120 @@ let routable_chip ?(name = "routable-chip") ?(macro_cols = 3) ?(macro_rows = 2)
       (fun r -> { Netlist.Problem.obs_layer = None; obs_rect = r })
       macros
   in
-  Netlist.Build.of_pins ~name ~kind:Netlist.Problem.Region ~obstructions ~width
-    ~height pairs
+  Netlist.Build.of_pins ~name ~kind:Netlist.Problem.Region ~obstructions
+    ?layers ?layer_dirs ~width ~height pairs
+
+(* Chip-scale instances: the witness-wire recipe of [routable_chip]
+   cannot reach four-digit net counts — its unwindowed wiggly wires
+   wander across the whole region, so a handful of nets saturates the
+   fill budget.  Here nets are {e local}: pin slots are bucketed into
+   blocks, nets draw their pins from (mostly) one block, and each
+   witness wire routes inside its pin bounding box grown by [window]
+   cells.  Short wires → thousands of provably routable nets. *)
+let chip_scale ?(name = "chip-scale") ?(macro_cols = 7) ?(macro_rows = 5)
+    ?(layers = 3) ?layer_dirs ?(slot_prob = 0.6) ?(multi_pin_prob = 0.2)
+    ?(window = 10) prng ~width ~height =
+  let macros = chip_macros ~width ~height ~macro_cols ~macro_rows in
+  let g = Grid.create ~layers ?dirs:layer_dirs ~width ~height () in
+  List.iter (fun r -> Grid.block_rect g r) macros;
+  let ws = Maze.Workspace.create g in
+  let near_macro x y =
+    List.exists (fun r -> Geom.Rect.mem (Geom.Rect.inflate r 1) x y) macros
+  in
+  let on_boundary x y = x = 0 || y = 0 || x = width - 1 || y = height - 1 in
+  let slots = ref [] in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      if (near_macro x y || on_boundary x y)
+         && Grid.occ_at g ~layer:0 ~x ~y = Grid.free
+         && Util.Prng.chance prng slot_prob
+      then slots := (x, y) :: !slots
+    done
+  done;
+  let slots = Array.of_list !slots in
+  Util.Prng.shuffle prng slots;
+  let reserved = Array.length slots + 1 in
+  let slot_layer =
+    Array.map
+      (fun (x, y) ->
+        let layer = Util.Prng.int prng layers in
+        Grid.occupy g ~net:reserved (Grid.node g ~layer ~x ~y);
+        layer)
+      slots
+  in
+  (* Locality: stable-sort the shuffled slots by block; consecutive
+     slots then mostly share a block, so popping consecutive groups
+     yields local nets (the occasional block-spanning group just gets a
+     larger search box). *)
+  let block = max 8 (2 * window) in
+  let blocks_x = (width + block - 1) / block in
+  let bucket (x, y) = ((y / block) * blocks_x) + (x / block) in
+  let order = Array.init (Array.length slots) Fun.id in
+  Array.sort
+    (fun a b ->
+      let ba = bucket slots.(a) and bb = bucket slots.(b) in
+      if ba <> bb then compare ba bb else compare a b)
+    order;
+  let kept = ref [] in
+  let next_id = ref 0 in
+  let cursor = ref 0 in
+  let pop () =
+    if !cursor >= Array.length order then None
+    else begin
+      let i = order.(!cursor) in
+      incr cursor;
+      Some i
+    end
+  in
+  let continue = ref true in
+  while !continue do
+    let k = if Util.Prng.chance prng multi_pin_prob then 3 else 2 in
+    let rec take n acc =
+      if n = 0 then Some (List.rev acc)
+      else match pop () with None -> None | Some i -> take (n - 1) (i :: acc)
+    in
+    match take k [] with
+    | None -> continue := false
+    | Some chosen ->
+        incr next_id;
+        let id = !next_id in
+        let pins =
+          List.map
+            (fun i ->
+              let x, y = slots.(i) in
+              Netlist.Net.pin ~layer:slot_layer.(i) x y)
+            chosen
+        in
+        let nodes = List.map (Maze.Route.pin_node g) pins in
+        List.iter (Grid.release g) nodes;
+        List.iter (Grid.occupy g ~net:id) nodes;
+        let salt = Util.Prng.int prng 1_000_000 in
+        let noise n = abs ((n * 2654435761) + salt) land 1 in
+        let passable n =
+          let v = Grid.occ g n in
+          if v = Grid.free || v = id then Some (noise n) else None
+        in
+        let net = Netlist.Net.make ~id ~name:(Printf.sprintf "n%d" id) pins in
+        (match
+           Maze.Route.route_net ~passable ~window g ws
+             ~cost:Maze.Cost.default net
+         with
+        | Ok _ -> kept := (id, pins) :: !kept
+        | Error _ ->
+            List.iter (Grid.release g) nodes;
+            List.iter (Grid.occupy g ~net:reserved) nodes;
+            decr next_id)
+  done;
+  let pairs =
+    List.concat_map (fun (id, pins) -> List.map (fun p -> (id, p)) pins) !kept
+  in
+  let obstructions =
+    List.map
+      (fun r -> { Netlist.Problem.obs_layer = None; obs_rect = r })
+      macros
+  in
+  Netlist.Build.of_pins ~name ~kind:Netlist.Problem.Region ~obstructions
+    ~layers ?layer_dirs ~width ~height pairs
 
 let region ?(name = "rand-region") ?(obstacle_rects = 3) ?(min_pins = 2)
     ?(max_pins = 4) prng ~width ~height ~nets =
@@ -356,7 +469,7 @@ let region ?(name = "rand-region") ?(obstacle_rects = 3) ?(min_pins = 2)
     if List.length slots >= 2 then
       List.iter
         (fun (x, y) ->
-          let layer = Util.Prng.int prng Grid.layers in
+          let layer = Util.Prng.int prng Grid.default_layers in
           pairs := (i, Netlist.Net.pin ~layer x y) :: !pairs)
         slots
   done;

@@ -73,6 +73,9 @@ val routable_chip :
   ?macro_rows:int ->
   ?fill:float ->
   ?multi_pin_prob:float ->
+  ?layers:int ->
+  ?layer_dirs:bool array ->
+  ?slot_prob:float ->
   Util.Prng.t ->
   width:int ->
   height:int ->
@@ -81,7 +84,32 @@ val routable_chip :
     obstructions (default 3×2) separated by routing alleys, with pins on
     macro edges and the chip boundary, and nets constructed by routing
     disjoint witness wires through the alleys (so the instance is provably
-    routable).  The scaling experiment E9 sweeps these. *)
+    routable).  [layers]/[layer_dirs] select the routing stack (default:
+    2-layer HV) — witness wires route on the full stack, and pins land on
+    random layers of it.  [slot_prob] (default 0.35) is the chance a
+    candidate cell becomes a pin slot; raise it to push the net count up
+    for chip-scale instances.  The scaling experiment E9 sweeps these. *)
+
+val chip_scale :
+  ?name:string ->
+  ?macro_cols:int ->
+  ?macro_rows:int ->
+  ?layers:int ->
+  ?layer_dirs:bool array ->
+  ?slot_prob:float ->
+  ?multi_pin_prob:float ->
+  ?window:int ->
+  Util.Prng.t ->
+  width:int ->
+  height:int ->
+  Netlist.Problem.t
+(** Chip-scale provably-routable instance: like {!routable_chip} but
+    with {e local} nets — pin slots are bucketed into blocks and each
+    witness wire routes inside its pin bounding box grown by [window]
+    cells (default 10), so a large region yields thousands of short
+    nets instead of a handful of wandering ones.  [layers] defaults to
+    3 (alternating H/V/H).  The committed [instances/chip_*_l*.problem]
+    files and the [bench analyze] chip-scale row use this. *)
 
 val region :
   ?name:string ->

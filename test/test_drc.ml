@@ -94,7 +94,7 @@ let test_detects_wire_on_obstruction () =
         ]
       [ Netlist.Net.make ~id:1 ~name:"a" [ pin 0 1; pin 5 1 ] ]
   in
-  let g = Grid.create ~width:6 ~height:4 in
+  let g = Grid.create ~width:6 ~height:4 () in
   for x = 0 to 5 do
     Grid.occupy g ~net:1 (Grid.node g ~layer:0 ~x ~y:1)
   done;
@@ -112,7 +112,7 @@ let test_detects_wire_on_obstruction () =
 let test_detects_missing_pin () =
   let p = two_net_problem () in
   (* Fresh grid without pin occupancy. *)
-  let g = Grid.create ~width:8 ~height:6 in
+  let g = Grid.create ~width:8 ~height:6 () in
   let violations = Drc.Check.check p g in
   let missing_pins =
     List.length
@@ -161,7 +161,7 @@ let test_nets_filter () =
   Testkit.check_false "full check fails" (Drc.Check.is_clean p g)
 
 let test_connected_components_counts () =
-  let g = Grid.create ~width:6 ~height:4 in
+  let g = Grid.create ~width:6 ~height:4 () in
   Testkit.check_int "no cells" 0 (Drc.Check.connected_components g ~net:1);
   Grid.occupy g ~net:1 (Grid.node g ~layer:0 ~x:0 ~y:0);
   Testkit.check_int "one cell" 1 (Drc.Check.connected_components g ~net:1);

@@ -1,7 +1,7 @@
 (* Tests for the routing grid: node packing, occupancy rules, vias,
    obstruction helpers, paths and segment extraction. *)
 
-let mk () = Grid.create ~width:8 ~height:6
+let mk () = Grid.create ~width:8 ~height:6 ()
 
 let test_dimensions () =
   let g = mk () in
@@ -35,11 +35,11 @@ let test_nodes_distinct () =
 let test_other_layer_node () =
   let g = mk () in
   let n = Grid.node g ~layer:0 ~x:3 ~y:2 in
-  let m = Grid.other_layer_node g n in
+  let m = Grid.node_above g n in
   Testkit.check_int "other layer" 1 (Grid.node_layer g m);
   Testkit.check_int "same x" 3 (Grid.node_x g m);
   Testkit.check_int "same planar" (Grid.planar g n) (Grid.planar g m);
-  Testkit.check_int "involution" n (Grid.other_layer_node g m)
+  Testkit.check_int "involution" n (Grid.node_below g m)
 
 let test_occupy_release () =
   let g = mk () in
@@ -132,7 +132,7 @@ let test_copy_independent () =
   let h = Grid.copy g in
   Grid.release g n;
   Testkit.check_true "copy keeps ownership" (Grid.owner h n = Some 5);
-  Grid.occupy h ~net:5 (Grid.other_layer_node h n);
+  Grid.occupy h ~net:5 (Grid.node_above h n);
   Grid.set_via h ~x:2 ~y:2;
   Testkit.check_false "original via untouched" (Grid.has_via g ~x:2 ~y:2)
 
@@ -253,7 +253,7 @@ let prop_random_ops_keep_invariants =
     QCheck2.Gen.(int_range 0 100000)
     (fun seed ->
       let prng = Util.Prng.create seed in
-      let g = Grid.create ~width:6 ~height:5 in
+      let g = Grid.create ~width:6 ~height:5 () in
       let ok = ref true in
       for _ = 1 to 120 do
         let n = Util.Prng.int prng (Grid.node_count g) in
@@ -357,7 +357,7 @@ let test_dirty_coalescing_is_conservative () =
   done
 
 let test_dirty_ring_wrap_degrades_safely () =
-  let g = Grid.create ~width:32 ~height:32 in
+  let g = Grid.create ~width:32 ~height:32 () in
   let m = Grid.mark g in
   (* far-apart alternating writes defeat coalescing and wrap the ring *)
   for i = 0 to (2 * Grid.dirt_capacity) + 15 do

@@ -8,7 +8,7 @@ let free_passable g n = if Grid.is_free g n then Some 0 else None
 
 let random_obstacle_grid seed =
   let prng = Util.Prng.create seed in
-  let g = Grid.create ~width:10 ~height:8 in
+  let g = Grid.create ~width:10 ~height:8 () in
   Grid.iter_nodes g (fun n ->
       if Util.Prng.chance prng 0.25 then
         Grid.set_obstacle g

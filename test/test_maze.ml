@@ -5,7 +5,7 @@
 let pin = Netlist.Net.pin
 
 let empty_grid ?(w = 12) ?(h = 10) () =
-  let g = Grid.create ~width:w ~height:h in
+  let g = Grid.create ~width:w ~height:h () in
   (g, Maze.Workspace.create g)
 
 let free_passable g n =
@@ -48,7 +48,7 @@ let test_search_respects_obstacles () =
   let g, ws = empty_grid ~w:9 ~h:5 () in
   (* Wall across both layers at x=4, forcing failure. *)
   for y = 0 to 4 do
-    Grid.set_obstacle_both g ~x:4 ~y
+    Grid.set_obstacle_all g ~x:4 ~y
   done;
   let a = Grid.node g ~layer:0 ~x:0 ~y:2 and b = Grid.node g ~layer:0 ~x:8 ~y:2 in
   Testkit.check_true "wall blocks"
@@ -57,7 +57,7 @@ let test_search_respects_obstacles () =
 let test_search_detours_around_wall () =
   let g, ws = empty_grid ~w:9 ~h:5 () in
   for y = 0 to 3 do
-    Grid.set_obstacle_both g ~x:4 ~y
+    Grid.set_obstacle_all g ~x:4 ~y
   done;
   let a = Grid.node g ~layer:0 ~x:0 ~y:0 and b = Grid.node g ~layer:0 ~x:8 ~y:0 in
   match run g ws ~sources:[ a ] ~targets:[ b ] () with
@@ -151,7 +151,7 @@ let test_workspace_reuse () =
 
 let random_obstacle_grid seed =
   let prng = Util.Prng.create seed in
-  let g = Grid.create ~width:10 ~height:8 in
+  let g = Grid.create ~width:10 ~height:8 () in
   Grid.iter_nodes g (fun n ->
       if Util.Prng.chance prng 0.25 then
         Grid.set_obstacle g
@@ -169,7 +169,7 @@ let test_lee_matches_uniform_dijkstra () =
   | None -> Alcotest.fail "lee failed");
   (* blocked case *)
   for y = 0 to 9 do
-    Grid.set_obstacle_both g ~x:5 ~y
+    Grid.set_obstacle_all g ~x:5 ~y
   done;
   Testkit.check_true "lee blocked"
     (Maze.Search.run_lee g ws ~passable:(free_passable g) ~sources:[ a ] ~targets:[ b ] () = None)
@@ -306,7 +306,7 @@ let test_window_widens_on_failure () =
      still return the optimal cost-16 detour. *)
   let g, ws = empty_grid ~w:9 ~h:5 () in
   for y = 0 to 3 do
-    Grid.set_obstacle_both g ~x:4 ~y
+    Grid.set_obstacle_all g ~x:4 ~y
   done;
   let a = Grid.node g ~layer:0 ~x:0 ~y:0 and b = Grid.node g ~layer:0 ~x:8 ~y:0 in
   match
@@ -322,7 +322,7 @@ let test_window_widens_on_failure () =
 let test_window_unreachable_returns_none () =
   let g, ws = empty_grid ~w:9 ~h:5 () in
   for y = 0 to 4 do
-    Grid.set_obstacle_both g ~x:4 ~y
+    Grid.set_obstacle_all g ~x:4 ~y
   done;
   let a = Grid.node g ~layer:0 ~x:0 ~y:2 and b = Grid.node g ~layer:0 ~x:8 ~y:2 in
   Testkit.check_true "windowed search reports unreachable"
@@ -343,7 +343,7 @@ let test_buckets_count_expansions () =
   | None -> Alcotest.fail "bucket search failed"
 
 let test_workspace_reset_explicit () =
-  let g = Grid.create ~width:4 ~height:4 in
+  let g = Grid.create ~width:4 ~height:4 () in
   let ws = Maze.Workspace.create g in
   Maze.Workspace.begin_search ws;
   Maze.Workspace.mark ws 3;
@@ -355,16 +355,16 @@ let test_workspace_reset_explicit () =
 
 let test_cost_model () =
   Testkit.check_int "preferred horizontal on L0" 1
-    (Maze.Cost.step_cost Maze.Cost.default ~layer:0 ~horizontal:true);
+    (Maze.Cost.step_cost Maze.Cost.default ~prefers_h:true ~horizontal:true);
   Testkit.check_int "wrong way vertical on L0" 3
-    (Maze.Cost.step_cost Maze.Cost.default ~layer:0 ~horizontal:false);
+    (Maze.Cost.step_cost Maze.Cost.default ~prefers_h:true ~horizontal:false);
   Testkit.check_int "preferred vertical on L1" 1
-    (Maze.Cost.step_cost Maze.Cost.default ~layer:1 ~horizontal:false);
+    (Maze.Cost.step_cost Maze.Cost.default ~prefers_h:false ~horizontal:false);
   Testkit.check_int "uniform symmetric" 1
-    (Maze.Cost.step_cost Maze.Cost.uniform ~layer:0 ~horizontal:false)
+    (Maze.Cost.step_cost Maze.Cost.uniform ~prefers_h:true ~horizontal:false)
 
 let test_workspace_marks_reset () =
-  let g = Grid.create ~width:4 ~height:4 in
+  let g = Grid.create ~width:4 ~height:4 () in
   let ws = Maze.Workspace.create g in
   Maze.Workspace.begin_search ws;
   Maze.Workspace.mark ws 5;
@@ -418,7 +418,7 @@ let test_route_net_rollback_on_failure () =
   let g = Netlist.Problem.instantiate p in
   (* Seal off the corner pin on both layers. *)
   List.iter
-    (fun (x, y) -> Grid.set_obstacle_both g ~x ~y)
+    (fun (x, y) -> Grid.set_obstacle_all g ~x ~y)
     [ (10, 9); (11, 8); (10, 8) ];
   let ws = Maze.Workspace.create g in
   let before = Grid.count_owned g ~net:1 in
@@ -474,7 +474,7 @@ let test_reachable_oracle () =
     (Maze.Search.reachable g ws ~passable:(free_passable g) ~sources:[ a ]
        ~targets:[ b ]);
   for y = 0 to 3 do
-    Grid.set_obstacle_both g ~x:3 ~y
+    Grid.set_obstacle_all g ~x:3 ~y
   done;
   Testkit.check_false "walled off"
     (Maze.Search.reachable g ws ~passable:(free_passable g) ~sources:[ a ]

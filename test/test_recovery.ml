@@ -119,7 +119,7 @@ let fingerprint server name =
         (Service.Registry.last_rid e)
         (Netlist.Parse.to_string problem)
         (String.concat ";"
-           (List.map (fun (x, y) -> Printf.sprintf "%d,%d" x y) vias))
+           (List.map (fun (l, x, y) -> Printf.sprintf "%d,%d,%d" l x y) vias))
         (String.concat "," frozen)
         (Viz.Ascii.render (Router.Session.grid s))
 

@@ -8,7 +8,7 @@ let pin = Netlist.Net.pin
 
 let straight_segment_grid () =
   (* Net 9 runs straight along y=2, x=1..5 on layer 0; rows 1 and 3 free. *)
-  let g = Grid.create ~width:8 ~height:6 in
+  let g = Grid.create ~width:8 ~height:6 () in
   for x = 1 to 5 do
     Grid.occupy g ~net:9 (Grid.node g ~layer:0 ~x ~y:2)
   done;
@@ -35,7 +35,7 @@ let test_shove_rejects_endpoint () =
     (Router.Shove.try_shove g ~protected:no_protection ~node:e = None)
 
 let test_shove_rejects_corner () =
-  let g = Grid.create ~width:8 ~height:6 in
+  let g = Grid.create ~width:8 ~height:6 () in
   List.iter
     (fun (x, y) -> Grid.occupy g ~net:9 (Grid.node g ~layer:0 ~x ~y))
     [ (1, 2); (2, 2); (2, 3); (2, 4) ];
@@ -44,7 +44,7 @@ let test_shove_rejects_corner () =
     (Router.Shove.try_shove g ~protected:no_protection ~node:corner = None)
 
 let test_shove_rejects_junction () =
-  let g = Grid.create ~width:8 ~height:6 in
+  let g = Grid.create ~width:8 ~height:6 () in
   (* T junction at (3,2) *)
   List.iter
     (fun (x, y) -> Grid.occupy g ~net:9 (Grid.node g ~layer:0 ~x ~y))
@@ -92,7 +92,7 @@ let test_shove_tries_other_side () =
         (List.for_all (fun n -> Grid.node_y g n = 1) m.Router.Shove.added)
 
 let test_shove_vertical_segment () =
-  let g = Grid.create ~width:8 ~height:6 in
+  let g = Grid.create ~width:8 ~height:6 () in
   for y = 1 to 4 do
     Grid.occupy g ~net:9 (Grid.node g ~layer:1 ~x:4 ~y)
   done;
@@ -448,7 +448,7 @@ let prop_shove_preserves_invariants =
     QCheck2.Gen.(int_range 0 100000)
     (fun seed ->
       let prng = Util.Prng.create seed in
-      let g = Grid.create ~width:10 ~height:8 in
+      let g = Grid.create ~width:10 ~height:8 () in
       (* a random straight segment of net 9 *)
       let horizontal = Util.Prng.bool prng in
       let layer = Util.Prng.int prng 2 in

@@ -303,7 +303,9 @@ let test_trace_equivalence_large () =
 
 let test_shed_with_retry_after () =
   let s = server ~queue_cap:2 () in
-  let line n = Printf.sprintf {|{"id":%d,"op":"stats"}|} n in
+  (* Mutating requests count against the cap (read-only ones bypass it —
+     see [test_read_only_bypasses_cap]). *)
+  let line n = Printf.sprintf {|{"id":%d,"op":"route","session":"s"}|} n in
   Testkit.check_true "1 admitted" (Service.Server.submit s ~client:0 (line 1) = None);
   Testkit.check_true "2 admitted" (Service.Server.submit s ~client:0 (line 2) = None);
   (match Service.Server.submit s ~client:0 (line 3) with
@@ -331,6 +333,65 @@ let test_shed_with_retry_after () =
   Testkit.check_true "shed count surfaces in stats" (shed = Some 1);
   Testkit.check_int "metrics agree" 1
     (Service.Metrics.shed_count (Service.Server.metrics s))
+
+(* Read-only requests ([analyze], [stats], [verify], …) bypass the
+   queue-cap accounting: a shard saturated with mutations must still
+   admit and answer them. *)
+let test_read_only_bypasses_cap () =
+  let s = server ~queue_cap:1 () in
+  let problem =
+    Workload.Gen.routable_switchbox (prng 5) ~width:12 ~height:10
+  in
+  Testkit.check_true "open ok"
+    (ok_of_reply (one_reply s (open_line ~session:"ro" problem)));
+  (* Saturate: one route fills the cap, the second is shed. *)
+  Testkit.check_true "mutation admitted"
+    (Service.Server.submit s ~client:0 {|{"id":1,"op":"route","session":"ro"}|}
+     = None);
+  (match
+     Service.Server.submit s ~client:0 {|{"id":2,"op":"route","session":"ro"}|}
+   with
+  | None -> Alcotest.fail "second mutation must be shed at cap 1"
+  | Some reply ->
+      Testkit.check_true "queue_full"
+        (error_code_of_reply reply = Some "queue_full"));
+  (* The saturated shard still admits read-only triage probes. *)
+  List.iter
+    (fun line ->
+      Testkit.check_true ("force-admitted: " ^ line)
+        (Service.Server.submit s ~client:0 line = None))
+    [
+      {|{"id":3,"op":"analyze","session":"ro"}|};
+      {|{"id":4,"op":"stats"}|};
+      {|{"id":5,"op":"verify","session":"ro"}|};
+    ];
+  (* Drain: every admitted request answers; the analyze reply carries a
+     verdict. *)
+  let replies = ref [] in
+  let rec drain () =
+    match Service.Server.drain_one s with
+    | Some (_, r) ->
+        replies := r :: !replies;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  let analyze_reply =
+    List.find_opt
+      (fun r ->
+        match J.of_string r with
+        | Ok j -> Option.bind (J.member "id" j) J.to_int_opt = Some 3
+        | Error _ -> false)
+      !replies
+  in
+  match analyze_reply with
+  | None -> Alcotest.fail "analyze reply missing after drain"
+  | Some r ->
+      Testkit.check_true "analyze ok" (ok_of_reply r);
+      Testkit.check_true "has score"
+        (match result_of_reply r "score" with
+        | Some (J.Float _ | J.Int _) -> true
+        | _ -> false)
 
 (* --- server: budget trips and chaos faults leave sessions unchanged --- *)
 
@@ -821,6 +882,8 @@ let () =
         [
           Alcotest.test_case "shed with retry_after" `Quick
             test_shed_with_retry_after;
+          Alcotest.test_case "read-only bypasses queue cap" `Quick
+            test_read_only_bypasses_cap;
         ] );
       ( "transactions",
         [

@@ -15,14 +15,14 @@ let test_net_char_stable_and_distinct () =
     (Viz.Ascii.net_char 3 <> Viz.Ascii.net_char 4)
 
 let test_render_layer_dimensions () =
-  let g = Grid.create ~width:7 ~height:4 in
+  let g = Grid.create ~width:7 ~height:4 () in
   let s = Viz.Ascii.render_layer g ~layer:0 in
   let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
   Testkit.check_int "rows" 4 (List.length lines);
   List.iter (fun l -> Testkit.check_int "cols" 7 (String.length l)) lines
 
 let test_render_markers () =
-  let g = Grid.create ~width:5 ~height:3 in
+  let g = Grid.create ~width:5 ~height:3 () in
   Grid.set_obstacle g ~layer:0 ~x:1 ~y:1;
   Grid.occupy g ~net:1 (Grid.node g ~layer:0 ~x:0 ~y:0);
   let s = Viz.Ascii.render_layer g ~layer:0 in
@@ -32,7 +32,7 @@ let test_render_markers () =
 
 let test_render_orientation () =
   (* y increases upwards, so the cell at (0, 0) appears on the last line. *)
-  let g = Grid.create ~width:3 ~height:2 in
+  let g = Grid.create ~width:3 ~height:2 () in
   Grid.occupy g ~net:1 (Grid.node g ~layer:0 ~x:0 ~y:0);
   let lines =
     Viz.Ascii.render_layer g ~layer:0
@@ -46,7 +46,7 @@ let test_render_orientation () =
   | _ -> Alcotest.fail "unexpected line count")
 
 let test_render_combined_with_vias () =
-  let g = Grid.create ~width:4 ~height:3 in
+  let g = Grid.create ~width:4 ~height:3 () in
   Grid.occupy g ~net:1 (Grid.node g ~layer:0 ~x:1 ~y:1);
   Grid.occupy g ~net:1 (Grid.node g ~layer:1 ~x:1 ~y:1);
   Grid.set_via g ~x:1 ~y:1;
